@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are long discrete-event simulations whose
+*results* are the point; pytest-benchmark records the wall time and the
+assertions check the paper's shape.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

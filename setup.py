@@ -1,0 +1,5 @@
+"""Setup shim for legacy (non-PEP-517) editable installs in offline envs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""SAAD — Stage-Aware Anomaly Detection through Tracking Log Points.
+
+A full reproduction of Ghanbari, Hashemi & Amza, *Middleware 2014*.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: task execution tracker, synopsis stream, and
+    the stage-aware statistical analyzer.
+``repro.loglib``
+    A log4j-like logging library with the tracker interception layer.
+``repro.simsys``
+    Discrete-event simulation kernel: threads, stages, disks, networks,
+    fault injection.
+``repro.lsm``
+    Log-structured-merge storage engine (MemTable / WAL / SSTable).
+``repro.hdfs`` / ``repro.hbase`` / ``repro.cassandra``
+    Simulated distributed storage systems used in the paper's evaluation.
+``repro.ycsb``
+    YCSB-like workload generator and emulated clients.
+``repro.baseline``
+    Text-mining, MapReduce, PCA and error-alert comparison baselines.
+``repro.instrument``
+    Static source instrumentation tooling (log-point ids, stage discovery).
+``repro.viz``
+    Text rendering of anomaly timelines and result tables.
+``repro.experiments``
+    One harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"

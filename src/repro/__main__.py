@@ -1,0 +1,95 @@
+"""Command-line entry: run paper experiments and print their outputs.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig6 | fig7 | fig8 | sec533 | table1
+    python -m repro fig9 [a|b|c|d]     # default: all four panels
+    python -m repro fig10
+    python -m repro fig11
+"""
+
+from __future__ import annotations
+
+import sys
+
+_EXPERIMENTS = {
+    "fig6": "Fig. 6  signature distributions (fault-free runs)",
+    "fig7": "Fig. 7  SAAD runtime overhead",
+    "fig8": "Fig. 8  monitoring-data volume",
+    "sec533": "Sec. 5.3.3  analyzer vs text-mining cost",
+    "table1": "Table 1  frozen-MemTable signatures",
+    "fig9": "Fig. 9  Cassandra fault timelines (a-d)",
+    "fig10": "Fig. 10  HBase/HDFS disk-hog timeline",
+    "fig11": "Fig. 11  false-positive analysis",
+}
+
+
+def _usage() -> None:
+    print(__doc__)
+    print("available experiments:")
+    for name, description in _EXPERIMENTS.items():
+        print(f"  {name:<8} {description}")
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in ("list", "-h", "--help"):
+        _usage()
+        return 0
+    command = argv[0]
+    if command == "fig6":
+        from repro.experiments import fig6_signatures
+
+        fig6_signatures.main()
+    elif command == "fig7":
+        from repro.experiments import fig7_overhead
+
+        fig7_overhead.main()
+    elif command == "fig8":
+        from repro.experiments import fig8_storage
+
+        fig8_storage.main()
+    elif command == "sec533":
+        from repro.experiments import sec533_analyzer
+
+        sec533_analyzer.main()
+    elif command == "table1":
+        from repro.experiments import table1_signatures
+
+        table1_signatures.main()
+    elif command == "fig9":
+        from repro.experiments.fig9_cassandra_faults import VARIANTS, run_fig9
+        from repro.viz import render_timeline
+
+        variants = argv[1:] or list("abcd")
+        for variant in variants:
+            fig = run_fig9(variant)
+            path, mode = VARIANTS[variant]
+            print(f"=== Fig 9({variant}): {mode} on {path} (host4) ===")
+            print(
+                render_timeline(
+                    fig.result.timeline(),
+                    throughput=fig.result.throughput_series(),
+                    fault_windows=[
+                        (*fig.low_window, "low fault"),
+                        (*fig.high_window, "high fault"),
+                    ],
+                )
+            )
+    elif command == "fig10":
+        from repro.experiments import fig10_hbase_hdfs
+
+        fig10_hbase_hdfs.main()
+    elif command == "fig11":
+        from repro.experiments import fig11_false_positives
+
+        fig11_false_positives.main()
+    else:
+        print(f"unknown experiment {command!r}\n")
+        _usage()
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

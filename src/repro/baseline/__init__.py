@@ -1,0 +1,35 @@
+"""Comparison baselines: conventional log-analysis approaches.
+
+* :mod:`textmining` — regex reverse-matching of rendered log lines to
+  their templates (Xu et al.), the compute-heavy step SAAD avoids.
+* :mod:`mapreduce` — a mini MapReduce runner for the Sec. 5.3.3 offline
+  mining comparison.
+* :mod:`pca` — principal-subspace residual detection on event counts.
+* :mod:`alerts` — error-log alert monitoring (the Figs. 9/10 overlay).
+"""
+
+from .alerts import ErrorAlert, ErrorLogMonitor
+from .mapreduce import MapReduceJob, chunk_lines
+from .pca import PCADetector, PCAResult, count_matrix
+from .textmining import (
+    ReverseMatcher,
+    extract_fields,
+    extract_message,
+    parse_corpus,
+    template_to_regex,
+)
+
+__all__ = [
+    "ErrorAlert",
+    "ErrorLogMonitor",
+    "MapReduceJob",
+    "PCADetector",
+    "PCAResult",
+    "ReverseMatcher",
+    "chunk_lines",
+    "count_matrix",
+    "extract_fields",
+    "extract_message",
+    "parse_corpus",
+    "template_to_regex",
+]

@@ -1,0 +1,56 @@
+"""Error-log alert monitoring: the paper's common-practice baseline.
+
+Figures 9 and 10 overlay "Error log message" markers: a conventional
+monitoring system alerts the operator whenever an ERROR/FATAL record
+appears.  SAAD's point is that many anomalies never produce one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.loglib import ERROR, LogRecord
+from repro.loglib.appenders import Appender
+from repro.loglib.layout import Layout
+
+
+@dataclass(frozen=True)
+class ErrorAlert:
+    """One alert raised by the monitor."""
+
+    time: float
+    logger_name: str
+    message: str
+
+
+class ErrorLogMonitor(Appender):
+    """An appender that records an alert for every ERROR+ record."""
+
+    def __init__(self, threshold: int = ERROR, layout: Optional[Layout] = None):
+        super().__init__(layout)
+        self.threshold = threshold
+        self.alerts: List[ErrorAlert] = []
+
+    def write(self, line: str, record: LogRecord) -> None:
+        if record.level >= self.threshold:
+            self.alerts.append(
+                ErrorAlert(
+                    time=record.time,
+                    logger_name=record.logger_name,
+                    message=record.message(),
+                )
+            )
+
+    def alerts_between(self, start: float, end: float) -> List[ErrorAlert]:
+        return [a for a in self.alerts if start <= a.time < end]
+
+    def alert_windows(self, window_s: float, horizon: float) -> List[int]:
+        """Alert counts per fixed window (for timeline overlays)."""
+        n_windows = int(horizon // window_s) + 1
+        counts = [0] * n_windows
+        for alert in self.alerts:
+            index = int(alert.time // window_s)
+            if 0 <= index < n_windows:
+                counts[index] += 1
+        return counts

@@ -1,0 +1,63 @@
+"""A miniature MapReduce runner for the offline log-mining baseline.
+
+The paper compares SAAD against a MapReduce job (à la Xu et al.) that
+reverse-matches one hour of DEBUG logs on a dedicated 8-core cluster
+(Sec. 5.3.3).  This runner provides map → shuffle → reduce over line
+chunks, with an optional process pool standing in for the cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+MapFn = Callable[[str], Iterable[Tuple[str, object]]]
+ReduceFn = Callable[[str, List[object]], object]
+
+
+def chunk_lines(lines: Sequence[str], n_chunks: int) -> List[List[str]]:
+    """Split a corpus into roughly equal chunks (the input splits)."""
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    size = max(1, (len(lines) + n_chunks - 1) // n_chunks)
+    return [list(lines[i : i + size]) for i in range(0, len(lines), size)]
+
+
+def _run_map_chunk(args):
+    map_fn, chunk = args
+    out: List[Tuple[str, object]] = []
+    for line in chunk:
+        out.extend(map_fn(line))
+    return out
+
+
+class MapReduceJob:
+    """map → shuffle → reduce over an in-memory corpus."""
+
+    def __init__(self, map_fn: MapFn, reduce_fn: ReduceFn, workers: int = 1):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.workers = workers
+
+    def run(self, lines: Sequence[str]) -> Dict[str, object]:
+        chunks = chunk_lines(lines, self.workers * 4 if self.workers > 1 else 1)
+        if self.workers == 1:
+            mapped_chunks = [_run_map_chunk((self.map_fn, c)) for c in chunks]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                mapped_chunks = list(
+                    pool.map(
+                        _run_map_chunk, [(self.map_fn, c) for c in chunks]
+                    )
+                )
+        # Shuffle: group values by key.
+        shuffled: Dict[str, List[object]] = {}
+        for key, value in itertools.chain.from_iterable(mapped_chunks):
+            shuffled.setdefault(key, []).append(value)
+        # Reduce.
+        return {
+            key: self.reduce_fn(key, values) for key, values in shuffled.items()
+        }

@@ -1,0 +1,89 @@
+"""PCA-based anomaly detection over log event counts (Xu et al., SOSP'09).
+
+The baseline builds a message-count matrix (rows = tasks or time
+windows, columns = log point ids), projects out the dominant principal
+subspace, and flags rows whose residual (squared prediction error, the
+Q-statistic) exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class PCAResult:
+    flags: np.ndarray  # boolean per row
+    spe: np.ndarray  # squared prediction error per row
+    threshold: float
+    n_components: int
+
+
+class PCADetector:
+    """Principal-subspace residual detector."""
+
+    def __init__(self, variance_captured: float = 0.95, alpha_quantile: float = 0.995):
+        if not 0.0 < variance_captured < 1.0:
+            raise ValueError("variance_captured must be in (0,1)")
+        self.variance_captured = variance_captured
+        self.alpha_quantile = alpha_quantile
+        self._mean: np.ndarray = np.zeros(0)
+        self._scale: np.ndarray = np.zeros(0)
+        self._components: np.ndarray = np.zeros((0, 0))
+        self.threshold: float = 0.0
+        self.fitted = False
+
+    def fit(self, matrix: np.ndarray) -> "PCADetector":
+        """Learn the normal subspace from a fault-free count matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] < 2:
+            raise ValueError("fit needs a 2-D matrix with >= 2 rows")
+        self._mean = matrix.mean(axis=0)
+        self._scale = matrix.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        normalized = (matrix - self._mean) / self._scale
+        _, singular_values, vt = np.linalg.svd(normalized, full_matrices=False)
+        explained = (singular_values**2) / max((singular_values**2).sum(), 1e-12)
+        cumulative = np.cumsum(explained)
+        k = int(np.searchsorted(cumulative, self.variance_captured) + 1)
+        k = min(k, len(singular_values))
+        self._components = vt[:k]
+        spe = self._spe(normalized)
+        self.threshold = float(np.quantile(spe, self.alpha_quantile))
+        self.fitted = True
+        return self
+
+    def _spe(self, normalized: np.ndarray) -> np.ndarray:
+        projected = normalized @ self._components.T @ self._components
+        residual = normalized - projected
+        return (residual**2).sum(axis=1)
+
+    def detect(self, matrix: np.ndarray) -> PCAResult:
+        """Flag rows whose residual exceeds the learned threshold."""
+        if not self.fitted:
+            raise RuntimeError("fit() before detect()")
+        matrix = np.asarray(matrix, dtype=float)
+        normalized = (matrix - self._mean) / self._scale
+        spe = self._spe(normalized)
+        return PCAResult(
+            flags=spe > self.threshold,
+            spe=spe,
+            threshold=self.threshold,
+            n_components=self._components.shape[0],
+        )
+
+
+def count_matrix(
+    rows: Iterable[dict], n_columns: int
+) -> np.ndarray:
+    """Build a count matrix from dicts of {log point id: count}."""
+    rows = list(rows)
+    matrix = np.zeros((len(rows), n_columns), dtype=float)
+    for i, counts in enumerate(rows):
+        for lpid, count in counts.items():
+            if 0 <= lpid < n_columns:
+                matrix[i, lpid] = count
+    return matrix

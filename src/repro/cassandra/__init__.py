@@ -1,0 +1,29 @@
+"""Simulated Cassandra (peer-to-peer key/value store, ~0.8 semantics).
+
+Reproduces the staged write/read paths of the paper's Sec. 5.4 testbed:
+CassandraDaemon → StorageProxy → WorkerProcess → Table → LogRecordAdder,
+with Memtable flush workers, CommitLog segment maintenance, compaction,
+hinted hand-off, GC inspection, and TCP connection stages.
+"""
+
+from .cluster import CassandraCluster
+from .config import CassandraConfig
+from .logpoints import CassandraLogPoints
+from .messages import HINT_REPLAY, HINT_STORE, MUTATION, READ, Message
+from .node import CassandraNode, ClientOp
+from .ring import TokenRing, hash_key
+
+__all__ = [
+    "CassandraCluster",
+    "CassandraConfig",
+    "CassandraLogPoints",
+    "CassandraNode",
+    "ClientOp",
+    "HINT_REPLAY",
+    "HINT_STORE",
+    "MUTATION",
+    "Message",
+    "READ",
+    "TokenRing",
+    "hash_key",
+]

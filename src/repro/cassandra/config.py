@@ -1,0 +1,88 @@
+"""Tunables for the Cassandra simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CassandraConfig:
+    """Cluster- and node-level knobs.
+
+    The defaults are calibrated so a 4-node cluster under ~20 emulated
+    clients reproduces the paper's Sec. 5.4 failure dynamics on a
+    laptop-scale discrete-event run.
+    """
+
+    replication_factor: int = 3
+    # Thread-pool sizes.
+    daemon_pool: int = 4
+    proxy_pool: int = 8
+    # Mutation-path pools are generous (Cassandra's mutation stage runs
+    # 32 threads): a 100 ms WAL *delay* fault must raise task latency
+    # without saturating the pools — saturation would turn a pure
+    # performance fault into queue growth and GC pressure, which the
+    # paper's delay experiments do not show.
+    worker_pool: int = 20
+    table_pool: int = 20
+    out_tcp_pool: int = 3
+    in_tcp_pool: int = 3
+    flush_slots: int = 2
+    # Timeouts (seconds).
+    client_timeout_s: float = 4.0
+    write_quorum_timeout_s: float = 1.0
+    hint_grace_s: float = 0.5
+    table_freeze_timeout_s: float = 1.0
+    wal_ack_timeout_s: float = 6.0
+    read_timeout_s: float = 1.5
+    hint_replay_timeout_s: float = 0.8
+    # Storage.
+    row_bytes: int = 1024
+    memtable_flush_bytes: int = 768 * 1024
+    compaction_threshold: int = 4
+    flush_chunk_bytes: int = 64 * 1024
+    wal_batch_limit: int = 32
+    wal_retry_backoff_s: float = 0.12
+    wal_wedge_after_failures: int = 3
+    flush_retry_limit: int = 3
+    flush_retry_backoff_s: float = 2.0
+    # CPU service times (seconds) — multiplied by host CPU pressure and
+    # the node's GC slowdown.
+    cpu_daemon_s: float = 0.0003
+    cpu_proxy_s: float = 0.0004
+    cpu_worker_s: float = 0.0004
+    cpu_table_s: float = 0.0003
+    cpu_read_s: float = 0.0005
+    # Periodic stage intervals (seconds).
+    gc_interval_s: float = 5.0
+    # Faster than the WAL seal cadence on purpose: idle ticks (nothing
+    # to discard) must be a *common, trained* flow, not a rarity that
+    # surfaces as a never-seen signature the first time throughput dips.
+    commitlog_interval_s: float = 2.5
+    compaction_interval_s: float = 20.0
+    hints_interval_s: float = 15.0
+    memtable_lifetime_s: float = 60.0
+    flush_retry_interval_s: float = 10.0
+    # Heap model: fraction = base + queued/backlog terms, see
+    # CassandraNode.heap_fraction().
+    heap_base: float = 0.28
+    heap_backlog_cap: float = 0.72
+    heap_backlog_scale: int = 25_000
+    heap_flush_weight: float = 0.015
+    heap_flush_cap: float = 0.40
+    heap_hint_scale: int = 6_000
+    heap_hint_cap: float = 0.12
+    # GC behaviour thresholds.
+    gc_cms_heap: float = 0.50
+    gc_warn_heap: float = 0.70
+    gc_oom_heap: float = 0.95
+    gc_oom_consecutive: int = 2
+    gc_base_pause_s: float = 0.004
+    # Message size on the wire.
+    message_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.wal_wedge_after_failures < 1:
+            raise ValueError("wal_wedge_after_failures must be >= 1")

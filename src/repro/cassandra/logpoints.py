@@ -1,0 +1,135 @@
+"""Declarative stage and log-point inventory for the Cassandra simulation.
+
+This is the artifact the paper's static instrumentation pass produces:
+every stage and every log statement (DEBUG and INFO alike) gets a stable
+identifier, registered into the shared SAAD registries.  The simulated
+node code refers to these objects when logging.
+
+Stage names follow the paper's figures (Fig. 9): ``CassandraDaemon``,
+``StorageProxy``, ``WorkerProcess``, ``Table``, ``LogRecordAdder``,
+``Memtable``, ``CommitLog``, ``LocalReadRunnable``, ``GCInspector``,
+``CompactionManager``, ``HintedHandOffManager``,
+``IncomingTcpConnection``, ``OutboundTcpConnection``.
+"""
+
+from __future__ import annotations
+
+from repro.core import SAAD
+from repro.loglib import DEBUG, ERROR, INFO, WARN
+
+_SOURCE = "cassandra_sim.py"
+
+
+class CassandraLogPoints:
+    """Registers and holds every Cassandra log point and stage."""
+
+    def __init__(self, saad: SAAD):
+        stages = saad.stages
+        self.stage_daemon = stages.register("CassandraDaemon")
+        self.stage_proxy = stages.register("StorageProxy")
+        self.stage_worker = stages.register("WorkerProcess")
+        self.stage_table = stages.register("Table")
+        self.stage_log_adder = stages.register("LogRecordAdder")
+        self.stage_memtable = stages.register("Memtable", model="dispatcher-worker")
+        self.stage_commitlog = stages.register("CommitLog")
+        self.stage_local_read = stages.register(
+            "LocalReadRunnable", model="dispatcher-worker"
+        )
+        self.stage_gc = stages.register("GCInspector")
+        self.stage_compaction = stages.register("CompactionManager")
+        self.stage_hints = stages.register("HintedHandOffManager")
+        self.stage_in_tcp = stages.register("IncomingTcpConnection")
+        self.stage_out_tcp = stages.register("OutboundTcpConnection")
+
+        def lp(template, level=DEBUG, logger="", line=0):
+            return saad.logpoints.register(
+                template, level, logger, source_file=_SOURCE, line=line
+            )
+
+        # CassandraDaemon (thrift intake)
+        self.daemon_recv = lp("Received client request %s", DEBUG, "CassandraDaemon", 10)
+        self.daemon_write = lp("Dispatching write to StorageProxy", DEBUG, "CassandraDaemon", 14)
+        self.daemon_read = lp("Dispatching read to StorageProxy", DEBUG, "CassandraDaemon", 18)
+        self.daemon_done = lp("Request complete; sending client response", DEBUG, "CassandraDaemon", 22)
+        self.daemon_fail = lp("Request failed: UnavailableException", WARN, "CassandraDaemon", 26)
+
+        # StorageProxy (coordination)
+        self.proxy_mutate = lp("Mutating key %s at consistency QUORUM", DEBUG, "StorageProxy", 40)
+        self.proxy_local = lp("insert writing local RowMutation", DEBUG, "StorageProxy", 44)
+        self.proxy_remote = lp("insert writing key to remote endpoint /%s", DEBUG, "StorageProxy", 48)
+        self.proxy_ack = lp("Quorum responses received for key", DEBUG, "StorageProxy", 52)
+        self.proxy_timeout = lp("Write timed out for endpoint /%s; scheduling hint", DEBUG, "StorageProxy", 56)
+        self.proxy_unavailable = lp("Cannot achieve consistency level QUORUM", WARN, "StorageProxy", 60)
+        self.proxy_read = lp("Executing read for key %s", DEBUG, "StorageProxy", 64)
+        self.proxy_read_done = lp("Read response resolved", DEBUG, "StorageProxy", 68)
+
+        # WorkerProcess (request application workers)
+        self.worker_start = lp("Worker handling message %s", DEBUG, "WorkerProcess", 80)
+        self.worker_apply = lp("Applying RowMutation to table", DEBUG, "WorkerProcess", 84)
+        self.worker_applied = lp("RowMutation applied; enqueuing response", DEBUG, "WorkerProcess", 88)
+        self.worker_apply_fail = lp("Mutation application timed out", DEBUG, "WorkerProcess", 92)
+        self.worker_flush_wait = lp("Waiting for flush writer slot", DEBUG, "WorkerProcess", 96)
+        self.worker_hint_store = lp("Storing hint for endpoint /%s", DEBUG, "WorkerProcess", 100)
+        self.worker_hint_timeout = lp("Hinted handoff to /%s timed out", DEBUG, "WorkerProcess", 104)
+
+        # Table (mutation apply path; Table 1 of the paper)
+        self.table_frozen = lp(
+            "MemTable is already frozen; another thread must be flushing it",
+            DEBUG, "Table", 120,
+        )
+        self.table_start = lp("Start applying update to MemTable", DEBUG, "Table", 124)
+        self.table_apply = lp("Applying mutation of row", DEBUG, "Table", 128)
+        self.table_done = lp("Applied mutation. Sending response", DEBUG, "Table", 132)
+
+        # LogRecordAdder (commit log appends)
+        self.wal_add = lp("Adding RowMutation to commitlog", DEBUG, "LogRecordAdder", 140)
+        self.wal_added = lp("Appended row mutation to commitlog", DEBUG, "LogRecordAdder", 144)
+        self.wal_retry = lp("Commitlog append failed; retrying", DEBUG, "LogRecordAdder", 148)
+        self.wal_error = lp("Failed appending to commitlog", ERROR, "LogRecordAdder", 152)
+
+        # Memtable (flush workers)
+        self.flush_enqueue = lp("Enqueuing flush of %s", INFO, "Memtable", 160)
+        self.flush_write = lp("Writing %s to SSTable", INFO, "Memtable", 164)
+        self.flush_done = lp("Completed flushing %s", INFO, "Memtable", 168)
+        self.flush_retry = lp("Error writing Memtable; will retry", WARN, "Memtable", 172)
+        self.flush_fail = lp("Flush failed; Memtable left pending", ERROR, "Memtable", 176)
+
+        # CommitLog (segment maintenance)
+        self.cl_check = lp("Checking commit log segments", DEBUG, "CommitLog", 184)
+        self.cl_discard = lp("Discarding obsolete commit log segment", DEBUG, "CommitLog", 188)
+        self.cl_none = lp("No obsolete commit log segments", DEBUG, "CommitLog", 192)
+
+        # LocalReadRunnable (local reads)
+        self.read_start = lp("LocalReadRunnable reading key %s", DEBUG, "LocalReadRunnable", 200)
+        self.read_mem_hit = lp("Key found in MemTable", DEBUG, "LocalReadRunnable", 204)
+        self.read_sstables = lp("Merging %d SSTable versions", DEBUG, "LocalReadRunnable", 208)
+        self.read_miss = lp("Key not found", DEBUG, "LocalReadRunnable", 212)
+        self.read_done = lp("Read complete; sending response", DEBUG, "LocalReadRunnable", 216)
+
+        # GCInspector (heap monitoring)
+        self.gc_parnew = lp("GC for ParNew: %d ms", INFO, "GCInspector", 224)
+        self.gc_cms = lp("GC for ConcurrentMarkSweep: %d ms", INFO, "GCInspector", 228)
+        self.gc_heap_warn = lp(
+            "Heap is %.2f full. You may need to reduce memtable thresholds",
+            WARN, "GCInspector", 232,
+        )
+        self.gc_oom = lp("OutOfMemoryError: Java heap space", ERROR, "GCInspector", 236)
+
+        # CompactionManager
+        self.compact_check = lp("Checking for compaction candidates", DEBUG, "CompactionManager", 244)
+        self.compact_start = lp("Compacting %d SSTables", INFO, "CompactionManager", 248)
+        self.compact_done = lp("Compacted to %d bytes", INFO, "CompactionManager", 252)
+        self.compact_retry = lp("Compaction write failed; aborting this round", WARN, "CompactionManager", 256)
+
+        # HintedHandOffManager
+        self.hints_check = lp("Checking remote schema and hints", DEBUG, "HintedHandOffManager", 264)
+        self.hints_replay = lp("Started hinted handoff for endpoint /%s", INFO, "HintedHandOffManager", 268)
+        self.hints_done = lp("Finished hinted handoff of %d rows", INFO, "HintedHandOffManager", 272)
+        self.hints_timeout = lp("Hint replay to /%s timed out; will retry", DEBUG, "HintedHandOffManager", 276)
+
+        # IncomingTcpConnection / OutboundTcpConnection
+        self.in_msg = lp("Received connection message from /%s", DEBUG, "IncomingTcpConnection", 284)
+        self.in_dispatch = lp("Dispatching verb to stage", DEBUG, "IncomingTcpConnection", 288)
+        self.out_send = lp("Sending message to /%s", DEBUG, "OutboundTcpConnection", 296)
+        self.out_sent = lp("Message sent", DEBUG, "OutboundTcpConnection", 300)
+        self.out_error = lp("Error connecting to /%s", DEBUG, "OutboundTcpConnection", 304)

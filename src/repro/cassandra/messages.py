@@ -1,0 +1,43 @@
+"""Inter-node messages for the Cassandra simulation.
+
+Messages carry completion callbacks directly (a simulation shortcut for
+the response verb): the receiving node invokes ``on_done`` when it has
+processed the message, and the transport layer models the wire cost of
+both directions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+_message_ids = itertools.count(1)
+
+MUTATION = "mutation"
+READ = "read"
+HINT_STORE = "hint-store"
+HINT_REPLAY = "hint-replay"
+
+
+@dataclass
+class Message:
+    """One verb sent between nodes."""
+
+    kind: str
+    key: str
+    sender: str
+    value: Any = None
+    nbytes: int = 1024
+    timestamp: float = 0.0
+    #: For HINT_STORE: the dead endpoint the hint is destined for.
+    hint_target: Optional[str] = None
+    #: Invoked on the *receiving* node when processing completes; the
+    #: payload is the result (e.g. read value, or True for an applied
+    #: mutation).  The transport wraps this to charge return-trip cost.
+    on_done: Optional[Callable[[Any], None]] = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def done(self, result: Any = None) -> None:
+        if self.on_done is not None:
+            self.on_done(result)

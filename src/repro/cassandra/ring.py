@@ -1,0 +1,68 @@
+"""Consistent-hash ring for Cassandra-style peer-to-peer placement.
+
+Nodes own evenly spaced tokens; a key's replicas are the first
+``replication_factor`` distinct nodes clockwise from the key's position
+(paper Sec. 5.1: DHT/Dynamo-style placement).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+RING_SIZE = 2**64
+
+
+def hash_key(key: str) -> int:
+    """Position of ``key`` on the ring."""
+    digest = hashlib.md5(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % RING_SIZE
+
+
+class TokenRing:
+    """Token ownership and replica selection."""
+
+    def __init__(self, node_names: Sequence[str], replication_factor: int = 3):
+        if not node_names:
+            raise ValueError("ring needs at least one node")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if replication_factor > len(node_names):
+            raise ValueError(
+                f"replication_factor {replication_factor} exceeds "
+                f"cluster size {len(node_names)}"
+            )
+        self.replication_factor = replication_factor
+        spacing = RING_SIZE // len(node_names)
+        # (token, node) pairs sorted by token; deterministic assignment.
+        self._tokens = sorted(
+            (i * spacing, name) for i, name in enumerate(node_names)
+        )
+        self.node_names = list(node_names)
+
+    def primary_for(self, key: str) -> str:
+        """The first node clockwise from the key's position."""
+        return self.replicas_for(key)[0]
+
+    def replicas_for(self, key: str) -> List[str]:
+        """The ``replication_factor`` replica nodes for ``key``, in order."""
+        position = hash_key(key)
+        index = 0
+        for i, (token, _name) in enumerate(self._tokens):
+            if token >= position:
+                index = i
+                break
+        else:
+            index = 0
+        replicas = []
+        for offset in range(len(self._tokens)):
+            _token, name = self._tokens[(index + offset) % len(self._tokens)]
+            if name not in replicas:
+                replicas.append(name)
+            if len(replicas) == self.replication_factor:
+                break
+        return replicas
+
+    def quorum(self) -> int:
+        """Majority of the replica set."""
+        return self.replication_factor // 2 + 1

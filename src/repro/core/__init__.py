@@ -1,0 +1,82 @@
+"""SAAD core: task execution tracking + the stage-aware statistical analyzer.
+
+Typical use::
+
+    from repro.core import SAAD, SAADConfig
+
+    saad = SAAD(SAADConfig(window_s=180))
+    node = saad.add_node("host1")              # or add_sim_node(name, env)
+    stage = saad.stages.register("Memtable")
+    lp = saad.logpoints.register("Applying mutation of row")
+
+    node.set_context("Memtable")               # begin a task
+    node.logger("Memtable").debug("Applying mutation of row", lpid=lp.lpid)
+    node.end_task()                            # or rely on inference
+
+    model = saad.train()                       # fault-free trace
+    anomalies = saad.detect(new_synopses)
+    print(saad.reporter().render(anomalies))
+"""
+
+from .config import SAADConfig
+from .context import RealThreadContext, SimThreadContext, ThreadContextProvider
+from .detector import FLOW, PERFORMANCE, AnomalyDetector, AnomalyEvent
+from .features import (
+    FeatureVector,
+    Signature,
+    StageKey,
+    features_from,
+    format_signature,
+)
+from .logpoints import LogPoint, LogPointRegistry
+from .model import OutlierModel, SignatureProfile, StageModel, TaskLabel
+from .persistence import load_model, model_from_json, model_to_json, save_model
+from .pipeline import SAAD, NodeRuntime
+from .report import AnomalyReporter
+from .stages import Stage, StageRegistry
+from .stats import ProportionTest, kfold_splits, percentile, proportion_exceeds_test
+from .stream import SynopsisCollector, SynopsisStream
+from .synopsis import TaskSynopsis, decode_batch, encode_batch
+from .tracker import TaskExecutionTracker, TrackerStats
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyEvent",
+    "AnomalyReporter",
+    "FLOW",
+    "FeatureVector",
+    "LogPoint",
+    "LogPointRegistry",
+    "NodeRuntime",
+    "OutlierModel",
+    "PERFORMANCE",
+    "ProportionTest",
+    "RealThreadContext",
+    "SAAD",
+    "SAADConfig",
+    "Signature",
+    "SignatureProfile",
+    "SimThreadContext",
+    "Stage",
+    "StageKey",
+    "StageModel",
+    "StageRegistry",
+    "SynopsisCollector",
+    "SynopsisStream",
+    "TaskExecutionTracker",
+    "TaskLabel",
+    "TaskSynopsis",
+    "ThreadContextProvider",
+    "TrackerStats",
+    "decode_batch",
+    "encode_batch",
+    "features_from",
+    "format_signature",
+    "kfold_splits",
+    "load_model",
+    "model_from_json",
+    "model_to_json",
+    "percentile",
+    "proportion_exceeds_test",
+    "save_model",
+]

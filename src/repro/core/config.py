@@ -1,0 +1,68 @@
+"""Analyzer configuration, with the paper's defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SAADConfig:
+    """Knobs for the statistical analyzer.
+
+    Attributes
+    ----------
+    flow_percentile:
+        Signatures whose share of a stage's tasks is below
+        ``1 - flow_percentile`` are flow outliers (paper: 99th percentile,
+        i.e. signatures covering < 1 % of tasks).
+    duration_percentile:
+        Per (stage, signature) duration threshold quantile (paper: 0.99).
+    alpha:
+        Significance level of the anomaly t-tests (paper: 0.001).
+    window_s:
+        Width of the periodic detection windows in seconds (the paper's
+        Cassandra timeline uses 3-minute splits).
+    kfold:
+        Folds for the duration-stability cross-validation (Sec. 3.3.2).
+    kfold_discard_factor:
+        A signature is discarded for performance detection when its
+        cross-validated outlier rate exceeds
+        ``factor * (1 - duration_percentile)``.
+    min_signature_samples:
+        Signatures with fewer training tasks than this are not eligible
+        for performance-outlier detection (their percentile threshold
+        would be noise), though they still participate in flow detection.
+    min_window_tasks:
+        Detection windows with fewer tasks for a stage are skipped.
+    per_host:
+        Train and test per (host, stage), as the paper does; set False to
+        pool all hosts into one model per stage.
+    """
+
+    flow_percentile: float = 0.99
+    duration_percentile: float = 0.99
+    alpha: float = 0.001
+    window_s: float = 180.0
+    kfold: int = 5
+    kfold_discard_factor: float = 3.0
+    min_signature_samples: int = 20
+    min_window_tasks: int = 8
+    per_host: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.flow_percentile < 1.0:
+            raise ValueError(f"flow_percentile out of range: {self.flow_percentile}")
+        if not 0.5 <= self.duration_percentile < 1.0:
+            raise ValueError(
+                f"duration_percentile out of range: {self.duration_percentile}"
+            )
+        if not 0.0 < self.alpha < 0.5:
+            raise ValueError(f"alpha out of range: {self.alpha}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive: {self.window_s}")
+        if self.kfold < 2:
+            raise ValueError(f"kfold must be >= 2: {self.kfold}")
+        if self.kfold_discard_factor < 1.0:
+            raise ValueError(
+                f"kfold_discard_factor must be >= 1: {self.kfold_discard_factor}"
+            )

@@ -1,0 +1,85 @@
+"""Per-thread task-context providers.
+
+The tracker keeps each in-flight task's state in *thread-local storage*
+(paper Sec. 4.1).  What "the current thread" means differs between a real
+Python program and our discrete-event simulations, so the tracker talks to
+a small provider interface:
+
+* :class:`RealThreadContext` — backed by :mod:`threading` locals; used when
+  SAAD instruments an actual Python application.
+* :class:`SimThreadContext` — backed by the simulation environment's active
+  :class:`~repro.simsys.threads.SimThread`; supports exit hooks, which model
+  Java's ``finalize()``-based task-termination inference for the
+  dispatcher-worker staging model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+
+class ThreadContextProvider:
+    """Interface the tracker uses to reach per-thread storage."""
+
+    def slot(self) -> Optional[Dict[str, Any]]:
+        """Mutable per-thread dict, or None when no thread context exists."""
+        raise NotImplementedError
+
+    def thread_name(self) -> str:
+        """Display name of the current thread."""
+        raise NotImplementedError
+
+    def register_exit_hook(self, hook: Callable[[], None]) -> bool:
+        """Ask to run ``hook`` when the current thread dies.
+
+        Returns False when the platform cannot observe thread death (the
+        tracker then relies on ``set_context`` re-entry or explicit
+        ``end_task``).
+        """
+        return False
+
+
+class RealThreadContext(ThreadContextProvider):
+    """Thread-local storage on real Python threads."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def slot(self) -> Dict[str, Any]:
+        store = getattr(self._local, "store", None)
+        if store is None:
+            store = {}
+            self._local.store = store
+        return store
+
+    def thread_name(self) -> str:
+        return threading.current_thread().name
+
+
+class SimThreadContext(ThreadContextProvider):
+    """Thread-local storage on simulated threads.
+
+    Log calls made outside any simulated thread (e.g. module-level driver
+    code) fall into a shared fallback slot so they are tolerated but not
+    attributed to a task.
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._fallback: Dict[str, Any] = {}
+
+    def slot(self) -> Dict[str, Any]:
+        thread = self.env.active_thread
+        return thread.locals if thread is not None else self._fallback
+
+    def thread_name(self) -> str:
+        thread = self.env.active_thread
+        return thread.name if thread is not None else "main"
+
+    def register_exit_hook(self, hook: Callable[[], None]) -> bool:
+        thread = self.env.active_thread
+        if thread is None:
+            return False
+        thread.exit_hooks.append(lambda _thread: hook())
+        return True

@@ -1,0 +1,219 @@
+"""Online anomaly detection over the synopsis stream (paper Sec. 3.3.3).
+
+The detector buckets classified tasks into fixed time windows per stage
+key.  When a window closes (event time passes its end) it runs:
+
+* **Flow anomaly test** — reject H0 "proportion of flow outliers <= the
+  training proportion" at ``alpha``; *or* any never-seen signature.
+* **Performance anomaly test** — per (stage, signature) group, reject H0
+  "proportion of performance outliers <= the training proportion".
+
+Emitted :class:`AnomalyEvent` objects carry everything the reporting
+layer needs to render a human-readable root-cause hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import SAADConfig
+from .features import FeatureVector, Signature, StageKey
+from .model import OutlierModel
+from .stats import ProportionTest, proportion_exceeds_test
+from .synopsis import TaskSynopsis
+
+FLOW = "flow"
+PERFORMANCE = "performance"
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detected anomaly for one stage in one window."""
+
+    kind: str  # FLOW or PERFORMANCE
+    host_id: int
+    stage_id: int
+    window_start: float
+    window_end: float
+    outliers: int
+    n: int
+    baseline: float
+    p_value: float
+    new_signatures: Tuple[Signature, ...] = ()
+    offending_signatures: Tuple[Signature, ...] = ()
+
+    @property
+    def stage_key(self) -> StageKey:
+        return (self.host_id, self.stage_id)
+
+
+@dataclass
+class _WindowBucket:
+    """Accumulator for one (stage key, window index)."""
+
+    n: int = 0
+    flow_outliers: int = 0
+    new_signatures: Set[Signature] = field(default_factory=set)
+    # signature -> [perf outliers, eligible task count]
+    perf: Dict[Signature, List[int]] = field(default_factory=dict)
+
+
+class AnomalyDetector:
+    """Streaming detector; feed :meth:`observe`, call :meth:`flush` at end.
+
+    Windows are closed by *event time*: when a task with
+    ``start_time >= window_end + lateness`` arrives for any stage, all
+    windows ending earlier are finalized.  ``flush()`` closes the rest.
+    """
+
+    def __init__(
+        self,
+        model: OutlierModel,
+        config: Optional[SAADConfig] = None,
+        lateness_s: float = 0.0,
+    ):
+        self.model = model
+        self.config = config or model.config
+        self.lateness_s = lateness_s
+        self._buckets: Dict[Tuple[StageKey, int], _WindowBucket] = {}
+        self._watermark = float("-inf")
+        self.anomalies: List[AnomalyEvent] = []
+        self.tasks_seen = 0
+
+    # -- ingestion -----------------------------------------------------------
+    def observe(self, synopsis: TaskSynopsis) -> List[AnomalyEvent]:
+        """Ingest one synopsis; returns anomalies from any closed windows."""
+        return self.observe_feature(FeatureVector.from_synopsis(synopsis))
+
+    def observe_feature(self, feature: FeatureVector) -> List[AnomalyEvent]:
+        self.tasks_seen += 1
+        label = self.model.classify(feature)
+        stage_key = self.model.stage_key_for(feature)
+        index = int(feature.start_time // self.config.window_s)
+        bucket = self._buckets.setdefault((stage_key, index), _WindowBucket())
+        bucket.n += 1
+        if label.any_flow:
+            bucket.flow_outliers += 1
+        if label.new_signature:
+            bucket.new_signatures.add(feature.signature)
+        if label.perf_eligible:
+            counts = bucket.perf.setdefault(feature.signature, [0, 0])
+            counts[1] += 1
+            if label.perf_outlier:
+                counts[0] += 1
+        self._watermark = max(self._watermark, feature.start_time)
+        return self._close_ripe_windows()
+
+    def flush(self) -> List[AnomalyEvent]:
+        """Close every open window (end of stream)."""
+        emitted: List[AnomalyEvent] = []
+        for key in sorted(self._buckets, key=lambda pair: pair[1]):
+            emitted.extend(self._close_window(key))
+        self._buckets.clear()
+        return emitted
+
+    # -- window lifecycle -------------------------------------------------------
+    def _close_ripe_windows(self) -> List[AnomalyEvent]:
+        width = self.config.window_s
+        emitted: List[AnomalyEvent] = []
+        ripe = [
+            key
+            for key in self._buckets
+            if (key[1] + 1) * width + self.lateness_s <= self._watermark
+        ]
+        for key in sorted(ripe, key=lambda pair: pair[1]):
+            emitted.extend(self._close_window(key))
+            del self._buckets[key]
+        return emitted
+
+    def _close_window(self, key: Tuple[StageKey, int]) -> List[AnomalyEvent]:
+        stage_key, index = key
+        bucket = self._buckets[key]
+        width = self.config.window_s
+        window_start, window_end = index * width, (index + 1) * width
+        events: List[AnomalyEvent] = []
+        stage_model = self.model.stage_model(stage_key)
+        host_id, stage_id = stage_key
+        flow_baseline = stage_model.flow_outlier_share if stage_model else 0.0
+
+        if bucket.n < self.config.min_window_tasks:
+            # Too few tasks for proportion tests — but a *new* signature
+            # is a flow anomaly regardless of volume (paper Sec. 3.3.3:
+            # "we observe a new signature that we have not seen during
+            # training").
+            if bucket.new_signatures:
+                events.append(
+                    AnomalyEvent(
+                        kind=FLOW,
+                        host_id=host_id,
+                        stage_id=stage_id,
+                        window_start=window_start,
+                        window_end=window_end,
+                        outliers=bucket.flow_outliers,
+                        n=bucket.n,
+                        baseline=flow_baseline,
+                        p_value=0.0,
+                        new_signatures=tuple(
+                            sorted(bucket.new_signatures, key=sorted)
+                        ),
+                    )
+                )
+                self.anomalies.extend(events)
+            return events
+
+        flow_test = proportion_exceeds_test(
+            bucket.flow_outliers, bucket.n, flow_baseline, self.config.alpha
+        )
+        if flow_test.reject or bucket.new_signatures:
+            events.append(
+                AnomalyEvent(
+                    kind=FLOW,
+                    host_id=host_id,
+                    stage_id=stage_id,
+                    window_start=window_start,
+                    window_end=window_end,
+                    outliers=bucket.flow_outliers,
+                    n=bucket.n,
+                    baseline=flow_baseline,
+                    p_value=flow_test.p_value if flow_test.reject else 0.0,
+                    new_signatures=tuple(sorted(bucket.new_signatures, key=sorted)),
+                )
+            )
+
+        offending: List[Signature] = []
+        worst: Optional[ProportionTest] = None
+        for signature, (outliers, eligible) in bucket.perf.items():
+            if eligible < self.config.min_window_tasks:
+                continue
+            baseline = 1.0 - self.config.duration_percentile
+            if stage_model is not None:
+                profile = stage_model.signatures.get(signature)
+                if profile is not None:
+                    baseline = max(baseline, profile.perf_outlier_share)
+            test = proportion_exceeds_test(
+                outliers, eligible, baseline, self.config.alpha
+            )
+            if test.reject:
+                offending.append(signature)
+                if worst is None or test.p_value < worst.p_value:
+                    worst = test
+        if offending and worst is not None:
+            total_eligible = sum(counts[1] for counts in bucket.perf.values())
+            total_outliers = sum(counts[0] for counts in bucket.perf.values())
+            events.append(
+                AnomalyEvent(
+                    kind=PERFORMANCE,
+                    host_id=host_id,
+                    stage_id=stage_id,
+                    window_start=window_start,
+                    window_end=window_end,
+                    outliers=total_outliers,
+                    n=total_eligible,
+                    baseline=worst.baseline,
+                    p_value=worst.p_value,
+                    offending_signatures=tuple(sorted(offending, key=sorted)),
+                )
+            )
+        self.anomalies.extend(events)
+        return events

@@ -1,0 +1,126 @@
+"""Log points and the log template dictionary.
+
+During the paper's static pre-processing pass, every log statement in the
+server source gets a unique identifier and its static text is recorded in
+a *log template dictionary*.  At runtime only the identifier travels; the
+dictionary is consulted again only when presenting anomalies to a human.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.loglib.levels import INFO, level_name, parse_level
+
+
+@dataclass(frozen=True)
+class LogPoint:
+    """One log statement in the source, with its assigned identifier."""
+
+    lpid: int
+    template: str
+    level: int = INFO
+    logger_name: str = ""
+    source_file: str = ""
+    line: int = 0
+
+    def describe(self) -> str:
+        """One-line human description used in anomaly reports."""
+        location = f" ({self.source_file}:{self.line})" if self.source_file else ""
+        return f"L{self.lpid} [{level_name(self.level)}] {self.template}{location}"
+
+
+class LogPointRegistry:
+    """The log template dictionary: assigns and resolves log point ids.
+
+    Ids are assigned densely from 0 in registration order, which makes
+    registration order part of the instrumentation contract — the same
+    source scan always yields the same ids.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: List[LogPoint] = []
+        self._by_key: Dict[tuple, LogPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[LogPoint]:
+        return iter(self._by_id)
+
+    def register(
+        self,
+        template: str,
+        level: int = INFO,
+        logger_name: str = "",
+        source_file: str = "",
+        line: int = 0,
+    ) -> LogPoint:
+        """Register a log statement; idempotent on (template, logger, file, line)."""
+        key = (template, logger_name, source_file, line)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        point = LogPoint(
+            lpid=len(self._by_id),
+            template=template,
+            level=level,
+            logger_name=logger_name,
+            source_file=source_file,
+            line=line,
+        )
+        self._by_id.append(point)
+        self._by_key[key] = point
+        return point
+
+    def get(self, lpid: int) -> LogPoint:
+        """The log point with id ``lpid``; raises KeyError when unknown."""
+        if 0 <= lpid < len(self._by_id):
+            return self._by_id[lpid]
+        raise KeyError(f"unknown log point id {lpid}")
+
+    def maybe_get(self, lpid: int) -> Optional[LogPoint]:
+        if 0 <= lpid < len(self._by_id):
+            return self._by_id[lpid]
+        return None
+
+    def templates(self) -> List[str]:
+        return [p.template for p in self._by_id]
+
+    # -- persistence -----------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the dictionary (for shipping to the analyzer side)."""
+        return json.dumps(
+            [
+                {
+                    "lpid": p.lpid,
+                    "template": p.template,
+                    "level": level_name(p.level),
+                    "logger_name": p.logger_name,
+                    "source_file": p.source_file,
+                    "line": p.line,
+                }
+                for p in self._by_id
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "LogPointRegistry":
+        registry = cls()
+        entries = json.loads(payload)
+        for entry in sorted(entries, key=lambda e: e["lpid"]):
+            point = registry.register(
+                template=entry["template"],
+                level=parse_level(entry["level"]),
+                logger_name=entry.get("logger_name", ""),
+                source_file=entry.get("source_file", ""),
+                line=entry.get("line", 0),
+            )
+            if point.lpid != entry["lpid"]:
+                raise ValueError(
+                    f"non-dense log point ids in payload (expected {point.lpid}, "
+                    f"got {entry['lpid']})"
+                )
+        return registry

@@ -1,0 +1,213 @@
+"""The learned outlier model (paper Sec. 3.3.2).
+
+Training is deliberately cheap — counting and percentiles:
+
+1. Per stage, count tasks per signature.  Signatures whose share of the
+   stage's tasks is below ``1 - flow_percentile`` are **flow outliers**.
+2. Per (stage, signature), the ``duration_percentile`` quantile of
+   training durations is the **performance outlier threshold**.
+3. A k-fold cross-validation pass discards signatures whose duration
+   distribution does not admit a stable percentile threshold: build the
+   threshold on k-1 folds, measure the held-out outlier rate, and discard
+   the signature when the average rate is far above the nominal
+   ``1 - duration_percentile``.
+
+Classification at runtime is hash-map lookups plus one float comparison,
+matching the paper's "extremely light-weight" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .config import SAADConfig
+from .features import FeatureVector, Signature, StageKey, features_from
+from .stats import kfold_splits, percentile
+from .synopsis import TaskSynopsis
+
+
+@dataclass
+class SignatureProfile:
+    """What training learned about one (stage, signature) group."""
+
+    signature: Signature
+    count: int
+    share: float
+    is_flow_outlier: bool
+    duration_threshold: Optional[float] = None
+    perf_outlier_share: float = 0.0
+    perf_eligible: bool = False
+    cv_outlier_rate: Optional[float] = None
+
+
+@dataclass
+class StageModel:
+    """Learned statistics for one stage key."""
+
+    stage_key: StageKey
+    total_tasks: int
+    signatures: Dict[Signature, SignatureProfile] = field(default_factory=dict)
+    flow_outlier_share: float = 0.0
+
+    @property
+    def known_signatures(self) -> Set[Signature]:
+        return set(self.signatures)
+
+
+@dataclass(frozen=True)
+class TaskLabel:
+    """Classification of one task against the model."""
+
+    flow_outlier: bool
+    new_signature: bool
+    perf_outlier: bool
+    perf_eligible: bool
+
+    @property
+    def any_flow(self) -> bool:
+        """Counts toward the flow-anomaly test (rare or never-seen flow)."""
+        return self.flow_outlier or self.new_signature
+
+
+class OutlierModel:
+    """The trained classifier: stage -> signature stats + thresholds."""
+
+    def __init__(self, config: Optional[SAADConfig] = None):
+        self.config = config or SAADConfig()
+        self.stages: Dict[StageKey, StageModel] = {}
+        self.trained = False
+
+    # -- training ---------------------------------------------------------------
+    def train(self, synopses: Iterable[TaskSynopsis]) -> "OutlierModel":
+        """Build the model from a fault-free training trace."""
+        return self.train_features(features_from(synopses))
+
+    def train_features(self, features: List[FeatureVector]) -> "OutlierModel":
+        config = self.config
+        grouped: Dict[StageKey, Dict[Signature, List[float]]] = {}
+        for feature in features:
+            key = feature.stage_key if config.per_host else (0, feature.stage_id)
+            grouped.setdefault(key, {}).setdefault(feature.signature, []).append(
+                feature.duration
+            )
+
+        outlier_share_cutoff = 1.0 - config.flow_percentile
+        for stage_key, by_signature in grouped.items():
+            total = sum(len(durations) for durations in by_signature.values())
+            stage_model = StageModel(stage_key=stage_key, total_tasks=total)
+            flow_outlier_tasks = 0
+            for signature, durations in by_signature.items():
+                share = len(durations) / total
+                is_flow_outlier = share < outlier_share_cutoff
+                if is_flow_outlier:
+                    flow_outlier_tasks += len(durations)
+                profile = SignatureProfile(
+                    signature=signature,
+                    count=len(durations),
+                    share=share,
+                    is_flow_outlier=is_flow_outlier,
+                )
+                self._fit_duration(profile, durations)
+                stage_model.signatures[signature] = profile
+            stage_model.flow_outlier_share = flow_outlier_tasks / total if total else 0.0
+            self.stages[stage_key] = stage_model
+        self.trained = True
+        return self
+
+    def _fit_duration(self, profile: SignatureProfile, durations: List[float]) -> None:
+        """Steps 2-3: percentile threshold plus k-fold stability check."""
+        config = self.config
+        if len(durations) < config.min_signature_samples:
+            return
+        profile.duration_threshold = percentile(durations, config.duration_percentile)
+        nominal_rate = 1.0 - config.duration_percentile
+        profile.perf_outlier_share = sum(
+            1 for d in durations if d > profile.duration_threshold
+        ) / len(durations)
+
+        # k-fold cross-validation (paper Sec. 3.3.2): is the held-out
+        # outlier rate consistent with what a stable distribution would
+        # give?  For iid continuous data the expected exceedance of a
+        # q-quantile threshold built from m samples is NOT (1-q) but
+        # (m(1-q) + 1) / (m + 1)  — the order-statistic correction that
+        # matters at small m.  Discard only rates far above *that*.
+        rates = []
+        expected_rates = []
+        splits = kfold_splits(len(durations), config.kfold)
+        for start, end in splits:
+            held_out = durations[start:end]
+            training = durations[:start] + durations[end:]
+            if not held_out or len(training) < 2:
+                continue
+            threshold = percentile(training, config.duration_percentile)
+            rates.append(sum(1 for d in held_out if d > threshold) / len(held_out))
+            m = len(training)
+            expected_rates.append((m * nominal_rate + 1.0) / (m + 1.0))
+        if not rates:
+            return
+        profile.cv_outlier_rate = sum(rates) / len(rates)
+        expected = sum(expected_rates) / len(expected_rates)
+        profile.perf_eligible = (
+            profile.cv_outlier_rate <= config.kfold_discard_factor * expected
+        )
+
+    # -- classification ---------------------------------------------------------
+    def stage_key_for(self, feature: FeatureVector) -> StageKey:
+        return feature.stage_key if self.config.per_host else (0, feature.stage_id)
+
+    def stage_model(self, stage_key: StageKey) -> Optional[StageModel]:
+        return self.stages.get(stage_key)
+
+    def classify(self, feature: FeatureVector) -> TaskLabel:
+        """Label one task; unknown stages yield all-normal labels."""
+        if not self.trained:
+            raise RuntimeError("model must be trained before classification")
+        stage = self.stages.get(self.stage_key_for(feature))
+        if stage is None:
+            # A whole stage never seen in training: treat its tasks as new
+            # flows (conservative; surfaces brand-new code paths).
+            return TaskLabel(
+                flow_outlier=False,
+                new_signature=True,
+                perf_outlier=False,
+                perf_eligible=False,
+            )
+        profile = stage.signatures.get(feature.signature)
+        if profile is None:
+            return TaskLabel(
+                flow_outlier=False,
+                new_signature=True,
+                perf_outlier=False,
+                perf_eligible=False,
+            )
+        perf_outlier = (
+            profile.perf_eligible
+            and profile.duration_threshold is not None
+            and feature.duration > profile.duration_threshold
+        )
+        return TaskLabel(
+            flow_outlier=profile.is_flow_outlier,
+            new_signature=False,
+            perf_outlier=perf_outlier,
+            perf_eligible=profile.perf_eligible,
+        )
+
+    # -- introspection ------------------------------------------------------------
+    def signature_distribution(self, stage_key: StageKey) -> List[Tuple[Signature, float]]:
+        """(signature, share) pairs sorted by share descending (Fig. 6 data)."""
+        stage = self.stages.get(stage_key)
+        if stage is None:
+            return []
+        return sorted(
+            ((sig, prof.share) for sig, prof in stage.signatures.items()),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+
+    def summary(self) -> Dict[StageKey, Tuple[int, int]]:
+        """Per stage: (total tasks, distinct signatures)."""
+        return {
+            key: (model.total_tasks, len(model.signatures))
+            for key, model in self.stages.items()
+        }

@@ -1,0 +1,108 @@
+"""Model persistence: save/load a trained outlier model.
+
+The paper's deployment trains the model from a trace and then runs the
+analyzer continuously; persisting the learned model lets the analyzer
+restart (or move to another machine) without retraining, and makes the
+training artifact auditable.
+
+The format is plain JSON: stable, diffable, and independent of Python
+pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .config import SAADConfig
+from .model import OutlierModel, SignatureProfile, StageModel
+
+FORMAT_VERSION = 1
+
+
+def model_to_json(model: OutlierModel) -> str:
+    """Serialize a trained model (config + every stage's statistics)."""
+    if not model.trained:
+        raise ValueError("cannot serialize an untrained model")
+    config = model.config
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "flow_percentile": config.flow_percentile,
+            "duration_percentile": config.duration_percentile,
+            "alpha": config.alpha,
+            "window_s": config.window_s,
+            "kfold": config.kfold,
+            "kfold_discard_factor": config.kfold_discard_factor,
+            "min_signature_samples": config.min_signature_samples,
+            "min_window_tasks": config.min_window_tasks,
+            "per_host": config.per_host,
+        },
+        "stages": [
+            {
+                "host_id": host_id,
+                "stage_id": stage_id,
+                "total_tasks": stage.total_tasks,
+                "flow_outlier_share": stage.flow_outlier_share,
+                "signatures": [
+                    {
+                        "log_points": sorted(profile.signature),
+                        "count": profile.count,
+                        "share": profile.share,
+                        "is_flow_outlier": profile.is_flow_outlier,
+                        "duration_threshold": profile.duration_threshold,
+                        "perf_outlier_share": profile.perf_outlier_share,
+                        "perf_eligible": profile.perf_eligible,
+                        "cv_outlier_rate": profile.cv_outlier_rate,
+                    }
+                    for profile in stage.signatures.values()
+                ],
+            }
+            for (host_id, stage_id), stage in sorted(model.stages.items())
+        ],
+    }
+    return json.dumps(payload)
+
+
+def model_from_json(payload: str) -> OutlierModel:
+    """Inverse of :func:`model_to_json`."""
+    data = json.loads(payload)
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    config = SAADConfig(**data["config"])
+    model = OutlierModel(config)
+    for stage_data in data["stages"]:
+        stage_key = (stage_data["host_id"], stage_data["stage_id"])
+        stage = StageModel(
+            stage_key=stage_key,
+            total_tasks=stage_data["total_tasks"],
+            flow_outlier_share=stage_data["flow_outlier_share"],
+        )
+        for entry in stage_data["signatures"]:
+            signature = frozenset(entry["log_points"])
+            stage.signatures[signature] = SignatureProfile(
+                signature=signature,
+                count=entry["count"],
+                share=entry["share"],
+                is_flow_outlier=entry["is_flow_outlier"],
+                duration_threshold=entry["duration_threshold"],
+                perf_outlier_share=entry["perf_outlier_share"],
+                perf_eligible=entry["perf_eligible"],
+                cv_outlier_rate=entry["cv_outlier_rate"],
+            )
+        model.stages[stage_key] = stage
+    model.trained = True
+    return model
+
+
+def save_model(model: OutlierModel, path: str) -> None:
+    """Write the model to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(model_to_json(model))
+
+
+def load_model(path: str) -> OutlierModel:
+    """Read a model previously written by :func:`save_model`."""
+    with open(path, encoding="utf-8") as handle:
+        return model_from_json(handle.read())

@@ -1,0 +1,150 @@
+"""End-to-end SAAD wiring: node runtimes + the central analyzer.
+
+:class:`SAAD` is the facade a deployment (or a simulation) uses:
+
+* shared :class:`StageRegistry` and :class:`LogPointRegistry` produced by
+  the one-time instrumentation pass;
+* per-node :class:`NodeRuntime` bundling a logger repository, the task
+  execution tracker, and a synopsis stream;
+* a central :class:`SynopsisCollector`, :class:`OutlierModel` training,
+  and the streaming :class:`AnomalyDetector`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional
+
+from repro.loglib import INFO, LoggerRepository
+
+from .config import SAADConfig
+from .context import RealThreadContext, SimThreadContext, ThreadContextProvider
+from .detector import AnomalyDetector, AnomalyEvent
+from .logpoints import LogPointRegistry
+from .model import OutlierModel
+from .report import AnomalyReporter
+from .stages import StageRegistry
+from .stream import SynopsisCollector, SynopsisStream
+from .synopsis import TaskSynopsis
+from .tracker import TaskExecutionTracker
+
+
+class NodeRuntime:
+    """Everything SAAD installs on one server node."""
+
+    def __init__(
+        self,
+        saad: "SAAD",
+        host_id: int,
+        host_name: str,
+        context: ThreadContextProvider,
+        clock: Callable[[], float],
+        log_level: int = INFO,
+        wire_format: bool = False,
+        tracker_enabled: bool = True,
+    ):
+        self.saad = saad
+        self.host_id = host_id
+        self.host_name = host_name
+        self.stream = SynopsisStream(wire_format=wire_format, retain=False)
+        self.tracker = TaskExecutionTracker(
+            host_id=host_id,
+            sink=self.stream.sink,
+            context=context,
+            clock=clock,
+            enabled=tracker_enabled,
+        )
+        self.repository = LoggerRepository(
+            root_level=log_level,
+            clock=clock,
+            thread_namer=context.thread_name,
+        )
+        if tracker_enabled:
+            self.repository.add_interceptor(self.tracker)
+
+    def logger(self, name: str):
+        return self.repository.get_logger(name)
+
+    def set_context(self, stage_name: str) -> None:
+        """Stage delimiter by name (resolved through the shared registry)."""
+        stage = self.saad.stages.by_name(stage_name)
+        self.tracker.set_context(stage.stage_id)
+
+    def end_task(self) -> Optional[TaskSynopsis]:
+        return self.tracker.end_task()
+
+
+class SAAD:
+    """The deployment facade tying registries, nodes, and the analyzer."""
+
+    def __init__(self, config: Optional[SAADConfig] = None):
+        self.config = config or SAADConfig()
+        self.stages = StageRegistry()
+        self.logpoints = LogPointRegistry()
+        self.collector = SynopsisCollector(retain=True)
+        self.nodes: Dict[str, NodeRuntime] = {}
+        self.model: Optional[OutlierModel] = None
+
+    # -- node management ----------------------------------------------------
+    def add_node(
+        self,
+        host_name: str,
+        context: Optional[ThreadContextProvider] = None,
+        clock: Optional[Callable[[], float]] = None,
+        log_level: int = INFO,
+        wire_format: bool = False,
+        tracker_enabled: bool = True,
+    ) -> NodeRuntime:
+        """Create and register the runtime for one node."""
+        if host_name in self.nodes:
+            raise ValueError(f"node {host_name!r} already registered")
+        node = NodeRuntime(
+            saad=self,
+            host_id=len(self.nodes),
+            host_name=host_name,
+            context=context or RealThreadContext(),
+            clock=clock or _time.time,
+            log_level=log_level,
+            wire_format=wire_format,
+            tracker_enabled=tracker_enabled,
+        )
+        self.collector.attach(node.stream)
+        self.nodes[host_name] = node
+        return node
+
+    def add_sim_node(self, host_name: str, env, **kwargs) -> NodeRuntime:
+        """Node runtime wired to a simulation environment's clock/threads."""
+        return self.add_node(
+            host_name,
+            context=SimThreadContext(env),
+            clock=lambda: env.now,
+            **kwargs,
+        )
+
+    @property
+    def host_names(self) -> Dict[int, str]:
+        return {node.host_id: name for name, node in self.nodes.items()}
+
+    # -- analyzer -----------------------------------------------------------
+    def train(self, synopses: Optional[List[TaskSynopsis]] = None) -> OutlierModel:
+        """Train the outlier model (default: everything collected so far)."""
+        trace = synopses if synopses is not None else self.collector.synopses
+        self.model = OutlierModel(self.config).train(trace)
+        return self.model
+
+    def detector(self, lateness_s: float = 0.0) -> AnomalyDetector:
+        """A fresh streaming detector bound to the trained model."""
+        if self.model is None:
+            raise RuntimeError("call train() before creating a detector")
+        return AnomalyDetector(self.model, self.config, lateness_s=lateness_s)
+
+    def detect(self, synopses: List[TaskSynopsis]) -> List[AnomalyEvent]:
+        """Batch detection convenience: stream a list, flush, return events."""
+        detector = self.detector()
+        for synopsis in synopses:
+            detector.observe(synopsis)
+        detector.flush()
+        return detector.anomalies
+
+    def reporter(self) -> AnomalyReporter:
+        return AnomalyReporter(self.stages, self.logpoints, self.host_names)

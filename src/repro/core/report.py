@@ -1,0 +1,95 @@
+"""Human-readable anomaly reporting (paper Sec. 3.3.3, "Anomaly Reporting").
+
+Each anomalous signature is presented by its stage name plus the list of
+log templates of its log points — the static text that reveals the
+semantics of the execution flow (e.g. Table 1's "MemTable is already
+frozen" diagnosis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .detector import FLOW, AnomalyEvent
+from .features import Signature, format_signature
+from .logpoints import LogPointRegistry
+from .stages import StageRegistry
+
+
+class AnomalyReporter:
+    """Renders anomaly events with stage names and log templates."""
+
+    def __init__(
+        self,
+        stage_registry: StageRegistry,
+        logpoint_registry: LogPointRegistry,
+        host_names: Optional[Dict[int, str]] = None,
+    ):
+        self.stages = stage_registry
+        self.logpoints = logpoint_registry
+        self.host_names = host_names or {}
+
+    # -- naming helpers ------------------------------------------------------
+    def host_name(self, host_id: int) -> str:
+        return self.host_names.get(host_id, f"host{host_id}")
+
+    def stage_name(self, stage_id: int) -> str:
+        try:
+            return self.stages.get(stage_id).name
+        except KeyError:
+            return f"stage{stage_id}"
+
+    def signature_templates(self, signature: Signature) -> List[str]:
+        """Log templates of a signature's points, in id order."""
+        lines = []
+        for lpid in sorted(signature):
+            point = self.logpoints.maybe_get(lpid)
+            lines.append(point.describe() if point else f"L{lpid} <unknown log point>")
+        return lines
+
+    # -- rendering ----------------------------------------------------------
+    def render_event(self, event: AnomalyEvent) -> str:
+        """Multi-line description of one anomaly."""
+        label = "FLOW" if event.kind == FLOW else "PERFORMANCE"
+        header = (
+            f"[{label}] {self.stage_name(event.stage_id)}"
+            f"({self.host_name(event.host_id)}) "
+            f"window {event.window_start:.0f}-{event.window_end:.0f}s: "
+            f"{event.outliers}/{event.n} outlier tasks "
+            f"(baseline {event.baseline:.4f}, p={event.p_value:.2e})"
+        )
+        lines = [header]
+        for signature in event.new_signatures:
+            lines.append(f"  new signature {format_signature(signature)}:")
+            lines.extend(f"    {t}" for t in self.signature_templates(signature))
+        for signature in event.offending_signatures:
+            lines.append(f"  slow signature {format_signature(signature)}:")
+            lines.extend(f"    {t}" for t in self.signature_templates(signature))
+        return "\n".join(lines)
+
+    def render(self, events: Iterable[AnomalyEvent]) -> str:
+        """Full report over a batch of events."""
+        events = list(events)
+        if not events:
+            return "No anomalies detected.\n"
+        body = "\n".join(self.render_event(e) for e in events)
+        return f"SAAD anomaly report: {len(events)} anomalies\n{body}\n"
+
+    def signature_comparison(
+        self,
+        stage_id: int,
+        normal: Signature,
+        anomalous: Signature,
+    ) -> str:
+        """Table 1-style side-by-side of a normal vs. anomalous signature."""
+        all_lpids = sorted(normal | anomalous)
+        name = self.stage_name(stage_id)
+        rows = [f"Stage {name}: normal vs anomalous execution flow"]
+        rows.append(f"{'Description of log statement':<60} {'Normal':<7} {'Anomalous'}")
+        for lpid in all_lpids:
+            point = self.logpoints.maybe_get(lpid)
+            text = point.template if point else f"L{lpid}"
+            in_normal = "x" if lpid in normal else ""
+            in_anomalous = "x" if lpid in anomalous else ""
+            rows.append(f"{text:<60} {in_normal:<7} {in_anomalous}")
+        return "\n".join(rows)

@@ -1,0 +1,89 @@
+"""Synopsis streaming from nodes to the central analyzer (paper Sec. 3.1).
+
+Each node's tracker writes into a :class:`SynopsisStream`; streams from
+all nodes feed a :class:`SynopsisCollector`.  The stream can optionally
+round-trip every synopsis through the binary wire codec, both to exercise
+the transport path and to account the monitoring-data volume that the
+Fig. 8 experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .synopsis import TaskSynopsis
+
+Subscriber = Callable[[TaskSynopsis], None]
+
+
+class SynopsisStream:
+    """Node-side outlet for task synopses.
+
+    Parameters
+    ----------
+    wire_format:
+        When True, each synopsis is encoded and re-decoded (simulating the
+        network hop) and byte volume is accounted.
+    retain:
+        Keep synopses in memory (handy for training-trace collection).
+    """
+
+    def __init__(self, wire_format: bool = False, retain: bool = True):
+        self.wire_format = wire_format
+        self.retain = retain
+        self.synopses: List[TaskSynopsis] = []
+        self.subscribers: List[Subscriber] = []
+        self.count = 0
+        self.bytes_streamed = 0
+
+    def sink(self, synopsis: TaskSynopsis) -> None:
+        """The tracker's sink callable."""
+        self.count += 1
+        if self.wire_format:
+            payload = synopsis.encode()
+            self.bytes_streamed += len(payload)
+            synopsis = TaskSynopsis.decode(payload)
+        else:
+            self.bytes_streamed += synopsis.encoded_size()
+        if self.retain:
+            self.synopses.append(synopsis)
+        for subscriber in self.subscribers:
+            subscriber(synopsis)
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+
+    def drain(self) -> List[TaskSynopsis]:
+        """Return and clear retained synopses."""
+        drained, self.synopses = self.synopses, []
+        return drained
+
+
+class SynopsisCollector:
+    """Central analyzer inlet merging streams from every node."""
+
+    def __init__(self, retain: bool = True):
+        self.retain = retain
+        self.synopses: List[TaskSynopsis] = []
+        self.subscribers: List[Subscriber] = []
+        self.count = 0
+        self.bytes_received = 0
+
+    def attach(self, stream: SynopsisStream) -> None:
+        """Subscribe this collector to a node stream."""
+        stream.subscribe(self._receive)
+
+    def _receive(self, synopsis: TaskSynopsis) -> None:
+        self.count += 1
+        self.bytes_received += synopsis.encoded_size()
+        if self.retain:
+            self.synopses.append(synopsis)
+        for subscriber in self.subscribers:
+            subscriber(synopsis)
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+
+    def drain(self) -> List[TaskSynopsis]:
+        drained, self.synopses = self.synopses, []
+        return drained

@@ -1,0 +1,155 @@
+"""Task synopses and their wire codec.
+
+The synopsis is the paper's central data reduction: a few tens of bytes
+summarizing an entire task execution.  Wire layout mirrors the struct in
+Sec. 4.1::
+
+    struct synopsis{
+      byte  sid;        // stage id
+      int   uid;        // unique id per task
+      int   ts;         // task start time (ms)
+      int   duration;   // task duration (us)
+      struct { short lpid; int count; } log_points[];
+    }
+
+We prepend a host id byte and a log-point count byte so a single stream
+can multiplex a cluster.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+_HEADER = struct.Struct("<BBIIiB")  # host, sid, uid, ts_ms, duration_us, n_lps
+_ENTRY = struct.Struct("<Hi")  # lpid, count
+
+MAX_LOG_POINT_ENTRIES = 255
+
+
+@dataclass
+class TaskSynopsis:
+    """Summary of one task execution, produced at task termination.
+
+    Attributes
+    ----------
+    host_id:
+        Small integer identifying the originating node.
+    stage_id:
+        The stage this task is an instance of.
+    uid:
+        Per-host unique task id.
+    start_time:
+        Task start, in seconds (the tracker's clock).
+    duration:
+        Seconds from task start to the last log point encountered.
+    log_points:
+        Mapping of log point id -> visit count.
+    """
+
+    host_id: int
+    stage_id: int
+    uid: int
+    start_time: float
+    duration: float
+    log_points: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative duration {self.duration}")
+        if self.host_id < 0 or self.host_id > 255:
+            raise ValueError(f"host_id must fit a byte, got {self.host_id}")
+        if self.stage_id < 0 or self.stage_id > 255:
+            raise ValueError(f"stage_id must fit a byte, got {self.stage_id}")
+
+    @property
+    def signature(self) -> FrozenSet[int]:
+        """The task signature: the *set* of distinct log points visited."""
+        return frozenset(self.log_points)
+
+    @property
+    def total_log_calls(self) -> int:
+        return sum(self.log_points.values())
+
+    # -- codec ---------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Binary wire form (little-endian, paper Sec. 4.1 layout)."""
+        entries = sorted(self.log_points.items())
+        if len(entries) > MAX_LOG_POINT_ENTRIES:
+            raise ValueError(
+                f"too many distinct log points ({len(entries)}) for one synopsis"
+            )
+        parts = [
+            _HEADER.pack(
+                self.host_id,
+                self.stage_id,
+                self.uid & 0xFFFFFFFF,
+                int(self.start_time * 1000) & 0xFFFFFFFF,
+                min(int(self.duration * 1_000_000), 2**31 - 1),
+                len(entries),
+            )
+        ]
+        for lpid, count in entries:
+            if lpid < 0 or lpid > 0xFFFF:
+                raise ValueError(f"log point id {lpid} does not fit a short")
+            parts.append(_ENTRY.pack(lpid, min(count, 2**31 - 1)))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "TaskSynopsis":
+        """Inverse of :meth:`encode`."""
+        synopsis, consumed = cls.decode_from(payload, 0)
+        if consumed != len(payload):
+            raise ValueError(
+                f"trailing bytes after synopsis ({len(payload) - consumed})"
+            )
+        return synopsis
+
+    @classmethod
+    def decode_from(cls, payload: bytes, offset: int) -> Tuple["TaskSynopsis", int]:
+        """Decode one synopsis starting at ``offset``; returns (synopsis, end)."""
+        if len(payload) - offset < _HEADER.size:
+            raise ValueError("truncated synopsis header")
+        host_id, stage_id, uid, ts_ms, duration_us, n_entries = _HEADER.unpack_from(
+            payload, offset
+        )
+        offset += _HEADER.size
+        needed = n_entries * _ENTRY.size
+        if len(payload) - offset < needed:
+            raise ValueError("truncated synopsis log point entries")
+        log_points: Dict[int, int] = {}
+        for _ in range(n_entries):
+            lpid, count = _ENTRY.unpack_from(payload, offset)
+            offset += _ENTRY.size
+            log_points[lpid] = count
+        return (
+            cls(
+                host_id=host_id,
+                stage_id=stage_id,
+                uid=uid,
+                start_time=ts_ms / 1000.0,
+                duration=duration_us / 1_000_000.0,
+                log_points=log_points,
+            ),
+            offset,
+        )
+
+    def encoded_size(self) -> int:
+        """Wire size in bytes (the Fig. 8 "synopses" volume metric)."""
+        return _HEADER.size + _ENTRY.size * len(self.log_points)
+
+
+def encode_batch(synopses: Iterable[TaskSynopsis]) -> bytes:
+    """Concatenate the wire forms of many synopses."""
+    return b"".join(s.encode() for s in synopses)
+
+
+def decode_batch(payload: bytes) -> List[TaskSynopsis]:
+    """Decode a concatenated batch produced by :func:`encode_batch`."""
+    out: List[TaskSynopsis] = []
+    offset = 0
+    while offset < len(payload):
+        synopsis, offset = TaskSynopsis.decode_from(payload, offset)
+        out.append(synopsis)
+    return out

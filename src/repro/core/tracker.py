@@ -1,0 +1,177 @@
+"""The task execution tracker (paper Sec. 3.2, 4.1).
+
+A thin layer between server code and the logging library:
+
+* ``set_context(stage_id)`` — inserted at the beginning of each stage —
+  tells the tracker the current thread is about to execute a new task.
+  If the thread already carries an open task (producer-consumer thread
+  reuse), that task is finalized first.
+* :meth:`on_log` — installed as a loglib interceptor — records the log
+  point id and bumps its visit count in the thread-local task structure.
+  Message content is never touched.
+* Task termination is inferred three ways, matching the paper: re-entry
+  of ``set_context`` on the same thread (producer-consumer), thread exit
+  hooks (the ``finalize()`` trick for dispatcher-worker), and an explicit
+  :meth:`end_task` for code that knows its own boundaries.
+
+On termination the tracker builds a :class:`TaskSynopsis` and hands it to
+the configured sink (normally a synopsis stream to the analyzer).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Dict, Optional
+
+from repro.loglib.record import LogCall
+
+from .context import RealThreadContext, ThreadContextProvider
+from .synopsis import TaskSynopsis
+
+_SLOT_KEY = "saad.task"
+_HOOK_KEY = "saad.exit_hook"
+
+SynopsisSink = Callable[[TaskSynopsis], None]
+
+
+class _OpenTask:
+    """Mutable per-task state kept in thread-local storage."""
+
+    __slots__ = ("stage_id", "uid", "start_time", "last_log_time", "log_points")
+
+    def __init__(self, stage_id: int, uid: int, start_time: float):
+        self.stage_id = stage_id
+        self.uid = uid
+        self.start_time = start_time
+        self.last_log_time = start_time
+        self.log_points: Dict[int, int] = {}
+
+
+class TrackerStats:
+    """Counters the tracker maintains about itself (overhead accounting)."""
+
+    def __init__(self) -> None:
+        self.tasks_started = 0
+        self.tasks_completed = 0
+        self.log_calls_tracked = 0
+        self.log_calls_untracked = 0
+        self.synopsis_bytes = 0
+
+
+class TaskExecutionTracker:
+    """Per-node tracker; install on a repository via ``add_interceptor``.
+
+    Parameters
+    ----------
+    host_id:
+        Small integer identifying this node in the synopsis stream.
+    sink:
+        Callable receiving each finished :class:`TaskSynopsis`.
+    context:
+        Thread-context provider; defaults to real Python threads.
+    clock:
+        Time source; simulations pass ``lambda: env.now``.
+    enabled:
+        When False the tracker ignores everything (the "original" system
+        of the Fig. 7 overhead comparison).
+    """
+
+    def __init__(
+        self,
+        host_id: int = 0,
+        sink: Optional[SynopsisSink] = None,
+        context: Optional[ThreadContextProvider] = None,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+    ):
+        self.host_id = host_id
+        self.sink = sink
+        self.context = context or RealThreadContext()
+        self.clock = clock or _time.time
+        self.enabled = enabled
+        self.stats = TrackerStats()
+        self._next_uid = 0
+
+    # -- stage delimiters -------------------------------------------------------
+    def set_context(self, stage_id: int) -> None:
+        """The paper's ``setContext(int stageId)`` stage delimiter."""
+        if not self.enabled:
+            return
+        slot = self.context.slot()
+        if slot is None:
+            return
+        open_task = slot.get(_SLOT_KEY)
+        if open_task is not None:
+            # Thread reuse: starting a new task implies the previous one
+            # finished (producer-consumer termination inference).
+            self._finalize(slot, open_task)
+        slot[_SLOT_KEY] = _OpenTask(
+            stage_id=stage_id, uid=self._alloc_uid(), start_time=self.clock()
+        )
+        self.stats.tasks_started += 1
+        if not slot.get(_HOOK_KEY):
+            # Dispatcher-worker termination inference: finalize on thread
+            # death (models Java's GC finalize()).  Register once per thread.
+            if self.context.register_exit_hook(lambda: self._on_thread_exit(slot)):
+                slot[_HOOK_KEY] = True
+
+    def end_task(self) -> Optional[TaskSynopsis]:
+        """Explicitly finalize the current thread's open task."""
+        if not self.enabled:
+            return None
+        slot = self.context.slot()
+        if slot is None:
+            return None
+        open_task = slot.get(_SLOT_KEY)
+        if open_task is None:
+            return None
+        return self._finalize(slot, open_task)
+
+    def current_stage_id(self) -> Optional[int]:
+        """Stage id of the current thread's open task, if any."""
+        slot = self.context.slot()
+        task = slot.get(_SLOT_KEY) if slot is not None else None
+        return task.stage_id if task is not None else None
+
+    # -- logging interception -----------------------------------------------------
+    def on_log(self, call: LogCall) -> None:
+        """loglib interceptor: register one log point encounter."""
+        if not self.enabled or call.lpid is None:
+            return
+        slot = self.context.slot()
+        task = slot.get(_SLOT_KEY) if slot is not None else None
+        if task is None:
+            self.stats.log_calls_untracked += 1
+            return
+        task.log_points[call.lpid] = task.log_points.get(call.lpid, 0) + 1
+        task.last_log_time = call.time
+        self.stats.log_calls_tracked += 1
+
+    # -- internals ----------------------------------------------------------------
+    def _alloc_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def _on_thread_exit(self, slot: Dict[str, Any]) -> None:
+        open_task = slot.get(_SLOT_KEY)
+        if open_task is not None:
+            self._finalize(slot, open_task)
+
+    def _finalize(self, slot: Dict[str, Any], task: _OpenTask) -> TaskSynopsis:
+        slot.pop(_SLOT_KEY, None)
+        # Paper Sec. 3.3.1: duration = last log point time - task start.
+        duration = max(0.0, task.last_log_time - task.start_time)
+        synopsis = TaskSynopsis(
+            host_id=self.host_id,
+            stage_id=task.stage_id,
+            uid=task.uid,
+            start_time=task.start_time,
+            duration=duration,
+            log_points=task.log_points,
+        )
+        self.stats.tasks_completed += 1
+        self.stats.synopsis_bytes += synopsis.encoded_size()
+        if self.sink is not None:
+            self.sink(synopsis)
+        return synopsis

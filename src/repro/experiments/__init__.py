@@ -1,0 +1,21 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+| module                   | reproduces                                     |
+|--------------------------|------------------------------------------------|
+| ``fig6_signatures``      | Fig. 6 signature distributions                 |
+| ``fig7_overhead``        | Fig. 7 SAAD runtime overhead                   |
+| ``fig8_storage``         | Fig. 8 monitoring-data volume                  |
+| ``sec533_analyzer``      | Sec. 5.3.3 analyzer vs MapReduce mining        |
+| ``table1_signatures``    | Table 1 frozen-MemTable signatures             |
+| ``fig9_cassandra_faults``| Fig. 9(a-d) Cassandra fault timelines          |
+| ``fig10_hbase_hdfs``     | Fig. 10 + Table 2 HBase/HDFS disk-hog timeline |
+| ``fig11_false_positives``| Fig. 11 + Table 3 false-positive analysis      |
+
+Each module exposes ``run_*(params) -> result`` plus a ``main()`` that
+prints the paper-style table/timeline.  Benchmarks under
+``benchmarks/`` call the same runners with quick parameters.
+"""
+
+from .common import ScenarioResult, run_cassandra_scenario, run_hbase_scenario
+
+__all__ = ["ScenarioResult", "run_cassandra_scenario", "run_hbase_scenario"]

@@ -1,0 +1,267 @@
+"""Shared experiment machinery: scenario runners for the three systems.
+
+Every experiment follows the paper's protocol:
+
+1. run the system fault-free for a *training* phase and fit the outlier
+   model on the collected synopses;
+2. run the *detection* phase (with whatever faults the experiment arms),
+   streaming synopses through the online detector;
+3. report anomalies, throughput, and error-log alerts.
+
+All timelines accept a ``scale`` so the paper's 50-minute / 3-hour
+experiments shrink to laptop-size runs while preserving their phase
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baseline import ErrorLogMonitor
+from repro.cassandra import CassandraCluster, CassandraConfig, ClientOp
+from repro.core import SAADConfig, AnomalyDetector, AnomalyEvent, FLOW, PERFORMANCE
+from repro.hbase import HBaseCluster, HBaseConfig, HBaseOp
+from repro.simsys import FaultSpec
+from repro.viz import TimelineGrid
+from repro.ycsb import ClientPool, write_heavy
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs from one run."""
+
+    cluster: object
+    pool: ClientPool
+    detector: AnomalyDetector
+    anomalies: List[AnomalyEvent]
+    monitor: ErrorLogMonitor
+    train_start: float
+    detect_start: float
+    horizon: float
+    train_task_count: int
+
+    # -- helpers -------------------------------------------------------------
+    def stage_name(self, stage_id: int) -> str:
+        return self.cluster.saad.stages.get(stage_id).name
+
+    def host_name(self, host_id: int) -> str:
+        return self.cluster.saad.host_names[host_id]
+
+    def anomalies_for(
+        self,
+        stage: Optional[str] = None,
+        host: Optional[str] = None,
+        kind: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[AnomalyEvent]:
+        out = []
+        for event in self.anomalies:
+            if stage is not None and self.stage_name(event.stage_id) != stage:
+                continue
+            if host is not None and self.host_name(event.host_id) != host:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if start is not None and event.window_start < start:
+                continue
+            if end is not None and event.window_start >= end:
+                continue
+            out.append(event)
+        return out
+
+    def count(self, **kwargs) -> int:
+        return len(self.anomalies_for(**kwargs))
+
+    def timeline(self) -> TimelineGrid:
+        grid = TimelineGrid(
+            window_s=self.detector.config.window_s, horizon_s=self.horizon
+        )
+        stage_names = {
+            s.stage_id: s.name for s in self.cluster.saad.stages
+        }
+        grid.add_events(self.anomalies, stage_names, self.cluster.saad.host_names)
+        for alert in self.monitor.alerts:
+            # Error alerts are attributed to the logger's stage name.
+            grid.mark(alert.logger_name, "*", alert.time, "error")
+        return grid
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        return self.pool.meter.series(until=self.horizon)
+
+
+def _attach_error_monitor(saad) -> ErrorLogMonitor:
+    monitor = ErrorLogMonitor()
+    for node in saad.nodes.values():
+        node.repository.add_appender(monitor)
+    return monitor
+
+
+def run_cassandra_scenario(
+    train_s: float = 480.0,
+    train_warmup_frac: float = 0.3,
+    detect_s: float = 1500.0,
+    n_nodes: int = 4,
+    n_clients: int = 10,
+    think_time_s: float = 0.04,
+    records: int = 4000,
+    seed: int = 42,
+    saad_config: Optional[SAADConfig] = None,
+    cassandra_config: Optional[CassandraConfig] = None,
+    faults: Optional[List[Tuple[float, float, FaultSpec]]] = None,
+    before_detection: Optional[Callable[[CassandraCluster], None]] = None,
+) -> ScenarioResult:
+    """Train on a fault-free phase, then detect with ``faults`` armed.
+
+    ``faults`` entries are (start, end, FaultSpec) with times relative to
+    the *detection* phase start.
+    """
+    saad_config = saad_config or SAADConfig(window_s=90.0)
+    cluster = CassandraCluster(
+        n_nodes=n_nodes,
+        seed=seed,
+        config=cassandra_config,
+        saad_config=saad_config,
+    )
+    monitor = _attach_error_monitor(cluster.saad)
+
+    def submit(node_name, op):
+        return cluster.nodes[node_name].client_request(
+            ClientOp(op.kind, op.key, value="v", nbytes=op.value_bytes)
+        )
+
+    pool = ClientPool(
+        cluster.env,
+        write_heavy(record_count=records),
+        submit,
+        cluster.ring.node_names,
+        n_clients=n_clients,
+        think_time_s=think_time_s,
+        seed=seed + 1,
+    )
+    # Phase 1: training.  The warm-up prefix (cache fill, SSTable
+    # accumulation) is discarded so the model learns steady state.
+    cluster.run(until=train_s)
+    warmup_cut = train_s * train_warmup_frac
+    train_synopses = [
+        s for s in cluster.saad.collector.drain() if s.start_time >= warmup_cut
+    ]
+    model = cluster.saad.train(train_synopses)
+    detector = AnomalyDetector(model, saad_config)
+    cluster.saad.collector.subscribe(detector.observe)
+    cluster.saad.collector.retain = False
+
+    # Phase 2: detection with faults.
+    detect_start = cluster.env.now
+    if faults:
+        for host_name in {f.host for _s, _e, f in faults if f.host}:
+            schedule = cluster.fault_schedule_for(host_name)
+            for start, end, fault in faults:
+                if fault.host == host_name:
+                    schedule.add(detect_start + start, detect_start + end, fault)
+            schedule.start()
+    if before_detection is not None:
+        before_detection(cluster)
+    cluster.run(until=detect_start + detect_s)
+    detector.flush()
+    return ScenarioResult(
+        cluster=cluster,
+        pool=pool,
+        detector=detector,
+        anomalies=detector.anomalies,
+        monitor=monitor,
+        train_start=0.0,
+        detect_start=detect_start,
+        horizon=detect_start + detect_s,
+        train_task_count=len(train_synopses),
+    )
+
+
+def run_hbase_scenario(
+    train_s: float = 480.0,
+    train_warmup_frac: float = 0.3,
+    detect_s: float = 1500.0,
+    n_servers: int = 4,
+    n_clients: int = 12,
+    think_time_s: float = 0.03,
+    records: int = 4000,
+    seed: int = 42,
+    saad_config: Optional[SAADConfig] = None,
+    hbase_config: Optional[HBaseConfig] = None,
+    hog_entries: Optional[List[Tuple[float, float, int]]] = None,
+    put_batching: bool = False,
+    scripted: Optional[Callable[[HBaseCluster, float], None]] = None,
+) -> ScenarioResult:
+    """HBase/HDFS variant of the scenario runner.
+
+    ``hog_entries`` are (start, end, dd-processes) relative to detection
+    start; ``scripted`` runs right before the detection phase (to arm
+    custom triggers like the forced WAL failure or a major compaction).
+    """
+    saad_config = saad_config or SAADConfig(window_s=90.0)
+    cluster = HBaseCluster(
+        n_servers=n_servers,
+        seed=seed,
+        config=hbase_config,
+        saad_config=saad_config,
+    )
+    monitor = _attach_error_monitor(cluster.saad)
+
+    def submit(_node, op):
+        kind = "read" if op.kind == "read" else "write"
+        return cluster.submit(
+            HBaseOp(kind, op.key, value="v", value_bytes=op.value_bytes)
+        )
+
+    def submit_batch(_node, ops):
+        first = ops[0]
+        return cluster.submit(
+            HBaseOp(
+                "write", first.key, value="v",
+                value_bytes=first.value_bytes, edits=len(ops),
+            )
+        )
+
+    pool = ClientPool(
+        cluster.env,
+        write_heavy(record_count=records),
+        submit,
+        list(cluster.regionservers),
+        n_clients=n_clients,
+        think_time_s=think_time_s,
+        seed=seed + 1,
+        put_batching=put_batching,
+        submit_batch=submit_batch if put_batching else None,
+    )
+    cluster.run(until=train_s)
+    warmup_cut = train_s * train_warmup_frac
+    train_synopses = [
+        s for s in cluster.saad.collector.drain() if s.start_time >= warmup_cut
+    ]
+    model = cluster.saad.train(train_synopses)
+    detector = AnomalyDetector(model, saad_config)
+    cluster.saad.collector.subscribe(detector.observe)
+    cluster.saad.collector.retain = False
+
+    detect_start = cluster.env.now
+    if hog_entries:
+        schedule = cluster.hog_schedule(
+            [(detect_start + s, detect_start + e, n) for s, e, n in hog_entries]
+        )
+        schedule.start()
+    if scripted is not None:
+        scripted(cluster, detect_start)
+    cluster.run(until=detect_start + detect_s)
+    detector.flush()
+    return ScenarioResult(
+        cluster=cluster,
+        pool=pool,
+        detector=detector,
+        anomalies=detector.anomalies,
+        monitor=monitor,
+        train_start=0.0,
+        detect_start=detect_start,
+        horizon=detect_start + detect_s,
+        train_task_count=len(train_synopses),
+    )

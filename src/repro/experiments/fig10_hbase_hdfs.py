@@ -1,0 +1,156 @@
+"""Fig. 10 — anomalies per stage in HBase Regionservers and HDFS Data
+Nodes under disk-hog faults (paper Sec. 5.5, Table 2).
+
+Timeline (paper minutes × ``scale``):
+
+    low     8-16   1 dd process on every host
+    medium  28-44  2 dd processes
+    high-1  56-64  4 dd processes  → Regionserver 3 crashes via the
+                                     premature-recovery-termination bug
+    high-2  116-130 4 dd processes → muted (YCSB 0.1.4 put batching)
+    ~150    a major compaction causes the false-positive anomaly burst
+
+The crash is scripted deterministically partway through high-1 (the
+underlying recovery-retry mechanics are fully emergent after the
+trigger; see ``RegionServer.force_wal_failure``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core import SAADConfig
+from repro.hbase import HBaseConfig
+
+from .common import ScenarioResult, run_hbase_scenario
+
+#: Paper Table 2 (minutes, dd processes).
+TABLE2 = [
+    ("low", 8, 16, 1),
+    ("medium", 28, 44, 2),
+    ("high-1", 56, 64, 4),
+    ("high-2", 116, 130, 4),
+]
+MAJOR_COMPACTION_MINUTE = 150
+RUN_MINUTES = 180
+
+
+@dataclass
+class Fig10Params:
+    scale: float = 0.2
+    n_clients: int = 12
+    think_time_s: float = 0.03
+    seed: int = 42
+    train_minutes: float = 40.0
+    window_s: float = 60.0
+    put_batching: bool = True
+    crash_minute: float = 58.0  # inside high-1
+
+    def minutes(self, paper_minutes: float) -> float:
+        return paper_minutes * self.scale * 60.0
+
+    @classmethod
+    def quick(cls) -> "Fig10Params":
+        return cls(scale=0.12, n_clients=10, train_minutes=35.0)
+
+
+@dataclass
+class Fig10Result:
+    result: ScenarioResult
+    params: Fig10Params
+    phases: Dict[str, Tuple[float, float]]
+    crashed_server: Optional[str]
+
+    def counts(self, kind: str, phase: str) -> Dict[Tuple[str, str], int]:
+        start, end = self.phases[phase]
+        out: Dict[Tuple[str, str], int] = {}
+        for event in self.result.anomalies_for(kind=kind, start=start, end=end):
+            key = (
+                self.result.stage_name(event.stage_id),
+                self.result.host_name(event.host_id),
+            )
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def total(self, kind: str, phase: str) -> int:
+        return sum(self.counts(kind, phase).values())
+
+
+def run_fig10(params: Optional[Fig10Params] = None) -> Fig10Result:
+    params = params or Fig10Params()
+    hog_entries = [
+        (params.minutes(start), params.minutes(end), processes)
+        for _name, start, end, processes in TABLE2
+    ]
+    detect_s = params.minutes(RUN_MINUTES)
+
+    def scripted(cluster, detect_start):
+        def crash_trigger():
+            yield cluster.env.timeout(params.minutes(params.crash_minute))
+            victim = cluster.regionservers.get("host3")
+            if victim is not None and victim.alive:
+                victim.force_wal_failure()
+
+        def major_compaction_trigger():
+            yield cluster.env.timeout(params.minutes(MAJOR_COMPACTION_MINUTE))
+            for rs in cluster.regionservers.values():
+                if rs.alive:
+                    rs.request_major_compaction()
+
+        cluster.env.process(crash_trigger(), name="fig10-crash")
+        cluster.env.process(major_compaction_trigger(), name="fig10-major")
+
+    result = run_hbase_scenario(
+        train_s=params.minutes(params.train_minutes),
+        detect_s=detect_s,
+        n_clients=params.n_clients,
+        think_time_s=params.think_time_s,
+        seed=params.seed,
+        saad_config=SAADConfig(window_s=params.window_s),
+        hog_entries=hog_entries,
+        put_batching=params.put_batching,
+        scripted=scripted,
+    )
+    offset = result.detect_start
+    phases = {
+        name: (offset + params.minutes(start), offset + params.minutes(end))
+        for name, start, end, _processes in TABLE2
+    }
+    phases["baseline"] = (offset, offset + params.minutes(TABLE2[0][1]))
+    phases["compaction"] = (
+        offset + params.minutes(MAJOR_COMPACTION_MINUTE - 2),
+        offset + params.minutes(MAJOR_COMPACTION_MINUTE + 15),
+    )
+    crashed = [
+        name
+        for name, rs in result.cluster.regionservers.items()
+        if not rs.alive
+    ]
+    return Fig10Result(
+        result=result,
+        params=params,
+        phases=phases,
+        crashed_server=crashed[0] if crashed else None,
+    )
+
+
+def main() -> None:
+    from repro.viz import render_timeline
+
+    fig = run_fig10()
+    print("=== Fig 10: HBase/HDFS disk-hog timeline ===")
+    print(f"crashed regionserver: {fig.crashed_server}")
+    print(
+        render_timeline(
+            fig.result.timeline(),
+            throughput=fig.result.throughput_series(),
+            fault_windows=[
+                (*fig.phases[name], name) for name, *_ in TABLE2
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Fig. 11 + Table 3 — empirical false-positive analysis on Cassandra.
+
+For each of the paper's seven write-path faults (Table 3), run the
+controlled experiment of Sec. 5.6: a warm-up, a fault-free observation
+phase (anomalies here are *false positives*), then the fault phase.
+Compare the average number of flow (Fig. 11a) and performance
+(Fig. 11b) anomalies before vs during the fault.
+
+Shape targets: error faults raise flow anomalies by an order of
+magnitude; delay faults raise performance anomalies (high-intensity WAL
+delay strongly, 1 %-intensity WAL delay not at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import FLOW, PERFORMANCE, SAADConfig
+from repro.simsys import FaultSpec, HIGH_INTENSITY, LOW_INTENSITY
+
+from .common import run_cassandra_scenario
+
+#: Paper Table 3 (name -> FaultSpec factory for host4).
+TABLE3 = {
+    "error-WAL-low": ("wal", "error", LOW_INTENSITY),
+    "error-WAL-high": ("wal", "error", HIGH_INTENSITY),
+    "error-MemTable-low": ("sstable", "error", LOW_INTENSITY),
+    "error-MemTable-high": ("sstable", "error", HIGH_INTENSITY),
+    "delay-WAL-low": ("wal", "delay", LOW_INTENSITY),
+    "delay-WAL-high": ("wal", "delay", HIGH_INTENSITY),
+    "delay-MemTable-low": ("sstable", "delay", LOW_INTENSITY),
+}
+
+
+@dataclass
+class Fig11Params:
+    phase_s: float = 360.0  # paper: 30 min per phase
+    runs: int = 2  # paper: 10 runs per fault
+    n_clients: int = 8
+    think_time_s: float = 0.05
+    window_s: float = 60.0
+    seed: int = 42
+    faults: Optional[List[str]] = None  # default: all of Table 3
+
+    @classmethod
+    def quick(cls) -> "Fig11Params":
+        return cls(phase_s=300.0, runs=1)
+
+
+@dataclass
+class FaultOutcome:
+    fault: str
+    flow_before: float
+    flow_during: float
+    perf_before: float
+    perf_during: float
+    runs: int
+
+
+@dataclass
+class Fig11Result:
+    outcomes: Dict[str, FaultOutcome]
+    params: Fig11Params
+
+    def flow_ratio(self, fault: str) -> float:
+        outcome = self.outcomes[fault]
+        return outcome.flow_during / max(outcome.flow_before, 0.5)
+
+    def perf_ratio(self, fault: str) -> float:
+        outcome = self.outcomes[fault]
+        return outcome.perf_during / max(outcome.perf_before, 0.5)
+
+    def mean_false_positives(self, kind: str) -> float:
+        """Average anomalies per run in the fault-free observation phase."""
+        values = [
+            (o.flow_before if kind == FLOW else o.perf_before)
+            for o in self.outcomes.values()
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_fig11(params: Optional[Fig11Params] = None) -> Fig11Result:
+    params = params or Fig11Params()
+    names = params.faults or list(TABLE3)
+    outcomes: Dict[str, FaultOutcome] = {}
+    for fault_name in names:
+        path, mode, intensity = TABLE3[fault_name]
+        flow_before = flow_during = perf_before = perf_during = 0.0
+        for run_index in range(params.runs):
+            result = run_cassandra_scenario(
+                train_s=params.phase_s,  # warm-up + training phase
+                detect_s=2 * params.phase_s,  # observe + fault phases
+                n_clients=params.n_clients,
+                think_time_s=params.think_time_s,
+                seed=params.seed + 101 * run_index,
+                saad_config=SAADConfig(window_s=params.window_s),
+                faults=[
+                    (
+                        params.phase_s,
+                        2 * params.phase_s,
+                        FaultSpec(path, mode, intensity, host="host4"),
+                    )
+                ],
+            )
+            split = result.detect_start + params.phase_s
+            flow_before += result.count(kind=FLOW, end=split)
+            flow_during += result.count(kind=FLOW, start=split)
+            perf_before += result.count(kind=PERFORMANCE, end=split)
+            perf_during += result.count(kind=PERFORMANCE, start=split)
+        outcomes[fault_name] = FaultOutcome(
+            fault=fault_name,
+            flow_before=flow_before / params.runs,
+            flow_during=flow_during / params.runs,
+            perf_before=perf_before / params.runs,
+            perf_during=perf_during / params.runs,
+            runs=params.runs,
+        )
+    return Fig11Result(outcomes=outcomes, params=params)
+
+
+def main() -> None:
+    from repro.viz import render_table
+
+    fig = run_fig11()
+    rows = [
+        (
+            o.fault,
+            f"{o.flow_before:.1f}",
+            f"{o.flow_during:.1f}",
+            f"{o.perf_before:.1f}",
+            f"{o.perf_during:.1f}",
+        )
+        for o in fig.outcomes.values()
+    ]
+    print(
+        render_table(
+            ["fault", "flow before", "flow during", "perf before", "perf during"],
+            rows,
+            title="Fig 11: average detected anomalies before vs during fault",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

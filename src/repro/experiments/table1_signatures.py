@@ -1,0 +1,94 @@
+"""Table 1 — normal vs anomalous Table-stage signatures under the
+WAL-error fault (the frozen-MemTable anomaly that emits no error log).
+
+Runs the Fig. 9(a) scenario and extracts, for host 4's ``Table`` stage:
+
+* the dominant normal signature (start/apply/done log points);
+* the anomalous signature consisting only of "MemTable is already
+  frozen; another thread must be flushing it".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core import SAADConfig, TaskSynopsis
+from repro.simsys import FaultSpec, HIGH_INTENSITY
+
+from .common import ScenarioResult, run_cassandra_scenario
+
+
+@dataclass
+class Table1Result:
+    result: ScenarioResult
+    normal_signature: FrozenSet[int]
+    anomalous_signature: FrozenSet[int]
+    normal_count: int
+    anomalous_count: int
+    rendered: str
+
+
+def run_table1(
+    fault_start_s: float = 240.0,
+    detect_s: float = 720.0,
+    train_s: float = 600.0,
+    n_clients: int = 8,
+    seed: int = 42,
+) -> Table1Result:
+    result = run_cassandra_scenario(
+        train_s=train_s,
+        detect_s=detect_s,
+        n_clients=n_clients,
+        seed=seed,
+        saad_config=SAADConfig(window_s=60.0),
+        faults=[
+            (fault_start_s, detect_s, FaultSpec("wal", "error", HIGH_INTENSITY, host="host4"))
+        ],
+    )
+    cluster = result.cluster
+    lps = cluster.lps
+    stage = cluster.saad.stages.by_name("Table")
+    host4_id = {v: k for k, v in cluster.saad.host_names.items()}["host4"]
+
+    # Collect Table-stage signatures on host4 from the detection stream.
+    # The detector consumed the stream; reconstruct from anomaly events
+    # plus the model's training profile for the normal flow.
+    model = cluster.saad.model
+    stage_model = model.stage_model((host4_id, stage.stage_id))
+    normal_signature = max(
+        stage_model.signatures.values(), key=lambda p: p.count
+    ).signature
+    frozen_only = frozenset({lps.table_frozen.lpid})
+    anomalous_events = [
+        e
+        for e in result.anomalies_for(stage="Table", host="host4", kind="flow")
+        if frozen_only in e.new_signatures
+    ]
+    reporter = cluster.saad.reporter()
+    rendered = reporter.signature_comparison(
+        stage.stage_id, normal_signature, frozen_only
+    )
+    return Table1Result(
+        result=result,
+        normal_signature=normal_signature,
+        anomalous_signature=frozen_only,
+        normal_count=stage_model.signatures[normal_signature].count,
+        anomalous_count=len(anomalous_events),
+        rendered=rendered,
+    )
+
+
+def main() -> None:
+    table = run_table1()
+    print(table.rendered)
+    print(
+        f"\nnormal flow seen {table.normal_count}x in training; "
+        f"frozen-only flow flagged in {table.anomalous_count} windows "
+        "during the fault (no error log explains it)"
+    )
+
+
+if __name__ == "__main__":
+    main()

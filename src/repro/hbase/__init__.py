@@ -1,0 +1,23 @@
+"""Simulated HBase (columnar store on HDFS, ~0.92 semantics).
+
+Regionservers with the paper's Fig. 10(a) stages, group-committed WAL
+over HDFS block pipelines, MemStore flushes, minor/major compaction,
+master-driven failover with split-log fan-out — and the WAL-recovery
+crash triggered through the buggy HDFS client (Sec. 5.5).
+"""
+
+from .cluster import HBaseCluster, HBaseOp
+from .config import HBaseConfig
+from .logpoints import HBaseLogPoints
+from .master import HMaster
+from .regionserver import Region, RegionServer
+
+__all__ = [
+    "HBaseCluster",
+    "HBaseConfig",
+    "HBaseLogPoints",
+    "HBaseOp",
+    "HMaster",
+    "Region",
+    "RegionServer",
+]

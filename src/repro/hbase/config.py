@@ -1,0 +1,51 @@
+"""Tunables for the HBase simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HBaseConfig:
+    """Regionserver / cluster knobs, calibrated for laptop-scale runs."""
+
+    n_regions: int = 16
+    call_pool: int = 10
+    compaction_pool: int = 1
+    row_bytes: int = 1024
+    memstore_flush_bytes: int = 4 * 1024 * 1024
+    storefile_compact_threshold: int = 4
+    read_block_bytes: int = 16 * 1024
+    # WAL / log sync.
+    sync_batch_limit: int = 64
+    sync_timeout_s: float = 1.2
+    sync_retry_limit: int = 2
+    sync_retry_backoff_s: float = 2.5
+    sync_slow_warn_s: float = 0.5
+    call_sync_wait_s: float = 3.0
+    wal_roll_bytes: int = 8 * 1024 * 1024
+    wal_roll_age_s: float = 120.0
+    # Recovery bug (paper Sec. 5.5).
+    recovery_max_retries: int = 6
+    recovery_attempt_timeout_s: float = 1.0
+    # CPU service times (scaled by host cpu pressure).
+    cpu_put_s: float = 0.0004
+    cpu_get_s: float = 0.0015
+    cpu_handler_s: float = 0.0002
+    # Periodic intervals.
+    compaction_check_interval_s: float = 15.0
+    log_roller_interval_s: float = 30.0
+    listener_interval_s: float = 10.0
+    split_poll_interval_s: float = 12.0
+    master_monitor_interval_s: float = 5.0
+    #: Seconds between major compactions; 0 disables them (the Fig. 10
+    #: experiment schedules one explicitly).
+    major_compaction_interval_s: float = 0.0
+    #: Sampling rate for Connection stage tasks (1 task per N calls).
+    connection_sample: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 1:
+            raise ValueError("n_regions must be >= 1")
+        if self.storefile_compact_threshold < 2:
+            raise ValueError("storefile_compact_threshold must be >= 2")

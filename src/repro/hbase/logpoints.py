@@ -1,0 +1,97 @@
+"""Stage and log-point inventory for the HBase Regionserver simulation.
+
+Stage names follow the paper's Fig. 10(a): ``Call``, ``Handler``,
+``OpenRegionHandler``, ``PostOpenDeployTasksThread``, ``LogRoller``,
+``SplitLogWorker``, ``CompactionChecker``, ``CompactionRequest``,
+``Listener``, ``Connection`` — plus ``MemStoreFlusher`` (one of the 38
+stages the paper instruments that never becomes anomalous in its runs).
+The Regionserver additionally hosts the HDFS client stages
+``DataStreamer``/``ResponseProcessor`` registered by ``repro.hdfs``.
+"""
+
+from __future__ import annotations
+
+from repro.core import SAAD
+from repro.loglib import DEBUG, ERROR, INFO, WARN
+
+_SOURCE = "hbase_sim.py"
+
+
+class HBaseLogPoints:
+    """Registers and holds every HBase stage and log point."""
+
+    def __init__(self, saad: SAAD):
+        stages = saad.stages
+        self.stage_call = stages.register("Call")
+        self.stage_handler = stages.register("Handler")
+        self.stage_open_region = stages.register("OpenRegionHandler")
+        self.stage_post_open = stages.register(
+            "PostOpenDeployTasksThread", model="dispatcher-worker"
+        )
+        self.stage_log_roller = stages.register("LogRoller")
+        self.stage_split_worker = stages.register("SplitLogWorker")
+        self.stage_compaction_checker = stages.register("CompactionChecker")
+        self.stage_compaction_request = stages.register("CompactionRequest")
+        self.stage_listener = stages.register("Listener")
+        self.stage_connection = stages.register("Connection")
+        self.stage_flusher = stages.register("MemStoreFlusher")
+
+        def lp(template, level=DEBUG, logger="", line=0):
+            return saad.logpoints.register(
+                template, level, logger, source_file=_SOURCE, line=line
+            )
+
+        # Call (RPC execution)
+        self.call_put = lp("Call: multi put of %d KVs for region %s", DEBUG, "Call", 10)
+        self.call_get = lp("Call: get for row %s", DEBUG, "Call", 14)
+        self.call_wal_wait = lp("Waiting for WAL sync", DEBUG, "Call", 18)
+        self.call_memstore = lp("Applied edits to memstore", DEBUG, "Call", 22)
+        self.call_storefile = lp("Reading %d storefiles for get", DEBUG, "Call", 26)
+        self.call_done = lp("Call complete; queueing response", DEBUG, "Call", 30)
+        self.call_nsre = lp("NotServingRegionException for region %s", WARN, "Call", 34)
+        self.call_blocked = lp("Region %s blocked: too many storefiles", DEBUG, "Call", 38)
+
+        # Handler ('log sync' group commits run here)
+        self.ha_sync_start = lp("log sync: syncing %d edits", DEBUG, "Handler", 46)
+        self.ha_sync_done = lp("log sync: synced to seqid %d", DEBUG, "Handler", 50)
+        self.ha_sync_slow = lp("log sync took %d ms", WARN, "Handler", 54)
+        self.ha_sync_error = lp("Could not sync hlog; requesting log recovery", ERROR, "Handler", 58)
+
+        # OpenRegionHandler / PostOpenDeployTasksThread
+        self.or_open = lp("Opening region %s", INFO, "OpenRegionHandler", 66)
+        self.or_replay = lp("Replaying edits from split logs for %s", INFO, "OpenRegionHandler", 70)
+        self.or_done = lp("Region %s opened", INFO, "OpenRegionHandler", 74)
+        self.po_deploy = lp("Post open deploy tasks for region %s", INFO, "PostOpenDeployTasksThread", 82)
+        self.po_done = lp("Done with post open deploy tasks", DEBUG, "PostOpenDeployTasksThread", 86)
+
+        # LogRoller
+        self.lr_check = lp("LogRoller checking hlog size", DEBUG, "LogRoller", 94)
+        self.lr_roll = lp("Rolling hlog; new block blk_%s", INFO, "LogRoller", 98)
+        self.lr_done = lp("hlog rolled", DEBUG, "LogRoller", 102)
+
+        # SplitLogWorker
+        self.sw_poll = lp("SplitLogWorker polling for split tasks", DEBUG, "SplitLogWorker", 110)
+        self.sw_acquire = lp("Acquired split log task for %s", INFO, "SplitLogWorker", 114)
+        self.sw_done = lp("Split log task for %s done", INFO, "SplitLogWorker", 118)
+
+        # CompactionChecker / CompactionRequest
+        self.cc_check = lp("CompactionChecker checking stores", DEBUG, "CompactionChecker", 126)
+        self.cc_request = lp("Requesting %s compaction of region %s", INFO, "CompactionChecker", 130)
+        self.cr_start = lp("Starting compaction of %d storefiles", INFO, "CompactionRequest", 138)
+        self.cr_major = lp("Major compaction: rewriting all storefiles of %s", INFO, "CompactionRequest", 140)
+        self.cr_done = lp("Completed compaction; new storefile size %d", INFO, "CompactionRequest", 142)
+        self.cr_failed = lp("Compaction failed for region %s", ERROR, "CompactionRequest", 146)
+
+        # Listener / Connection
+        self.li_poll = lp("Listener polling selector", DEBUG, "Listener", 154)
+        self.li_accept = lp("Listener accepted connection", DEBUG, "Listener", 158)
+        self.cx_setup = lp("Connection from client /%s authorized", DEBUG, "Connection", 166)
+        self.cx_read = lp("Connection read request header", DEBUG, "Connection", 170)
+
+        # MemStoreFlusher
+        self.fl_request = lp("Flush requested for region %s", DEBUG, "MemStoreFlusher", 178)
+        self.fl_start = lp("Flushing memstore of %s (%d bytes)", INFO, "MemStoreFlusher", 182)
+        self.fl_done = lp("Finished flush of %s", INFO, "MemStoreFlusher", 186)
+        self.fl_failed = lp("Flush of %s failed", ERROR, "MemStoreFlusher", 190)
+        # Regionserver abort (crash marker)
+        self.rs_abort = lp("ABORTING region server %s: %s", ERROR, "Handler", 198)

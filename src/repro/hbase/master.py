@@ -1,0 +1,60 @@
+"""The HBase Master: Regionserver monitoring and region reassignment.
+
+Runs on the dedicated master host (which also hosts the HDFS NameNode
+and Zookeeper in the paper's testbed, Sec. 5.2).  The master is not part
+of the monitored stage set in Fig. 10, so it carries no SAAD-relevant
+log points — its job here is to reproduce the *consequences* of a
+Regionserver crash: split-log fan-out and region reopening on the
+survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.simsys import Environment
+from repro.simsys.threads import SimThread
+
+
+class HMaster:
+    """Monitors Regionservers; reassigns regions from dead ones."""
+
+    def __init__(self, env: Environment, cluster, monitor_interval_s: float = 5.0):
+        self.env = env
+        self.cluster = cluster
+        self.monitor_interval_s = monitor_interval_s
+        self._handled_deaths: Set[str] = set()
+        self.reassignments: List[tuple] = []
+        self._thread = SimThread(env, target=self._monitor_loop(), name="hmaster-monitor")
+
+    def _monitor_loop(self):
+        while True:
+            yield self.env.timeout(self.monitor_interval_s)
+            for rs in list(self.cluster.regionservers.values()):
+                if rs.alive or rs.name in self._handled_deaths:
+                    continue
+                self._handled_deaths.add(rs.name)
+                self._handle_death(rs)
+
+    def _handle_death(self, dead_rs) -> None:
+        survivors = [
+            rs for rs in self.cluster.regionservers.values() if rs.alive
+        ]
+        if not survivors:
+            return
+        # Fan split-log work out to every survivor (SplitLogWorker tasks).
+        wal_blocks = [
+            b
+            for b in self.cluster.hdfs.namenode.blocks.values()
+            if dead_rs.name in b.pipeline
+        ][-4:]
+        for index, block in enumerate(wal_blocks):
+            worker = survivors[index % len(survivors)]
+            worker.split_log_task(dead_rs.name, block.block_id, max(block.size, 1 << 20))
+        # Reassign the dead server's regions round-robin.
+        for index, region_name in enumerate(sorted(dead_rs.regions)):
+            target = survivors[index % len(survivors)]
+            target.open_region(region_name, replay=True)
+            self.cluster.region_owner[region_name] = target.name
+            self.reassignments.append((region_name, dead_rs.name, target.name))
+        dead_rs.regions.clear()

@@ -1,0 +1,26 @@
+"""Simulated HDFS (NameNode, DataNodes, pipelined block writes).
+
+Reproduces the paper's Fig. 2 write pipeline (DataXceiver /
+PacketResponder stages with 3-way replication), the RecoverBlocks stage,
+DataTransfer re-replication, DN RPC stages, and the client-side
+DataStreamer / ResponseProcessor stages — including the Sec. 5.5
+premature-recovery-termination client bug.
+"""
+
+from .client import DFSClient, DfsWriteStream
+from .datanode import BLOCK_PATH, CLOSE_PACKET, DataNode
+from .fs import HdfsCluster
+from .logpoints import HdfsLogPoints
+from .namenode import Block, NameNode
+
+__all__ = [
+    "BLOCK_PATH",
+    "Block",
+    "CLOSE_PACKET",
+    "DFSClient",
+    "DataNode",
+    "DfsWriteStream",
+    "HdfsCluster",
+    "HdfsLogPoints",
+    "NameNode",
+]

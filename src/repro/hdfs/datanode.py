@@ -1,0 +1,357 @@
+"""A simulated HDFS Data Node.
+
+Implements the paper's Fig. 2 write pipeline: a ``DataXceiver`` task per
+block receives packets from the upstream node (or the client), writes
+them to the local disk and relays them downstream; a ``PacketResponder``
+task acknowledges upstream once the local write and the downstream ack
+are both in.  Also hosts the ``RecoverBlocks`` stage with the
+"already being recovered" reply at the heart of the Sec. 5.5 bug, the
+``DataTransfer`` re-replication stage, and the DN RPC server stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core import NodeRuntime
+from repro.simsys import (
+    Environment,
+    Event,
+    Host,
+    QueueClosed,
+    SimQueue,
+    SimulatedIOError,
+    spawn_worker,
+)
+from repro.simsys.rng import SimRandom
+from repro.simsys.threads import SimThread
+
+from .logpoints import HdfsLogPoints
+from .namenode import Block, NameNode
+
+#: Sentinel packet closing a block pipeline.
+CLOSE_PACKET = -1
+#: I/O path tag for block payload writes.
+BLOCK_PATH = "block"
+
+
+class _Packet:
+    __slots__ = ("seqno", "nbytes", "empty")
+
+    def __init__(self, seqno: int, nbytes: int, empty: bool = False):
+        self.seqno = seqno
+        self.nbytes = nbytes
+        self.empty = empty
+
+
+class _BlockSession:
+    """Per-block pipeline state on one Data Node."""
+
+    def __init__(self, env: Environment, block: Block, ack_mode: str = "tail"):
+        self.block = block
+        self.ack_mode = ack_mode
+        self.packets: SimQueue = SimQueue(env, name=f"xc-{block.block_id}")
+        self.acks: SimQueue = SimQueue(env, name=f"pr-{block.block_id}")
+        self.written = 0
+
+
+class DataNode:
+    """One Data Node process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        host: Host,
+        runtime: NodeRuntime,
+        lps: HdfsLogPoints,
+        namenode: NameNode,
+        cluster,
+        seed: int = 23,
+        heartbeat_interval_s: float = 3.0,
+        recovery_duration_s: float = 3.0,
+    ):
+        self.env = env
+        self.host = host
+        self.name = host.name
+        self.runtime = runtime
+        self.lps = lps
+        self.namenode = namenode
+        self.cluster = cluster
+        self.rng = SimRandom(seed)
+        self.alive = True
+        self.recovery_duration_s = recovery_duration_s
+        self.sessions: Dict[int, _BlockSession] = {}
+        self.recovering: Set[int] = set()
+        self.recoveries_completed = 0
+
+        lg = runtime.logger
+        self.log_xc = lg("DataXceiver")
+        self.log_pr = lg("PacketResponder")
+        self.log_rb = lg("RecoverBlocks")
+        self.log_dt = lg("DataTransfer")
+        self.log_ha = lg("Handler")
+        self.log_li = lg("Listener")
+        self.log_rd = lg("Reader")
+
+        self._heartbeat_thread = SimThread(
+            env,
+            target=self._heartbeat_loop(heartbeat_interval_s),
+            name=f"{self.name}-dn-heartbeat",
+        )
+        self._heartbeats = 0
+
+    # ------------------------------------------------------------- pipeline
+    def open_block(self, block: Block, ack_mode: str = "tail") -> None:
+        """Start DataXceiver + PacketResponder workers for a block write.
+
+        ``ack_mode="tail"`` is the standard pipeline: acks originate at
+        the tail and chain upstream.  ``ack_mode="local"`` acknowledges
+        as soon as the *head* Data Node has persisted the packet, with
+        downstream replication proceeding asynchronously — the effective
+        durability contract of HBase WAL hflush once HDFS pipeline
+        recovery has dropped slow mirrors.
+        """
+        if not self.alive:
+            return
+        if ack_mode not in ("tail", "local"):
+            raise ValueError(f"unknown ack_mode {ack_mode!r}")
+        session = _BlockSession(self.env, block, ack_mode=ack_mode)
+        self.sessions[block.block_id] = session
+        index = block.pipeline.index(self.name)
+        downstream = (
+            block.pipeline[index + 1] if index + 1 < len(block.pipeline) else None
+        )
+        is_head = index == 0
+        spawn_worker(
+            self.env,
+            self._xceiver_task(session, downstream),
+            name=f"{self.name}-xc-{block.block_id}",
+        )
+        if ack_mode == "tail" or is_head:
+            spawn_worker(
+                self.env,
+                self._responder_task(session, downstream, index),
+                name=f"{self.name}-pr-{block.block_id}",
+            )
+        if downstream is not None:
+            self.cluster.datanodes[downstream].open_block(block, ack_mode=ack_mode)
+
+    def deliver_packet(self, block_id: int, packet: _Packet) -> None:
+        session = self.sessions.get(block_id)
+        if session is not None and self.alive:
+            session.packets.try_put(packet)
+
+    def deliver_ack(self, block_id: int, seqno: int) -> None:
+        session = self.sessions.get(block_id)
+        if session is not None:
+            session.acks.try_put(seqno)
+
+    def _xceiver_task(self, session: _BlockSession, downstream: Optional[str]):
+        lps = self.lps
+        block = session.block
+        self.runtime.set_context("DataXceiver")
+        self.log_xc.info(
+            lps.xc_recv_block.template, block.block_id, lpid=lps.xc_recv_block.lpid
+        )
+        while True:
+            try:
+                packet = yield session.packets.get()
+            except QueueClosed:
+                break
+            if packet.seqno == CLOSE_PACKET:
+                break
+            self.log_xc.debug(
+                lps.xc_recv_packet.template, block.block_id, lpid=lps.xc_recv_packet.lpid
+            )
+            if packet.empty:
+                self.log_xc.debug(
+                    lps.xc_empty_packet.template,
+                    block.block_id,
+                    lpid=lps.xc_empty_packet.lpid,
+                )
+            else:
+                try:
+                    yield from self.host.disk.write(packet.nbytes, path=BLOCK_PATH)
+                except SimulatedIOError:
+                    self.log_xc.error(
+                        lps.xc_io_error.template, block.block_id, lpid=lps.xc_io_error.lpid
+                    )
+                    continue
+                session.written += packet.nbytes
+                self.log_xc.debug(
+                    lps.xc_write.template, packet.nbytes, lpid=lps.xc_write.lpid
+                )
+            is_head = block.pipeline[0] == self.name
+            if session.ack_mode == "local" and is_head:
+                # Acknowledge on local persist; mirror asynchronously.
+                self.deliver_ack(block.block_id, packet.seqno)
+            if downstream is not None:
+                self.log_xc.debug(lps.xc_mirror.template, lpid=lps.xc_mirror.lpid)
+                yield from self._forward(downstream, session.block, packet)
+            elif session.ack_mode == "tail":
+                # Pipeline tail: ack directly into the local responder.
+                self.deliver_ack(block.block_id, packet.seqno)
+        self.log_xc.debug(lps.xc_close.template, lpid=lps.xc_close.lpid)
+        if session.ack_mode == "local" and block.pipeline[0] == self.name:
+            self.deliver_ack(block.block_id, CLOSE_PACKET)
+        if downstream is not None:
+            yield from self._forward(downstream, block, _Packet(CLOSE_PACKET, 0))
+        elif session.ack_mode == "tail":
+            self.deliver_ack(block.block_id, CLOSE_PACKET)
+
+    def _forward(self, downstream: str, block: Block, packet: _Packet):
+        try:
+            yield from self.cluster.network.send(
+                self.name, downstream, max(packet.nbytes, 128)
+            )
+        except SimulatedIOError:
+            return
+        self.cluster.datanodes[downstream].deliver_packet(block.block_id, packet)
+
+    def _responder_task(self, session: _BlockSession, downstream: Optional[str], index: int):
+        lps = self.lps
+        block = session.block
+        self.runtime.set_context("PacketResponder")
+        self.log_pr.debug(
+            lps.pr_start.template, block.block_id, lpid=lps.pr_start.lpid
+        )
+        upstream = block.pipeline[index - 1] if index > 0 else None
+        while True:
+            try:
+                seqno = yield session.acks.get()
+            except QueueClosed:
+                break
+            if downstream is not None:
+                self.log_pr.debug(
+                    lps.pr_downstream.template, lpid=lps.pr_downstream.lpid
+                )
+            if seqno == CLOSE_PACKET:
+                break
+            self.log_pr.debug(lps.pr_ack.template, seqno, lpid=lps.pr_ack.lpid)
+            yield from self._send_ack(upstream, block, seqno)
+        self.log_pr.debug(lps.pr_done.template, lpid=lps.pr_done.lpid)
+        if upstream is not None:
+            yield from self._send_ack(upstream, block, CLOSE_PACKET)
+        else:
+            self.cluster.client_ack(block.block_id, CLOSE_PACKET)
+        self.sessions.pop(block.block_id, None)
+
+    def _send_ack(self, upstream: Optional[str], block: Block, seqno: int):
+        if upstream is None:
+            # Head of pipeline: ack to the writing client.
+            yield self.env.timeout(0)
+            self.cluster.client_ack(block.block_id, seqno)
+            return
+        try:
+            yield from self.cluster.network.send(self.name, upstream, 128)
+        except SimulatedIOError:
+            return
+        self.cluster.datanodes[upstream].deliver_ack(block.block_id, seqno)
+
+    # ----------------------------------------------------------- recovery
+    def recover_block(self, block_id: int) -> Event:
+        """RPC entry: returns an event with 'ok' / 'in-progress' / 'error'."""
+        result = Event(self.env)
+        if not self.alive:
+            result.fail(SimulatedIOError("datanode down"))
+            result.defuse()
+            return result
+        spawn_worker(
+            self.env,
+            self._recover_task(block_id, result),
+            name=f"{self.name}-recover-{block_id}",
+        )
+        return result
+
+    def _recover_task(self, block_id: int, result: Event):
+        lps = self.lps
+        # RPC intake stages.
+        self.runtime.set_context("Reader")
+        self.log_rd.debug(lps.rd_read.template, lpid=lps.rd_read.lpid)
+        yield self.env.timeout(0.0005)
+        self.runtime.set_context("RecoverBlocks")
+        self.log_rb.info(lps.rb_request.template, block_id, lpid=lps.rb_request.lpid)
+        if block_id in self.recovering:
+            # The reply the buggy client misinterprets as an exception.
+            self.log_rb.info(
+                lps.rb_in_progress.template, block_id, lpid=lps.rb_in_progress.lpid
+            )
+            if not result.triggered:
+                result.succeed("in-progress")
+            return
+        self.recovering.add(block_id)
+        self.log_rb.info(lps.rb_start.template, block_id, lpid=lps.rb_start.lpid)
+        try:
+            yield self.env.timeout(
+                self.recovery_duration_s * self.rng.lognormal_by_median(1.0, 0.2)
+                * self.host.cpu_factor
+            )
+            yield from self.host.disk.read(1 << 20, path="data")
+            self.namenode.bump_generation(block_id)
+            self.recoveries_completed += 1
+            self.log_rb.info(lps.rb_done.template, block_id, lpid=lps.rb_done.lpid)
+            if not result.triggered:
+                result.succeed("ok")
+        except SimulatedIOError:
+            self.log_rb.error(lps.rb_error.template, block_id, lpid=lps.rb_error.lpid)
+            if not result.triggered:
+                result.succeed("error")
+        finally:
+            self.recovering.discard(block_id)
+
+    # ----------------------------------------------------------- transfer
+    def transfer_block(self, block_id: int, nbytes: int, target: Optional[str] = None):
+        """Spawn a DataTransfer worker (log splitting, re-replication)."""
+        if not self.alive:
+            return
+        spawn_worker(
+            self.env,
+            self._transfer_task(block_id, nbytes, target),
+            name=f"{self.name}-transfer-{block_id}",
+        )
+
+    def _transfer_task(self, block_id: int, nbytes: int, target: Optional[str]):
+        lps = self.lps
+        self.runtime.set_context("DataTransfer")
+        self.log_dt.info(lps.dt_start.template, block_id, lpid=lps.dt_start.lpid)
+        try:
+            yield from self.host.disk.read(max(nbytes, 4096), path="data")
+            if target is not None:
+                yield from self.cluster.network.send(self.name, target, nbytes)
+        except SimulatedIOError:
+            return
+        self.log_dt.debug(lps.dt_done.template, block_id, lpid=lps.dt_done.lpid)
+
+    # ----------------------------------------------------------- RPC server
+    def _heartbeat_loop(self, interval_s: float):
+        lps = self.lps
+        offset = self.rng.random() * interval_s
+        yield self.env.timeout(offset)
+        while self.alive:
+            self.runtime.set_context("Handler")
+            self._heartbeats += 1
+            self.log_ha.debug(lps.ha_heartbeat.template, lpid=lps.ha_heartbeat.lpid)
+            yield self.env.timeout(0.0005 * self.host.cpu_factor)
+            if self._heartbeats % 6 == 0:
+                # Periodic block report arrives through the full RPC intake.
+                self.runtime.set_context("Listener")
+                self.log_li.debug(
+                    lps.li_accept.template, "namenode", lpid=lps.li_accept.lpid
+                )
+                yield self.env.timeout(0.0002)
+                self.runtime.set_context("Reader")
+                self.log_rd.debug(lps.rd_read.template, lpid=lps.rd_read.lpid)
+                yield self.env.timeout(0.0003)
+                self.runtime.set_context("Handler")
+                self.log_ha.debug(lps.ha_call.template, "blockReport", lpid=lps.ha_call.lpid)
+                yield self.env.timeout(0.001 * self.host.cpu_factor)
+                self.log_ha.debug(lps.ha_done.template, lpid=lps.ha_done.lpid)
+            yield self.env.timeout(interval_s)
+
+    def crash(self) -> None:
+        self.alive = False
+        self.host.crash()
+        for session in list(self.sessions.values()):
+            session.packets.close()
+            session.acks.close()
+        self.sessions.clear()

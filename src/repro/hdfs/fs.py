@@ -1,0 +1,92 @@
+"""HDFS cluster assembly (standalone or embedded under HBase)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import SAAD, SAADConfig
+from repro.simsys import Cluster, Environment
+
+from .client import DFSClient, DfsWriteStream
+from .datanode import DataNode
+from .logpoints import HdfsLogPoints
+from .namenode import NameNode
+
+
+class HdfsCluster:
+    """NameNode + DataNodes over a set of simulated hosts.
+
+    Can be built standalone (creating its own environment/hosts/SAAD) or
+    embedded into an existing deployment (HBase passes its own).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        sim_cluster: Cluster,
+        saad: SAAD,
+        datanode_hosts: List[str],
+        replication: int = 3,
+        lps: Optional[HdfsLogPoints] = None,
+        tracker_enabled: bool = True,
+        log_level: Optional[int] = None,
+    ):
+        self.env = env
+        self.sim_cluster = sim_cluster
+        self.network = sim_cluster.network
+        self.saad = saad
+        self.lps = lps or HdfsLogPoints(saad)
+        self.namenode = NameNode(datanode_hosts, replication=replication)
+        self.datanodes: Dict[str, DataNode] = {}
+        self._streams: Dict[int, DfsWriteStream] = {}
+        node_kwargs = {"tracker_enabled": tracker_enabled}
+        if log_level is not None:
+            node_kwargs["log_level"] = log_level
+        for name in datanode_hosts:
+            runtime = saad.nodes.get(name) or saad.add_sim_node(name, env, **node_kwargs)
+            self.datanodes[name] = DataNode(
+                env=env,
+                host=sim_cluster[name],
+                runtime=runtime,
+                lps=self.lps,
+                namenode=self.namenode,
+                cluster=self,
+                seed=sim_cluster.seeds.child_seed(f"{name}/datanode"),
+            )
+
+    @classmethod
+    def standalone(
+        cls,
+        n_datanodes: int = 4,
+        seed: int = 42,
+        replication: int = 3,
+        saad_config: Optional[SAADConfig] = None,
+    ) -> "HdfsCluster":
+        env = Environment()
+        host_names = [f"host{i + 1}" for i in range(n_datanodes)]
+        sim_cluster = Cluster(env, host_names, seed=seed)
+        saad = SAAD(saad_config or SAADConfig())
+        return cls(env, sim_cluster, saad, host_names, replication=replication)
+
+    # -- stream routing ---------------------------------------------------------
+    def register_stream(self, block_id: int, stream: DfsWriteStream) -> None:
+        self._streams[block_id] = stream
+
+    def unregister_stream(self, block_id: int) -> None:
+        self._streams.pop(block_id, None)
+
+    def client_ack(self, block_id: int, seqno: int) -> None:
+        """Pipeline-head responders deliver client acks through here."""
+        stream = self._streams.get(block_id)
+        if stream is not None:
+            stream.deliver_ack(seqno)
+
+    def client_for(self, host_name: str, **kwargs) -> DFSClient:
+        """An HDFS client running inside the process on ``host_name``."""
+        runtime = self.saad.nodes.get(host_name) or self.saad.add_sim_node(
+            host_name, self.env
+        )
+        return DFSClient(self.env, host_name, runtime, self, **kwargs)
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)

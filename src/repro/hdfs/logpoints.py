@@ -1,0 +1,84 @@
+"""Stage and log-point inventory for the HDFS simulation.
+
+Stage names follow the paper's Figs. 2/3/10(b): ``DataXceiver``,
+``PacketResponder``, ``RecoverBlocks``, ``DataTransfer`` on Data Nodes,
+``Handler``/``Listener``/``Reader`` RPC stages, and the client-side
+``DataStreamer``/``ResponseProcessor`` stages that run inside HBase
+Regionservers.
+"""
+
+from __future__ import annotations
+
+from repro.core import SAAD
+from repro.loglib import DEBUG, ERROR, INFO, WARN
+
+_SOURCE = "hdfs_sim.py"
+
+
+class HdfsLogPoints:
+    """Registers and holds every HDFS stage and log point."""
+
+    def __init__(self, saad: SAAD):
+        stages = saad.stages
+        self.stage_xceiver = stages.register("DataXceiver", model="dispatcher-worker")
+        self.stage_responder = stages.register(
+            "PacketResponder", model="dispatcher-worker"
+        )
+        self.stage_recover = stages.register("RecoverBlocks")
+        self.stage_transfer = stages.register("DataTransfer", model="dispatcher-worker")
+        self.stage_dn_handler = stages.register("Handler")
+        self.stage_dn_listener = stages.register("Listener")
+        self.stage_dn_reader = stages.register("Reader")
+        # Client-side stages (run inside the Regionserver process).
+        self.stage_streamer = stages.register("DataStreamer")
+        self.stage_resp_proc = stages.register("ResponseProcessor")
+
+        def lp(template, level=DEBUG, logger="", line=0):
+            return saad.logpoints.register(
+                template, level, logger, source_file=_SOURCE, line=line
+            )
+
+        # DataXceiver (Fig. 3's L1..L5)
+        self.xc_recv_block = lp("Receiving block blk_%s", INFO, "DataXceiver", 10)
+        self.xc_recv_packet = lp("Receiving one packet for blk_%s", DEBUG, "DataXceiver", 14)
+        self.xc_empty_packet = lp("Receiving empty packet for blk_%s", DEBUG, "DataXceiver", 18)
+        self.xc_write = lp("WriteTo blockfile of size %d", DEBUG, "DataXceiver", 22)
+        self.xc_mirror = lp("Forwarding packet to mirror", DEBUG, "DataXceiver", 26)
+        self.xc_close = lp("Closing down.", DEBUG, "DataXceiver", 30)
+        self.xc_io_error = lp("IOException writing block blk_%s", ERROR, "DataXceiver", 34)
+
+        # PacketResponder
+        self.pr_start = lp("PacketResponder for block blk_%s", DEBUG, "PacketResponder", 42)
+        self.pr_ack = lp("PacketResponder acking packet seqno %d", DEBUG, "PacketResponder", 46)
+        self.pr_downstream = lp("Received ack from downstream", DEBUG, "PacketResponder", 50)
+        self.pr_done = lp("PacketResponder terminating", DEBUG, "PacketResponder", 54)
+        self.pr_timeout = lp("Ack wait timed out for seqno %d", WARN, "PacketResponder", 58)
+
+        # RecoverBlocks
+        self.rb_request = lp("Client requests recovery for blk_%s", INFO, "RecoverBlocks", 66)
+        self.rb_start = lp("Starting recovery of blk_%s", INFO, "RecoverBlocks", 70)
+        self.rb_in_progress = lp(
+            "Block blk_%s is already being recovered, ignoring this request",
+            INFO, "RecoverBlocks", 74,
+        )
+        self.rb_done = lp("Recovery of blk_%s complete", INFO, "RecoverBlocks", 78)
+        self.rb_error = lp("Recovery of blk_%s failed", ERROR, "RecoverBlocks", 82)
+
+        # DataTransfer (re-replication / log-split reads)
+        self.dt_start = lp("Starting transfer of blk_%s", INFO, "DataTransfer", 90)
+        self.dt_done = lp("Transfer of blk_%s complete", DEBUG, "DataTransfer", 94)
+
+        # DN RPC server stages
+        self.li_accept = lp("Listener accepted connection from /%s", DEBUG, "Listener", 102)
+        self.rd_read = lp("Reader read RPC request", DEBUG, "Reader", 106)
+        self.ha_call = lp("Handler executing %s", DEBUG, "Handler", 110)
+        self.ha_done = lp("Handler call complete", DEBUG, "Handler", 114)
+        self.ha_heartbeat = lp("Sending heartbeat to namenode", DEBUG, "Handler", 118)
+
+        # Client-side DataStreamer / ResponseProcessor
+        self.ds_alloc = lp("Allocating new block blk_%s", DEBUG, "DataStreamer", 126)
+        self.ds_packet = lp("DataStreamer sending packet seqno %d", DEBUG, "DataStreamer", 130)
+        self.ds_close = lp("Closing block blk_%s", DEBUG, "DataStreamer", 134)
+        self.ds_error = lp("Error in pipeline for blk_%s", WARN, "DataStreamer", 138)
+        self.rp_ack = lp("ResponseProcessor received ack seqno %d", DEBUG, "ResponseProcessor", 146)
+        self.rp_timeout = lp("ResponseProcessor timeout for blk_%s", WARN, "ResponseProcessor", 150)

@@ -1,0 +1,70 @@
+"""Blocks and the HDFS NameNode (metadata server)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_block_ids = itertools.count(1000)
+
+
+@dataclass
+class Block:
+    """One HDFS block and its replica pipeline."""
+
+    block_id: int
+    pipeline: List[str]
+    size: int = 0
+    generation: int = 1
+    finalized: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"blk_{self.block_id}"
+
+
+class NameNode:
+    """Central metadata server: block allocation and placement.
+
+    Placement follows HDFS's first-replica-local policy: the writer's
+    co-located Data Node leads the pipeline (this is why the paper's
+    Regionserver 3 recovery storm lands on Data Node 3).
+    """
+
+    def __init__(self, datanode_names: List[str], replication: int = 3):
+        if not datanode_names:
+            raise ValueError("namenode needs at least one datanode")
+        self.datanode_names = list(datanode_names)
+        self.replication = min(replication, len(datanode_names))
+        self.blocks: Dict[int, Block] = {}
+        self._rr = 0
+
+    def add_block(self, client_host: Optional[str] = None) -> Block:
+        """Allocate a block; pipeline starts at the client's local DN."""
+        pipeline: List[str] = []
+        if client_host in self.datanode_names:
+            pipeline.append(client_host)
+        # Fill remaining replicas round-robin for even distribution.
+        while len(pipeline) < self.replication:
+            candidate = self.datanode_names[self._rr % len(self.datanode_names)]
+            self._rr += 1
+            if candidate not in pipeline:
+                pipeline.append(candidate)
+        block = Block(block_id=next(_block_ids), pipeline=pipeline)
+        self.blocks[block.block_id] = block
+        return block
+
+    def finalize_block(self, block_id: int, size: int) -> None:
+        block = self.blocks[block_id]
+        block.size = size
+        block.finalized = True
+
+    def blocks_on(self, datanode: str) -> List[Block]:
+        return [b for b in self.blocks.values() if datanode in b.pipeline]
+
+    def bump_generation(self, block_id: int) -> int:
+        """Recovery completed: new generation stamp."""
+        block = self.blocks[block_id]
+        block.generation += 1
+        return block.generation

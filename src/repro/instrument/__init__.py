@@ -1,0 +1,30 @@
+"""Static instrumentation tooling (the paper's Ruby scripts, Sec. 4.1.1).
+
+An AST pass over Python source that discovers log statements, assigns
+dense log point ids, builds the log template dictionary, locates stage
+beginnings (``run()`` methods, queue-dequeue sites), and rewrites log
+calls to pass their ids at runtime.
+"""
+
+from .rewriter import instrument_source, verify_instrumentation
+from .scanner import (
+    DEQUEUE_METHODS,
+    FoundLogCall,
+    LOG_METHODS,
+    ScanResult,
+    StageCandidate,
+    build_registry,
+    scan_source,
+)
+
+__all__ = [
+    "DEQUEUE_METHODS",
+    "FoundLogCall",
+    "LOG_METHODS",
+    "ScanResult",
+    "StageCandidate",
+    "build_registry",
+    "instrument_source",
+    "scan_source",
+    "verify_instrumentation",
+]

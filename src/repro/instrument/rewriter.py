@@ -1,0 +1,51 @@
+"""Source rewriting: inject ``lpid=N`` into discovered log calls.
+
+The equivalent of the paper's 50-line Ruby script that rewrites
+``log.debug(...)`` into id-carrying calls and guards verbosity checks.
+The rewrite is textual but anchored on AST positions, so formatting
+elsewhere is untouched; running it twice is a no-op (calls that already
+carry ``lpid`` are skipped).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core import LogPointRegistry
+
+from .scanner import FoundLogCall, build_registry, scan_source
+
+
+def instrument_source(
+    source: str, source_file: str = "<source>"
+) -> Tuple[str, LogPointRegistry]:
+    """Rewrite ``source`` so every log call passes its log point id.
+
+    Returns the rewritten source and the registry (template dictionary).
+    Ids are assigned in source order, matching :func:`build_registry`.
+    """
+    registry, result = build_registry(source, source_file)
+    lines = source.splitlines(keepends=True)
+    # Assign ids in the same (line, col) order used by build_registry.
+    ordered = sorted(result.log_calls, key=lambda c: (c.line, c.col))
+    # Apply edits bottom-up so earlier positions stay valid.
+    edits: List[Tuple[FoundLogCall, int]] = [
+        (call, lpid) for lpid, call in enumerate(ordered) if not call.has_lpid
+    ]
+    for call, lpid in sorted(edits, key=lambda pair: (-pair[0].end_line, -pair[0].end_col)):
+        line_index = call.end_line - 1
+        line = lines[line_index]
+        close = call.end_col - 1  # index of the closing parenthesis
+        if close < 0 or close >= len(line) or line[close] != ")":
+            continue  # defensive: unexpected layout, leave untouched
+        inside = line[:close].rstrip()
+        needs_comma = not inside.endswith("(")
+        insertion = f", lpid={lpid}" if needs_comma else f"lpid={lpid}"
+        lines[line_index] = line[:close] + insertion + line[close:]
+    return "".join(lines), registry
+
+
+def verify_instrumentation(source: str) -> bool:
+    """True when every discovered log call already carries an lpid."""
+    result = scan_source(source)
+    return all(call.has_lpid for call in result.log_calls)

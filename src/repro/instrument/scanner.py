@@ -1,0 +1,153 @@
+"""Static source instrumentation: discover log statements in Python code.
+
+The paper uses two small Ruby scripts to (i) assign unique ids to 3000+
+log statements and build the log template dictionary, and (ii) locate
+stage beginnings for ``setContext`` insertion.  This module is the
+Python-source equivalent: an AST pass that finds logging calls, assigns
+dense log point ids, and reports candidate stage-beginning sites
+(``run()`` methods and queue-dequeue call sites).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core import LogPointRegistry
+from repro.loglib.levels import DEBUG, ERROR, FATAL, INFO, TRACE, WARN
+
+#: Method names treated as logging calls, with their levels.
+LOG_METHODS = {
+    "trace": TRACE,
+    "debug": DEBUG,
+    "info": INFO,
+    "warn": WARN,
+    "warning": WARN,
+    "error": ERROR,
+    "fatal": FATAL,
+    "critical": FATAL,
+}
+
+#: Method names that look like blocking queue dequeues (candidate
+#: beginnings of producer-consumer stages, for manual inspection).
+DEQUEUE_METHODS = {"get", "take", "poll", "dequeue"}
+
+
+@dataclass(frozen=True)
+class FoundLogCall:
+    """One log statement discovered in the source."""
+
+    template: str
+    level: int
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    has_lpid: bool
+    method: str
+
+
+@dataclass(frozen=True)
+class StageCandidate:
+    """A candidate stage-beginning site."""
+
+    kind: str  # "run-method" or "dequeue"
+    name: str
+    line: int
+
+
+@dataclass
+class ScanResult:
+    log_calls: List[FoundLogCall] = field(default_factory=list)
+    stage_candidates: List[StageCandidate] = field(default_factory=list)
+
+
+class _Scanner(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.result = ScanResult()
+        self._class_stack: List[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name == "run":
+            owner = self._class_stack[-1] if self._class_stack else "<module>"
+            self.result.stage_candidates.append(
+                StageCandidate(kind="run-method", name=owner, line=node.lineno)
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if method in LOG_METHODS:
+                template = _literal_first_arg(node)
+                if template is not None:
+                    self.result.log_calls.append(
+                        FoundLogCall(
+                            template=template,
+                            level=LOG_METHODS[method],
+                            line=node.lineno,
+                            col=node.col_offset,
+                            end_line=getattr(node, "end_lineno", node.lineno),
+                            end_col=getattr(node, "end_col_offset", node.col_offset),
+                            has_lpid=any(kw.arg == "lpid" for kw in node.keywords),
+                            method=method,
+                        )
+                    )
+            elif method in DEQUEUE_METHODS:
+                target = getattr(func.value, "id", None) or getattr(
+                    func.value, "attr", ""
+                )
+                if "queue" in str(target).lower():
+                    self.result.stage_candidates.append(
+                        StageCandidate(kind="dequeue", name=str(target), line=node.lineno)
+                    )
+        self.generic_visit(node)
+
+
+def _literal_first_arg(node: ast.Call) -> Optional[str]:
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    if isinstance(first, ast.JoinedStr):
+        # f-string: static parts joined with %s placeholders.
+        parts: List[str] = []
+        for value in first.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("%s")
+        return "".join(parts)
+    return None
+
+
+def scan_source(source: str) -> ScanResult:
+    """Scan Python source text for log calls and stage candidates."""
+    tree = ast.parse(source)
+    scanner = _Scanner()
+    scanner.visit(tree)
+    return scanner.result
+
+
+def build_registry(
+    source: str, source_file: str = "<source>"
+) -> Tuple[LogPointRegistry, ScanResult]:
+    """Scan and register every found log statement; ids follow source order."""
+    result = scan_source(source)
+    registry = LogPointRegistry()
+    for call in sorted(result.log_calls, key=lambda c: (c.line, c.col)):
+        registry.register(
+            template=call.template,
+            level=call.level,
+            source_file=source_file,
+            line=call.line,
+        )
+    return registry, result

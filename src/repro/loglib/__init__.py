@@ -1,0 +1,53 @@
+"""A log4j-like logging library with a SAAD interception point.
+
+The library reproduces the pieces of log4j the paper relies on: leveled,
+hierarchically named loggers; appenders with layouts; and — the crucial
+part — an interceptor hook that observes *every* logging call before
+level filtering, which is where the SAAD task execution tracker sits.
+"""
+
+from .appenders import (
+    Appender,
+    CallbackAppender,
+    CountingAppender,
+    MemoryAppender,
+    NullAppender,
+)
+from .layout import Layout, PatternLayout, SimpleLayout
+from .levels import (
+    DEBUG,
+    ERROR,
+    FATAL,
+    INFO,
+    TRACE,
+    WARN,
+    all_levels,
+    level_name,
+    parse_level,
+)
+from .logger import Logger, LoggerRepository
+from .record import LogCall, LogRecord
+
+__all__ = [
+    "Appender",
+    "CallbackAppender",
+    "CountingAppender",
+    "DEBUG",
+    "ERROR",
+    "FATAL",
+    "INFO",
+    "Layout",
+    "LogCall",
+    "LogRecord",
+    "Logger",
+    "LoggerRepository",
+    "MemoryAppender",
+    "NullAppender",
+    "PatternLayout",
+    "SimpleLayout",
+    "TRACE",
+    "WARN",
+    "all_levels",
+    "level_name",
+    "parse_level",
+]

@@ -1,0 +1,103 @@
+"""Appenders: destinations for rendered log records.
+
+``NullAppender`` models production deployments that suppress DEBUG output;
+``MemoryAppender`` retains lines for the text-mining baseline;
+``CountingAppender`` measures would-be log volume without keeping text
+(used for the Fig. 8 storage-overhead comparison on long runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .layout import Layout, PatternLayout
+from .record import LogRecord
+
+
+class Appender:
+    """Base appender: render with a layout, deliver via :meth:`write`."""
+
+    def __init__(self, layout: Optional[Layout] = None, name: str = ""):
+        self.layout = layout or PatternLayout()
+        self.name = name
+        self.records_appended = 0
+        self.bytes_appended = 0
+
+    def append(self, record: LogRecord) -> None:
+        line = self.layout.format(record)
+        self.records_appended += 1
+        self.bytes_appended += len(line.encode("utf-8", errors="replace"))
+        self.write(line, record)
+
+    def write(self, line: str, record: LogRecord) -> None:
+        raise NotImplementedError
+
+
+class NullAppender(Appender):
+    """Discards output (but still counts volume)."""
+
+    def write(self, line: str, record: LogRecord) -> None:
+        pass
+
+
+class CountingAppender(NullAppender):
+    """Alias of :class:`NullAppender`; exists for intent at call sites."""
+
+
+class MemoryAppender(Appender):
+    """Keeps rendered lines (and records) in memory.
+
+    Parameters
+    ----------
+    keep_records:
+        Also retain the :class:`LogRecord` objects (needed by baselines
+        that want ground-truth record metadata).
+    max_lines:
+        Optional bound; oldest lines are dropped past it.
+    """
+
+    def __init__(
+        self,
+        layout: Optional[Layout] = None,
+        keep_records: bool = False,
+        max_lines: Optional[int] = None,
+        name: str = "",
+    ):
+        super().__init__(layout, name)
+        self.lines: List[str] = []
+        self.records: List[LogRecord] = []
+        self.keep_records = keep_records
+        self.max_lines = max_lines
+
+    def write(self, line: str, record: LogRecord) -> None:
+        self.lines.append(line)
+        if self.keep_records:
+            self.records.append(record)
+        if self.max_lines is not None and len(self.lines) > self.max_lines:
+            del self.lines[0]
+            if self.keep_records and self.records:
+                del self.records[0]
+
+    def text(self) -> str:
+        """All retained lines joined into one corpus."""
+        return "".join(self.lines)
+
+    def clear(self) -> None:
+        self.lines.clear()
+        self.records.clear()
+
+
+class CallbackAppender(Appender):
+    """Delivers each rendered line to a callable (e.g. a file sink)."""
+
+    def __init__(
+        self,
+        callback: Callable[[str, LogRecord], None],
+        layout: Optional[Layout] = None,
+        name: str = "",
+    ):
+        super().__init__(layout, name)
+        self._callback = callback
+
+    def write(self, line: str, record: LogRecord) -> None:
+        self._callback(line, record)

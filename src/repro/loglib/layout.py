@@ -1,0 +1,43 @@
+"""Message layouts: turn a :class:`LogRecord` into a line of text.
+
+The DEBUG-volume experiment (paper Fig. 8) measures the bytes a
+conventional logging deployment writes; :class:`PatternLayout` reproduces
+a typical log4j pattern so volumes are realistic.
+"""
+
+from __future__ import annotations
+
+from .levels import level_name
+from .record import LogRecord
+
+
+class Layout:
+    """Base class for layouts."""
+
+    def format(self, record: LogRecord) -> str:
+        raise NotImplementedError
+
+
+class PatternLayout(Layout):
+    """log4j-style ``%d [%t] %-5p %c - %m%n`` rendering.
+
+    The timestamp renders simulated seconds with millisecond precision;
+    real deployments print a date, so we pad to a comparable width to keep
+    byte-volume measurements honest.
+    """
+
+    TIMESTAMP_WIDTH = 23  # e.g. "2014-12-08 10:22:33,123"
+
+    def format(self, record: LogRecord) -> str:
+        stamp = f"{record.time:.3f}".rjust(self.TIMESTAMP_WIDTH)
+        return (
+            f"{stamp} [{record.thread_name}] {level_name(record.level):<5} "
+            f"{record.logger_name} - {record.message()}\n"
+        )
+
+
+class SimpleLayout(Layout):
+    """``LEVEL - message`` rendering (log4j SimpleLayout)."""
+
+    def format(self, record: LogRecord) -> str:
+        return f"{level_name(record.level)} - {record.message()}\n"

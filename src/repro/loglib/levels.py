@@ -1,0 +1,39 @@
+"""Log levels, mirroring log4j's severity ladder."""
+
+from __future__ import annotations
+
+TRACE = 5
+DEBUG = 10
+INFO = 20
+WARN = 30
+ERROR = 40
+FATAL = 50
+
+_NAMES = {
+    TRACE: "TRACE",
+    DEBUG: "DEBUG",
+    INFO: "INFO",
+    WARN: "WARN",
+    ERROR: "ERROR",
+    FATAL: "FATAL",
+}
+
+_BY_NAME = {name: value for value, name in _NAMES.items()}
+
+
+def level_name(level: int) -> str:
+    """Human-readable name for a level value."""
+    return _NAMES.get(level, f"LEVEL{level}")
+
+
+def parse_level(name: str) -> int:
+    """Level value for a name like ``"INFO"`` (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown log level {name!r}") from None
+
+
+def all_levels() -> tuple:
+    """All defined levels, ascending."""
+    return tuple(sorted(_NAMES))

@@ -1,0 +1,30 @@
+"""Log-structured-merge storage engine (paper Sec. 5.1).
+
+Shared by the HBase and Cassandra simulations: writes go to a MemTable
+and the write-ahead log; full MemTables are frozen and flushed to
+immutable SSTables; SSTables are periodically merged by compaction.
+"""
+
+from .memtable import MemTable
+from .sstable import (
+    DATA_READ_PATH,
+    SSTABLE_WRITE_PATH,
+    SSTable,
+    merge_entries,
+    write_sstable,
+)
+from .store import LSMStore
+from .wal import WAL_PATH, WALSegment, WriteAheadLog
+
+__all__ = [
+    "DATA_READ_PATH",
+    "LSMStore",
+    "MemTable",
+    "SSTABLE_WRITE_PATH",
+    "SSTable",
+    "WAL_PATH",
+    "WALSegment",
+    "WriteAheadLog",
+    "merge_entries",
+    "write_sstable",
+]

@@ -1,0 +1,101 @@
+"""Immutable sorted on-disk tables (SSTables / HFiles)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.simsys import SimDisk
+
+_sstable_ids = itertools.count(1)
+
+#: I/O path tag for SSTable writes.  The paper's "MemTable" fault class
+#: targets "write operations when flushing MemTable to disk (write to
+#: SSTable)", which covers both flushes and compaction output.
+SSTABLE_WRITE_PATH = "sstable"
+#: Path tag for read-side I/O.
+DATA_READ_PATH = "data"
+
+
+class SSTable:
+    """One immutable sorted table: an index in memory, payload "on disk".
+
+    Reads cost simulated disk I/O; the in-memory map stands in for the
+    file contents so correctness can be tested against a model.
+    """
+
+    def __init__(
+        self,
+        entries: List[Tuple[str, Any, int, float]],
+        disk: SimDisk,
+        name: str = "",
+    ):
+        self.sstable_id = next(_sstable_ids)
+        self.name = name or f"sstable-{self.sstable_id}"
+        self.disk = disk
+        self._index: Dict[str, Tuple[Any, int, float]] = {}
+        self.size_bytes = 0
+        last_key: Optional[str] = None
+        for key, value, nbytes, timestamp in entries:
+            if last_key is not None and key < last_key:
+                raise ValueError("SSTable entries must be sorted by key")
+            last_key = key
+            self._index[key] = (value, nbytes, timestamp)
+            self.size_bytes += nbytes
+        self.min_key = entries[0][0] if entries else ""
+        self.max_key = entries[-1][0] if entries else ""
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def might_contain(self, key: str) -> bool:
+        """Bloom-filter stand-in (exact, zero false positives)."""
+        return key in self._index
+
+    def read(self, key: str) -> Generator:
+        """Disk-backed point read; returns (value, timestamp) or None."""
+        entry = self._index.get(key)
+        nbytes = entry[1] if entry is not None else 512  # index block miss read
+        yield from self.disk.read(nbytes, path=DATA_READ_PATH)
+        if entry is None:
+            return None
+        value, _, timestamp = entry
+        return (value, timestamp)
+
+    def scan(self) -> List[Tuple[str, Any, int, float]]:
+        """All entries in key order (used by compaction, in-memory)."""
+        return [
+            (key, value, nbytes, ts)
+            for key, (value, nbytes, ts) in sorted(self._index.items())
+        ]
+
+
+def write_sstable(
+    entries: List[Tuple[str, Any, int, float]],
+    disk: SimDisk,
+    name: str = "",
+) -> Generator:
+    """Process generator: persist ``entries`` as a new SSTable.
+
+    Raises :class:`~repro.simsys.errors.SimulatedIOError` if the write I/O
+    is failed by an armed fault (path ``"sstable"``).
+    """
+    total_bytes = sum(nbytes for _, _, nbytes, _ in entries) or 512
+    yield from disk.write(total_bytes, path=SSTABLE_WRITE_PATH)
+    return SSTable(entries, disk, name=name)
+
+
+def merge_entries(
+    tables: List[SSTable],
+) -> List[Tuple[str, Any, int, float]]:
+    """Merge-sort table contents, newest timestamp winning per key."""
+    best: Dict[str, Tuple[Any, int, float]] = {}
+    for table in tables:
+        for key, value, nbytes, timestamp in table.scan():
+            current = best.get(key)
+            if current is None or timestamp >= current[2]:
+                best[key] = (value, nbytes, timestamp)
+    return [
+        (key, value, nbytes, ts)
+        for key, (value, nbytes, ts) in sorted(best.items())
+    ]

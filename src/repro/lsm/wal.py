@@ -1,0 +1,97 @@
+"""Write-ahead log (commit log) with segment management.
+
+Every update is appended and synced before it is acknowledged; segments
+are trimmed once the covering MemTable has been flushed (paper Sec. 5.1).
+Appends use the ``"wal"`` I/O path tag, which is what the paper's
+WAL-error and WAL-delay faults target.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.simsys import SimDisk
+
+#: I/O path tag for WAL appends (fault target).
+WAL_PATH = "wal"
+
+
+class WALSegment:
+    """One commit-log segment: a byte count and the covered update count."""
+
+    def __init__(self, segment_id: int):
+        self.segment_id = segment_id
+        self.bytes = 0
+        self.entries = 0
+        self.sealed = False
+
+
+class WriteAheadLog:
+    """Append-only log over a simulated disk."""
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        name: str = "wal",
+        segment_bytes: int = 1 * 1024 * 1024,
+    ):
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        self.disk = disk
+        self.name = name
+        self.segment_bytes = segment_bytes
+        self._next_segment_id = 0
+        self.segments: List[WALSegment] = [self._new_segment()]
+        self.total_appends = 0
+        self.total_trims = 0
+
+    def _new_segment(self) -> WALSegment:
+        segment = WALSegment(self._next_segment_id)
+        self._next_segment_id += 1
+        return segment
+
+    @property
+    def active_segment(self) -> WALSegment:
+        return self.segments[-1]
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(s.bytes for s in self.segments)
+
+    def append(self, nbytes: int) -> Generator:
+        """Process generator: append + fsync one record.
+
+        Raises :class:`~repro.simsys.errors.SimulatedIOError` when an armed
+        WAL fault fails the I/O.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"append size must be positive, got {nbytes}")
+        yield from self.disk.write(nbytes, path=WAL_PATH)
+        segment = self.active_segment
+        segment.bytes += nbytes
+        segment.entries += 1
+        self.total_appends += 1
+        if segment.bytes >= self.segment_bytes:
+            segment.sealed = True
+            self.segments.append(self._new_segment())
+
+    def trim(self) -> Generator:
+        """Process generator: discard all sealed segments (post-flush).
+
+        Returns the number of segments discarded.  Deleting segments costs
+        a small metadata write per segment on the WAL path.
+        """
+        sealed = [s for s in self.segments if s.sealed]
+        for segment in sealed:
+            yield from self.disk.write(512, path=WAL_PATH)
+            self.segments.remove(segment)
+            self.total_trims += 1
+        if not self.segments:
+            self.segments.append(self._new_segment())
+        return len(sealed)
+
+    def seal_active(self) -> None:
+        """Force-roll the active segment (log rolling)."""
+        if self.active_segment.entries > 0:
+            self.active_segment.sealed = True
+            self.segments.append(self._new_segment())

@@ -1,0 +1,79 @@
+"""Discrete-event simulation substrate for staged-server experiments.
+
+Public surface:
+
+* :class:`Environment` / :class:`Process` — the simulation kernel.
+* :class:`SimThread`, :class:`Executor`, :func:`spawn_worker` — the two
+  staging models of the paper (producer-consumer, dispatcher-worker).
+* :class:`SimQueue`, :class:`Semaphore`, :class:`Mutex` — blocking resources.
+* :class:`SimDisk`, :class:`DiskHog` — storage with fault hooks.
+* :class:`FaultInjector`, :class:`FaultSpec`, :class:`FaultSchedule`,
+  :class:`HogSchedule` — the paper's failure model.
+* :class:`NetworkFabric`, :class:`Host`, :class:`Cluster` — cluster plumbing.
+"""
+
+from .cluster import Cluster, Host
+from .disk import DiskHog, DiskStats, SimDisk
+from .engine import Environment, Process
+from .errors import (
+    Interrupted,
+    ProcessCrashed,
+    QueueClosed,
+    SimError,
+    SimulatedIOError,
+    StopSimulation,
+)
+from .events import Event, Timeout, all_of, any_of
+from .faults import (
+    DELAY_FAULT_SECONDS,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    HIGH_INTENSITY,
+    HogSchedule,
+    IODecision,
+    LOW_INTENSITY,
+)
+from .network import NetworkFabric
+from .resources import Gate, Mutex, Semaphore, SimQueue
+from .rng import SeedSequenceFactory, SimRandom, make_rng
+from .threads import Executor, SimThread, spawn_worker
+
+__all__ = [
+    "Cluster",
+    "DELAY_FAULT_SECONDS",
+    "DiskHog",
+    "DiskStats",
+    "Environment",
+    "Event",
+    "Executor",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "Gate",
+    "HIGH_INTENSITY",
+    "HogSchedule",
+    "Host",
+    "Interrupted",
+    "IODecision",
+    "LOW_INTENSITY",
+    "Mutex",
+    "NetworkFabric",
+    "Process",
+    "ProcessCrashed",
+    "QueueClosed",
+    "SeedSequenceFactory",
+    "Semaphore",
+    "SimDisk",
+    "SimError",
+    "SimQueue",
+    "SimRandom",
+    "SimThread",
+    "SimulatedIOError",
+    "StopSimulation",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "make_rng",
+    "spawn_worker",
+]

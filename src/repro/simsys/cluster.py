@@ -1,0 +1,97 @@
+"""Host and cluster containers tying the simulation substrate together."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .disk import DiskHog, SimDisk
+from .engine import Environment
+from .faults import FaultInjector
+from .network import NetworkFabric
+from .rng import SeedSequenceFactory
+
+
+class Host:
+    """A simulated machine: a disk, a fault injector, a hog, CPU pressure."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        seeds: SeedSequenceFactory,
+        disk_seek_median_s: float = 0.004,
+        disk_bandwidth_bps: float = 80e6,
+    ):
+        self.env = env
+        self.name = name
+        self.fault_injector = FaultInjector(name, seed=seeds.child_seed(f"{name}/faults"))
+        self.disk = SimDisk(
+            env,
+            name=f"{name}-disk",
+            seek_median_s=disk_seek_median_s,
+            bandwidth_bps=disk_bandwidth_bps,
+            seed=seeds.child_seed(f"{name}/disk"),
+        )
+        self.disk.fault_injector = self.fault_injector
+        self.hog = DiskHog(self.disk)
+        self.alive = True
+
+    @property
+    def cpu_factor(self) -> float:
+        """Multiplier on CPU service times (grows with hog pressure)."""
+        return self.hog.cpu_pressure
+
+    def crash(self) -> None:
+        """Mark the host's server process as dead."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {'up' if self.alive else 'down'}>"
+
+
+class Cluster:
+    """A set of hosts plus the connecting network fabric."""
+
+    def __init__(
+        self,
+        env: Environment,
+        host_names: List[str],
+        seed: int = 42,
+        network: Optional[NetworkFabric] = None,
+    ):
+        if not host_names:
+            raise ValueError("cluster needs at least one host")
+        if len(set(host_names)) != len(host_names):
+            raise ValueError("duplicate host names")
+        self.env = env
+        self.seeds = SeedSequenceFactory(seed)
+        self.network = network or NetworkFabric(
+            env, seed=self.seeds.child_seed("network")
+        )
+        self.hosts: Dict[str, Host] = {
+            name: Host(env, name, self.seeds) for name in host_names
+        }
+
+    def __getitem__(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def __iter__(self):
+        return iter(self.hosts.values())
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def host_names(self) -> List[str]:
+        return list(self.hosts.keys())
+
+    def alive_hosts(self) -> List[Host]:
+        return [h for h in self.hosts.values() if h.alive]
+
+    def sync_network_pressure(self) -> None:
+        """Propagate each host's hog CPU pressure into the network fabric."""
+        for host in self.hosts.values():
+            self.network.host_slowdown[host.name] = host.hog.cpu_pressure

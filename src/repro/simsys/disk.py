@@ -1,0 +1,183 @@
+"""A simulated disk with queued service, bandwidth, and fault hooks.
+
+The paper injects faults with SystemTap on specific kernel I/O paths (WAL
+append vs. MemTable flush) and emulates disk hogs with ``dd`` processes.
+Here each I/O request carries a *path tag* (e.g. ``"wal"``, ``"flush"``)
+and the :class:`~repro.simsys.faults.FaultInjector` installed on the disk
+decides, per request, whether to fail it, delay it, or let it through.
+A :class:`DiskHog` multiplies service times while active, emulating
+bandwidth theft.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .engine import Environment
+from .errors import SimulatedIOError
+from .resources import Semaphore
+from .rng import SimRandom
+
+
+class DiskStats:
+    """Counters a disk keeps about its own traffic."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.read_bytes = 0
+        self.written_bytes = 0
+        self.errors = 0
+        self.busy_time = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_bytes": self.read_bytes,
+            "written_bytes": self.written_bytes,
+            "errors": self.errors,
+            "busy_time": self.busy_time,
+        }
+
+
+class SimDisk:
+    """A single disk with a bounded number of concurrent I/O slots.
+
+    Service time = base latency (log-normal around the configured median)
+    plus transfer time at ``bandwidth_bps``, multiplied by the current
+    slowdown factor (raised by disk hogs).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "disk",
+        seek_median_s: float = 0.004,
+        bandwidth_bps: float = 80e6,
+        concurrency: int = 4,
+        seed: int = 1,
+    ):
+        if seek_median_s <= 0 or bandwidth_bps <= 0:
+            raise ValueError("seek_median_s and bandwidth_bps must be positive")
+        self.env = env
+        self.name = name
+        self.seek_median_s = seek_median_s
+        self.bandwidth_bps = bandwidth_bps
+        self._slots = Semaphore(env, capacity=concurrency, name=f"{name}-slots")
+        self._rng = SimRandom(seed)
+        self.stats = DiskStats()
+        #: Multiplier on service time; >1 while a hog is active.
+        self.slowdown_factor = 1.0
+        #: Saturation stalls (heavy hog load): each I/O has
+        #: ``stall_probability`` chance of an extra ``stall_s`` pause.
+        self.stall_probability = 0.0
+        self.stall_s = 0.0
+        #: Per-host multiplier on stall probability (hardware variance;
+        #: the paper's Data Node 3 was the slow one).
+        self.stall_bias = 1.0
+        #: Optional fault injector consulted on every request.
+        self.fault_injector = None
+
+    def service_time(self, nbytes: int) -> float:
+        """Sample a service time for an ``nbytes`` request."""
+        base = self._rng.lognormal_by_median(self.seek_median_s)
+        transfer = nbytes / self.bandwidth_bps
+        stall = 0.0
+        if self.stall_probability > 0.0 and self._rng.random() < self.stall_probability:
+            # Heavy-tailed saturation stalls: mostly sub-second hiccups,
+            # occasionally multi-second fsync storms.
+            stall = self.stall_s * self._rng.lognormal_by_median(1.0, 0.8)
+        return (base + transfer) * self.slowdown_factor + stall
+
+    def read(self, nbytes: int, path: str = "data") -> Generator:
+        """Process generator performing a read; returns bytes read."""
+        yield from self._io(nbytes, path, write=False)
+        return nbytes
+
+    def write(self, nbytes: int, path: str = "data") -> Generator:
+        """Process generator performing a write; returns bytes written."""
+        yield from self._io(nbytes, path, write=True)
+        return nbytes
+
+    def _io(self, nbytes: int, path: str, write: bool) -> Generator:
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size {nbytes}")
+        yield self._slots.acquire()
+        start = self.env.now
+        try:
+            extra_delay = 0.0
+            if self.fault_injector is not None:
+                decision = self.fault_injector.on_io(self.name, path, write)
+                if decision.fail:
+                    self.stats.errors += 1
+                    raise SimulatedIOError(
+                        f"injected error on {self.name}:{path}", path=path
+                    )
+                extra_delay = decision.delay_s
+            duration = self.service_time(nbytes) + extra_delay
+            yield self.env.timeout(duration)
+            if write:
+                self.stats.writes += 1
+                self.stats.written_bytes += nbytes
+            else:
+                self.stats.reads += 1
+                self.stats.read_bytes += nbytes
+        finally:
+            self.stats.busy_time += self.env.now - start
+            self._slots.release()
+
+
+class DiskHog:
+    """Emulates the paper's ``dd`` disk-hog fault (Table 2).
+
+    Active hog processes multiply disk service time and add CPU pressure
+    (interrupt storms stealing kernel cycles).  The slowdown is
+    deliberately superlinear: one or two ``dd`` processes mostly steal
+    CPU, while four saturate the disk and cause multi-second fsync
+    stalls — matching the paper's observation that the medium fault
+    manifests as CPU contention and only the high fault breaks I/O.
+    """
+
+    #: slowdown per active process count (interpolated beyond the table).
+    SLOWDOWN_TABLE = {0: 1.0, 1: 1.15, 2: 1.35, 3: 1.9, 4: 2.8}
+    #: per-I/O stall behaviour once the disk saturates (>= 4 processes).
+    SATURATION_STALL_PROBABILITY = 0.015
+    SATURATION_STALL_S = 0.3
+
+    def __init__(self, disk: SimDisk):
+        self.disk = disk
+        self.active_processes = 0
+
+    def start(self, processes: int = 1) -> None:
+        """Launch ``processes`` hog processes against the disk."""
+        if processes <= 0:
+            raise ValueError(f"processes must be positive, got {processes}")
+        self.active_processes += processes
+        self._apply()
+
+    def stop_all(self) -> None:
+        self.active_processes = 0
+        self._apply()
+
+    @property
+    def cpu_pressure(self) -> float:
+        """Extra CPU-time multiplier seen by co-located request handling."""
+        return 1.0 + 0.35 * self.active_processes
+
+    def _apply(self) -> None:
+        n = self.active_processes
+        table = self.SLOWDOWN_TABLE
+        if n in table:
+            factor = table[n]
+        else:
+            top = max(table)
+            factor = table[top] + 0.8 * (n - top)
+        self.disk.slowdown_factor = factor
+        saturated = n >= 4
+        self.disk.stall_probability = (
+            self.SATURATION_STALL_PROBABILITY * self.disk.stall_bias
+            if saturated
+            else 0.0
+        )
+        self.disk.stall_s = self.SATURATION_STALL_S if saturated else 0.0

@@ -1,0 +1,39 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to halt :meth:`Environment.run` at a target time."""
+
+
+class Interrupted(SimError):
+    """Thrown into a process that another process interrupted.
+
+    The interrupt ``cause`` is available as :attr:`cause` and is also the
+    first ``args`` element, so ``str(exc)`` shows it.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimulatedIOError(SimError):
+    """A simulated I/O request failed (e.g. injected error fault)."""
+
+    def __init__(self, message: str = "simulated I/O error", *, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+class QueueClosed(SimError):
+    """Raised by queue operations after the queue has been closed."""
+
+
+class ProcessCrashed(SimError):
+    """A simulated server process terminated abnormally."""

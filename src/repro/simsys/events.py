@@ -1,0 +1,188 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularized by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the :class:`~repro.simsys.engine.Environment` resumes a process when the
+event it waits on is processed.
+
+An :class:`Event` moves through three states:
+
+``pending``  → not yet triggered; processes may wait on it.
+``triggered`` → has a value (or an exception) and sits in the event queue.
+``processed`` → callbacks have run; waiting processes were resumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+PENDING = object()
+"""Sentinel for "event has no value yet"."""
+
+#: Scheduling priorities. Lower sorts earlier at equal simulation time.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.simsys.engine.Environment`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with this event once it is processed.  ``None``
+        #: once the event has been processed (guards double-processing).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is queued for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into them.  If nobody
+        waits, the simulation surfaces the exception at processing time
+        (unless :meth:`defused` was called).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events (used via :func:`all_of`/:func:`any_of`).
+
+    ``evaluate`` receives ``(events, triggered_count)`` and returns True once
+    the condition holds.  The condition's value is a dict mapping each
+    triggered event to its value.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(self, env, evaluate: Callable[[list, int], bool], events):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {e: e._value for e in self._events if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+def all_of(env, events) -> Condition:
+    """A condition that triggers once *all* events have triggered."""
+    return Condition(env, lambda evs, count: count >= len(evs), events)
+
+
+def any_of(env, events) -> Condition:
+    """A condition that triggers once *any* event has triggered."""
+    events = list(events)
+    if not events:
+        raise ValueError("any_of() requires at least one event")
+    return Condition(env, lambda evs, count: count >= 1, events)

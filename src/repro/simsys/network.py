@@ -1,0 +1,81 @@
+"""A simulated cluster network: latency, bandwidth, partitions.
+
+Message transfer is modelled as latency + size/bandwidth, sampled with a
+small log-normal jitter.  Hosts can be partitioned from each other to model
+the paper's "node becomes non-responsive" scenarios, and per-host slowdown
+factors model interrupt pressure from disk hogs stealing kernel cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Set, Tuple
+
+from .engine import Environment
+from .errors import SimulatedIOError
+from .rng import SimRandom
+
+
+class NetworkFabric:
+    """All-to-all network between named hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency_median_s: float = 0.0004,
+        bandwidth_bps: float = 1e9,
+        seed: int = 3,
+    ):
+        if latency_median_s <= 0 or bandwidth_bps <= 0:
+            raise ValueError("latency and bandwidth must be positive")
+        self.env = env
+        self.latency_median_s = latency_median_s
+        self.bandwidth_bps = bandwidth_bps
+        self._rng = SimRandom(seed)
+        self._partitioned: Set[Tuple[str, str]] = set()
+        #: Per-host multiplier on network service time (e.g. hog pressure).
+        self.host_slowdown: Dict[str, float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- partitions ----------------------------------------------------------
+    def partition(self, host_a: str, host_b: str) -> None:
+        """Sever connectivity between two hosts (both directions)."""
+        self._partitioned.add(self._key(host_a, host_b))
+
+    def heal(self, host_a: str, host_b: str) -> None:
+        self._partitioned.discard(self._key(host_a, host_b))
+
+    def isolate(self, host: str, others) -> None:
+        """Partition ``host`` from every host in ``others``."""
+        for other in others:
+            if other != host:
+                self.partition(host, other)
+
+    def is_partitioned(self, host_a: str, host_b: str) -> bool:
+        return self._key(host_a, host_b) in self._partitioned
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- transfer ------------------------------------------------------------
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        latency = self._rng.lognormal_by_median(self.latency_median_s, sigma=0.25)
+        transfer = nbytes / self.bandwidth_bps
+        slow = max(
+            self.host_slowdown.get(src, 1.0), self.host_slowdown.get(dst, 1.0)
+        )
+        return (latency + transfer) * slow
+
+    def send(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Process generator that completes when the message is delivered."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if self.is_partitioned(src, dst):
+            # Model a connect timeout rather than an instant refusal.
+            yield self.env.timeout(1.0)
+            raise SimulatedIOError(f"network partition {src} <-> {dst}", path="net")
+        yield self.env.timeout(self.transfer_time(src, dst, nbytes))
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return nbytes

@@ -1,0 +1,180 @@
+"""Simulated threads and thread pools.
+
+The paper's two staging models map onto these primitives:
+
+* **Producer-Consumer** — an :class:`Executor` owns a pool of
+  :class:`SimThread` workers looping over a shared task queue.  A worker
+  thread is *reused* across tasks, exactly the thread-reuse behaviour that
+  defeats naive log-mining and that SAAD's ``set_context`` solves.
+* **Dispatcher-Worker** — :func:`spawn_worker` starts a fresh thread per
+  task; thread exit hooks model Java's ``finalize()`` used by the paper to
+  infer task termination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from .engine import Environment, Process
+from .errors import QueueClosed
+from .resources import SimQueue
+
+_tid_counter = itertools.count(1)
+
+
+class SimThread:
+    """A simulated thread: an identity plus thread-local storage.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    target:
+        A generator to run as this thread's body, or ``None`` to create the
+        thread object before attaching a body via :meth:`start`.
+    name:
+        Human-readable thread name (e.g. ``"cassandra-worker-3"``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        target: Optional[Generator] = None,
+        name: str = "",
+    ):
+        self.env = env
+        self.tid = next(_tid_counter)
+        self.name = name or f"thread-{self.tid}"
+        #: Thread-local storage; the task tracker keeps per-task state here.
+        self.locals: Dict[str, Any] = {}
+        #: Callables invoked with this thread when its body finishes
+        #: (models ``finalize()``-based task-termination inference).
+        self.exit_hooks: List[Callable[["SimThread"], None]] = []
+        self.process: Optional[Process] = None
+        if target is not None:
+            self.start(target)
+
+    def start(self, target: Generator) -> Process:
+        """Begin executing ``target`` as this thread's body."""
+        if self.process is not None:
+            raise RuntimeError(f"thread {self.name!r} already started")
+        self.process = self.env.process(self._body(target), name=self.name)
+        self.process.thread = self
+        return self.process
+
+    @property
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the thread's body (used to model crashes/shutdown)."""
+        if self.process is not None:
+            self.process.interrupt(cause)
+
+    def join(self):
+        """Event that triggers when the thread body finishes."""
+        if self.process is None:
+            raise RuntimeError(f"thread {self.name!r} was never started")
+        return self.process
+
+    def _body(self, target: Generator) -> Generator:
+        try:
+            result = yield from target
+            return result
+        finally:
+            hooks, self.exit_hooks = list(self.exit_hooks), []
+            for hook in hooks:
+                hook(self)
+
+    def __repr__(self) -> str:
+        return f"<SimThread {self.name!r} tid={self.tid}>"
+
+
+def spawn_worker(
+    env: Environment,
+    task_body: Generator,
+    name: str = "",
+) -> SimThread:
+    """Dispatcher-worker model: run ``task_body`` on a fresh thread."""
+    return SimThread(env, target=task_body, name=name)
+
+
+class Executor:
+    """A fixed-size thread pool fed by a task queue (producer-consumer).
+
+    Tasks are zero-argument callables returning generators.  Each pooled
+    worker runs an infinite dequeue-execute loop until :meth:`shutdown`.
+    The ``on_dequeue`` hook fires in worker-thread context right after a
+    task is dequeued — this is the paper's "beginning point of a consumer
+    stage", where ``set_context(stage_id)`` is inserted.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        pool_size: int,
+        name: str = "executor",
+        queue_capacity: Optional[int] = None,
+        on_dequeue: Optional[Callable[[Any], None]] = None,
+        on_task_error: Optional[Callable[[Any, BaseException], None]] = None,
+    ):
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.env = env
+        self.name = name
+        self.queue = SimQueue(env, capacity=queue_capacity, name=f"{name}-queue")
+        self.on_dequeue = on_dequeue
+        self.on_task_error = on_task_error
+        self.threads: List[SimThread] = [
+            SimThread(env, target=None, name=f"{name}-{i}") for i in range(pool_size)
+        ]
+        for thread in self.threads:
+            thread.start(self._worker_loop(thread))
+        self._completed_tasks = 0
+        self._failed_tasks = 0
+
+    @property
+    def completed_tasks(self) -> int:
+        return self._completed_tasks
+
+    @property
+    def failed_tasks(self) -> int:
+        return self._failed_tasks
+
+    @property
+    def backlog(self) -> int:
+        """Number of queued, not-yet-started tasks."""
+        return len(self.queue)
+
+    def submit(self, task: Callable[[], Generator]):
+        """Enqueue a task factory; returns the queue-accept event."""
+        if not callable(task):
+            raise TypeError(f"task must be callable, got {task!r}")
+        return self.queue.put(task)
+
+    def try_submit(self, task: Callable[[], Generator]) -> bool:
+        """Non-blocking submit; False when the queue is full."""
+        return self.queue.try_put(task)
+
+    def shutdown(self) -> None:
+        """Close the queue; workers exit once it drains."""
+        self.queue.close()
+
+    def _worker_loop(self, thread: SimThread) -> Generator:
+        while True:
+            try:
+                task = yield self.queue.get()
+            except QueueClosed:
+                return
+            if self.on_dequeue is not None:
+                self.on_dequeue(task)
+            try:
+                yield from task()
+                self._completed_tasks += 1
+            except QueueClosed:
+                return
+            except Exception as exc:  # task failure must not kill the worker
+                self._failed_tasks += 1
+                if self.on_task_error is not None:
+                    self.on_task_error(task, exc)

@@ -1,0 +1,6 @@
+"""Text visualization of anomaly timelines and result tables."""
+
+from .tables import render_table
+from .timeline import TimelineGrid, render_timeline
+
+__all__ = ["TimelineGrid", "render_table", "render_timeline"]

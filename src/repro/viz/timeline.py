@@ -1,0 +1,120 @@
+"""Text rendering of per-stage anomaly timelines (the Figs. 9/10 view).
+
+Rows are (stage, host) pairs, columns are detection windows.  Cell
+glyphs: ``F`` flow anomaly, ``P`` performance anomaly, ``B`` both,
+``E`` error-log alert, ``·`` nothing.  A throughput sparkline and fault
+window overlays can be appended below the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import AnomalyEvent, FLOW, PERFORMANCE
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class TimelineGrid:
+    """Collected anomaly marks per (stage name, host name) row."""
+
+    window_s: float
+    horizon_s: float
+    #: (stage, host) -> {window index: set of kinds}
+    rows: Dict[Tuple[str, str], Dict[int, set]] = field(default_factory=dict)
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.horizon_s // self.window_s) + 1
+
+    def mark(self, stage: str, host: str, time_s: float, kind: str) -> None:
+        index = int(time_s // self.window_s)
+        if 0 <= index < self.n_windows:
+            self.rows.setdefault((stage, host), {}).setdefault(index, set()).add(kind)
+
+    def add_events(
+        self,
+        events: Iterable[AnomalyEvent],
+        stage_names: Dict[int, str],
+        host_names: Dict[int, str],
+    ) -> None:
+        for event in events:
+            self.mark(
+                stage_names.get(event.stage_id, f"stage{event.stage_id}"),
+                host_names.get(event.host_id, f"host{event.host_id}"),
+                event.window_start,
+                event.kind,
+            )
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Total marks, optionally filtered by kind."""
+        total = 0
+        for cells in self.rows.values():
+            for kinds in cells.values():
+                if kind is None:
+                    total += len(kinds)
+                elif kind in kinds:
+                    total += 1
+        return total
+
+    def rows_with(self, kind: str) -> List[Tuple[str, str]]:
+        return sorted(
+            key
+            for key, cells in self.rows.items()
+            if any(kind in kinds for kinds in cells.values())
+        )
+
+
+def _cell_glyph(kinds: set) -> str:
+    has_flow = FLOW in kinds
+    has_perf = PERFORMANCE in kinds
+    if has_flow and has_perf:
+        return "B"
+    if has_flow:
+        return "F"
+    if has_perf:
+        return "P"
+    if "error" in kinds:
+        return "E"
+    return "·"
+
+
+def render_timeline(
+    grid: TimelineGrid,
+    throughput: Optional[Sequence[Tuple[float, float]]] = None,
+    fault_windows: Optional[Sequence[Tuple[float, float, str]]] = None,
+    title: str = "",
+) -> str:
+    """Render the grid (plus optional throughput/fault context) as text."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    n = grid.n_windows
+    label_width = max(
+        [len(f"{stage}({host})") for stage, host in grid.rows] + [10]
+    )
+    header = " " * label_width + " " + "".join(
+        "|" if (i * grid.window_s) % 600 < grid.window_s else "-" for i in range(n)
+    )
+    lines.append(header)
+    for (stage, host) in sorted(grid.rows, key=lambda key: (key[1], key[0])):
+        cells = grid.rows[(stage, host)]
+        row = "".join(_cell_glyph(cells.get(i, set())) for i in range(n))
+        lines.append(f"{f'{stage}({host})':<{label_width}} {row}")
+    if throughput:
+        values = [v for _, v in throughput]
+        top = max(values) or 1.0
+        spark = "".join(
+            _SPARK[min(len(_SPARK) - 1, int(v / top * (len(_SPARK) - 1)))]
+            for v in values
+        )
+        lines.append(f"{'throughput':<{label_width}} {spark} (peak {top:.0f} op/s)")
+    if fault_windows:
+        for start, end, name in fault_windows:
+            marks = "".join(
+                "^" if start <= i * grid.window_s < end else " " for i in range(n)
+            )
+            lines.append(f"{name:<{label_width}} {marks}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,43 @@
+"""YCSB-like workload generator (Cooper et al., SoCC 2010).
+
+Provides the standard A/B/C workloads plus the paper's write-heavy mix,
+zipfian/uniform/latest key choosers, closed-loop emulated clients with
+failover, windowed throughput metering, and the YCSB 0.1.4 client-side
+put-batching misconfiguration (paper Sec. 5.5).
+"""
+
+from .client import ClientPool, OpRecord, ThroughputMeter
+from .keychooser import (
+    KeyChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+    make_chooser,
+)
+from .workload import (
+    Operation,
+    OperationGenerator,
+    Workload,
+    workload_a,
+    workload_b,
+    workload_c,
+    write_heavy,
+)
+
+__all__ = [
+    "ClientPool",
+    "KeyChooser",
+    "LatestChooser",
+    "OpRecord",
+    "Operation",
+    "OperationGenerator",
+    "ThroughputMeter",
+    "UniformChooser",
+    "Workload",
+    "ZipfianChooser",
+    "make_chooser",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "write_heavy",
+]

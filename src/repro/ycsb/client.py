@@ -1,0 +1,208 @@
+"""Emulated closed-loop clients and throughput accounting.
+
+Each client issues one operation at a time against a coordinator chosen
+round-robin among nodes it believes healthy, waits for completion (or
+failure), thinks briefly, and repeats — YCSB's threading model.  Failed
+nodes are blacklisted for a grace period, modelling client-side
+connection failover.
+
+``put_batching`` reproduces the YCSB 0.1.4 misconfiguration the paper
+uncovers in Sec. 5.5: writes are buffered client-side and sent
+periodically in one batch, artificially boosting write throughput while
+delaying persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.simsys import Environment, Event
+from repro.simsys.rng import SimRandom
+from repro.simsys.threads import SimThread
+
+from .workload import Operation, OperationGenerator, Workload
+
+#: A target takes (op: Operation) and returns a completion Event whose
+#: value is truthy on success.  Cluster adapters provide this.
+OpSubmitter = Callable[[str, Operation], Event]
+
+
+@dataclass
+class OpRecord:
+    """One completed operation, for throughput/latency series."""
+
+    time: float
+    kind: str
+    latency: float
+    ok: bool
+
+
+class ThroughputMeter:
+    """Windowed ops/sec accounting shared by all clients."""
+
+    def __init__(self, window_s: float = 10.0):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self.records: List[OpRecord] = []
+
+    def record(self, record: OpRecord) -> None:
+        self.records.append(record)
+
+    def completed_ops(self, ok_only: bool = True) -> int:
+        return sum(1 for r in self.records if r.ok or not ok_only)
+
+    def series(self, until: Optional[float] = None, ok_only: bool = True):
+        """[(window_start, ops_per_sec)] over the run."""
+        if not self.records:
+            return []
+        horizon = until if until is not None else max(r.time for r in self.records)
+        n_windows = int(horizon // self.window_s) + 1
+        counts = [0] * n_windows
+        for record in self.records:
+            if record.ok or not ok_only:
+                index = int(record.time // self.window_s)
+                if index < n_windows:
+                    counts[index] += 1
+        return [
+            (i * self.window_s, count / self.window_s)
+            for i, count in enumerate(counts)
+        ]
+
+    def mean_throughput(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Completed ops/sec between ``start`` and ``end``."""
+        if end is None:
+            end = max((r.time for r in self.records), default=start)
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        ops = sum(1 for r in self.records if r.ok and start <= r.time < end)
+        return ops / duration
+
+
+class ClientPool:
+    """A fleet of closed-loop emulated clients.
+
+    Parameters
+    ----------
+    submit:
+        Adapter ``(node_name, op) -> Event`` provided by the system sim.
+    node_names:
+        Coordinator candidates.
+    think_time_s:
+        Mean exponential think time between operations per client.
+    put_batching:
+        YCSB 0.1.4 bug: buffer ``batch_size`` writes client-side, flush
+        the batch every ``batch_flush_interval_s``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        workload: Workload,
+        submit: OpSubmitter,
+        node_names: List[str],
+        n_clients: int = 20,
+        think_time_s: float = 0.02,
+        seed: int = 1234,
+        blacklist_s: float = 10.0,
+        put_batching: bool = False,
+        batch_size: int = 50,
+        batch_flush_interval_s: float = 20.0,
+        submit_batch=None,
+    ):
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        self.env = env
+        self.workload = workload
+        self.submit = submit
+        self.node_names = list(node_names)
+        self.think_time_s = think_time_s
+        self.meter = ThroughputMeter()
+        self.blacklist_s = blacklist_s
+        self.put_batching = put_batching
+        self.batch_size = batch_size
+        self.batch_flush_interval_s = batch_flush_interval_s
+        #: Optional ``(node, [ops]) -> Event`` adapter: flush a client-side
+        #: put buffer as ONE multi-put RPC (YCSB 0.1.4 behaviour).  When
+        #: absent, buffered puts are flushed as individual RPCs.
+        self.submit_batch = submit_batch
+        self._blacklist: Dict[str, float] = {}
+        self._stopped = False
+        self.threads: List[SimThread] = []
+        for i in range(n_clients):
+            rng = SimRandom(seed + i * 7919)
+            generator = workload.generator(rng)
+            self.threads.append(
+                SimThread(
+                    env,
+                    target=self._client_loop(i, rng, generator),
+                    name=f"ycsb-client-{i}",
+                )
+            )
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internals -----------------------------------------------------------
+    def _pick_node(self, rng: SimRandom, counter: int) -> str:
+        now = self.env.now
+        healthy = [
+            name
+            for name in self.node_names
+            if self._blacklist.get(name, -1e9) + self.blacklist_s <= now
+        ]
+        pool = healthy or self.node_names
+        return pool[counter % len(pool)]
+
+    def _client_loop(self, client_id: int, rng: SimRandom, generator: OperationGenerator):
+        counter = client_id  # stagger round-robin starting points
+        pending_batch: List[Operation] = []
+        last_batch_flush = 0.0
+        while not self._stopped:
+            op = generator.next_operation()
+            if self.put_batching and op.kind == "write":
+                pending_batch.append(op)
+                flush_due = (
+                    len(pending_batch) >= self.batch_size
+                    or self.env.now - last_batch_flush >= self.batch_flush_interval_s
+                )
+                if not flush_due:
+                    # The batched put "completes" instantly client-side.
+                    self.meter.record(
+                        OpRecord(self.env.now, "write", 0.0, True)
+                    )
+                    yield self.env.timeout(rng.exponential(self.think_time_s))
+                    continue
+                # Flush the whole batch as one multi-put RPC.
+                ops, pending_batch = pending_batch, []
+                last_batch_flush = self.env.now
+                if self.submit_batch is not None:
+                    counter += 1
+                    node = self._pick_node(rng, counter)
+                    done = self.submit_batch(node, ops)
+                    yield done
+                    if not done.value:
+                        self._blacklist[node] = self.env.now
+                else:
+                    for batched in ops:
+                        counter += 1
+                        yield from self._issue(batched, rng, counter, record=False)
+                continue
+            counter += 1
+            yield from self._issue(op, rng, counter, record=True)
+            yield self.env.timeout(rng.exponential(self.think_time_s))
+
+    def _issue(self, op: Operation, rng: SimRandom, counter: int, record: bool):
+        node = self._pick_node(rng, counter)
+        started = self.env.now
+        done = self.submit(node, op)
+        yield done
+        ok = bool(done.value)
+        if not ok:
+            self._blacklist[node] = self.env.now
+        if record:
+            self.meter.record(
+                OpRecord(self.env.now, op.kind, self.env.now - started, ok)
+            )

@@ -1,0 +1,88 @@
+"""Key choosers: how YCSB picks which record an operation touches."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.simsys.rng import SimRandom
+
+
+class KeyChooser:
+    """Base: choose a record index in [0, record_count)."""
+
+    def __init__(self, record_count: int, rng: SimRandom):
+        if record_count <= 0:
+            raise ValueError("record_count must be positive")
+        self.record_count = record_count
+        self.rng = rng
+
+    def next_index(self) -> int:
+        raise NotImplementedError
+
+    def next_key(self) -> str:
+        return f"user{self.next_index():012d}"
+
+
+class UniformChooser(KeyChooser):
+    """Every record equally likely."""
+
+    def next_index(self) -> int:
+        return self.rng.randrange(self.record_count)
+
+
+class ZipfianChooser(KeyChooser):
+    """Zipfian popularity (YCSB's default request distribution).
+
+    Uses the Gray et al. rejection-free inversion YCSB itself implements,
+    with the standard constant ``theta = 0.99``.
+    """
+
+    def __init__(self, record_count: int, rng: SimRandom, theta: float = 0.99):
+        super().__init__(record_count, rng)
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.theta = theta
+        self._zetan = self._zeta(record_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / record_count) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_index(self) -> int:
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.record_count * (self._eta * u - self._eta + 1) ** self._alpha
+        )
+
+
+class LatestChooser(ZipfianChooser):
+    """Skewed toward recently inserted records (YCSB 'latest')."""
+
+    def next_index(self) -> int:
+        return self.record_count - 1 - min(
+            super().next_index(), self.record_count - 1
+        )
+
+
+def make_chooser(name: str, record_count: int, rng: SimRandom) -> KeyChooser:
+    """Factory by YCSB distribution name."""
+    choosers = {
+        "uniform": UniformChooser,
+        "zipfian": ZipfianChooser,
+        "latest": LatestChooser,
+    }
+    try:
+        return choosers[name](record_count, rng)
+    except KeyError:
+        raise ValueError(f"unknown key distribution {name!r}") from None

@@ -1,0 +1,93 @@
+"""YCSB-like workload definitions (Cooper et al., SoCC 2010).
+
+The paper drives its experiments with YCSB 0.1.4 configured with 100
+emulated clients and a write-intensive mix (Sec. 5.2).  A workload here
+is an operation mix plus a key distribution; the standard workloads A-F
+are provided along with the paper's write-heavy mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.simsys.rng import SimRandom
+
+from .keychooser import make_chooser
+
+
+@dataclass
+class Workload:
+    """An operation mix over a keyspace."""
+
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    record_count: int = 10_000
+    value_bytes: int = 1024  # 10 fields x ~100 bytes, YCSB default row
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion + self.insert_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation proportions must sum to 1, got {total}")
+        if self.record_count <= 0:
+            raise ValueError("record_count must be positive")
+
+    def generator(self, rng: SimRandom) -> "OperationGenerator":
+        return OperationGenerator(self, rng)
+
+
+@dataclass(frozen=True)
+class Operation:
+    kind: str  # "read" or "write"
+    key: str
+    value_bytes: int
+
+
+class OperationGenerator:
+    """Draws operations from a workload definition."""
+
+    def __init__(self, workload: Workload, rng: SimRandom):
+        self.workload = workload
+        self.rng = rng
+        self._chooser = make_chooser(workload.distribution, workload.record_count, rng)
+        self._inserted = 0
+        self.counts: Dict[str, int] = {"read": 0, "write": 0}
+
+    def next_operation(self) -> Operation:
+        w = self.workload
+        roll = self.rng.random()
+        if roll < w.read_proportion:
+            kind, key = "read", self._chooser.next_key()
+        elif roll < w.read_proportion + w.update_proportion:
+            kind, key = "write", self._chooser.next_key()
+        else:
+            self._inserted += 1
+            kind, key = "write", f"user{w.record_count + self._inserted:012d}"
+        self.counts[kind] += 1
+        return Operation(kind=kind, key=key, value_bytes=w.value_bytes)
+
+
+def workload_a(**overrides) -> Workload:
+    """YCSB A: 50/50 read/update."""
+    return Workload("A", read_proportion=0.5, update_proportion=0.5, **overrides)
+
+
+def workload_b(**overrides) -> Workload:
+    """YCSB B: 95/5 read/update."""
+    return Workload("B", read_proportion=0.95, update_proportion=0.05, **overrides)
+
+
+def workload_c(**overrides) -> Workload:
+    """YCSB C: read only."""
+    return Workload("C", read_proportion=1.0, **overrides)
+
+
+def write_heavy(**overrides) -> Workload:
+    """The paper's write-intensive mix (most requests below the caches
+    are writes, Sec. 5.2): 90% update / 10% read."""
+    return Workload(
+        "write-heavy", read_proportion=0.1, update_proportion=0.9, **overrides
+    )

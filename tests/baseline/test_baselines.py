@@ -1,0 +1,169 @@
+"""Tests for the comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    ErrorLogMonitor,
+    MapReduceJob,
+    PCADetector,
+    ReverseMatcher,
+    chunk_lines,
+    count_matrix,
+    extract_fields,
+    parse_corpus,
+    template_to_regex,
+)
+from repro.core import LogPointRegistry
+from repro.loglib import ERROR, INFO, LoggerRepository, PatternLayout, WARN
+from repro.loglib.record import LogRecord
+
+
+class TestTemplateRegex:
+    def test_plain_template_exact_match(self):
+        pattern = template_to_regex("Closing down.")
+        assert pattern.fullmatch("Closing down.")
+        assert not pattern.fullmatch("Closing down now.")
+
+    def test_placeholder_capture(self):
+        pattern = template_to_regex("Receiving block blk_%s")
+        match = pattern.fullmatch("Receiving block blk_1234")
+        assert match
+        assert match.group(1) == "1234"
+
+    def test_numeric_placeholder(self):
+        pattern = template_to_regex("WriteTo blockfile of size %d")
+        assert pattern.fullmatch("WriteTo blockfile of size 65536")
+
+    def test_multiple_placeholders(self):
+        pattern = template_to_regex("GC for %s: %d ms")
+        assert pattern.fullmatch("GC for ParNew: 12 ms")
+
+    def test_regex_metacharacters_escaped(self):
+        pattern = template_to_regex("progress (50%%) [stage]")
+        assert pattern.fullmatch("progress (50%) [stage]")
+
+
+class TestReverseMatcher:
+    @pytest.fixture
+    def registry(self):
+        registry = LogPointRegistry()
+        registry.register("Receiving block blk_%s")
+        registry.register("Receiving one packet for blk_%s")
+        registry.register("Closing down.")
+        return registry
+
+    def test_matches_to_correct_template(self, registry):
+        matcher = ReverseMatcher(registry)
+        assert matcher.match("Receiving block blk_7") == 0
+        assert matcher.match("Receiving one packet for blk_7") == 1
+        assert matcher.match("Closing down.") == 2
+
+    def test_unmatched_lines_counted(self, registry):
+        matcher = ReverseMatcher(registry)
+        assert matcher.match("something else entirely") is None
+        assert matcher.lines_unmatched == 1
+
+    def test_parse_corpus_extracts_thread_and_lpid(self, registry):
+        repo = LoggerRepository(clock=lambda: 1.0, thread_namer=lambda: "worker-1")
+        from repro.loglib import MemoryAppender
+
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        repo.get_logger("DataXceiver").info("Receiving block blk_%s", 9)
+        pairs = parse_corpus(appender.lines, registry)
+        assert pairs == [("worker-1", 0)]
+
+
+class TestExtractFields:
+    def test_round_trip_with_pattern_layout(self):
+        record = LogRecord(
+            time=3.5, level=INFO, logger_name="Memtable",
+            thread_name="flush-1", template="Writing %s", args=("mem-1",),
+        )
+        line = PatternLayout().format(record)
+        fields = extract_fields(line)
+        assert fields["thread"] == "flush-1"
+        assert fields["level"] == "INFO"
+        assert fields["logger"] == "Memtable"
+        assert fields["msg"] == "Writing mem-1"
+
+    def test_garbage_line_returns_none(self):
+        assert extract_fields("not a log line") is None
+
+
+class TestMapReduce:
+    def test_chunking_covers_everything(self):
+        lines = [str(i) for i in range(10)]
+        chunks = chunk_lines(lines, 3)
+        flat = [line for chunk in chunks for line in chunk]
+        assert flat == lines
+
+    def test_wordcount_job(self):
+        lines = ["a b", "b c", "c c"]
+        job = MapReduceJob(
+            map_fn=lambda line: [(w, 1) for w in line.split()],
+            reduce_fn=lambda _k, vs: sum(vs),
+        )
+        assert job.run(lines) == {"a": 1, "b": 2, "c": 3}
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(lambda l: [], lambda k, v: None, workers=0)
+
+
+class TestErrorLogMonitor:
+    def test_alerts_on_error_and_above(self):
+        repo = LoggerRepository(clock=lambda: 5.0)
+        monitor = ErrorLogMonitor()
+        repo.add_appender(monitor)
+        log = repo.get_logger("x")
+        log.info("fine")
+        log.warn("hmm")
+        log.error("broken %s", "badly")
+        log.fatal("dead")
+        assert len(monitor.alerts) == 2
+        assert monitor.alerts[0].message == "broken badly"
+
+    def test_custom_threshold(self):
+        repo = LoggerRepository(clock=lambda: 1.0)
+        monitor = ErrorLogMonitor(threshold=WARN)
+        repo.add_appender(monitor)
+        repo.get_logger("x").warn("careful")
+        assert len(monitor.alerts) == 1
+
+    def test_alert_windows(self):
+        repo = LoggerRepository(clock=lambda: 15.0)
+        monitor = ErrorLogMonitor()
+        repo.add_appender(monitor)
+        repo.get_logger("x").error("boom")
+        counts = monitor.alert_windows(window_s=10.0, horizon=30.0)
+        assert counts == [0, 1, 0, 0]
+
+
+class TestPCADetector:
+    def test_detects_unusual_count_vector(self):
+        rng = np.random.default_rng(7)
+        # Normal tasks: counts on columns 0-2 correlated.
+        base = rng.poisson(5, size=(400, 1))
+        train = np.hstack([base, base * 2, base + 1, np.zeros((400, 1))])
+        train = train + rng.normal(0, 0.2, train.shape)
+        detector = PCADetector().fit(train)
+        normal = train[:50]
+        weird = normal.copy()
+        weird[:, 3] = 30.0  # activity on a never-used column
+        assert detector.detect(weird).flags.mean() > 0.9
+        assert detector.detect(normal).flags.mean() < 0.1
+
+    def test_fit_requires_matrix(self):
+        with pytest.raises(ValueError):
+            PCADetector().fit(np.zeros(5))
+
+    def test_detect_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCADetector().detect(np.zeros((3, 3)))
+
+    def test_count_matrix(self):
+        rows = [{0: 2, 2: 1}, {1: 5}]
+        matrix = count_matrix(rows, 3)
+        assert matrix.tolist() == [[2.0, 0.0, 1.0], [0.0, 5.0, 0.0]]

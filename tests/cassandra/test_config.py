@@ -1,0 +1,70 @@
+"""Validation tests for system configuration dataclasses."""
+
+import pytest
+
+from repro.cassandra import CassandraCluster, CassandraConfig
+from repro.core import SAADConfig
+from repro.hbase import HBaseConfig
+
+
+class TestCassandraConfig:
+    def test_defaults_are_valid(self):
+        config = CassandraConfig()
+        assert config.replication_factor == 3
+        assert config.wal_wedge_after_failures >= 1
+
+    def test_invalid_rf_rejected(self):
+        with pytest.raises(ValueError):
+            CassandraConfig(replication_factor=0)
+
+    def test_invalid_wedge_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CassandraConfig(wal_wedge_after_failures=0)
+
+    def test_rf_clamped_to_cluster_size(self):
+        cluster = CassandraCluster(n_nodes=2, seed=1)
+        assert cluster.config.replication_factor == 2
+        assert cluster.ring.replication_factor == 2
+
+
+class TestHBaseConfig:
+    def test_defaults_are_valid(self):
+        config = HBaseConfig()
+        assert config.n_regions >= 1
+        assert config.storefile_compact_threshold >= 2
+
+    def test_invalid_regions_rejected(self):
+        with pytest.raises(ValueError):
+            HBaseConfig(n_regions=0)
+
+    def test_invalid_compact_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HBaseConfig(storefile_compact_threshold=1)
+
+
+class TestSAADConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flow_percentile": 0.3},
+            {"flow_percentile": 1.0},
+            {"duration_percentile": 1.2},
+            {"alpha": 0.0},
+            {"alpha": 0.7},
+            {"window_s": 0.0},
+            {"kfold": 1},
+            {"kfold_discard_factor": 0.5},
+        ],
+    )
+    def test_out_of_range_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SAADConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        config = SAADConfig()
+        assert config.flow_percentile == 0.99
+        assert config.duration_percentile == 0.99
+        assert config.alpha == 0.001
+        assert config.window_s == 180.0  # the paper's 3-minute splits
+        assert config.kfold == 5
+        assert config.per_host is True

@@ -1,0 +1,49 @@
+"""Tests for the token ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cassandra import TokenRing, hash_key
+
+
+class TestTokenRing:
+    def test_replicas_are_distinct(self):
+        ring = TokenRing(["a", "b", "c", "d"], replication_factor=3)
+        replicas = ring.replicas_for("some-key")
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_rf_larger_than_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            TokenRing(["a", "b"], replication_factor=3)
+
+    def test_quorum(self):
+        assert TokenRing(["a", "b", "c"], 3).quorum() == 2
+        assert TokenRing(["a"], 1).quorum() == 1
+
+    def test_placement_deterministic(self):
+        ring = TokenRing(["a", "b", "c", "d"], 3)
+        assert ring.replicas_for("k1") == ring.replicas_for("k1")
+
+    def test_placement_roughly_balanced(self):
+        ring = TokenRing(["a", "b", "c", "d"], 1)
+        counts = {}
+        for i in range(4000):
+            primary = ring.primary_for(f"user{i:012d}")
+            counts[primary] = counts.get(primary, 0) + 1
+        assert len(counts) == 4
+        assert min(counts.values()) > 400  # no node starved
+
+    def test_hash_key_stable(self):
+        assert hash_key("abc") == hash_key("abc")
+        assert hash_key("abc") != hash_key("abd")
+
+    @settings(max_examples=50, deadline=None)
+    @given(key=st.text(min_size=1, max_size=30), rf=st.integers(1, 4))
+    def test_replica_count_property(self, key, rf):
+        ring = TokenRing(["n1", "n2", "n3", "n4"], rf)
+        replicas = ring.replicas_for(key)
+        assert len(replicas) == rf
+        assert len(set(replicas)) == rf
+        assert all(r in ring.node_names for r in replicas)

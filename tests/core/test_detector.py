@@ -1,0 +1,162 @@
+"""Tests for the streaming anomaly detector."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FLOW,
+    PERFORMANCE,
+    AnomalyDetector,
+    OutlierModel,
+    SAADConfig,
+    TaskSynopsis,
+)
+
+
+def synopsis(stage=1, host=0, uid=0, start=0.0, duration=0.01, lps=(1, 2, 4, 5)):
+    return TaskSynopsis(
+        host_id=host,
+        stage_id=stage,
+        uid=uid,
+        start_time=start,
+        duration=duration,
+        log_points={lp: 1 for lp in lps},
+    )
+
+
+@pytest.fixture
+def model():
+    """One stage, dominant signature + 1% rare signature, log-normal durations."""
+    rng = random.Random(11)
+    trace = []
+    for i in range(2000):
+        lps = (1, 2, 4, 5) if rng.random() > 0.01 else (1, 2, 3, 4, 5)
+        trace.append(
+            synopsis(uid=i, duration=0.01 * rng.lognormvariate(0, 0.3), lps=lps)
+        )
+    config = SAADConfig(window_s=60.0, min_window_tasks=8)
+    return OutlierModel(config).train(trace)
+
+
+def feed(detector, synopses):
+    for s in synopses:
+        detector.observe(s)
+    detector.flush()
+    return detector.anomalies
+
+
+class TestFlowDetection:
+    def test_quiet_stream_has_no_anomalies(self, model):
+        rng = random.Random(5)
+        stream = [
+            synopsis(uid=i, start=i * 0.1, duration=0.01 * rng.lognormvariate(0, 0.3))
+            for i in range(600)
+        ]
+        anomalies = feed(AnomalyDetector(model), stream)
+        assert anomalies == []
+
+    def test_surge_of_rare_signature_is_flow_anomaly(self, model):
+        stream = []
+        for i in range(200):
+            lps = (1, 2, 3, 4, 5) if i % 2 else (1, 2, 4, 5)  # 50% rare vs 1% trained
+            stream.append(synopsis(uid=i, start=i * 0.1, lps=lps))
+        anomalies = feed(AnomalyDetector(model), stream)
+        assert any(a.kind == FLOW for a in anomalies)
+
+    def test_new_signature_always_flags(self, model):
+        stream = [synopsis(uid=i, start=i * 0.1) for i in range(50)]
+        stream.append(synopsis(uid=99, start=2.0, lps=(1, 9)))  # never trained
+        anomalies = feed(AnomalyDetector(model), stream)
+        flow = [a for a in anomalies if a.kind == FLOW]
+        assert len(flow) == 1
+        assert frozenset({1, 9}) in flow[0].new_signatures
+
+    def test_trained_rate_of_rare_signature_is_tolerated(self, model):
+        # ~1% rare matches the training distribution: no anomaly.
+        rng = random.Random(23)
+        stream = []
+        for i in range(1000):
+            lps = (1, 2, 3, 4, 5) if rng.random() < 0.01 else (1, 2, 4, 5)
+            stream.append(
+                synopsis(uid=i, start=i * 0.05, duration=0.01 * rng.lognormvariate(0, 0.3), lps=lps)
+            )
+        anomalies = feed(AnomalyDetector(model), stream)
+        assert not [a for a in anomalies if a.kind == FLOW]
+
+
+class TestPerformanceDetection:
+    def test_slowdown_is_performance_anomaly(self, model):
+        rng = random.Random(9)
+        stream = [
+            synopsis(
+                uid=i, start=i * 0.1, duration=0.05 * rng.lognormvariate(0, 0.3)
+            )  # 5x slower than training median
+            for i in range(300)
+        ]
+        anomalies = feed(AnomalyDetector(model), stream)
+        perf = [a for a in anomalies if a.kind == PERFORMANCE]
+        assert perf
+        assert frozenset({1, 2, 4, 5}) in perf[0].offending_signatures
+
+    def test_normal_speed_is_quiet(self, model):
+        rng = random.Random(13)
+        stream = [
+            synopsis(uid=i, start=i * 0.1, duration=0.01 * rng.lognormvariate(0, 0.3))
+            for i in range(300)
+        ]
+        anomalies = feed(AnomalyDetector(model), stream)
+        assert not [a for a in anomalies if a.kind == PERFORMANCE]
+
+
+class TestWindowing:
+    def test_windows_close_on_watermark(self, model):
+        detector = AnomalyDetector(model)
+        # Window 0 gets a new signature; emitted once time passes 60s.
+        detector.observe(synopsis(uid=0, start=1.0, lps=(1, 9)))
+        for i in range(20):
+            emitted = detector.observe(synopsis(uid=i + 1, start=2.0 + i * 0.1))
+            assert emitted == []
+        emitted = detector.observe(synopsis(uid=100, start=61.0))
+        assert len(emitted) == 1
+        assert emitted[0].window_start == 0.0
+        assert emitted[0].window_end == 60.0
+
+    def test_small_windows_skip_proportion_tests(self, model):
+        detector = AnomalyDetector(model)
+        # 3 tasks (< min_window_tasks) of the rare-but-known signature:
+        # the proportion test is skipped, no anomaly.
+        for i in range(3):
+            detector.observe(synopsis(uid=i, start=1.0 + i, lps=(1, 2, 3, 4, 5)))
+        detector.flush()
+        assert detector.anomalies == []
+
+    def test_small_windows_still_report_new_signatures(self, model):
+        # A never-trained signature is a flow anomaly regardless of
+        # window volume (paper Sec. 3.3.3).
+        detector = AnomalyDetector(model)
+        detector.observe(synopsis(uid=0, start=1.0, lps=(1, 9)))
+        detector.flush()
+        assert len(detector.anomalies) == 1
+        assert detector.anomalies[0].kind == FLOW
+        assert frozenset({1, 9}) in detector.anomalies[0].new_signatures
+
+    def test_anomaly_attributed_to_correct_stage_and_host(self, model):
+        detector = AnomalyDetector(model)
+        for i in range(20):
+            detector.observe(synopsis(uid=i, start=i * 0.5, lps=(1, 9)))
+        detector.flush()
+        assert detector.anomalies
+        event = detector.anomalies[0]
+        assert event.host_id == 0
+        assert event.stage_id == 1
+        assert event.stage_key == (0, 1)
+
+    def test_flush_is_idempotent(self, model):
+        detector = AnomalyDetector(model)
+        for i in range(20):
+            detector.observe(synopsis(uid=i, start=i * 0.5, lps=(1, 9)))
+        first = detector.flush()
+        second = detector.flush()
+        assert len(first) == 1
+        assert second == []

@@ -1,0 +1,179 @@
+"""Tests for outlier-model training and classification."""
+
+import random
+
+import pytest
+
+from repro.core import FeatureVector, OutlierModel, SAADConfig, TaskSynopsis
+
+
+def synopsis(stage=1, host=0, uid=0, start=0.0, duration=0.01, lps=(1, 2, 3)):
+    return TaskSynopsis(
+        host_id=host,
+        stage_id=stage,
+        uid=uid,
+        start_time=start,
+        duration=duration,
+        log_points={lp: 1 for lp in lps},
+    )
+
+
+def make_training_trace(
+    n_common=990, n_rare=10, common_duration=0.01, rng_seed=7
+):
+    """A stage with one dominant signature and one rare signature."""
+    rng = random.Random(rng_seed)
+    trace = []
+    for i in range(n_common):
+        trace.append(
+            synopsis(
+                uid=i,
+                duration=common_duration * rng.lognormvariate(0, 0.3),
+                lps=(1, 2, 4, 5),
+            )
+        )
+    for i in range(n_rare):
+        trace.append(
+            synopsis(uid=n_common + i, duration=common_duration, lps=(1, 2, 3, 4, 5))
+        )
+    return trace
+
+
+class TestTraining:
+    def test_dominant_signature_is_normal(self):
+        model = OutlierModel().train(make_training_trace())
+        stage = model.stages[(0, 1)]
+        common = stage.signatures[frozenset({1, 2, 4, 5})]
+        assert not common.is_flow_outlier
+        assert common.share > 0.95
+
+    def test_rare_signature_is_flow_outlier(self):
+        model = OutlierModel().train(make_training_trace())
+        stage = model.stages[(0, 1)]
+        rare = stage.signatures[frozenset({1, 2, 3, 4, 5})]
+        assert rare.is_flow_outlier
+        assert stage.flow_outlier_share == pytest.approx(0.01)
+
+    def test_flow_percentile_config_respected(self):
+        # With a 90th-percentile threshold, a 1%-share signature is still an
+        # outlier; with a 50%... flow_percentile must stay in [0.5, 1).
+        config = SAADConfig(flow_percentile=0.9)
+        model = OutlierModel(config).train(make_training_trace(n_common=900, n_rare=100))
+        stage = model.stages[(0, 1)]
+        rare = stage.signatures[frozenset({1, 2, 3, 4, 5})]
+        # 10% share is not below the 10% cutoff.
+        assert not rare.is_flow_outlier
+
+    def test_duration_threshold_learned_for_big_signatures(self):
+        model = OutlierModel().train(make_training_trace())
+        stage = model.stages[(0, 1)]
+        common = stage.signatures[frozenset({1, 2, 4, 5})]
+        assert common.duration_threshold is not None
+        assert common.duration_threshold > 0.01  # above the median
+        assert common.perf_eligible
+
+    def test_small_signatures_not_perf_eligible(self):
+        model = OutlierModel().train(make_training_trace(n_rare=5))
+        stage = model.stages[(0, 1)]
+        rare = stage.signatures[frozenset({1, 2, 3, 4, 5})]
+        assert rare.duration_threshold is None
+        assert not rare.perf_eligible
+
+    def test_kfold_discards_unstable_distribution(self):
+        # For iid samples the held-out exceedance rate of a p99 threshold is
+        # ~1% regardless of shape, so the k-fold check specifically catches
+        # *non-stationary* durations: thresholds learned on part of the trace
+        # do not transfer.  Simulate a drifting stage: the last fifth of the
+        # trace is 10x slower.
+        rng = random.Random(3)
+        trace = []
+        for i in range(1000):
+            median = 0.01 if i < 800 else 0.1
+            trace.append(
+                synopsis(uid=i, duration=median * rng.lognormvariate(0, 0.2))
+            )
+        model = OutlierModel(SAADConfig(kfold_discard_factor=1.5)).train(trace)
+        profile = model.stages[(0, 1)].signatures[frozenset({1, 2, 3})]
+        assert profile.cv_outlier_rate is not None
+        # The slow fold blows past thresholds learned from the fast folds.
+        assert profile.cv_outlier_rate > 0.015
+        assert not profile.perf_eligible
+
+    def test_per_host_models_are_separate(self):
+        trace = [synopsis(host=0, uid=i) for i in range(50)]
+        trace += [synopsis(host=1, uid=i, lps=(7, 8)) for i in range(50)]
+        model = OutlierModel().train(trace)
+        assert (0, 1) in model.stages
+        assert (1, 1) in model.stages
+        assert frozenset({7, 8}) not in model.stages[(0, 1)].signatures
+
+    def test_pooled_model_when_per_host_false(self):
+        trace = [synopsis(host=h, uid=i) for h in (0, 1) for i in range(10)]
+        model = OutlierModel(SAADConfig(per_host=False)).train(trace)
+        assert list(model.stages) == [(0, 1)]
+        assert model.stages[(0, 1)].total_tasks == 20
+
+
+class TestClassification:
+    @pytest.fixture
+    def model(self):
+        return OutlierModel().train(make_training_trace())
+
+    def feature(self, duration=0.01, lps=(1, 2, 4, 5)):
+        return FeatureVector(
+            uid=0,
+            host_id=0,
+            stage_id=1,
+            signature=frozenset(lps),
+            duration=duration,
+            start_time=0.0,
+        )
+
+    def test_normal_task(self, model):
+        label = model.classify(self.feature())
+        assert not label.flow_outlier
+        assert not label.new_signature
+        assert not label.perf_outlier
+        assert label.perf_eligible
+
+    def test_rare_signature_is_flow_outlier(self, model):
+        label = model.classify(self.feature(lps=(1, 2, 3, 4, 5)))
+        assert label.flow_outlier
+        assert label.any_flow
+
+    def test_new_signature_detected(self, model):
+        label = model.classify(self.feature(lps=(1, 2)))
+        assert label.new_signature
+        assert label.any_flow
+
+    def test_slow_task_is_perf_outlier(self, model):
+        label = model.classify(self.feature(duration=10.0))
+        assert label.perf_outlier
+        assert not label.flow_outlier
+
+    def test_unknown_stage_is_new_flow(self, model):
+        feature = FeatureVector(
+            uid=0, host_id=0, stage_id=99, signature=frozenset({1}),
+            duration=0.0, start_time=0.0,
+        )
+        label = model.classify(feature)
+        assert label.new_signature
+
+    def test_untrained_model_raises(self):
+        with pytest.raises(RuntimeError):
+            OutlierModel().classify(
+                FeatureVector(0, 0, 0, frozenset(), 0.0, 0.0)
+            )
+
+
+class TestIntrospection:
+    def test_signature_distribution_sorted(self):
+        model = OutlierModel().train(make_training_trace())
+        dist = model.signature_distribution((0, 1))
+        assert len(dist) == 2
+        assert dist[0][1] >= dist[1][1]
+        assert sum(share for _, share in dist) == pytest.approx(1.0)
+
+    def test_summary(self):
+        model = OutlierModel().train(make_training_trace())
+        assert model.summary()[(0, 1)] == (1000, 2)

@@ -1,0 +1,98 @@
+"""Tests for outlier-model persistence."""
+
+import random
+
+import pytest
+
+from repro.core import OutlierModel, SAADConfig, TaskSynopsis
+from repro.core.persistence import (
+    load_model,
+    model_from_json,
+    model_to_json,
+    save_model,
+)
+
+
+def make_model(config=None):
+    rng = random.Random(7)
+    trace = []
+    for i in range(500):
+        lps = (1, 2, 4) if rng.random() > 0.01 else (1, 2, 3, 4)
+        trace.append(
+            TaskSynopsis(
+                host_id=i % 2,
+                stage_id=1,
+                uid=i,
+                start_time=i * 0.1,
+                duration=0.01 * rng.lognormvariate(0, 0.3),
+                log_points={lp: 1 for lp in lps},
+            )
+        )
+    return OutlierModel(config or SAADConfig()).train(trace)
+
+
+class TestModelPersistence:
+    def test_round_trip_preserves_stages(self):
+        model = make_model()
+        clone = model_from_json(model_to_json(model))
+        assert set(clone.stages) == set(model.stages)
+        for key, stage in model.stages.items():
+            clone_stage = clone.stages[key]
+            assert clone_stage.total_tasks == stage.total_tasks
+            assert clone_stage.flow_outlier_share == pytest.approx(
+                stage.flow_outlier_share
+            )
+            assert set(clone_stage.signatures) == set(stage.signatures)
+
+    def test_round_trip_preserves_classification(self):
+        from repro.core import FeatureVector
+
+        model = make_model()
+        clone = model_from_json(model_to_json(model))
+        features = [
+            FeatureVector(0, 0, 1, frozenset({1, 2, 4}), 0.01, 0.0),
+            FeatureVector(1, 0, 1, frozenset({1, 2, 3, 4}), 0.01, 0.0),
+            FeatureVector(2, 0, 1, frozenset({9}), 0.01, 0.0),
+            FeatureVector(3, 0, 1, frozenset({1, 2, 4}), 99.0, 0.0),
+        ]
+        for feature in features:
+            assert clone.classify(feature) == model.classify(feature)
+
+    def test_round_trip_preserves_config(self):
+        config = SAADConfig(flow_percentile=0.95, window_s=42.0, per_host=False)
+        model = make_model(config)
+        clone = model_from_json(model_to_json(model))
+        assert clone.config.flow_percentile == 0.95
+        assert clone.config.window_s == 42.0
+        assert clone.config.per_host is False
+
+    def test_untrained_model_rejected(self):
+        with pytest.raises(ValueError):
+            model_to_json(OutlierModel())
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_json('{"format_version": 99}')
+
+    def test_file_round_trip(self, tmp_path):
+        model = make_model()
+        path = str(tmp_path / "model.json")
+        save_model(model, path)
+        clone = load_model(path)
+        assert set(clone.stages) == set(model.stages)
+
+    def test_loaded_model_drives_detector(self):
+        from repro.core import AnomalyDetector
+
+        model = make_model()
+        clone = model_from_json(model_to_json(model))
+        detector = AnomalyDetector(clone)
+        for i in range(30):
+            detector.observe(
+                TaskSynopsis(
+                    host_id=0, stage_id=1, uid=i, start_time=i * 1.0,
+                    duration=0.01, log_points={7: 1},
+                )
+            )
+        detector.flush()
+        assert detector.anomalies  # the new signature flags

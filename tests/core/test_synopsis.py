@@ -1,0 +1,114 @@
+"""Unit and property-based tests for the synopsis wire codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaskSynopsis, decode_batch, encode_batch
+
+
+def make_synopsis(**overrides):
+    base = dict(
+        host_id=1,
+        stage_id=4,
+        uid=1234,
+        start_time=100.5,
+        duration=0.010,
+        log_points={1: 1, 2: 5, 4: 1},
+    )
+    base.update(overrides)
+    return TaskSynopsis(**base)
+
+
+class TestSynopsis:
+    def test_signature_is_distinct_log_points(self):
+        synopsis = make_synopsis(log_points={3: 10, 7: 1})
+        assert synopsis.signature == frozenset({3, 7})
+
+    def test_total_log_calls(self):
+        assert make_synopsis().total_log_calls == 7
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_synopsis(duration=-1.0)
+
+    def test_host_id_must_fit_byte(self):
+        with pytest.raises(ValueError):
+            make_synopsis(host_id=300)
+
+    def test_encoded_size_matches_encoding(self):
+        synopsis = make_synopsis()
+        assert synopsis.encoded_size() == len(synopsis.encode())
+
+    def test_synopsis_is_tens_of_bytes(self):
+        # The paper's headline: a synopsis is a few tens of bytes.
+        assert make_synopsis().encoded_size() < 64
+
+    def test_round_trip(self):
+        synopsis = make_synopsis()
+        decoded = TaskSynopsis.decode(synopsis.encode())
+        assert decoded.host_id == synopsis.host_id
+        assert decoded.stage_id == synopsis.stage_id
+        assert decoded.uid == synopsis.uid
+        assert decoded.log_points == synopsis.log_points
+        assert decoded.start_time == pytest.approx(synopsis.start_time, abs=1e-3)
+        assert decoded.duration == pytest.approx(synopsis.duration, abs=1e-6)
+
+    def test_decode_trailing_bytes_rejected(self):
+        payload = make_synopsis().encode() + b"\x00"
+        with pytest.raises(ValueError):
+            TaskSynopsis.decode(payload)
+
+    def test_decode_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSynopsis.decode(b"\x01\x02")
+
+    def test_decode_truncated_entries_rejected(self):
+        payload = make_synopsis().encode()
+        with pytest.raises(ValueError):
+            TaskSynopsis.decode(payload[:-3])
+
+    def test_batch_round_trip(self):
+        batch = [make_synopsis(uid=i, log_points={i: i + 1}) for i in range(1, 6)]
+        decoded = decode_batch(encode_batch(batch))
+        assert [s.uid for s in decoded] == [1, 2, 3, 4, 5]
+        assert [s.log_points for s in decoded] == [s.log_points for s in batch]
+
+    def test_empty_batch(self):
+        assert decode_batch(b"") == []
+
+    def test_large_lpid_rejected(self):
+        with pytest.raises(ValueError):
+            make_synopsis(log_points={70000: 1}).encode()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    host_id=st.integers(0, 255),
+    stage_id=st.integers(0, 255),
+    uid=st.integers(0, 2**32 - 1),
+    start_ms=st.integers(0, 2**31),
+    duration_us=st.integers(0, 2**31 - 1),
+    log_points=st.dictionaries(
+        st.integers(0, 0xFFFF), st.integers(1, 2**31 - 1), max_size=40
+    ),
+)
+def test_codec_round_trip_property(
+    host_id, stage_id, uid, start_ms, duration_us, log_points
+):
+    synopsis = TaskSynopsis(
+        host_id=host_id,
+        stage_id=stage_id,
+        uid=uid,
+        start_time=start_ms / 1000.0,
+        duration=duration_us / 1_000_000.0,
+        log_points=log_points,
+    )
+    decoded = TaskSynopsis.decode(synopsis.encode())
+    assert decoded.host_id == host_id
+    assert decoded.stage_id == stage_id
+    assert decoded.uid == uid
+    assert decoded.log_points == log_points
+    assert decoded.signature == synopsis.signature
+    assert abs(decoded.start_time - synopsis.start_time) < 2e-3
+    assert abs(decoded.duration - synopsis.duration) < 2e-6

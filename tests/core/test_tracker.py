@@ -1,0 +1,183 @@
+"""Tests for the task execution tracker, on real and simulated threads."""
+
+import pytest
+
+from repro.core import SimThreadContext, TaskExecutionTracker
+from repro.loglib import INFO, LoggerRepository
+from repro.simsys import Environment, Executor, SimThread, spawn_worker
+
+
+class SinkList(list):
+    def sink(self, synopsis):
+        self.append(synopsis)
+
+
+def make_tracker(**kwargs):
+    sink = SinkList()
+    tracker = TaskExecutionTracker(host_id=0, sink=sink.sink, **kwargs)
+    return tracker, sink
+
+
+class TestRealThreadTracking:
+    def test_explicit_task_lifecycle(self):
+        times = iter([100.0, 100.2, 100.5, 101.0])
+        tracker, sink = make_tracker(clock=lambda: next(times))
+        repo = LoggerRepository(root_level=INFO, clock=lambda: 0.0)
+        repo.add_interceptor(tracker)
+
+        tracker.set_context(3)  # t=100.0
+        log = repo.get_logger("stage")
+        # Log call times come from the repo clock; drive tracker directly to
+        # control timestamps precisely.
+        from repro.loglib.record import LogCall
+
+        tracker.on_log(LogCall(lpid=1, level=INFO, logger_name="stage", time=100.2))
+        tracker.on_log(LogCall(lpid=2, level=INFO, logger_name="stage", time=100.5))
+        tracker.on_log(LogCall(lpid=1, level=INFO, logger_name="stage", time=100.9))
+        synopsis = tracker.end_task()
+
+        assert synopsis is not None
+        assert synopsis.stage_id == 3
+        assert synopsis.log_points == {1: 2, 2: 1}
+        assert synopsis.start_time == 100.0
+        assert synopsis.duration == pytest.approx(0.9)
+        assert sink == [synopsis]
+
+    def test_set_context_reentry_finalizes_previous_task(self):
+        clock_value = [0.0]
+        tracker, sink = make_tracker(clock=lambda: clock_value[0])
+        tracker.set_context(1)
+        clock_value[0] = 5.0
+        tracker.set_context(1)  # thread reuse: implicit end of task 1
+        assert len(sink) == 1
+        assert sink[0].stage_id == 1
+        tracker.end_task()
+        assert len(sink) == 2
+
+    def test_end_task_without_context_is_noop(self):
+        tracker, sink = make_tracker()
+        assert tracker.end_task() is None
+        assert sink == []
+
+    def test_disabled_tracker_ignores_everything(self):
+        tracker, sink = make_tracker(enabled=False)
+        tracker.set_context(1)
+        assert tracker.end_task() is None
+        assert sink == []
+        assert tracker.stats.tasks_started == 0
+
+    def test_untracked_log_calls_counted(self):
+        from repro.loglib.record import LogCall
+
+        tracker, _ = make_tracker()
+        tracker.on_log(LogCall(lpid=5, level=INFO, logger_name="x", time=0.0))
+        assert tracker.stats.log_calls_untracked == 1
+
+    def test_log_call_without_lpid_ignored(self):
+        from repro.loglib.record import LogCall
+
+        tracker, sink = make_tracker()
+        tracker.set_context(1)
+        tracker.on_log(LogCall(lpid=None, level=INFO, logger_name="x", time=0.0))
+        synopsis = tracker.end_task()
+        assert synopsis.log_points == {}
+
+    def test_uids_are_unique_and_increasing(self):
+        tracker, sink = make_tracker()
+        for _ in range(3):
+            tracker.set_context(0)
+            tracker.end_task()
+        assert [s.uid for s in sink] == [0, 1, 2]
+
+    def test_duration_zero_when_no_log_points(self):
+        tracker, sink = make_tracker()
+        tracker.set_context(2)
+        synopsis = tracker.end_task()
+        assert synopsis.duration == 0.0
+
+
+class TestSimThreadTracking:
+    def test_executor_thread_reuse_produces_one_synopsis_per_task(self):
+        env = Environment()
+        sink = SinkList()
+        tracker = TaskExecutionTracker(
+            host_id=0,
+            sink=sink.sink,
+            context=SimThreadContext(env),
+            clock=lambda: env.now,
+        )
+        repo = LoggerRepository(root_level=INFO, clock=lambda: env.now)
+        repo.add_interceptor(tracker)
+        log = repo.get_logger("stage")
+        executor = Executor(env, pool_size=1, name="pool")
+
+        def task(lpid):
+            def body():
+                tracker.set_context(9)
+                yield env.timeout(1.0)
+                log.info("work", lpid=lpid)
+
+            return body
+
+        for lpid in (1, 2, 3):
+            executor.try_submit(task(lpid))
+        env.run(until=100.0)
+        executor.shutdown()
+        env.run()
+        # Two tasks closed by set_context re-entry; the last by thread exit.
+        assert len(sink) == 3
+        assert [s.log_points for s in sink] == [{1: 1}, {2: 1}, {3: 1}]
+        assert all(s.stage_id == 9 for s in sink)
+        assert all(s.duration == pytest.approx(1.0) for s in sink)
+
+    def test_dispatcher_worker_thread_exit_finalizes(self):
+        env = Environment()
+        sink = SinkList()
+        tracker = TaskExecutionTracker(
+            host_id=0,
+            sink=sink.sink,
+            context=SimThreadContext(env),
+            clock=lambda: env.now,
+        )
+        from repro.loglib.record import LogCall
+
+        def worker_body():
+            tracker.set_context(4)
+            yield env.timeout(2.0)
+            tracker.on_log(LogCall(lpid=8, level=INFO, logger_name="w", time=env.now))
+
+        spawn_worker(env, worker_body(), name="worker-1")
+        env.run()
+        assert len(sink) == 1
+        assert sink[0].stage_id == 4
+        assert sink[0].log_points == {8: 1}
+        assert sink[0].duration == pytest.approx(2.0)
+
+    def test_interleaved_threads_do_not_mix_counts(self):
+        env = Environment()
+        sink = SinkList()
+        tracker = TaskExecutionTracker(
+            host_id=0,
+            sink=sink.sink,
+            context=SimThreadContext(env),
+            clock=lambda: env.now,
+        )
+        from repro.loglib.record import LogCall
+
+        def worker(stage_id, lpid, delay):
+            def body():
+                tracker.set_context(stage_id)
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    tracker.on_log(
+                        LogCall(lpid=lpid, level=INFO, logger_name="w", time=env.now)
+                    )
+
+            return body()
+
+        spawn_worker(env, worker(1, 11, 1.0), name="a")
+        spawn_worker(env, worker(2, 22, 1.5), name="b")
+        env.run()
+        by_stage = {s.stage_id: s for s in sink}
+        assert by_stage[1].log_points == {11: 3}
+        assert by_stage[2].log_points == {22: 3}

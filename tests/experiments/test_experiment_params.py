@@ -1,0 +1,78 @@
+"""Fast tests for the experiment harness plumbing (no full simulations)."""
+
+import pytest
+
+from repro.experiments.fig9_cassandra_faults import VARIANTS, Fig9Params
+from repro.experiments.fig10_hbase_hdfs import (
+    MAJOR_COMPACTION_MINUTE,
+    RUN_MINUTES,
+    TABLE2,
+    Fig10Params,
+)
+from repro.experiments.fig11_false_positives import TABLE3, Fig11Params
+from repro.simsys import HIGH_INTENSITY, LOW_INTENSITY
+
+
+class TestFig9Params:
+    def test_minutes_scaling(self):
+        params = Fig9Params(scale=0.5)
+        assert params.minutes(10) == 300.0
+
+    def test_variants_cover_paper_matrix(self):
+        # Fig. 9 has four panels: {wal, sstable} x {error, delay}.
+        assert set(VARIANTS.values()) == {
+            ("wal", "error"),
+            ("sstable", "error"),
+            ("wal", "delay"),
+            ("sstable", "delay"),
+        }
+
+    def test_quick_preset_is_smaller(self):
+        assert Fig9Params.quick().scale < Fig9Params().scale
+
+    def test_unknown_variant_rejected(self):
+        from repro.experiments.fig9_cassandra_faults import run_fig9
+
+        with pytest.raises(ValueError):
+            run_fig9("z")
+
+
+class TestTable2:
+    def test_matches_paper_schedule(self):
+        by_name = {name: (start, end, dd) for name, start, end, dd in TABLE2}
+        assert by_name["low"] == (8, 16, 1)
+        assert by_name["medium"] == (28, 44, 2)
+        assert by_name["high-1"] == (56, 64, 4)
+        assert by_name["high-2"] == (116, 130, 4)
+
+    def test_phases_ordered_and_within_run(self):
+        previous_end = 0
+        for _name, start, end, _dd in TABLE2:
+            assert start >= previous_end
+            assert end <= RUN_MINUTES
+            previous_end = end
+        assert TABLE2[-1][2] < MAJOR_COMPACTION_MINUTE < RUN_MINUTES
+
+    def test_crash_minute_inside_high1(self):
+        params = Fig10Params()
+        _name, start, end, _dd = TABLE2[2]
+        assert start < params.crash_minute < end
+
+
+class TestTable3:
+    def test_matches_paper_fault_matrix(self):
+        # 7 faults; the paper omits delay-MemTable-high.
+        assert len(TABLE3) == 7
+        assert "delay-MemTable-high" not in TABLE3
+        assert TABLE3["error-WAL-low"] == ("wal", "error", LOW_INTENSITY)
+        assert TABLE3["error-WAL-high"] == ("wal", "error", HIGH_INTENSITY)
+        assert TABLE3["delay-MemTable-low"] == ("sstable", "delay", LOW_INTENSITY)
+
+    def test_every_fault_targets_the_write_path(self):
+        for path, mode, intensity in TABLE3.values():
+            assert path in ("wal", "sstable")
+            assert mode in ("error", "delay")
+            assert intensity in (LOW_INTENSITY, HIGH_INTENSITY)
+
+    def test_quick_params_shrink_runs(self):
+        assert Fig11Params.quick().runs <= Fig11Params().runs

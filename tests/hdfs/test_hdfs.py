@@ -1,0 +1,176 @@
+"""Tests for the HDFS simulation: pipeline, recovery bug, stages."""
+
+import pytest
+
+from repro.hdfs import CLOSE_PACKET, HdfsCluster, NameNode
+
+
+def run_gen(cluster, generator):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from generator
+
+    cluster.env.process(wrapper())
+    cluster.env.run(until=cluster.env.now + 300.0)
+    return box.get("value")
+
+
+class TestNameNode:
+    def test_add_block_pipeline_local_first(self):
+        nn = NameNode(["h1", "h2", "h3", "h4"], replication=3)
+        block = nn.add_block(client_host="h3")
+        assert block.pipeline[0] == "h3"
+        assert len(block.pipeline) == 3
+        assert len(set(block.pipeline)) == 3
+
+    def test_add_block_nonlocal_client(self):
+        nn = NameNode(["h1", "h2"], replication=2)
+        block = nn.add_block(client_host="elsewhere")
+        assert sorted(block.pipeline) == ["h1", "h2"]
+
+    def test_finalize_records_size(self):
+        nn = NameNode(["h1"], replication=1)
+        block = nn.add_block()
+        nn.finalize_block(block.block_id, 12345)
+        assert nn.blocks[block.block_id].finalized
+        assert nn.blocks[block.block_id].size == 12345
+
+    def test_generation_bump(self):
+        nn = NameNode(["h1"], replication=1)
+        block = nn.add_block()
+        assert nn.bump_generation(block.block_id) == 2
+
+    def test_blocks_on(self):
+        nn = NameNode(["h1", "h2", "h3"], replication=2)
+        block = nn.add_block(client_host="h2")
+        assert block in nn.blocks_on("h2")
+
+
+class TestWritePipeline:
+    def test_file_write_replicates_to_three_nodes(self):
+        cluster = HdfsCluster.standalone(n_datanodes=4, seed=3)
+        client = cluster.client_for("host2")
+        ok = run_gen(cluster, client.write_file(1 << 20))
+        assert ok is True
+        block = next(iter(cluster.namenode.blocks.values()))
+        assert block.finalized
+        assert block.pipeline[0] == "host2"
+        # Every pipeline node persisted the payload.
+        for name in block.pipeline:
+            disk = cluster.sim_cluster[name].disk
+            assert disk.stats.written_bytes >= 1 << 20
+
+    def test_stream_sync_acknowledges(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=5)
+        client = cluster.client_for("host1")
+
+        def scenario():
+            stream = client.open_stream()
+            ok1 = yield from stream.write_sync(64 * 1024)
+            ok2 = yield from stream.write_sync(64 * 1024)
+            closed = yield from stream.close()
+            return ok1 and ok2 and closed
+
+        assert run_gen(cluster, scenario()) is True
+
+    def test_pipeline_stages_emit_synopses(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=7)
+        client = cluster.client_for("host1")
+        run_gen(cluster, client.write_file(512 * 1024))
+        cluster.env.run(until=cluster.env.now + 30.0)
+        seen = {
+            cluster.saad.stages.get(s.stage_id).name
+            for s in cluster.saad.collector.synopses
+        }
+        for stage in (
+            "DataXceiver",
+            "PacketResponder",
+            "DataStreamer",
+            "ResponseProcessor",
+            "Handler",
+        ):
+            assert stage in seen, f"missing stage {stage}"
+
+    def test_xceiver_signature_matches_fig3(self):
+        """Normal DataXceiver flow: recv block, packets, writes, close."""
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=9)
+        client = cluster.client_for("host1")
+        run_gen(cluster, client.write_file(512 * 1024))
+        cluster.env.run(until=cluster.env.now + 30.0)
+        lps = cluster.lps
+        stage = cluster.saad.stages.by_name("DataXceiver")
+        signatures = {
+            s.signature
+            for s in cluster.saad.collector.synopses
+            if s.stage_id == stage.stage_id
+        }
+        expected_subset = {
+            lps.xc_recv_block.lpid,
+            lps.xc_recv_packet.lpid,
+            lps.xc_write.lpid,
+            lps.xc_close.lpid,
+        }
+        assert any(expected_subset <= sig for sig in signatures)
+
+    def test_dead_datanode_fails_sync(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=11)
+        client = cluster.client_for("host1")
+
+        def scenario():
+            stream = client.open_stream()
+            ok = yield from stream.write_sync(64 * 1024)
+            assert ok
+            cluster.datanodes["host2"].crash()
+            ok2 = yield from stream.write_sync(64 * 1024, timeout_s=1.0)
+            return ok2
+
+        # host2 is in the pipeline (3 nodes, RF=3): sync must fail.
+        assert run_gen(cluster, scenario()) is False
+
+
+class TestRecoveryBug:
+    def test_recovery_in_progress_reply(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=13)
+        dn = cluster.datanodes["host1"]
+        block = cluster.namenode.add_block(client_host="host1")
+        results = []
+
+        def scenario():
+            first = dn.recover_block(block.block_id)
+            yield cluster.env.timeout(0.5)  # first still running (takes ~3s)
+            second = dn.recover_block(block.block_id)
+            yield second
+            results.append(second.value)
+            yield first
+            results.append(first.value)
+
+        cluster.env.process(scenario())
+        cluster.env.run(until=60.0)
+        assert results[0] == "in-progress"
+        assert results[1] == "ok"
+
+    def test_buggy_client_exhausts_retries(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=15)
+        client = cluster.client_for("host1", recovery_max_retries=5)
+        block = cluster.namenode.add_block(client_host="host1")
+        outcome = run_gen(cluster, client.recover_block_with_bug(block))
+        # Attempt timeout (1s) < recovery duration (~3s): the loop burns
+        # its retries on "in-progress" replies and gives up.
+        assert outcome is False
+
+    def test_recovery_storm_visible_in_recoverblocks_stage(self):
+        cluster = HdfsCluster.standalone(n_datanodes=3, seed=17)
+        client = cluster.client_for("host1", recovery_max_retries=5)
+        block = cluster.namenode.add_block(client_host="host1")
+        run_gen(cluster, client.recover_block_with_bug(block))
+        cluster.env.run(until=cluster.env.now + 30.0)
+        lps = cluster.lps
+        stage = cluster.saad.stages.by_name("RecoverBlocks")
+        in_progress_tasks = [
+            s
+            for s in cluster.saad.collector.synopses
+            if s.stage_id == stage.stage_id
+            and lps.rb_in_progress.lpid in s.signature
+        ]
+        assert len(in_progress_tasks) >= 3

@@ -1,0 +1,113 @@
+"""Tests for the static instrumentation tooling."""
+
+import pytest
+
+from repro.instrument import (
+    build_registry,
+    instrument_source,
+    scan_source,
+    verify_instrumentation,
+)
+
+SAMPLE = '''\
+class Stage:
+    def run(self):
+        log.info("Receiving block blk_%s", bid)
+        if empty:
+            log.debug("Receiving empty packet for blk_%s", bid)
+        log.error("IOException on blk_%s", bid)
+
+
+def consumer(task_queue):
+    while True:
+        task = task_queue.get()
+        log.debug("handling %s", task)
+'''
+
+
+class TestScanner:
+    def test_finds_all_log_calls(self):
+        result = scan_source(SAMPLE)
+        templates = [c.template for c in result.log_calls]
+        assert "Receiving block blk_%s" in templates
+        assert "Receiving empty packet for blk_%s" in templates
+        assert "IOException on blk_%s" in templates
+        assert "handling %s" in templates
+
+    def test_levels_inferred_from_method(self):
+        result = scan_source(SAMPLE)
+        by_template = {c.template: c for c in result.log_calls}
+        from repro.loglib import DEBUG, ERROR, INFO
+
+        assert by_template["Receiving block blk_%s"].level == INFO
+        assert by_template["handling %s"].level == DEBUG
+        assert by_template["IOException on blk_%s"].level == ERROR
+
+    def test_finds_run_method_stage_candidate(self):
+        result = scan_source(SAMPLE)
+        runs = [c for c in result.stage_candidates if c.kind == "run-method"]
+        assert len(runs) == 1
+        assert runs[0].name == "Stage"
+
+    def test_finds_dequeue_stage_candidate(self):
+        result = scan_source(SAMPLE)
+        dequeues = [c for c in result.stage_candidates if c.kind == "dequeue"]
+        assert len(dequeues) == 1
+
+    def test_fstring_template_normalized(self):
+        result = scan_source('log.info(f"got {x} items")\n')
+        assert result.log_calls[0].template == "got %s items"
+
+    def test_non_literal_first_arg_skipped(self):
+        result = scan_source("log.info(message)\n")
+        assert result.log_calls == []
+
+    def test_build_registry_assigns_source_order_ids(self):
+        registry, result = build_registry(SAMPLE, "sample.py")
+        assert len(registry) == 4
+        assert registry.get(0).template == "Receiving block blk_%s"
+        assert registry.get(0).source_file == "sample.py"
+
+
+class TestRewriter:
+    def test_rewrite_adds_lpids(self):
+        instrumented, registry = instrument_source(SAMPLE)
+        assert verify_instrumentation(instrumented)
+        assert "lpid=0" in instrumented
+        assert "lpid=3" in instrumented
+        # The rewritten source still parses.
+        compile(instrumented, "<test>", "exec")
+
+    def test_rewrite_is_idempotent(self):
+        once, _ = instrument_source(SAMPLE)
+        twice, _ = instrument_source(once)
+        assert once == twice
+
+    def test_ids_match_registry(self):
+        instrumented, registry = instrument_source(SAMPLE)
+        # Each template's lpid appears on the same line as its call.
+        for point in registry:
+            assert f"lpid={point.lpid}" in instrumented
+
+    def test_verify_detects_uninstrumented(self):
+        assert not verify_instrumentation(SAMPLE)
+
+
+class TestRoundTrip:
+    def test_instrumented_code_logs_with_ids(self):
+        """End-to-end: rewrite source, exec it against loglib, check ids."""
+        source = 'log.info("hello %s", name)\nlog.debug("done")\n'
+        instrumented, registry = instrument_source(source)
+        from repro.loglib import DEBUG, LoggerRepository
+
+        repo = LoggerRepository(root_level=DEBUG, clock=lambda: 0.0)
+        calls = []
+
+        class Interceptor:
+            def on_log(self, call):
+                calls.append(call.lpid)
+
+        repo.add_interceptor(Interceptor())
+        namespace = {"log": repo.get_logger("test"), "name": "world"}
+        exec(instrumented, namespace)
+        assert calls == [0, 1]

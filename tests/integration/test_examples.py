@@ -1,0 +1,35 @@
+"""Smoke tests: the fast runnable examples must work end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "SAAD anomaly report" in output
+        assert "Checkout" in output
+        assert "never logged a single error" in output
+
+    def test_instrumentation(self):
+        output = run_example("instrumentation.py")
+        assert "stage beginnings" in output
+        assert "lpid=" in output
+        assert "log template dictionary" in output
+        assert "Receiving block blk_%s" in output

@@ -1,0 +1,90 @@
+"""Additional loglib coverage: appender edge cases and volume accounting."""
+
+import pytest
+
+from repro.loglib import (
+    CallbackAppender,
+    DEBUG,
+    INFO,
+    LoggerRepository,
+    MemoryAppender,
+    NullAppender,
+    SimpleLayout,
+)
+
+
+class TestVolumeAccounting:
+    """The Fig. 8 measurement depends on faithful byte accounting."""
+
+    def test_bytes_match_rendered_line(self):
+        repo = LoggerRepository(root_level=DEBUG, clock=lambda: 1.0)
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        repo.get_logger("Stage").debug("payload %s", "x" * 100)
+        assert appender.bytes_appended == len(appender.lines[0].encode())
+        assert appender.bytes_appended > 100
+
+    def test_suppressed_records_cost_nothing(self):
+        repo = LoggerRepository(root_level=INFO)
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        repo.get_logger("Stage").debug("hidden")
+        assert appender.bytes_appended == 0
+
+    def test_null_appender_volume_only(self):
+        repo = LoggerRepository(root_level=DEBUG)
+        appender = NullAppender()
+        repo.add_appender(appender)
+        for i in range(100):
+            repo.get_logger("x").debug("line %d", i)
+        assert appender.records_appended == 100
+        assert appender.bytes_appended > 1000
+        assert not hasattr(appender, "lines") or not getattr(appender, "lines")
+
+    def test_unicode_message_counted_in_bytes(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender(layout=SimpleLayout())
+        repo.add_appender(appender)
+        repo.get_logger("x").info("héllo")
+        assert appender.bytes_appended == len(appender.lines[0].encode("utf-8"))
+
+
+class TestCallbackAppender:
+    def test_callback_receives_line_and_record(self):
+        received = []
+        repo = LoggerRepository(clock=lambda: 2.0)
+        repo.add_appender(
+            CallbackAppender(lambda line, record: received.append((line, record)))
+        )
+        repo.get_logger("Stage").info("msg", lpid=4)
+        assert len(received) == 1
+        line, record = received[0]
+        assert "msg" in line
+        assert record.lpid == 4
+        assert record.time == 2.0
+
+
+class TestMemoryAppenderText:
+    def test_text_joins_lines(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender(layout=SimpleLayout())
+        repo.add_appender(appender)
+        log = repo.get_logger("x")
+        log.info("a")
+        log.info("b")
+        assert appender.text() == "INFO - a\nINFO - b\n"
+
+    def test_keep_records(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender(keep_records=True)
+        repo.add_appender(appender)
+        repo.get_logger("x").info("a", lpid=9)
+        assert appender.records[0].lpid == 9
+
+    def test_clear(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender(keep_records=True)
+        repo.add_appender(appender)
+        repo.get_logger("x").info("a")
+        appender.clear()
+        assert appender.lines == [] and appender.records == []

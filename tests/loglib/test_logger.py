@@ -1,0 +1,192 @@
+"""Unit tests for the log4j-like logging library."""
+
+import pytest
+
+from repro.loglib import (
+    DEBUG,
+    ERROR,
+    INFO,
+    LogCall,
+    LoggerRepository,
+    MemoryAppender,
+    NullAppender,
+    PatternLayout,
+    SimpleLayout,
+    WARN,
+    level_name,
+    parse_level,
+)
+from repro.loglib.record import LogRecord
+
+
+class RecordingInterceptor:
+    def __init__(self):
+        self.calls = []
+
+    def on_log(self, call: LogCall):
+        self.calls.append(call)
+
+
+class TestLevels:
+    def test_level_ordering(self):
+        assert DEBUG < INFO < WARN < ERROR
+
+    def test_level_name_round_trip(self):
+        for name in ("TRACE", "DEBUG", "INFO", "WARN", "ERROR", "FATAL"):
+            assert level_name(parse_level(name)) == name
+
+    def test_parse_level_case_insensitive(self):
+        assert parse_level("info") == INFO
+
+    def test_parse_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            parse_level("CHATTY")
+
+
+class TestLoggerFiltering:
+    def test_info_suppresses_debug(self):
+        repo = LoggerRepository(root_level=INFO)
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        log = repo.get_logger("x")
+        log.debug("hidden")
+        log.info("shown")
+        assert len(appender.lines) == 1
+        assert "shown" in appender.lines[0]
+
+    def test_hierarchical_level_inheritance(self):
+        repo = LoggerRepository(root_level=INFO)
+        repo.get_logger("a.b").set_level(DEBUG)
+        assert repo.get_logger("a.b.c").level == DEBUG
+        assert repo.get_logger("a.other").level == INFO
+
+    def test_same_name_returns_same_logger(self):
+        repo = LoggerRepository()
+        assert repo.get_logger("x") is repo.get_logger("x")
+
+    def test_empty_logger_name_rejected(self):
+        repo = LoggerRepository()
+        with pytest.raises(ValueError):
+            repo.get_logger("")
+
+    def test_is_enabled_for(self):
+        repo = LoggerRepository(root_level=WARN)
+        log = repo.get_logger("x")
+        assert log.is_enabled_for(ERROR)
+        assert not log.is_enabled_for(INFO)
+
+
+class TestInterception:
+    def test_interceptor_sees_suppressed_debug_calls(self):
+        repo = LoggerRepository(root_level=INFO)
+        interceptor = RecordingInterceptor()
+        repo.add_interceptor(interceptor)
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        log = repo.get_logger("x")
+        log.debug("invisible to output", lpid=7)
+        assert appender.lines == []
+        assert len(interceptor.calls) == 1
+        assert interceptor.calls[0].lpid == 7
+        assert interceptor.calls[0].level == DEBUG
+
+    def test_is_debug_enabled_true_with_interceptor(self):
+        repo = LoggerRepository(root_level=INFO)
+        log = repo.get_logger("x")
+        assert not log.is_debug_enabled()
+        repo.add_interceptor(RecordingInterceptor())
+        assert log.is_debug_enabled(lpid=3)
+        # Unguarded (no lpid) debug checks still honour the level.
+        assert not log.is_debug_enabled()
+
+    def test_interceptor_requires_on_log(self):
+        repo = LoggerRepository()
+        with pytest.raises(TypeError):
+            repo.add_interceptor(object())
+
+    def test_remove_interceptor(self):
+        repo = LoggerRepository()
+        interceptor = RecordingInterceptor()
+        repo.add_interceptor(interceptor)
+        repo.remove_interceptor(interceptor)
+        repo.get_logger("x").info("msg", lpid=1)
+        assert interceptor.calls == []
+
+    def test_clock_used_for_call_time(self):
+        times = iter([10.5, 11.5])
+        repo = LoggerRepository(clock=lambda: next(times))
+        interceptor = RecordingInterceptor()
+        repo.add_interceptor(interceptor)
+        log = repo.get_logger("x")
+        log.info("a", lpid=1)
+        log.info("b", lpid=2)
+        assert [c.time for c in interceptor.calls] == [10.5, 11.5]
+
+
+class TestAppenders:
+    def test_memory_appender_counts_bytes(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender()
+        repo.add_appender(appender)
+        repo.get_logger("x").info("hello %s", "world")
+        assert appender.records_appended == 1
+        assert appender.bytes_appended == len(appender.lines[0].encode())
+        assert "hello world" in appender.lines[0]
+
+    def test_null_appender_counts_but_discards(self):
+        repo = LoggerRepository()
+        appender = NullAppender()
+        repo.add_appender(appender)
+        repo.get_logger("x").info("some message")
+        assert appender.records_appended == 1
+        assert appender.bytes_appended > 0
+
+    def test_memory_appender_max_lines(self):
+        repo = LoggerRepository()
+        appender = MemoryAppender(max_lines=2)
+        repo.add_appender(appender)
+        log = repo.get_logger("x")
+        for i in range(5):
+            log.info("msg %d", i)
+        assert len(appender.lines) == 2
+        assert "msg 4" in appender.lines[-1]
+
+    def test_multiple_appenders_all_receive(self):
+        repo = LoggerRepository()
+        a, b = MemoryAppender(), MemoryAppender()
+        repo.add_appender(a)
+        repo.add_appender(b)
+        repo.get_logger("x").warn("w")
+        assert len(a.lines) == len(b.lines) == 1
+
+
+class TestLayouts:
+    def test_pattern_layout_contains_fields(self):
+        record = LogRecord(
+            time=12.345,
+            level=INFO,
+            logger_name="DataXceiver",
+            thread_name="worker-1",
+            template="Receiving block blk_%s",
+            args=("42",),
+        )
+        line = PatternLayout().format(record)
+        assert "INFO" in line
+        assert "DataXceiver" in line
+        assert "worker-1" in line
+        assert "Receiving block blk_42" in line
+        assert line.endswith("\n")
+
+    def test_simple_layout(self):
+        record = LogRecord(
+            time=0, level=ERROR, logger_name="x", thread_name="t", template="bad"
+        )
+        assert SimpleLayout().format(record) == "ERROR - bad\n"
+
+    def test_bad_template_does_not_raise(self):
+        record = LogRecord(
+            time=0, level=INFO, logger_name="x", thread_name="t",
+            template="%d things", args=("not-an-int",),
+        )
+        message = record.message()
+        assert "things" in message

@@ -1,0 +1,257 @@
+"""Unit and property tests for the LSM storage engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import LSMStore, MemTable, SSTable, WriteAheadLog, merge_entries
+from repro.simsys import Environment, FaultInjector, FaultSpec, SimDisk, SimulatedIOError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def disk(env):
+    return SimDisk(env, seed=5)
+
+
+def run(env, generator):
+    """Drive one process generator to completion, returning its value."""
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from generator
+
+    env.process(wrapper())
+    env.run()
+    return box.get("value")
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put("k", "v", 100, timestamp=1.0)
+        assert table.get("k") == ("v", 1.0)
+
+    def test_newer_timestamp_wins(self):
+        table = MemTable()
+        table.put("k", "old", 100, timestamp=1.0)
+        table.put("k", "new", 100, timestamp=2.0)
+        assert table.get("k")[0] == "new"
+
+    def test_stale_write_ignored(self):
+        table = MemTable()
+        table.put("k", "new", 100, timestamp=2.0)
+        table.put("k", "stale", 100, timestamp=1.0)
+        assert table.get("k")[0] == "new"
+
+    def test_size_tracks_overwrites(self):
+        table = MemTable()
+        table.put("k", "a", 100, timestamp=1.0)
+        table.put("k", "b", 150, timestamp=2.0)
+        assert table.size_bytes == 150
+
+    def test_is_full(self):
+        table = MemTable(flush_threshold_bytes=250)
+        table.put("a", 1, 100, 1.0)
+        assert not table.is_full
+        table.put("b", 2, 200, 2.0)
+        assert table.is_full
+
+    def test_frozen_rejects_writes(self):
+        table = MemTable()
+        table.freeze()
+        with pytest.raises(RuntimeError):
+            table.put("k", "v", 10, 1.0)
+
+    def test_sorted_items(self):
+        table = MemTable()
+        for key in ("b", "a", "c"):
+            table.put(key, key.upper(), 10, 1.0)
+        assert [k for k, *_ in table.sorted_items()] == ["a", "b", "c"]
+
+
+class TestWAL:
+    def test_append_accumulates(self, env, disk):
+        wal = WriteAheadLog(disk)
+        run(env, wal.append(1000))
+        assert wal.total_appends == 1
+        assert wal.pending_bytes == 1000
+
+    def test_segment_rolls_at_threshold(self, env, disk):
+        wal = WriteAheadLog(disk, segment_bytes=1500)
+        run(env, wal.append(1000))
+        assert len(wal.segments) == 1
+        run(env, wal.append(1000))
+        assert len(wal.segments) == 2
+        assert wal.segments[0].sealed
+
+    def test_trim_discards_sealed_only(self, env, disk):
+        wal = WriteAheadLog(disk, segment_bytes=100)
+        run(env, wal.append(150))  # seals segment 0
+        run(env, wal.append(10))  # active segment
+        discarded = run(env, wal.trim())
+        assert discarded == 1
+        assert len(wal.segments) == 1
+        assert wal.pending_bytes == 10
+
+    def test_wal_fault_raises(self, env):
+        disk = SimDisk(env, seed=5)
+        injector = FaultInjector("h", seed=1)
+        injector.arm(FaultSpec("wal", "error", 1.0))
+        disk.fault_injector = injector
+        wal = WriteAheadLog(disk)
+
+        def proc():
+            with pytest.raises(SimulatedIOError):
+                yield from wal.append(100)
+
+        env.process(proc())
+        env.run()
+        assert wal.total_appends == 0
+
+
+class TestSSTable:
+    def test_rejects_unsorted_entries(self, disk):
+        with pytest.raises(ValueError):
+            SSTable([("b", 1, 10, 1.0), ("a", 2, 10, 1.0)], disk)
+
+    def test_read_hit_and_miss(self, env, disk):
+        table = SSTable([("a", "va", 10, 1.0)], disk)
+        assert run(env, table.read("a")) == ("va", 1.0)
+        assert run(env, table.read("zz")) is None
+
+    def test_might_contain(self, disk):
+        table = SSTable([("a", 1, 10, 1.0)], disk)
+        assert table.might_contain("a")
+        assert not table.might_contain("b")
+
+    def test_merge_newest_wins(self, disk):
+        old = SSTable([("k", "old", 10, 1.0)], disk)
+        new = SSTable([("k", "new", 10, 2.0)], disk)
+        merged = merge_entries([old, new])
+        assert merged == [("k", "new", 10, 2.0)]
+
+
+class TestLSMStore:
+    def make_store(self, env, **kwargs):
+        disk = SimDisk(env, seed=5)
+        kwargs.setdefault("memtable_flush_bytes", 300)
+        kwargs.setdefault("compaction_threshold", 3)
+        return LSMStore(disk, **kwargs)
+
+    def test_apply_signals_full(self, env):
+        store = self.make_store(env)
+        assert not store.apply("a", 1, 100, 1.0)
+        assert not store.apply("b", 2, 100, 2.0)
+        assert store.apply("c", 3, 100, 3.0)
+
+    def test_get_from_memtable(self, env):
+        store = self.make_store(env)
+        store.apply("k", "v", 10, 1.0)
+        assert run(env, store.get("k")) == "v"
+
+    def test_get_missing_returns_none(self, env):
+        store = self.make_store(env)
+        assert run(env, store.get("nope")) is None
+
+    def test_flush_moves_data_to_sstable(self, env):
+        store = self.make_store(env)
+        store.apply("k", "v", 350, 1.0)
+        frozen = store.switch_memtable()
+        assert store.pending_flushes == [frozen]
+        run(env, store.flush(frozen))
+        assert store.pending_flushes == []
+        assert len(store.sstables) == 1
+        assert run(env, store.get("k")) == "v"
+
+    def test_get_sees_pending_flush(self, env):
+        store = self.make_store(env)
+        store.apply("k", "v", 350, 1.0)
+        store.switch_memtable()
+        assert run(env, store.get("k")) == "v"
+
+    def test_newest_value_wins_across_layers(self, env):
+        store = self.make_store(env)
+        store.apply("k", "v1", 350, 1.0)
+        frozen = store.switch_memtable()
+        run(env, store.flush(frozen))
+        store.apply("k", "v2", 10, 2.0)
+        assert run(env, store.get("k")) == "v2"
+
+    def test_compaction_preserves_data(self, env):
+        store = self.make_store(env)
+        for round_id in range(3):
+            for key in ("a", "b"):
+                store.apply(key, f"{key}{round_id}", 160, float(round_id))
+            frozen = store.switch_memtable()
+            run(env, store.flush(frozen))
+        assert store.needs_compaction
+        run(env, store.compact())
+        assert len(store.sstables) == 1
+        assert run(env, store.get("a")) == "a2"
+        assert run(env, store.get("b")) == "b2"
+
+    def test_major_compaction_merges_all(self, env):
+        store = self.make_store(env, compaction_threshold=2)
+        for round_id in range(4):
+            store.apply("k", round_id, 350, float(round_id))
+            run(env, store.flush(store.switch_memtable()))
+        run(env, store.compact(major=True))
+        assert len(store.sstables) == 1
+        assert run(env, store.get("k")) == 3
+
+    def test_compacted_output_stays_below_newer_tables(self, env):
+        store = self.make_store(env, compaction_threshold=2)
+        # Two old tables with older values, then a newer table.
+        for round_id in range(3):
+            store.apply("k", f"v{round_id}", 350, float(round_id))
+            run(env, store.flush(store.switch_memtable()))
+        # Compact merges only the two oldest; newest stays on top.
+        run(env, store.compact())
+        assert run(env, store.get("k")) == "v2"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "flush", "compact"]),
+            st.integers(0, 9),
+            st.integers(0, 100),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_store_matches_dict_model(ops):
+    """The LSM store behaves like a plain dict under put/flush/compact."""
+    env = Environment()
+    disk = SimDisk(env, seed=9)
+    store = LSMStore(disk, memtable_flush_bytes=10**9, compaction_threshold=2)
+    model = {}
+    timestamp = 0.0
+
+    def scenario():
+        nonlocal timestamp
+        for op, key_i, value in ops:
+            key = f"k{key_i}"
+            if op == "put":
+                timestamp += 1.0
+                store.apply(key, value, 64, timestamp)
+                model[key] = value
+            elif op == "flush":
+                if len(store.memtable):
+                    frozen = store.switch_memtable()
+                    yield from store.flush(frozen)
+            elif op == "compact":
+                yield from store.compact()
+        for key, expected in model.items():
+            actual = yield from store.get(key)
+            assert actual == expected, (key, actual, expected)
+
+    env.process(scenario())
+    env.run()

@@ -1,0 +1,201 @@
+"""Unit tests for simulation queues and semaphores."""
+
+import pytest
+
+from repro.simsys import Environment, Mutex, QueueClosed, Semaphore, SimQueue
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestSimQueue:
+    def test_put_then_get(self, env):
+        queue = SimQueue(env)
+        got = []
+
+        def consumer():
+            item = yield queue.get()
+            got.append(item)
+
+        def producer():
+            yield queue.put("item")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, env):
+        queue = SimQueue(env)
+        times = []
+
+        def consumer():
+            yield queue.get()
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(5.0)
+            yield queue.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [5.0]
+
+    def test_fifo_item_order(self, env):
+        queue = SimQueue(env)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield queue.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield queue.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_putter(self, env):
+        queue = SimQueue(env, capacity=1)
+        progress = []
+
+        def producer():
+            yield queue.put("a")
+            progress.append(("a", env.now))
+            yield queue.put("b")  # blocks until the consumer drains one
+            progress.append(("b", env.now))
+
+        def consumer():
+            yield env.timeout(10.0)
+            yield queue.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert progress == [("a", 0.0), ("b", 10.0)]
+
+    def test_try_put_respects_capacity(self, env):
+        queue = SimQueue(env, capacity=2)
+        assert queue.try_put(1)
+        assert queue.try_put(2)
+        assert not queue.try_put(3)
+        assert len(queue) == 2
+
+    def test_try_get_returns_none_when_empty(self, env):
+        queue = SimQueue(env)
+        assert queue.try_get() is None
+
+    def test_close_fails_blocked_getters(self, env):
+        queue = SimQueue(env)
+        outcomes = []
+
+        def consumer():
+            try:
+                yield queue.get()
+            except QueueClosed:
+                outcomes.append("closed")
+
+        def closer():
+            yield env.timeout(1.0)
+            queue.close()
+
+        env.process(consumer())
+        env.process(closer())
+        env.run()
+        assert outcomes == ["closed"]
+
+    def test_put_after_close_raises(self, env):
+        queue = SimQueue(env)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("x")
+
+    def test_zero_capacity_rejected(self, env):
+        with pytest.raises(ValueError):
+            SimQueue(env, capacity=0)
+
+    def test_total_enqueued_counts(self, env):
+        queue = SimQueue(env)
+        queue.try_put("a")
+        queue.try_put("b")
+        assert queue.total_enqueued == 2
+
+
+class TestSemaphore:
+    def test_acquire_within_capacity_is_immediate(self, env):
+        sem = Semaphore(env, capacity=2)
+        done = []
+
+        def proc():
+            yield sem.acquire()
+            yield sem.acquire()
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+        assert sem.in_use == 2
+        assert sem.available == 0
+
+    def test_acquire_blocks_at_capacity(self, env):
+        sem = Semaphore(env, capacity=1)
+        times = []
+
+        def holder():
+            yield sem.acquire()
+            yield env.timeout(5.0)
+            sem.release()
+
+        def waiter():
+            yield sem.acquire()
+            times.append(env.now)
+            sem.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert times == [5.0]
+
+    def test_release_unacquired_raises(self, env):
+        sem = Semaphore(env)
+        with pytest.raises(RuntimeError):
+            sem.release()
+
+    def test_waiters_served_fifo(self, env):
+        sem = Semaphore(env, capacity=1)
+        order = []
+
+        def holder():
+            yield sem.acquire()
+            yield env.timeout(1.0)
+            sem.release()
+
+        def waiter(tag):
+            yield sem.acquire()
+            order.append(tag)
+            yield env.timeout(1.0)
+            sem.release()
+
+        env.process(holder())
+        env.process(waiter("w1"))
+        env.process(waiter("w2"))
+        env.run()
+        assert order == ["w1", "w2"]
+
+    def test_mutex_locked_property(self, env):
+        mutex = Mutex(env)
+        assert not mutex.locked
+
+        def proc():
+            yield mutex.acquire()
+
+        env.process(proc())
+        env.run()
+        assert mutex.locked

@@ -1,0 +1,361 @@
+"""Tests for simulated threads, disks, fault injection, and the network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simsys import (
+    Cluster,
+    DELAY_FAULT_SECONDS,
+    DiskHog,
+    Environment,
+    Executor,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    Gate,
+    HIGH_INTENSITY,
+    LOW_INTENSITY,
+    NetworkFabric,
+    SimDisk,
+    SimThread,
+    SimulatedIOError,
+    spawn_worker,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestSimThread:
+    def test_thread_runs_body(self, env):
+        trail = []
+
+        def body():
+            yield env.timeout(1.0)
+            trail.append(env.now)
+
+        SimThread(env, target=body(), name="t1")
+        env.run()
+        assert trail == [1.0]
+
+    def test_active_thread_visible_in_body(self, env):
+        seen = []
+
+        def body():
+            seen.append(env.active_thread.name)
+            yield env.timeout(0)
+
+        SimThread(env, target=body(), name="worker-7")
+        env.run()
+        assert seen == ["worker-7"]
+
+    def test_exit_hooks_fire_once(self, env):
+        fired = []
+
+        def body():
+            yield env.timeout(1.0)
+
+        thread = SimThread(env, target=body())
+        thread.exit_hooks.append(lambda t: fired.append(t.tid))
+        env.run()
+        assert fired == [thread.tid]
+
+    def test_exit_hooks_fire_on_exception(self, env):
+        fired = []
+
+        def body():
+            yield env.timeout(1.0)
+            raise RuntimeError("oops")
+
+        def parent():
+            thread = spawn_worker(env, body())
+            thread.exit_hooks.append(lambda t: fired.append(True))
+            try:
+                yield thread.join()
+            except RuntimeError:
+                pass
+
+        env.process(parent())
+        env.run()
+        assert fired == [True]
+
+    def test_locals_are_per_thread(self, env):
+        def body(value):
+            env.active_thread.locals["x"] = value
+            yield env.timeout(1.0)
+            assert env.active_thread.locals["x"] == value
+
+        SimThread(env, target=body(1))
+        SimThread(env, target=body(2))
+        env.run()
+
+
+class TestExecutor:
+    def test_tasks_run_in_fifo_order(self, env):
+        executor = Executor(env, pool_size=1)
+        order = []
+
+        def task(tag):
+            def body():
+                yield env.timeout(1.0)
+                order.append(tag)
+
+            return body
+
+        for tag in "abc":
+            executor.try_submit(task(tag))
+        env.run(until=10.0)
+        assert order == ["a", "b", "c"]
+        assert executor.completed_tasks == 3
+
+    def test_pool_parallelism(self, env):
+        executor = Executor(env, pool_size=3)
+        done_times = []
+
+        def task():
+            yield env.timeout(5.0)
+            done_times.append(env.now)
+
+        for _ in range(3):
+            executor.try_submit(task)
+        env.run(until=20.0)
+        assert done_times == [5.0, 5.0, 5.0]
+
+    def test_task_error_does_not_kill_worker(self, env):
+        errors = []
+        executor = Executor(
+            env, pool_size=1, on_task_error=lambda t, e: errors.append(str(e))
+        )
+
+        def bad():
+            yield env.timeout(1.0)
+            raise ValueError("bad task")
+
+        def good():
+            yield env.timeout(1.0)
+
+        executor.try_submit(bad)
+        executor.try_submit(good)
+        env.run(until=10.0)
+        assert errors == ["bad task"]
+        assert executor.completed_tasks == 1
+        assert executor.failed_tasks == 1
+
+    def test_on_dequeue_runs_in_worker_context(self, env):
+        contexts = []
+        executor = Executor(
+            env, pool_size=1,
+            on_dequeue=lambda _t: contexts.append(env.active_thread.name),
+        )
+        executor.try_submit(lambda: iter(()))
+        env.run(until=5.0)
+        assert len(contexts) == 1
+        assert "executor" in contexts[0]
+
+    def test_shutdown_stops_workers(self, env):
+        executor = Executor(env, pool_size=2)
+        executor.shutdown()
+        env.run()
+        assert all(not t.is_alive for t in executor.threads)
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self, env):
+        gate = Gate(env)
+        outcome = []
+
+        def proc():
+            ok = yield from gate.wait(1.0)
+            outcome.append(ok)
+
+        env.process(proc())
+        env.run()
+        assert outcome == [True]
+
+    def test_closed_gate_blocks_until_open(self, env):
+        gate = Gate(env)
+        gate.close()
+        times = []
+
+        def waiter():
+            ok = yield from gate.wait()
+            times.append((env.now, ok))
+
+        def opener():
+            yield env.timeout(3.0)
+            gate.open()
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert times == [(3.0, True)]
+
+    def test_timeout_returns_false(self, env):
+        gate = Gate(env)
+        gate.close()
+        outcome = []
+
+        def waiter():
+            ok = yield from gate.wait(2.0)
+            outcome.append((env.now, ok))
+
+        env.process(waiter())
+        env.run()
+        assert outcome == [(2.0, False)]
+
+    def test_nested_close_requires_balanced_opens(self, env):
+        gate = Gate(env)
+        gate.close()
+        gate.close()
+        gate.open()
+        assert gate.is_closed
+        gate.open()
+        assert not gate.is_closed
+
+    def test_unbalanced_open_raises(self, env):
+        with pytest.raises(RuntimeError):
+            Gate(env).open()
+
+
+class TestDiskAndFaults:
+    def run_io(self, env, generator):
+        box = {}
+
+        def wrapper():
+            try:
+                box["ok"] = True
+                yield from generator
+            except SimulatedIOError:
+                box["ok"] = False
+
+        env.process(wrapper())
+        env.run()
+        return box["ok"]
+
+    def test_write_takes_time_and_counts(self, env):
+        disk = SimDisk(env, seed=2)
+        assert self.run_io(env, disk.write(4096, path="wal"))
+        assert env.now > 0
+        assert disk.stats.writes == 1
+        assert disk.stats.written_bytes == 4096
+
+    def test_error_fault_only_hits_matching_path(self, env):
+        disk = SimDisk(env, seed=2)
+        injector = FaultInjector("h", seed=3)
+        injector.arm(FaultSpec("wal", "error", HIGH_INTENSITY))
+        disk.fault_injector = injector
+        assert self.run_io(env, disk.write(100, path="data")) is True
+        assert self.run_io(env, disk.write(100, path="wal")) is False
+        assert injector.hits["error-wal-high"] == 1
+
+    def test_delay_fault_adds_latency(self, env):
+        disk = SimDisk(env, seed=2)
+        injector = FaultInjector("h", seed=3)
+        injector.arm(FaultSpec("wal", "delay", HIGH_INTENSITY))
+        disk.fault_injector = injector
+        start = env.now
+        assert self.run_io(env, disk.write(100, path="wal"))
+        assert env.now - start >= DELAY_FAULT_SECONDS
+
+    def test_low_intensity_hits_about_one_percent(self, env):
+        injector = FaultInjector("h", seed=5)
+        fault = FaultSpec("wal", "error", LOW_INTENSITY)
+        injector.arm(fault)
+        fails = sum(
+            injector.on_io("d", "wal", True).fail for _ in range(20000)
+        )
+        assert 100 < fails < 320  # ~1%
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("wal", "explode", 0.5)
+        with pytest.raises(ValueError):
+            FaultSpec("wal", "error", 1.5)
+
+    def test_fault_spec_host_scoping(self):
+        injector = FaultInjector("host1", seed=1)
+        injector.arm(FaultSpec("wal", "error", 1.0, host="host2"))
+        assert injector.armed_faults == ()
+
+    def test_fault_schedule_arms_and_disarms(self, env):
+        injector = FaultInjector("h", seed=1)
+        schedule = FaultSchedule(env, injector)
+        fault = FaultSpec("wal", "error", 1.0)
+        schedule.add(10.0, 20.0, fault)
+        schedule.start()
+        env.run(until=15.0)
+        assert fault in injector.armed_faults
+        env.run(until=25.0)
+        assert fault not in injector.armed_faults
+        assert schedule.active_at(12.0) == [fault]
+        assert schedule.active_at(25.0) == []
+
+    def test_hog_slowdown_table(self, env):
+        disk = SimDisk(env, seed=1)
+        hog = DiskHog(disk)
+        hog.start(2)
+        assert disk.slowdown_factor == pytest.approx(1.35)
+        assert disk.stall_probability == 0.0
+        hog.start(2)  # now 4 processes: saturation
+        assert disk.slowdown_factor == pytest.approx(2.8)
+        assert disk.stall_probability > 0.0
+        assert hog.cpu_pressure == pytest.approx(1 + 0.35 * 4)
+        hog.stop_all()
+        assert disk.slowdown_factor == 1.0
+
+
+class TestNetwork:
+    def test_send_charges_latency(self, env):
+        network = NetworkFabric(env, seed=1)
+        box = {}
+
+        def proc():
+            box["n"] = yield from network.send("a", "b", 1024)
+
+        env.process(proc())
+        env.run()
+        assert box["n"] == 1024
+        assert env.now > 0
+        assert network.messages_sent == 1
+
+    def test_partition_fails_sends(self, env):
+        network = NetworkFabric(env, seed=1)
+        network.partition("a", "b")
+        failed = []
+
+        def proc():
+            try:
+                yield from network.send("a", "b", 100)
+            except SimulatedIOError:
+                failed.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert failed and failed[0] >= 1.0  # connect-timeout style
+        network.heal("a", "b")
+        assert not network.is_partitioned("a", "b")
+
+    def test_cluster_builds_hosts(self, env):
+        cluster = Cluster(env, ["h1", "h2"], seed=1)
+        assert len(cluster) == 2
+        assert cluster["h1"].disk is not cluster["h2"].disk
+        cluster["h1"].crash()
+        assert [h.name for h in cluster.alive_hosts()] == ["h2"]
+
+    def test_cluster_rejects_duplicates(self, env):
+        with pytest.raises(ValueError):
+            Cluster(env, ["a", "a"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(nbytes=st.integers(0, 10_000_000))
+    def test_transfer_time_positive_and_monotone_in_size(self, nbytes):
+        env = Environment()
+        network = NetworkFabric(env, seed=9)
+        small = network.transfer_time("a", "b", 0)
+        big = network.transfer_time("a", "b", nbytes)
+        assert small > 0
+        # Jitter is resampled per call, so compare against the floor.
+        assert big >= nbytes / network.bandwidth_bps

@@ -1,0 +1,91 @@
+"""Tests for the text visualization helpers."""
+
+import pytest
+
+from repro.core import AnomalyEvent, FLOW, PERFORMANCE
+from repro.viz import TimelineGrid, render_table, render_timeline
+
+
+def event(kind=FLOW, host=0, stage=1, window=0.0):
+    return AnomalyEvent(
+        kind=kind, host_id=host, stage_id=stage,
+        window_start=window, window_end=window + 60.0,
+        outliers=5, n=100, baseline=0.01, p_value=1e-6,
+    )
+
+
+class TestTimelineGrid:
+    def test_marks_land_in_right_window(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=300.0)
+        grid.mark("Table", "host4", 130.0, FLOW)
+        assert grid.rows[("Table", "host4")][2] == {FLOW}
+
+    def test_add_events(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=300.0)
+        grid.add_events(
+            [event(window=60.0), event(kind=PERFORMANCE, window=60.0)],
+            stage_names={1: "Table"},
+            host_names={0: "host1"},
+        )
+        assert grid.rows[("Table", "host1")][1] == {FLOW, PERFORMANCE}
+
+    def test_count_by_kind(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=300.0)
+        grid.mark("A", "h", 10.0, FLOW)
+        grid.mark("A", "h", 70.0, FLOW)
+        grid.mark("B", "h", 10.0, PERFORMANCE)
+        assert grid.count(FLOW) == 2
+        assert grid.count(PERFORMANCE) == 1
+        assert grid.count() == 3
+
+    def test_rows_with(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=300.0)
+        grid.mark("A", "h1", 10.0, FLOW)
+        grid.mark("B", "h2", 10.0, PERFORMANCE)
+        assert grid.rows_with(FLOW) == [("A", "h1")]
+
+    def test_out_of_horizon_marks_dropped(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=120.0)
+        grid.mark("A", "h", 500.0, FLOW)
+        assert grid.count() == 0
+
+
+class TestRenderTimeline:
+    def test_render_contains_glyphs_and_labels(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=240.0)
+        grid.mark("Table", "host4", 70.0, FLOW)
+        grid.mark("Table", "host4", 130.0, PERFORMANCE)
+        grid.mark("Table", "host4", 190.0, FLOW)
+        grid.mark("Table", "host4", 190.0, PERFORMANCE)
+        text = render_timeline(grid, title="demo")
+        assert "demo" in text
+        assert "Table(host4)" in text
+        row = [l for l in text.splitlines() if l.startswith("Table")][0]
+        assert "F" in row and "P" in row and "B" in row
+
+    def test_render_with_throughput_and_faults(self):
+        grid = TimelineGrid(window_s=60.0, horizon_s=240.0)
+        grid.mark("A", "h", 10.0, FLOW)
+        text = render_timeline(
+            grid,
+            throughput=[(0.0, 100.0), (60.0, 50.0)],
+            fault_windows=[(60.0, 120.0, "hog")],
+        )
+        assert "throughput" in text
+        assert "hog" in text
+        assert "^" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["system", "value"], [("cassandra", 1), ("hbase", 22)], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "system" in lines[1]
+        assert "cassandra" in lines[3]
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])

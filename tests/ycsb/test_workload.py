@@ -1,0 +1,169 @@
+"""Tests for the YCSB-like workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simsys import Environment, Event
+from repro.simsys.rng import SimRandom
+from repro.ycsb import (
+    ClientPool,
+    LatestChooser,
+    ThroughputMeter,
+    UniformChooser,
+    Workload,
+    ZipfianChooser,
+    make_chooser,
+    workload_a,
+    workload_b,
+    workload_c,
+    write_heavy,
+)
+from repro.ycsb.client import OpRecord
+
+
+class TestKeyChoosers:
+    def test_uniform_covers_space(self):
+        chooser = UniformChooser(100, SimRandom(1))
+        seen = {chooser.next_index() for _ in range(5000)}
+        assert len(seen) > 90
+
+    def test_zipfian_is_skewed(self):
+        chooser = ZipfianChooser(1000, SimRandom(1))
+        draws = [chooser.next_index() for _ in range(20000)]
+        top_share = sum(1 for d in draws if d < 10) / len(draws)
+        assert top_share > 0.2  # top 1% of keys gets >20% of traffic
+
+    def test_zipfian_in_range(self):
+        chooser = ZipfianChooser(50, SimRandom(3))
+        for _ in range(2000):
+            assert 0 <= chooser.next_index() < 50
+
+    def test_latest_prefers_recent(self):
+        chooser = LatestChooser(1000, SimRandom(1))
+        draws = [chooser.next_index() for _ in range(10000)]
+        recent_share = sum(1 for d in draws if d >= 990) / len(draws)
+        assert recent_share > 0.2
+
+    def test_factory(self):
+        assert isinstance(make_chooser("uniform", 10, SimRandom(1)), UniformChooser)
+        assert isinstance(make_chooser("zipfian", 10, SimRandom(1)), ZipfianChooser)
+        with pytest.raises(ValueError):
+            make_chooser("nope", 10, SimRandom(1))
+
+    def test_key_format(self):
+        chooser = UniformChooser(10, SimRandom(1))
+        key = chooser.next_key()
+        assert key.startswith("user")
+        assert len(key) == len("user") + 12
+
+
+class TestWorkloads:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Workload("bad", read_proportion=0.5, update_proportion=0.1)
+
+    def test_standard_workloads(self):
+        assert workload_a().read_proportion == 0.5
+        assert workload_b().read_proportion == 0.95
+        assert workload_c().read_proportion == 1.0
+        assert write_heavy().update_proportion == 0.9
+
+    def test_generator_respects_mix(self):
+        generator = write_heavy(record_count=100).generator(SimRandom(5))
+        for _ in range(2000):
+            generator.next_operation()
+        total = sum(generator.counts.values())
+        write_share = generator.counts["write"] / total
+        assert 0.85 < write_share < 0.95
+
+    def test_inserts_extend_keyspace(self):
+        workload = Workload(
+            "insert", insert_proportion=1.0, record_count=10
+        )
+        generator = workload.generator(SimRandom(1))
+        keys = {generator.next_operation().key for _ in range(5)}
+        assert len(keys) == 5
+        assert all(int(k[4:]) > 10 for k in keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_operations_always_valid(self, seed):
+        generator = workload_a(record_count=50).generator(SimRandom(seed))
+        op = generator.next_operation()
+        assert op.kind in ("read", "write")
+        assert op.key.startswith("user")
+        assert op.value_bytes > 0
+
+
+class TestThroughputMeter:
+    def test_series_counts_per_window(self):
+        meter = ThroughputMeter(window_s=10.0)
+        for t in (1.0, 2.0, 11.0, 25.0):
+            meter.record(OpRecord(t, "write", 0.01, True))
+        series = dict(meter.series(until=30.0))
+        assert series[0.0] == pytest.approx(0.2)
+        assert series[10.0] == pytest.approx(0.1)
+        assert series[20.0] == pytest.approx(0.1)
+
+    def test_failed_ops_excluded_by_default(self):
+        meter = ThroughputMeter(window_s=10.0)
+        meter.record(OpRecord(1.0, "write", 0.01, False))
+        assert meter.completed_ops() == 0
+        assert meter.completed_ops(ok_only=False) == 1
+
+    def test_mean_throughput(self):
+        meter = ThroughputMeter()
+        for i in range(50):
+            meter.record(OpRecord(i * 0.1, "write", 0.01, True))
+        assert meter.mean_throughput(0.0, 5.0) == pytest.approx(10.0)
+
+
+class TestClientPool:
+    def test_closed_loop_clients_drive_ops(self):
+        env = Environment()
+        served = []
+
+        def submit(node, op):
+            served.append((node, op.kind))
+            event = Event(env)
+
+            def reply():
+                yield env.timeout(0.01)
+                event.succeed(True)
+
+            env.process(reply())
+            return event
+
+        pool = ClientPool(
+            env, write_heavy(record_count=100), submit, ["n1", "n2"],
+            n_clients=4, think_time_s=0.01, seed=3,
+        )
+        env.run(until=10.0)
+        assert len(served) > 100
+        assert {node for node, _ in served} == {"n1", "n2"}
+        # Ops still in flight when the clock stops are served but not yet
+        # recorded: at most one per client.
+        assert len(served) - 4 <= pool.meter.completed_ops() <= len(served)
+
+    def test_failing_node_is_blacklisted(self):
+        env = Environment()
+        hits = {"bad": 0, "good": 0}
+
+        def submit(node, op):
+            hits[node] += 1
+            event = Event(env)
+
+            def reply():
+                yield env.timeout(0.01)
+                event.succeed(node == "good")
+
+            env.process(reply())
+            return event
+
+        ClientPool(
+            env, write_heavy(record_count=100), submit, ["bad", "good"],
+            n_clients=2, think_time_s=0.01, seed=3, blacklist_s=5.0,
+        )
+        env.run(until=20.0)
+        assert hits["good"] > 3 * hits["bad"]
