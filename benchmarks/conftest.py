@@ -9,6 +9,13 @@ assertions check the paper's shape.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a long-running experiment: mark them all slow
+    so ``-m "not slow"`` gives a quick loop."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

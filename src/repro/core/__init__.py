@@ -28,15 +28,35 @@ from .features import (
     features_from,
     format_signature,
 )
+from .interning import (
+    InternedSignature,
+    canonical_tuple,
+    clear_intern_table,
+    intern_signature,
+    intern_table_size,
+)
 from .logpoints import LogPoint, LogPointRegistry
 from .model import OutlierModel, SignatureProfile, StageModel, TaskLabel
 from .persistence import load_model, model_from_json, model_to_json, save_model
 from .pipeline import SAAD, NodeRuntime
 from .report import AnomalyReporter
 from .stages import Stage, StageRegistry
-from .stats import ProportionTest, kfold_splits, percentile, proportion_exceeds_test
+from .stats import (
+    ProportionTest,
+    kfold_splits,
+    percentile,
+    percentile_sorted,
+    proportion_exceeds_test,
+)
 from .stream import SynopsisCollector, SynopsisStream
-from .synopsis import TaskSynopsis, decode_batch, encode_batch
+from .synopsis import (
+    TaskSynopsis,
+    decode_batch,
+    decode_frame,
+    decode_frames,
+    encode_batch,
+    encode_frame,
+)
 from .tracker import TaskExecutionTracker, TrackerStats
 
 __all__ = [
@@ -45,6 +65,7 @@ __all__ = [
     "AnomalyReporter",
     "FLOW",
     "FeatureVector",
+    "InternedSignature",
     "LogPoint",
     "LogPointRegistry",
     "NodeRuntime",
@@ -68,15 +89,23 @@ __all__ = [
     "TaskSynopsis",
     "ThreadContextProvider",
     "TrackerStats",
+    "canonical_tuple",
+    "clear_intern_table",
     "decode_batch",
+    "decode_frame",
+    "decode_frames",
     "encode_batch",
+    "encode_frame",
     "features_from",
     "format_signature",
+    "intern_signature",
+    "intern_table_size",
     "kfold_splits",
     "load_model",
     "model_from_json",
     "model_to_json",
     "percentile",
+    "percentile_sorted",
     "proportion_exceeds_test",
     "save_model",
 ]

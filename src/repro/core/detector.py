@@ -10,15 +10,23 @@ key.  When a window closes (event time passes its end) it runs:
 
 Emitted :class:`AnomalyEvent` objects carry everything the reporting
 layer needs to render a human-readable root-cause hint.
+
+Hot-path notes: open windows are indexed by a min-heap of window indices,
+so each ``observe`` peeks at the earliest deadline instead of scanning
+every open bucket (closing is O(ripe · log open) amortized); per-(stage,
+signature) performance baselines are memoized because the model is frozen
+for the detector's lifetime.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey
+from .interning import canonical_tuple
 from .model import OutlierModel
 from .stats import ProportionTest, proportion_exceeds_test
 from .synopsis import TaskSynopsis
@@ -77,57 +85,116 @@ class AnomalyDetector:
         self.config = config or model.config
         self.lateness_s = lateness_s
         self._buckets: Dict[Tuple[StageKey, int], _WindowBucket] = {}
+        # Ripeness index: min-heap of open window indices plus, per index,
+        # the stage keys opened in arrival order (for deterministic close
+        # order matching the insertion-ordered scan it replaces).
+        self._index_heap: List[int] = []
+        self._index_keys: Dict[int, List[StageKey]] = {}
         self._watermark = float("-inf")
         self.anomalies: List[AnomalyEvent] = []
         self.tasks_seen = 0
+        #: Buckets examined for ripeness so far — the old implementation
+        #: visited every open bucket on every observe; the heap visits
+        #: one per peek.  Exposed for tests/benchmarks.
+        self.bucket_probe_count = 0
+        #: Windows finalized so far (ripe closes + flush).
+        self.windows_closed = 0
+        # (stage_key, signature) -> baseline proportion for the perf test.
+        self._perf_baselines: Dict[Tuple[StageKey, Signature], float] = {}
 
     # -- ingestion -----------------------------------------------------------
     def observe(self, synopsis: TaskSynopsis) -> List[AnomalyEvent]:
-        """Ingest one synopsis; returns anomalies from any closed windows."""
-        return self.observe_feature(FeatureVector.from_synopsis(synopsis))
+        """Ingest one synopsis; returns anomalies from any closed windows.
+
+        Fast path: classifies straight from the synopsis fields without
+        materializing a :class:`FeatureVector`.
+        """
+        stage_key = (
+            (synopsis.host_id, synopsis.stage_id)
+            if self.model.config.per_host
+            else (0, synopsis.stage_id)
+        )
+        return self._observe(
+            stage_key, synopsis.signature, synopsis.duration, synopsis.start_time
+        )
 
     def observe_feature(self, feature: FeatureVector) -> List[AnomalyEvent]:
+        return self._observe(
+            self.model.stage_key_for(feature),
+            feature.signature,
+            feature.duration,
+            feature.start_time,
+        )
+
+    def _observe(
+        self,
+        stage_key: StageKey,
+        signature: Signature,
+        duration: float,
+        start_time: float,
+    ) -> List[AnomalyEvent]:
         self.tasks_seen += 1
-        label = self.model.classify(feature)
-        stage_key = self.model.stage_key_for(feature)
-        index = int(feature.start_time // self.config.window_s)
-        bucket = self._buckets.setdefault((stage_key, index), _WindowBucket())
+        label = self.model.classify_parts(stage_key, signature, duration)
+        index = int(start_time // self.config.window_s)
+        bucket_key = (stage_key, index)
+        bucket = self._buckets.get(bucket_key)
+        if bucket is None:
+            bucket = self._buckets[bucket_key] = _WindowBucket()
+            keys = self._index_keys.get(index)
+            if keys is None:
+                self._index_keys[index] = [stage_key]
+                heapq.heappush(self._index_heap, index)
+            else:
+                keys.append(stage_key)
         bucket.n += 1
         if label.any_flow:
             bucket.flow_outliers += 1
         if label.new_signature:
-            bucket.new_signatures.add(feature.signature)
+            bucket.new_signatures.add(signature)
         if label.perf_eligible:
-            counts = bucket.perf.setdefault(feature.signature, [0, 0])
+            counts = bucket.perf.get(signature)
+            if counts is None:
+                counts = bucket.perf[signature] = [0, 0]
             counts[1] += 1
             if label.perf_outlier:
                 counts[0] += 1
-        self._watermark = max(self._watermark, feature.start_time)
+        if start_time > self._watermark:
+            self._watermark = start_time
         return self._close_ripe_windows()
 
     def flush(self) -> List[AnomalyEvent]:
         """Close every open window (end of stream)."""
         emitted: List[AnomalyEvent] = []
-        for key in sorted(self._buckets, key=lambda pair: pair[1]):
-            emitted.extend(self._close_window(key))
+        for index in sorted(self._index_keys):
+            for stage_key in self._index_keys[index]:
+                emitted.extend(self._close_window((stage_key, index)))
         self._buckets.clear()
+        self._index_keys.clear()
+        self._index_heap.clear()
         return emitted
 
     # -- window lifecycle -------------------------------------------------------
     def _close_ripe_windows(self) -> List[AnomalyEvent]:
+        heap = self._index_heap
+        if not heap:
+            return []
         width = self.config.window_s
+        horizon = self._watermark - self.lateness_s
+        self.bucket_probe_count += 1
+        if (heap[0] + 1) * width > horizon:
+            return []  # earliest open window is not ripe — nothing to scan
         emitted: List[AnomalyEvent] = []
-        ripe = [
-            key
-            for key in self._buckets
-            if (key[1] + 1) * width + self.lateness_s <= self._watermark
-        ]
-        for key in sorted(ripe, key=lambda pair: pair[1]):
-            emitted.extend(self._close_window(key))
-            del self._buckets[key]
+        while heap and (heap[0] + 1) * width <= horizon:
+            index = heapq.heappop(heap)
+            self.bucket_probe_count += 1
+            for stage_key in self._index_keys.pop(index):
+                key = (stage_key, index)
+                emitted.extend(self._close_window(key))
+                del self._buckets[key]
         return emitted
 
     def _close_window(self, key: Tuple[StageKey, int]) -> List[AnomalyEvent]:
+        self.windows_closed += 1
         stage_key, index = key
         bucket = self._buckets[key]
         width = self.config.window_s
@@ -155,7 +222,7 @@ class AnomalyDetector:
                         baseline=flow_baseline,
                         p_value=0.0,
                         new_signatures=tuple(
-                            sorted(bucket.new_signatures, key=sorted)
+                            sorted(bucket.new_signatures, key=canonical_tuple)
                         ),
                     )
                 )
@@ -177,7 +244,9 @@ class AnomalyDetector:
                     n=bucket.n,
                     baseline=flow_baseline,
                     p_value=flow_test.p_value if flow_test.reject else 0.0,
-                    new_signatures=tuple(sorted(bucket.new_signatures, key=sorted)),
+                    new_signatures=tuple(
+                        sorted(bucket.new_signatures, key=canonical_tuple)
+                    ),
                 )
             )
 
@@ -186,11 +255,7 @@ class AnomalyDetector:
         for signature, (outliers, eligible) in bucket.perf.items():
             if eligible < self.config.min_window_tasks:
                 continue
-            baseline = 1.0 - self.config.duration_percentile
-            if stage_model is not None:
-                profile = stage_model.signatures.get(signature)
-                if profile is not None:
-                    baseline = max(baseline, profile.perf_outlier_share)
+            baseline = self._perf_baseline(stage_key, stage_model, signature)
             test = proportion_exceeds_test(
                 outliers, eligible, baseline, self.config.alpha
             )
@@ -212,8 +277,23 @@ class AnomalyDetector:
                     n=total_eligible,
                     baseline=worst.baseline,
                     p_value=worst.p_value,
-                    offending_signatures=tuple(sorted(offending, key=sorted)),
+                    offending_signatures=tuple(sorted(offending, key=canonical_tuple)),
                 )
             )
         self.anomalies.extend(events)
         return events
+
+    def _perf_baseline(
+        self, stage_key: StageKey, stage_model, signature: Signature
+    ) -> float:
+        """Memoized ``max(1 - q, trained outlier share)`` for one group."""
+        memo_key = (stage_key, signature)
+        baseline = self._perf_baselines.get(memo_key)
+        if baseline is None:
+            baseline = 1.0 - self.config.duration_percentile
+            if stage_model is not None:
+                profile = stage_model.signatures.get(signature)
+                if profile is not None:
+                    baseline = max(baseline, profile.perf_outlier_share)
+            self._perf_baselines[memo_key] = baseline
+        return baseline

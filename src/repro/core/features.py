@@ -7,6 +7,11 @@ From each task synopsis the analyzer derives the feature vector
   the slightest difference means the task executed different code.
 * **duration** — seconds from task start to its last log point; the
   performance feature.
+
+Signatures are interned (see :mod:`repro.core.interning`): vectorizing a
+million tasks that executed the same code path yields a million feature
+vectors sharing *one* frozenset object, so every downstream dict lookup
+hits a cached hash.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Tuple
 
+from .interning import canonical_tuple
 from .synopsis import TaskSynopsis
 
 Signature = FrozenSet[int]
@@ -22,7 +28,7 @@ Signature = FrozenSet[int]
 StageKey = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeatureVector:
     """The analyzer-side view of one task."""
 
@@ -56,4 +62,4 @@ def features_from(synopses: Iterable[TaskSynopsis]) -> List[FeatureVector]:
 
 def format_signature(signature: Signature) -> str:
     """Stable human-readable form, e.g. ``{L1,L2,L4,L5}``."""
-    return "{" + ",".join(f"L{lpid}" for lpid in sorted(signature)) + "}"
+    return "{" + ",".join(f"L{lpid}" for lpid in canonical_tuple(signature)) + "}"

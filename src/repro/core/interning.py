@@ -1,0 +1,87 @@
+"""Signature interning (hot-path optimization).
+
+A run of the analyzer sees millions of tasks but only a handful of
+distinct signatures per stage (paper Fig. 6: the top few signatures cover
+>99 % of tasks).  Building a fresh ``frozenset`` per task therefore
+allocates millions of identical objects and re-hashes the same element
+sets over and over in every dict/set lookup.
+
+The intern table maps the *canonical tuple* of a signature (its sorted
+log-point ids) to one shared :class:`InternedSignature` instance.  The
+shared instance
+
+* is a ``frozenset`` subclass, so it compares and hashes exactly like the
+  plain frozensets used throughout the tests and public API;
+* caches its canonical tuple, so sorting signatures (reporting, window
+  close) never re-sorts the elements;
+* benefits from CPython's internal frozenset hash caching: the hash is
+  computed once for the whole run instead of once per task.
+
+The table is process-global on purpose — synopsis decoding, feature
+extraction, model training, and detection all funnel through it so that
+equal signatures are *identity*-equal across layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+__all__ = [
+    "InternedSignature",
+    "canonical_tuple",
+    "clear_intern_table",
+    "intern_signature",
+    "intern_table_size",
+]
+
+#: Safety valve: beyond this many distinct signatures the table stops
+#: growing (an instrumentation bug emitting per-task ids would otherwise
+#: leak unboundedly).  Real workloads have a few dozen signatures.
+MAX_INTERNED_SIGNATURES = 1 << 16
+
+_table: Dict[Tuple[int, ...], "InternedSignature"] = {}
+
+
+class InternedSignature(frozenset):
+    """A frozenset of log-point ids with its sorted tuple precomputed."""
+
+    __slots__ = ("canonical",)
+
+    canonical: Tuple[int, ...]
+
+
+def intern_signature(log_points: Iterable[int]) -> InternedSignature:
+    """Return the shared signature for this set of log-point ids.
+
+    Accepts any iterable of ids (typically a synopsis's ``log_points``
+    dict, whose iteration yields the keys).  Two calls with equal id sets
+    return the *same* object while the table has room.
+    """
+    key = tuple(sorted(log_points))
+    signature = _table.get(key)
+    if signature is None:
+        signature = InternedSignature(key)
+        signature.canonical = key
+        if len(_table) < MAX_INTERNED_SIGNATURES:
+            # setdefault keeps interning race-free: concurrent first
+            # encounters agree on one canonical instance.
+            signature = _table.setdefault(key, signature)
+    return signature
+
+
+def canonical_tuple(signature: Iterable[int]) -> Tuple[int, ...]:
+    """Sorted element tuple; free for interned signatures."""
+    canonical = getattr(signature, "canonical", None)
+    if canonical is not None:
+        return canonical
+    return tuple(sorted(signature))
+
+
+def intern_table_size() -> int:
+    """Number of distinct signatures currently interned."""
+    return len(_table)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned signatures (tests / long-lived process hygiene)."""
+    _table.clear()

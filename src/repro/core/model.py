@@ -12,18 +12,28 @@ Training is deliberately cheap — counting and percentiles:
    the signature when the average rate is far above the nominal
    ``1 - duration_percentile``.
 
+Each signature's durations are sorted **once**; the threshold, the
+outlier share, and every fold's held-out rate are derived from that one
+sorted array (the per-fold training percentile walks the sorted array
+skipping the held-out multiset instead of copying and re-sorting).
+
 Classification at runtime is hash-map lookups plus one float comparison,
-matching the paper's "extremely light-weight" claim.
+matching the paper's "extremely light-weight" claim; the hot path
+(:meth:`OutlierModel.classify_parts`) returns per-profile cached labels
+so steady-state classification allocates nothing.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey, features_from
-from .stats import kfold_splits, percentile
+from .interning import InternedSignature, intern_signature
+from .stats import kfold_splits, percentile_sorted
 from .synopsis import TaskSynopsis
 
 
@@ -39,6 +49,14 @@ class SignatureProfile:
     perf_outlier_share: float = 0.0
     perf_eligible: bool = False
     cv_outlier_rate: Optional[float] = None
+    # Cached classification results (all tasks of one profile with the
+    # same outlier verdict get the same immutable label).
+    _label_normal: Optional["TaskLabel"] = field(
+        default=None, repr=False, compare=False
+    )
+    _label_perf_outlier: Optional["TaskLabel"] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -70,6 +88,46 @@ class TaskLabel:
         return self.flow_outlier or self.new_signature
 
 
+#: Shared label for tasks whose signature (or stage) was never trained.
+_LABEL_NEW_SIGNATURE = TaskLabel(
+    flow_outlier=False, new_signature=True, perf_outlier=False, perf_eligible=False
+)
+
+
+def _percentile_excluding(
+    ordered: List[float], exclude: Dict[float, int], m: int, q: float
+) -> float:
+    """``q``-quantile of ``ordered`` minus the ``exclude`` multiset.
+
+    ``ordered`` is the full sorted duration array; ``exclude`` maps value
+    -> occurrences held out (consumed destructively); ``m`` is the size of
+    the remaining training multiset (must be >= 2).  Walks the sorted
+    array from the top, so for high quantiles it touches only the tail.
+    """
+    position = q * (m - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    lower_value: Optional[float] = None
+    upper_value: Optional[float] = None
+    index = m - 1
+    for value in reversed(ordered):
+        remaining = exclude.get(value)
+        if remaining:
+            exclude[value] = remaining - 1
+            continue
+        if index == upper:
+            upper_value = value
+        if index == lower:
+            lower_value = value
+            break
+        index -= 1
+    assert lower_value is not None and upper_value is not None
+    if lower == upper:
+        return float(lower_value)
+    weight = position - lower
+    return float(lower_value * (1.0 - weight) + upper_value * weight)
+
+
 class OutlierModel:
     """The trained classifier: stage -> signature stats + thresholds."""
 
@@ -86,9 +144,13 @@ class OutlierModel:
     def train_features(self, features: List[FeatureVector]) -> "OutlierModel":
         config = self.config
         grouped: Dict[StageKey, Dict[Signature, List[float]]] = {}
+        per_host = config.per_host
         for feature in features:
-            key = feature.stage_key if config.per_host else (0, feature.stage_id)
-            grouped.setdefault(key, {}).setdefault(feature.signature, []).append(
+            key = feature.stage_key if per_host else (0, feature.stage_id)
+            signature = feature.signature
+            if not isinstance(signature, InternedSignature):
+                signature = intern_signature(signature)
+            grouped.setdefault(key, {}).setdefault(signature, []).append(
                 feature.duration
             )
 
@@ -116,15 +178,21 @@ class OutlierModel:
         return self
 
     def _fit_duration(self, profile: SignatureProfile, durations: List[float]) -> None:
-        """Steps 2-3: percentile threshold plus k-fold stability check."""
+        """Steps 2-3: percentile threshold plus k-fold stability check.
+
+        One ``sorted()`` call per signature; everything else — threshold,
+        outlier share, per-fold training percentiles — reads that array.
+        """
         config = self.config
-        if len(durations) < config.min_signature_samples:
+        n = len(durations)
+        if n < config.min_signature_samples:
             return
-        profile.duration_threshold = percentile(durations, config.duration_percentile)
-        nominal_rate = 1.0 - config.duration_percentile
-        profile.perf_outlier_share = sum(
-            1 for d in durations if d > profile.duration_threshold
-        ) / len(durations)
+        ordered = sorted(durations)
+        q = config.duration_percentile
+        threshold = percentile_sorted(ordered, q)
+        profile.duration_threshold = threshold
+        nominal_rate = 1.0 - q
+        profile.perf_outlier_share = (n - bisect_right(ordered, threshold)) / n
 
         # k-fold cross-validation (paper Sec. 3.3.2): is the held-out
         # outlier rate consistent with what a stable distribution would
@@ -132,17 +200,23 @@ class OutlierModel:
         # q-quantile threshold built from m samples is NOT (1-q) but
         # (m(1-q) + 1) / (m + 1)  — the order-statistic correction that
         # matters at small m.  Discard only rates far above *that*.
+        # Folds are contiguous runs of the *collection order* (so drift
+        # over the trace is what gets caught), while each fold's training
+        # percentile comes from the shared sorted array.
         rates = []
         expected_rates = []
-        splits = kfold_splits(len(durations), config.kfold)
-        for start, end in splits:
+        for start, end in kfold_splits(n, config.kfold):
             held_out = durations[start:end]
-            training = durations[:start] + durations[end:]
-            if not held_out or len(training) < 2:
+            m = n - len(held_out)
+            if not held_out or m < 2:
                 continue
-            threshold = percentile(training, config.duration_percentile)
-            rates.append(sum(1 for d in held_out if d > threshold) / len(held_out))
-            m = len(training)
+            exclude: Dict[float, int] = {}
+            for value in held_out:
+                exclude[value] = exclude.get(value, 0) + 1
+            fold_threshold = _percentile_excluding(ordered, exclude, m, q)
+            rates.append(
+                sum(1 for d in held_out if d > fold_threshold) / len(held_out)
+            )
             expected_rates.append((m * nominal_rate + 1.0) / (m + 1.0))
         if not rates:
             return
@@ -161,37 +235,50 @@ class OutlierModel:
 
     def classify(self, feature: FeatureVector) -> TaskLabel:
         """Label one task; unknown stages yield all-normal labels."""
+        return self.classify_parts(
+            self.stage_key_for(feature), feature.signature, feature.duration
+        )
+
+    def classify_parts(
+        self, stage_key: StageKey, signature: Signature, duration: float
+    ) -> TaskLabel:
+        """Hot-path classification from the raw feature components.
+
+        Avoids constructing a :class:`FeatureVector` and returns cached
+        label objects — zero allocations at steady state.
+        """
         if not self.trained:
             raise RuntimeError("model must be trained before classification")
-        stage = self.stages.get(self.stage_key_for(feature))
+        stage = self.stages.get(stage_key)
         if stage is None:
             # A whole stage never seen in training: treat its tasks as new
             # flows (conservative; surfaces brand-new code paths).
-            return TaskLabel(
-                flow_outlier=False,
-                new_signature=True,
-                perf_outlier=False,
-                perf_eligible=False,
-            )
-        profile = stage.signatures.get(feature.signature)
+            return _LABEL_NEW_SIGNATURE
+        profile = stage.signatures.get(signature)
         if profile is None:
-            return TaskLabel(
-                flow_outlier=False,
-                new_signature=True,
+            return _LABEL_NEW_SIGNATURE
+        threshold = profile.duration_threshold
+        if profile.perf_eligible and threshold is not None and duration > threshold:
+            label = profile._label_perf_outlier
+            if label is None:
+                label = TaskLabel(
+                    flow_outlier=profile.is_flow_outlier,
+                    new_signature=False,
+                    perf_outlier=True,
+                    perf_eligible=True,
+                )
+                profile._label_perf_outlier = label
+            return label
+        label = profile._label_normal
+        if label is None:
+            label = TaskLabel(
+                flow_outlier=profile.is_flow_outlier,
+                new_signature=False,
                 perf_outlier=False,
-                perf_eligible=False,
+                perf_eligible=profile.perf_eligible,
             )
-        perf_outlier = (
-            profile.perf_eligible
-            and profile.duration_threshold is not None
-            and feature.duration > profile.duration_threshold
-        )
-        return TaskLabel(
-            flow_outlier=profile.is_flow_outlier,
-            new_signature=False,
-            perf_outlier=perf_outlier,
-            perf_eligible=profile.perf_eligible,
-        )
+            profile._label_normal = label
+        return label
 
     # -- introspection ------------------------------------------------------------
     def signature_distribution(self, stage_key: StageKey) -> List[Tuple[Signature, float]]:

@@ -15,6 +15,7 @@ import json
 from typing import Dict
 
 from .config import SAADConfig
+from .interning import intern_signature
 from .model import OutlierModel, SignatureProfile, StageModel
 
 FORMAT_VERSION = 1
@@ -80,7 +81,9 @@ def model_from_json(payload: str) -> OutlierModel:
             flow_outlier_share=stage_data["flow_outlier_share"],
         )
         for entry in stage_data["signatures"]:
-            signature = frozenset(entry["log_points"])
+            # Interned so a reloaded model shares signature objects with
+            # live decoding/feature extraction.
+            signature = intern_signature(entry["log_points"])
             stage.signatures[signature] = SignatureProfile(
                 signature=signature,
                 count=entry["count"],

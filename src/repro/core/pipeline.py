@@ -24,7 +24,7 @@ from .logpoints import LogPointRegistry
 from .model import OutlierModel
 from .report import AnomalyReporter
 from .stages import StageRegistry
-from .stream import SynopsisCollector, SynopsisStream
+from .stream import DEFAULT_FLUSH_SIZE, SynopsisCollector, SynopsisStream
 from .synopsis import TaskSynopsis
 from .tracker import TaskExecutionTracker
 
@@ -41,12 +41,15 @@ class NodeRuntime:
         clock: Callable[[], float],
         log_level: int = INFO,
         wire_format: bool = False,
+        wire_flush_size: int = DEFAULT_FLUSH_SIZE,
         tracker_enabled: bool = True,
     ):
         self.saad = saad
         self.host_id = host_id
         self.host_name = host_name
-        self.stream = SynopsisStream(wire_format=wire_format, retain=False)
+        self.stream = SynopsisStream(
+            wire_format=wire_format, retain=False, flush_size=wire_flush_size
+        )
         self.tracker = TaskExecutionTracker(
             host_id=host_id,
             sink=self.stream.sink,
@@ -93,6 +96,7 @@ class SAAD:
         clock: Optional[Callable[[], float]] = None,
         log_level: int = INFO,
         wire_format: bool = False,
+        wire_flush_size: int = DEFAULT_FLUSH_SIZE,
         tracker_enabled: bool = True,
     ) -> NodeRuntime:
         """Create and register the runtime for one node."""
@@ -106,6 +110,7 @@ class SAAD:
             clock=clock or _time.time,
             log_level=log_level,
             wire_format=wire_format,
+            wire_flush_size=wire_flush_size,
             tracker_enabled=tracker_enabled,
         )
         self.collector.attach(node.stream)

@@ -71,9 +71,19 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not values:
         raise ValueError("percentile of empty sequence")
+    return percentile_sorted(sorted(values), q)
+
+
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` for input that is *already sorted ascending*.
+
+    The training hot path sorts each signature's durations once and
+    derives every threshold from that single sorted array.
+    """
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0,1], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     position = q * (len(ordered) - 1)

@@ -2,18 +2,28 @@
 
 Each node's tracker writes into a :class:`SynopsisStream`; streams from
 all nodes feed a :class:`SynopsisCollector`.  The stream can optionally
-round-trip every synopsis through the binary wire codec, both to exercise
-the transport path and to account the monitoring-data volume that the
-Fig. 8 experiment measures.
+account the binary wire volume that the Fig. 8 experiment measures and
+batch encoded synopses into length-prefixed frames (see
+:func:`repro.core.synopsis.encode_frame`) for transport.
+
+Hot-path note: with ``wire_format=True`` each synopsis is encoded exactly
+once — the encoded payload is buffered for the next frame flush while the
+in-memory object flows on to subscribers.  (The old implementation
+encoded *and* re-decoded every synopsis inline, doing the codec work
+twice per task.)  Wire-level fidelity is covered by the codec round-trip
+property tests instead of a per-task decode.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from .synopsis import TaskSynopsis
+from .synopsis import FRAME_HEADER, MAX_FRAME_SYNOPSES, TaskSynopsis, decode_frame
 
 Subscriber = Callable[[TaskSynopsis], None]
+FrameSink = Callable[[bytes], None]
+
+DEFAULT_FLUSH_SIZE = 64
 
 
 class SynopsisStream:
@@ -22,19 +32,38 @@ class SynopsisStream:
     Parameters
     ----------
     wire_format:
-        When True, each synopsis is encoded and re-decoded (simulating the
-        network hop) and byte volume is accounted.
+        When True, each synopsis is encoded (once) and byte volume is
+        accounted; encoded payloads are batched into frames of
+        ``flush_size`` synopses.
     retain:
         Keep synopses in memory (handy for training-trace collection).
+    flush_size:
+        Number of encoded synopses per frame when ``wire_format`` is on.
+    frame_sink:
+        Optional callable receiving each flushed frame's bytes (a real
+        transport, a file, or a :meth:`SynopsisCollector.receive_frame`).
     """
 
-    def __init__(self, wire_format: bool = False, retain: bool = True):
+    def __init__(
+        self,
+        wire_format: bool = False,
+        retain: bool = True,
+        flush_size: int = DEFAULT_FLUSH_SIZE,
+        frame_sink: Optional[FrameSink] = None,
+    ):
+        if not 1 <= flush_size <= MAX_FRAME_SYNOPSES:
+            raise ValueError(f"flush_size out of range: {flush_size}")
         self.wire_format = wire_format
         self.retain = retain
+        self.flush_size = flush_size
+        self.frame_sink = frame_sink
         self.synopses: List[TaskSynopsis] = []
         self.subscribers: List[Subscriber] = []
         self.count = 0
         self.bytes_streamed = 0
+        self.frames_flushed = 0
+        self.frame_bytes = 0
+        self._pending: List[bytes] = []
 
     def sink(self, synopsis: TaskSynopsis) -> None:
         """The tracker's sink callable."""
@@ -42,13 +71,37 @@ class SynopsisStream:
         if self.wire_format:
             payload = synopsis.encode()
             self.bytes_streamed += len(payload)
-            synopsis = TaskSynopsis.decode(payload)
+            self._pending.append(payload)
+            if len(self._pending) >= self.flush_size:
+                self.flush_wire()
         else:
             self.bytes_streamed += synopsis.encoded_size()
         if self.retain:
             self.synopses.append(synopsis)
         for subscriber in self.subscribers:
             subscriber(synopsis)
+
+    def flush_wire(self) -> bytes:
+        """Frame and flush the pending encoded synopses; returns the frame.
+
+        Returns ``b""`` when nothing is pending.  Called automatically
+        every ``flush_size`` synopses; call explicitly at end of stream.
+        """
+        if not self._pending:
+            return b""
+        payload = b"".join(self._pending)
+        frame = FRAME_HEADER.pack(len(payload), len(self._pending)) + payload
+        self._pending.clear()
+        self.frames_flushed += 1
+        self.frame_bytes += len(frame)
+        if self.frame_sink is not None:
+            self.frame_sink(frame)
+        return frame
+
+    @property
+    def pending_wire_count(self) -> int:
+        """Encoded synopses buffered for the next frame."""
+        return len(self._pending)
 
     def subscribe(self, subscriber: Subscriber) -> None:
         self.subscribers.append(subscriber)
@@ -68,6 +121,7 @@ class SynopsisCollector:
         self.subscribers: List[Subscriber] = []
         self.count = 0
         self.bytes_received = 0
+        self.frames_received = 0
 
     def attach(self, stream: SynopsisStream) -> None:
         """Subscribe this collector to a node stream."""
@@ -80,6 +134,22 @@ class SynopsisCollector:
             self.synopses.append(synopsis)
         for subscriber in self.subscribers:
             subscriber(synopsis)
+
+    def receive_frame(self, frame: bytes) -> List[TaskSynopsis]:
+        """Ingest one wire frame (the transport-side counterpart of
+        :meth:`SynopsisStream.flush_wire`); returns the decoded batch."""
+        synopses, consumed = decode_frame(frame, 0)
+        if consumed != len(frame):
+            raise ValueError(f"trailing bytes after frame ({len(frame) - consumed})")
+        self.frames_received += 1
+        self.count += len(synopses)
+        self.bytes_received += len(frame)
+        if self.retain:
+            self.synopses.extend(synopses)
+        for subscriber in self.subscribers:
+            for synopsis in synopses:
+                subscriber(synopsis)
+        return synopses
 
     def subscribe(self, subscriber: Subscriber) -> None:
         self.subscribers.append(subscriber)

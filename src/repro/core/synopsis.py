@@ -2,33 +2,54 @@
 
 The synopsis is the paper's central data reduction: a few tens of bytes
 summarizing an entire task execution.  Wire layout mirrors the struct in
-Sec. 4.1::
+Sec. 4.1 (with the timestamp widened to 64 bits so real wall-clock epochs
+round-trip exactly instead of silently truncating)::
 
     struct synopsis{
       byte  sid;        // stage id
       int   uid;        // unique id per task
-      int   ts;         // task start time (ms)
+      long  ts;         // task start time (ms)
       int   duration;   // task duration (us)
       struct { short lpid; int count; } log_points[];
     }
 
 We prepend a host id byte and a log-point count byte so a single stream
-can multiplex a cluster.
+can multiplex a cluster.  For transport, synopses are grouped into
+length-prefixed *frames* (:func:`encode_frame` / :func:`decode_frame`)
+so a batch can be shipped and validated in one shot.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Tuple
 
-_HEADER = struct.Struct("<BBIIiB")  # host, sid, uid, ts_ms, duration_us, n_lps
+from .interning import intern_signature
+from .interning import InternedSignature as _InternedSignature
+
+_HEADER = struct.Struct("<BBIQiB")  # host, sid, uid, ts_ms, duration_us, n_lps
 _ENTRY = struct.Struct("<Hi")  # lpid, count
 
 MAX_LOG_POINT_ENTRIES = 255
+MAX_UID = 0xFFFFFFFF
+MAX_TS_MS = 0xFFFFFFFFFFFFFFFF
+_MAX_COUNT = 2**31 - 1
+
+# Entry arrays are packed/unpacked in one struct call per synopsis rather
+# than one per entry; the per-length Struct objects are cached here.
+_ENTRY_ARRAYS: Dict[int, struct.Struct] = {}
 
 
-@dataclass
+def _entry_array(n: int) -> struct.Struct:
+    cached = _ENTRY_ARRAYS.get(n)
+    if cached is None:
+        cached = _ENTRY_ARRAYS.setdefault(n, struct.Struct("<" + "Hi" * n))
+    return cached
+
+
+@dataclass(slots=True)
 class TaskSynopsis:
     """Summary of one task execution, produced at task termination.
 
@@ -54,6 +75,9 @@ class TaskSynopsis:
     start_time: float
     duration: float
     log_points: Dict[int, int] = field(default_factory=dict)
+    _signature: Optional[_InternedSignature] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.duration < 0:
@@ -64,9 +88,17 @@ class TaskSynopsis:
             raise ValueError(f"stage_id must fit a byte, got {self.stage_id}")
 
     @property
-    def signature(self) -> FrozenSet[int]:
-        """The task signature: the *set* of distinct log points visited."""
-        return frozenset(self.log_points)
+    def signature(self) -> _InternedSignature:
+        """The task signature: the *set* of distinct log points visited.
+
+        Interned and cached — every synopsis with the same log-point set
+        returns the same shared frozenset object.
+        """
+        signature = self._signature
+        if signature is None:
+            signature = intern_signature(self.log_points)
+            self._signature = signature
+        return signature
 
     @property
     def total_log_calls(self) -> int:
@@ -76,25 +108,36 @@ class TaskSynopsis:
     def encode(self) -> bytes:
         """Binary wire form (little-endian, paper Sec. 4.1 layout)."""
         entries = sorted(self.log_points.items())
-        if len(entries) > MAX_LOG_POINT_ENTRIES:
+        n = len(entries)
+        if n > MAX_LOG_POINT_ENTRIES:
             raise ValueError(
-                f"too many distinct log points ({len(entries)}) for one synopsis"
+                f"too many distinct log points ({n}) for one synopsis"
             )
-        parts = [
-            _HEADER.pack(
-                self.host_id,
-                self.stage_id,
-                self.uid & 0xFFFFFFFF,
-                int(self.start_time * 1000) & 0xFFFFFFFF,
-                min(int(self.duration * 1_000_000), 2**31 - 1),
-                len(entries),
+        if self.uid < 0 or self.uid > MAX_UID:
+            raise ValueError(f"uid {self.uid} does not fit the 32-bit wire field")
+        ts_ms = int(self.start_time * 1000)
+        if ts_ms < 0 or ts_ms > MAX_TS_MS:
+            raise ValueError(
+                f"start_time {self.start_time} does not fit the 64-bit wire field"
             )
-        ]
+        if n and (entries[0][0] < 0 or entries[-1][0] > 0xFFFF):
+            bad = entries[0][0] if entries[0][0] < 0 else entries[-1][0]
+            raise ValueError(f"log point id {bad} does not fit a short")
+        header = _HEADER.pack(
+            self.host_id,
+            self.stage_id,
+            self.uid,
+            ts_ms,
+            min(int(self.duration * 1_000_000), _MAX_COUNT),
+            n,
+        )
+        if not n:
+            return header
+        flat: List[int] = []
         for lpid, count in entries:
-            if lpid < 0 or lpid > 0xFFFF:
-                raise ValueError(f"log point id {lpid} does not fit a short")
-            parts.append(_ENTRY.pack(lpid, min(count, 2**31 - 1)))
-        return b"".join(parts)
+            flat.append(lpid)
+            flat.append(count if count <= _MAX_COUNT else _MAX_COUNT)
+        return header + _entry_array(n).pack(*flat)
 
     @classmethod
     def decode(cls, payload: bytes) -> "TaskSynopsis":
@@ -118,11 +161,12 @@ class TaskSynopsis:
         needed = n_entries * _ENTRY.size
         if len(payload) - offset < needed:
             raise ValueError("truncated synopsis log point entries")
-        log_points: Dict[int, int] = {}
-        for _ in range(n_entries):
-            lpid, count = _ENTRY.unpack_from(payload, offset)
-            offset += _ENTRY.size
-            log_points[lpid] = count
+        if n_entries:
+            flat = _entry_array(n_entries).unpack_from(payload, offset)
+            offset += needed
+            log_points = dict(zip(islice(flat, 0, None, 2), islice(flat, 1, None, 2)))
+        else:
+            log_points = {}
         return (
             cls(
                 host_id=host_id,
@@ -152,4 +196,44 @@ def decode_batch(payload: bytes) -> List[TaskSynopsis]:
     while offset < len(payload):
         synopsis, offset = TaskSynopsis.decode_from(payload, offset)
         out.append(synopsis)
+    return out
+
+
+# -- framed transport ---------------------------------------------------------
+#: Frame layout: payload byte length (u32) + synopsis count (u16) + payload.
+FRAME_HEADER = struct.Struct("<IH")
+MAX_FRAME_SYNOPSES = 0xFFFF
+
+
+def encode_frame(synopses: List[TaskSynopsis]) -> bytes:
+    """One length-prefixed frame holding a whole batch of synopses."""
+    if len(synopses) > MAX_FRAME_SYNOPSES:
+        raise ValueError(f"too many synopses for one frame ({len(synopses)})")
+    payload = encode_batch(synopses)
+    return FRAME_HEADER.pack(len(payload), len(synopses)) + payload
+
+
+def decode_frame(payload: bytes, offset: int = 0) -> Tuple[List[TaskSynopsis], int]:
+    """Decode one frame starting at ``offset``; returns (synopses, end)."""
+    if len(payload) - offset < FRAME_HEADER.size:
+        raise ValueError("truncated frame header")
+    length, count = FRAME_HEADER.unpack_from(payload, offset)
+    offset += FRAME_HEADER.size
+    if len(payload) - offset < length:
+        raise ValueError("truncated frame payload")
+    synopses = decode_batch(payload[offset : offset + length])
+    if len(synopses) != count:
+        raise ValueError(
+            f"frame count mismatch: header says {count}, payload holds {len(synopses)}"
+        )
+    return synopses, offset + length
+
+
+def decode_frames(payload: bytes) -> List[TaskSynopsis]:
+    """Decode a back-to-back sequence of frames."""
+    out: List[TaskSynopsis] = []
+    offset = 0
+    while offset < len(payload):
+        synopses, offset = decode_frame(payload, offset)
+        out.extend(synopses)
     return out

@@ -91,6 +91,11 @@ class TaskExecutionTracker:
         self.enabled = enabled
         self.stats = TrackerStats()
         self._next_uid = 0
+        # Bound-method caches for the per-log-call hot path: on_log runs
+        # once per logging call in the instrumented system, so each saved
+        # attribute hop matters (paper Fig. 7: tracker overhead must stay
+        # negligible).
+        self._slot = self.context.slot
 
     # -- stage delimiters -------------------------------------------------------
     def set_context(self, stage_id: int) -> None:
@@ -136,14 +141,16 @@ class TaskExecutionTracker:
     # -- logging interception -----------------------------------------------------
     def on_log(self, call: LogCall) -> None:
         """loglib interceptor: register one log point encounter."""
-        if not self.enabled or call.lpid is None:
+        lpid = call.lpid
+        if lpid is None or not self.enabled:
             return
-        slot = self.context.slot()
+        slot = self._slot()
         task = slot.get(_SLOT_KEY) if slot is not None else None
         if task is None:
             self.stats.log_calls_untracked += 1
             return
-        task.log_points[call.lpid] = task.log_points.get(call.lpid, 0) + 1
+        log_points = task.log_points
+        log_points[lpid] = log_points.get(lpid, 0) + 1
         task.last_log_time = call.time
         self.stats.log_calls_tracked += 1
 

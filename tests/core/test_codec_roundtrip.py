@@ -1,0 +1,144 @@
+"""Property-style round-trip tests for the batch and frame codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TaskSynopsis,
+    decode_batch,
+    decode_frame,
+    decode_frames,
+    encode_batch,
+    encode_frame,
+)
+from repro.core.synopsis import FRAME_HEADER, MAX_LOG_POINT_ENTRIES, MAX_UID
+
+
+def make_synopsis(**overrides):
+    base = dict(
+        host_id=1,
+        stage_id=4,
+        uid=1234,
+        start_time=100.5,
+        duration=0.010,
+        log_points={1: 1, 2: 5, 4: 1},
+    )
+    base.update(overrides)
+    return TaskSynopsis(**base)
+
+
+synopsis_strategy = st.builds(
+    TaskSynopsis,
+    host_id=st.integers(0, 255),
+    stage_id=st.integers(0, 255),
+    uid=st.integers(0, MAX_UID),
+    start_time=st.integers(0, 2**40).map(lambda ms: ms / 1000.0),
+    duration=st.integers(0, 2**31 - 1).map(lambda us: us / 1_000_000.0),
+    log_points=st.dictionaries(
+        st.integers(0, 0xFFFF), st.integers(1, 2**31 - 1), max_size=30
+    ),
+)
+
+
+def assert_equivalent(decoded, original):
+    assert decoded.host_id == original.host_id
+    assert decoded.stage_id == original.stage_id
+    assert decoded.uid == original.uid
+    assert decoded.log_points == original.log_points
+    assert decoded.signature == original.signature
+    assert abs(decoded.start_time - original.start_time) < 2e-3
+    assert abs(decoded.duration - original.duration) < 2e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(synopsis_strategy, max_size=8))
+def test_batch_round_trip_property(synopses):
+    decoded = decode_batch(encode_batch(synopses))
+    assert len(decoded) == len(synopses)
+    for got, want in zip(decoded, synopses):
+        assert_equivalent(got, want)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(synopsis_strategy, max_size=8))
+def test_frame_round_trip_property(synopses):
+    frame = encode_frame(synopses)
+    decoded, consumed = decode_frame(frame)
+    assert consumed == len(frame)
+    assert len(decoded) == len(synopses)
+    for got, want in zip(decoded, synopses):
+        assert_equivalent(got, want)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(synopsis_strategy, min_size=1, max_size=4), st.integers(1, 18))
+def test_truncated_batch_rejected(synopses, cut):
+    # Cutting fewer bytes than one header leaves the trailing synopsis
+    # partial no matter how the batch is laid out.
+    payload = encode_batch(synopses)
+    with pytest.raises(ValueError):
+        decode_batch(payload[:-cut])
+
+
+class TestUidAndTimestampLimits:
+    def test_uid_out_of_range_raises(self):
+        # The seed silently wrapped uid & 0xFFFFFFFF, round-tripping to a
+        # *different* synopsis; now it is an error.
+        with pytest.raises(ValueError, match="uid"):
+            make_synopsis(uid=2**32).encode()
+
+    def test_negative_uid_raises(self):
+        with pytest.raises(ValueError, match="uid"):
+            make_synopsis(uid=-1).encode()
+
+    def test_near_limit_uid_round_trips(self):
+        original = make_synopsis(uid=MAX_UID)
+        assert TaskSynopsis.decode(original.encode()).uid == MAX_UID
+
+    def test_wall_clock_start_time_round_trips(self):
+        # A real epoch timestamp (~2026) overflows the seed's 32-bit ms
+        # field; the widened 64-bit field keeps it exact to the ms.
+        original = make_synopsis(start_time=1_785_900_000.123)
+        decoded = TaskSynopsis.decode(original.encode())
+        assert decoded.start_time == pytest.approx(original.start_time, abs=1e-3)
+
+    def test_negative_start_time_raises(self):
+        with pytest.raises(ValueError, match="start_time"):
+            make_synopsis(start_time=-5.0).encode()
+
+
+class TestEntryLimit:
+    def test_max_entries_round_trip(self):
+        log_points = {lpid: 1 for lpid in range(MAX_LOG_POINT_ENTRIES)}
+        original = make_synopsis(log_points=log_points)
+        decoded = TaskSynopsis.decode(original.encode())
+        assert decoded.log_points == log_points
+
+    def test_over_limit_rejected(self):
+        log_points = {lpid: 1 for lpid in range(MAX_LOG_POINT_ENTRIES + 1)}
+        with pytest.raises(ValueError, match="too many"):
+            make_synopsis(log_points=log_points).encode()
+
+
+class TestFrameErrors:
+    def test_truncated_frame_header(self):
+        with pytest.raises(ValueError, match="frame header"):
+            decode_frame(b"\x01\x02")
+
+    def test_truncated_frame_payload(self):
+        frame = encode_frame([make_synopsis()])
+        with pytest.raises(ValueError, match="frame payload"):
+            decode_frame(frame[:-1])
+
+    def test_count_mismatch_rejected(self):
+        payload = make_synopsis().encode()
+        bogus = FRAME_HEADER.pack(len(payload), 2) + payload
+        with pytest.raises(ValueError, match="count mismatch"):
+            decode_frame(bogus)
+
+    def test_multi_frame_stream(self):
+        frames = encode_frame([make_synopsis(uid=1)]) + encode_frame(
+            [make_synopsis(uid=2), make_synopsis(uid=3)]
+        )
+        assert [s.uid for s in decode_frames(frames)] == [1, 2, 3]

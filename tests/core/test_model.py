@@ -114,6 +114,50 @@ class TestTraining:
         assert model.stages[(0, 1)].total_tasks == 20
 
 
+class TestSingleSortFit:
+    def naive_fit(self, durations, config):
+        """The seed's copy-per-fold reference implementation."""
+        from repro.core import kfold_splits, percentile
+
+        threshold = percentile(durations, config.duration_percentile)
+        share = sum(1 for d in durations if d > threshold) / len(durations)
+        rates = []
+        for start, end in kfold_splits(len(durations), config.kfold):
+            held_out = durations[start:end]
+            training = durations[:start] + durations[end:]
+            if not held_out or len(training) < 2:
+                continue
+            fold_threshold = percentile(training, config.duration_percentile)
+            rates.append(
+                sum(1 for d in held_out if d > fold_threshold) / len(held_out)
+            )
+        cv_rate = sum(rates) / len(rates) if rates else None
+        return threshold, share, cv_rate
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("n", [20, 21, 97, 500])
+    def test_matches_copy_per_fold_reference(self, seed, n):
+        # The single-sort fit must agree exactly with the seed's
+        # slice-copy-and-resort implementation, duplicates included.
+        rng = random.Random(seed)
+        durations = [
+            round(0.01 * rng.lognormvariate(0, 0.4), 4 if seed % 2 else 17)
+            for _ in range(n)
+        ]
+        config = SAADConfig()
+        model = OutlierModel(config)
+        from repro.core import SignatureProfile
+
+        profile = SignatureProfile(
+            signature=frozenset({1}), count=n, share=1.0, is_flow_outlier=False
+        )
+        model._fit_duration(profile, durations)
+        threshold, share, cv_rate = self.naive_fit(durations, config)
+        assert profile.duration_threshold == pytest.approx(threshold, rel=0, abs=0)
+        assert profile.perf_outlier_share == share
+        assert profile.cv_outlier_rate == pytest.approx(cv_rate, rel=0, abs=0)
+
+
 class TestClassification:
     @pytest.fixture
     def model(self):

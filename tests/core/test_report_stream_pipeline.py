@@ -104,6 +104,40 @@ class TestStreams:
         assert len(stream.drain()) == 1
         assert stream.synopses == []
 
+    def test_wire_stream_encodes_once_and_batches_frames(self):
+        frames = []
+        stream = SynopsisStream(wire_format=True, flush_size=3, frame_sink=frames.append)
+        originals = [synopsis(uid=i) for i in range(7)]
+        for s in originals:
+            stream.sink(s)
+        # 7 synopses at flush_size=3: two full frames out, one pending.
+        assert stream.frames_flushed == 2
+        assert len(frames) == 2
+        assert stream.pending_wire_count == 1
+        # bytes_streamed accounts the single encode per synopsis.
+        assert stream.bytes_streamed == sum(s.encoded_size() for s in originals)
+        tail = stream.flush_wire()
+        assert tail != b""
+        assert stream.pending_wire_count == 0
+        assert stream.flush_wire() == b""  # idempotent when empty
+
+    def test_frames_decode_at_the_collector(self):
+        collector = SynopsisCollector()
+        stream = SynopsisStream(
+            wire_format=True, retain=False, flush_size=2,
+            frame_sink=lambda frame: collector.receive_frame(frame),
+        )
+        for i in range(4):
+            stream.sink(synopsis(uid=i, lps=(3, 4)))
+        assert collector.frames_received == 2
+        assert [s.uid for s in collector.synopses] == [0, 1, 2, 3]
+        assert collector.synopses[0].signature == frozenset({3, 4})
+        assert collector.bytes_received == stream.frame_bytes
+
+    def test_bad_flush_size_rejected(self):
+        with pytest.raises(ValueError):
+            SynopsisStream(wire_format=True, flush_size=0)
+
 
 class TestReporter:
     def make_reporter(self):

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.core import FLOW, PERFORMANCE, SAADConfig, TaskSynopsis, decode_batch, encode_batch
+
+# Minutes of discrete-event simulation: skip in the quick loop with
+# ``pytest -m "not slow"``.
+pytestmark = pytest.mark.slow
 from repro.experiments.common import run_cassandra_scenario, run_hbase_scenario
 from repro.simsys import FaultSpec, HIGH_INTENSITY
 
