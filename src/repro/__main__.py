@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9 [a|b|c|d]     # default: all four panels
     python -m repro fig10
     python -m repro fig11
+    python -m repro lint src/repro     # saadlint static verification
 """
 
 from __future__ import annotations
@@ -30,6 +31,8 @@ def _usage() -> None:
     print("available experiments:")
     for name, description in _EXPERIMENTS.items():
         print(f"  {name:<8} {description}")
+    print("tools:")
+    print("  lint     saadlint: static instrumentation verification")
 
 
 def main(argv) -> int:
@@ -37,6 +40,10 @@ def main(argv) -> int:
         _usage()
         return 0
     command = argv[0]
+    if command == "lint":
+        from repro.instrument.cli import main as lint_main
+
+        return lint_main(argv[1:])
     if command == "fig6":
         from repro.experiments import fig6_signatures
 

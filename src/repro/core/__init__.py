@@ -35,7 +35,7 @@ from .interning import (
     intern_signature,
     intern_table_size,
 )
-from .logpoints import LogPoint, LogPointRegistry
+from .logpoints import LogPoint, LogPointRegistry, RegistryDrift
 from .model import OutlierModel, SignatureProfile, StageModel, TaskLabel
 from .persistence import load_model, model_from_json, model_to_json, save_model
 from .pipeline import SAAD, NodeRuntime
@@ -73,6 +73,7 @@ __all__ = [
     "PERFORMANCE",
     "ProportionTest",
     "RealThreadContext",
+    "RegistryDrift",
     "SAAD",
     "SAADConfig",
     "Signature",

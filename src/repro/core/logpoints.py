@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.loglib.levels import INFO, level_name, parse_level
 
@@ -30,6 +30,25 @@ class LogPoint:
         """One-line human description used in anomaly reports."""
         location = f" ({self.source_file}:{self.line})" if self.source_file else ""
         return f"L{self.lpid} [{level_name(self.level)}] {self.template}{location}"
+
+
+@dataclass(frozen=True)
+class RegistryDrift:
+    """Disagreement between a source scan and a persisted registry.
+
+    ``missing`` templates exist in the source but not the registry (the
+    dictionary is out of date); ``stale`` templates exist only in the
+    registry (the source moved on).  Either direction silently corrupts
+    reverse-mapping in anomaly reports, so saadlint's LP004 treats both
+    as errors.
+    """
+
+    missing: Tuple[str, ...] = ()
+    stale: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.stale
 
 
 class LogPointRegistry:
@@ -88,6 +107,21 @@ class LogPointRegistry:
 
     def templates(self) -> List[str]:
         return [p.template for p in self._by_id]
+
+    def drift(self, scanned_templates: Iterable[str]) -> RegistryDrift:
+        """Compare this (persisted) dictionary against a fresh source scan.
+
+        Returns the templates the scan found that this registry lacks
+        (``missing``) and the templates only this registry still carries
+        (``stale``).  An empty drift means ids resolve against current
+        source text.
+        """
+        scanned = set(scanned_templates)
+        known = set(self.templates())
+        return RegistryDrift(
+            missing=tuple(sorted(scanned - known)),
+            stale=tuple(sorted(known - scanned)),
+        )
 
     # -- persistence -----------------------------------------------------------
     def to_json(self) -> str:

@@ -1,0 +1,122 @@
+"""Baseline / suppression for saadlint.
+
+A baseline records the fingerprints of findings a tree has explicitly
+accepted (legacy debt, deliberate exceptions).  Fingerprints hash rule +
+file + message — not line numbers — so unrelated edits don't invalidate
+entries, while fixing the underlying defect (which changes the message
+or removes the finding) naturally retires them.
+
+Inline alternative: a ``# saadlint: disable=RULE`` comment on the
+offending line suppresses just that finding (handled by the engine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .diagnostics import Diagnostic, LintResult
+
+#: Default baseline filename, looked up next to the linted tree's root.
+DEFAULT_BASELINE_NAME = ".saadlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint with an occurrence count."""
+
+    fingerprints: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable context saved alongside each fingerprint.
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: LintResult) -> "Baseline":
+        baseline = cls()
+        for diag in result.diagnostics:
+            fp = diag.fingerprint()
+            baseline.fingerprints[fp] = baseline.fingerprints.get(fp, 0) + 1
+            baseline.notes.setdefault(
+                fp, f"{diag.rule_id} {diag.path}: {diag.message}"
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        entries = payload.get("findings", {})
+        baseline = cls()
+        for fp, entry in entries.items():
+            baseline.fingerprints[fp] = int(entry.get("count", 1))
+            if entry.get("note"):
+                baseline.notes[fp] = entry["note"]
+        return baseline
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "saadlint",
+            "findings": {
+                fp: {"count": count, "note": self.notes.get(fp, "")}
+                for fp, count in sorted(self.fingerprints.items())
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(self, result: LintResult) -> Tuple[LintResult, List[str]]:
+        """Filter baselined findings out of ``result``.
+
+        Returns the filtered result plus the list of *unmatched* baseline
+        fingerprints (entries whose finding no longer occurs — candidates
+        for removal so the baseline only shrinks over time).
+        """
+        remaining = dict(self.fingerprints)
+        kept: List[Diagnostic] = []
+        suppressed = list(result.suppressed)
+        for diag in result.diagnostics:
+            fp = diag.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                suppressed.append(diag)
+            else:
+                kept.append(diag)
+        filtered = LintResult(
+            diagnostics=kept,
+            suppressed=suppressed,
+            files_scanned=result.files_scanned,
+            parse_errors=list(result.parse_errors),
+        )
+        unmatched = sorted(fp for fp, count in remaining.items() if count > 0)
+        return filtered, unmatched
+
+
+def find_default_baseline(paths: List[str]) -> str:
+    """Locate ``.saadlint-baseline.json`` near the linted tree.
+
+    Walks upward from the first path's directory to the filesystem root,
+    returning the first existing baseline file; falls back to the current
+    working directory's default name (which may not exist).
+    """
+    start = os.path.abspath(paths[0]) if paths else os.getcwd()
+    if os.path.isfile(start):
+        start = os.path.dirname(start)
+    current = start
+    while True:
+        candidate = os.path.join(current, DEFAULT_BASELINE_NAME)
+        if os.path.exists(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.join(os.getcwd(), DEFAULT_BASELINE_NAME)
+        current = parent

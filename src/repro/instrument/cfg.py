@@ -1,0 +1,383 @@
+"""Lightweight per-function control-flow graphs for saadlint.
+
+Statement-granularity CFGs with explicit exception edges, built once per
+function body and queried by the stage-context rules (ST002/ST003):
+
+* every statement that *can raise* gets an edge to the innermost
+  enclosing handler group (each ``except`` clause entry) or, when
+  uncaught, through any ``finally`` bodies to the synthetic
+  ``raise_exit`` node;
+* ``try``/``except``/``else``/``finally`` ordering follows Python
+  semantics closely enough for reachability questions — a catch-all
+  handler (bare ``except`` / ``except Exception`` / ``BaseException``)
+  stops propagation to the outer context;
+* loops, ``break``/``continue``/``return``/``raise`` are wired exactly.
+
+The graphs are deliberately conservative (over-approximate): an edge
+that cannot happen at runtime may exist, but no feasible control
+transfer is missing.  Queries therefore err toward reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+#: Statement node types that can never raise by themselves.
+_NO_RAISE_STMTS = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+#: Expression node types whose evaluation may raise (conservative list).
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Await,
+    ast.Starred,
+)
+
+_CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    """Whether executing ``stmt`` itself (not its nested blocks) can raise."""
+    if isinstance(stmt, _NO_RAISE_STMTS):
+        return False
+    if isinstance(stmt, ast.Raise):
+        return True
+    # Inspect only the statement's own expressions, not nested statements.
+    for node in ast.walk(_own_expr_container(stmt)):
+        if isinstance(node, _RAISING_EXPRS):
+            return True
+    return False
+
+
+def own_expr_container(stmt: ast.AST) -> ast.AST:
+    """An AST holding just the expressions evaluated *by* this statement.
+
+    Compound statements (if/while/for/try/with) evaluate their test or
+    iterator themselves; their bodies become separate CFG nodes, so
+    matching a node against "does this statement call X" must not look
+    into nested blocks.
+    """
+    empty = ast.Module(body=[], type_ignores=[])
+    if isinstance(stmt, (ast.If, ast.While)):
+        return stmt.test
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return ast.Module(body=[ast.Expr(stmt.iter), ast.Expr(stmt.target)], type_ignores=[])
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return ast.Module(
+            body=[ast.Expr(item.context_expr) for item in stmt.items], type_ignores=[]
+        )
+    if isinstance(stmt, ast.Try):
+        return empty
+    if isinstance(stmt, ast.ExceptHandler):
+        return stmt.type if stmt.type is not None else empty
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return empty
+    return stmt
+
+
+# Backwards-compatible internal alias.
+_own_expr_container = own_expr_container
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name) and handler.type.id in _CATCH_ALL_NAMES:
+        return True
+    return False
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement (or synthetic entry/exit marker)."""
+
+    index: int
+    kind: str  # "stmt" | "entry" | "exit" | "raise_exit"
+    stmt: Optional[ast.stmt] = None
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+
+@dataclass
+class CFG:
+    """A per-function control-flow graph."""
+
+    nodes: List[CFGNode] = field(default_factory=list)
+    #: successors[i] -> set of (successor index, is_exception_edge)
+    successors: Dict[int, Set[Tuple[int, bool]]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def add_node(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        self.successors[node.index] = set()
+        return node.index
+
+    def add_edge(self, src: int, dst: int, exceptional: bool = False) -> None:
+        if src != dst or exceptional:
+            self.successors[src].add((dst, exceptional))
+
+    # -- queries ---------------------------------------------------------------
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes if n.kind == "stmt"]
+
+    def nodes_matching(self, predicate: Callable[[ast.AST], bool]) -> Set[int]:
+        """Statement nodes whose *own* expressions satisfy ``predicate``.
+
+        The predicate receives an AST covering only what the statement
+        itself evaluates (a compound statement's nested blocks are their
+        own CFG nodes and are not included).
+        """
+        return {
+            n.index
+            for n in self.nodes
+            if n.stmt is not None and predicate(own_expr_container(n.stmt))
+        }
+
+    def reachable_avoiding(self, start: int, blocked: Set[int]) -> Set[int]:
+        """All nodes reachable from ``start`` without entering ``blocked``.
+
+        ``start`` itself is expanded even if blocked (paths *through* the
+        blockers are cut, the origin is not).
+        """
+        seen: Set[int] = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for succ, _exc in self.successors[current]:
+                if succ in seen or succ in blocked:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return seen
+
+    def reachable_via_exception_avoiding(
+        self, start: int, target: int, blocked: Set[int],
+        ignore_start_exceptions: bool = False,
+    ) -> bool:
+        """Is ``target`` reachable from ``start``, avoiding ``blocked``,
+        on a path containing at least one exception edge?
+
+        With ``ignore_start_exceptions`` the exception edges leaving
+        ``start`` itself are skipped (the caller treats the start
+        statement's own failure as a separate concern).
+
+        Runs BFS over the (node, saw-exception-edge) product graph.
+        """
+        seen: Set[Tuple[int, bool]] = {(start, False)}
+        stack: List[Tuple[int, bool]] = [(start, False)]
+        while stack:
+            current, flagged = stack.pop()
+            for succ, exc in self.successors[current]:
+                if succ in blocked:
+                    continue
+                if exc and ignore_start_exceptions and current == start:
+                    continue
+                state = (succ, flagged or exc)
+                if state in seen:
+                    continue
+                if state == (target, True):
+                    return True
+                seen.add(state)
+                stack.append(state)
+        return False
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG for one function/method body."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"expected a function node, got {type(func).__name__}")
+    cfg = CFG()
+    entry = cfg.add_node("entry")
+    exit_ = cfg.add_node("exit")
+    raise_exit = cfg.add_node("raise_exit")
+    cfg.entry, cfg.exit, cfg.raise_exit = entry, exit_, raise_exit
+
+    builder = _CFGBuilder(cfg)
+    tails = builder.block(
+        func.body,
+        preds=[(entry, False)],
+        break_to=None,
+        continue_to=None,
+        exc_targets=[raise_exit],
+        exc_caught=False,
+    )
+    for tail, exc in tails:
+        cfg.add_edge(tail, exit_, exc)
+    return cfg
+
+
+class _CFGBuilder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+
+    def block(self, stmts, preds, break_to, continue_to, exc_targets, exc_caught):
+        """Wire a statement list; returns the fall-through predecessors."""
+        current = list(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail of the block
+            current = self.statement(
+                stmt, current, break_to, continue_to, exc_targets, exc_caught
+            )
+        return current
+
+    def statement(self, stmt, preds, break_to, continue_to, exc_targets, exc_caught):
+        cfg = self.cfg
+        node = cfg.add_node("stmt", stmt)
+        for pred, exc in preds:
+            cfg.add_edge(pred, node, exc)
+
+        if _can_raise(stmt):
+            for target in exc_targets:
+                cfg.add_edge(node, target, exceptional=True)
+
+        if isinstance(stmt, ast.Return):
+            cfg.add_edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            for target in exc_targets:
+                cfg.add_edge(node, target, exceptional=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            if break_to is not None:
+                break_to.append((node, False))
+            return []
+        if isinstance(stmt, ast.Continue):
+            if continue_to is not None:
+                cfg.add_edge(node, continue_to)
+            return []
+
+        if isinstance(stmt, ast.If):
+            then_tails = self.block(
+                stmt.body, [(node, False)], break_to, continue_to, exc_targets, exc_caught
+            )
+            else_tails = self.block(
+                stmt.orelse, [(node, False)], break_to, continue_to, exc_targets, exc_caught
+            )
+            if not stmt.orelse:
+                else_tails = [(node, False)]
+            return then_tails + else_tails
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: List[Tuple[int, bool]] = []
+            body_tails = self.block(
+                stmt.body, [(node, False)], breaks, node, exc_targets, exc_caught
+            )
+            for tail, exc in body_tails:
+                cfg.add_edge(tail, node, exc)  # back edge
+            is_infinite = (
+                isinstance(stmt, ast.While)
+                and isinstance(stmt.test, ast.Constant)
+                and bool(stmt.test.value)
+            )
+            # Loop exit: condition false (unless `while True`), plus breaks,
+            # plus the `else:` clause tails.
+            exits: List[Tuple[int, bool]] = [] if is_infinite else [(node, False)]
+            if stmt.orelse:
+                exits = self.block(
+                    stmt.orelse, exits or [(node, False)],
+                    break_to, continue_to, exc_targets, exc_caught,
+                )
+            return exits + breaks
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(
+                stmt.body, [(node, False)], break_to, continue_to, exc_targets, exc_caught
+            )
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node, break_to, continue_to, exc_targets, exc_caught)
+
+        # Function/class definitions: no control flow into the nested body.
+        return [(node, False)]
+
+    def _try(self, stmt, head, break_to, continue_to, exc_targets, exc_caught):
+        cfg = self.cfg
+        # Finally entry: its body is built once; on the way out it resumes
+        # both the normal continuation and the enclosing exception context
+        # (over-approximation — see module docstring).
+        finally_entry: Optional[int] = None
+        finally_tails: List[Tuple[int, bool]] = []
+        if stmt.finalbody:
+            # Synthetic anchor so the body/handlers have a single finally
+            # target before the finally block itself is built.
+            finally_entry = cfg.add_node("finally")
+            finally_tails = self.block(
+                stmt.finalbody,
+                [(finally_entry, False)],
+                break_to,
+                continue_to,
+                exc_targets,
+                exc_caught,
+            )
+            # Uncaught exceptions continue past the finally body.
+            if not exc_caught:
+                for tail, _exc in finally_tails:
+                    for target in exc_targets:
+                        cfg.add_edge(tail, target, exceptional=True)
+
+        handler_entries: List[int] = []
+        catch_all = any(_is_catch_all(h) for h in stmt.handlers)
+
+        # Exception targets for the try body: each handler entry, then —
+        # when no handler is guaranteed to match — the finally body (or
+        # the outer context directly).
+        body_exc_targets: List[int] = []
+        handler_nodes: List[Tuple[ast.ExceptHandler, int]] = []
+        for handler in stmt.handlers:
+            entry = cfg.add_node("stmt", handler)
+            handler_entries.append(entry)
+            handler_nodes.append((handler, entry))
+        body_exc_targets.extend(handler_entries)
+        if not catch_all:
+            if finally_entry is not None:
+                body_exc_targets.append(finally_entry)
+            else:
+                body_exc_targets.extend(exc_targets)
+        if not body_exc_targets:
+            # try/finally with no handlers.
+            body_exc_targets = (
+                [finally_entry] if finally_entry is not None else list(exc_targets)
+            )
+
+        body_tails = self.block(
+            stmt.body, [(head, False)], break_to, continue_to,
+            body_exc_targets, exc_caught or catch_all,
+        )
+        else_tails = self.block(
+            stmt.orelse, body_tails, break_to, continue_to,
+            body_exc_targets, exc_caught or catch_all,
+        ) if stmt.orelse else body_tails
+
+        # Handlers: exceptions inside a handler propagate to finally/outer.
+        handler_exc_targets = (
+            [finally_entry] if finally_entry is not None else list(exc_targets)
+        )
+        after: List[Tuple[int, bool]] = []
+        for handler, entry in handler_nodes:
+            tails = self.block(
+                handler.body, [(entry, True)], break_to, continue_to,
+                handler_exc_targets, exc_caught,
+            )
+            after.extend(tails)
+
+        after.extend(else_tails)
+
+        if finally_entry is not None:
+            for tail, exc in after:
+                cfg.add_edge(tail, finally_entry, exc)
+            return finally_tails if finally_tails else [(finally_entry, False)]
+        return after

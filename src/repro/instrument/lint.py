@@ -1,0 +1,928 @@
+"""saadlint: multi-pass static verification of SAAD instrumentation.
+
+The analyzer walks a source tree in three passes:
+
+1. **Collect** — per file, gather log-call sites (with their raw template
+   expression), log-point *inventory definitions* (``self.x = lp("...")``
+   in the per-system ``logpoints.py`` classes), ``set_context`` /
+   ``end_task`` sites, stage candidates, import aliases, and inline
+   suppression comments.
+2. **Resolve** — build the global inventory (attribute name → template)
+   and resolve every call site's template against it; attribute chains
+   ending in ``.template`` resolve through the inventory, literals and
+   f-strings resolve directly.
+3. **Check** — run the rules: the LP family over resolved sites and
+   (optionally) a persisted registry, the ST family over per-function
+   CFGs (see :mod:`repro.instrument.cfg`), and CC001 over simulated
+   event-handler code.
+
+Findings come back as :class:`~repro.instrument.diagnostics.Diagnostic`
+objects; the baseline layer (:mod:`repro.instrument.baseline`) filters
+known, explicitly-accepted findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core import LogPointRegistry
+
+from .cfg import CFG, build_cfg
+from .diagnostics import Diagnostic, LintResult, RULES
+from .scanner import DEQUEUE_METHODS, LOG_METHODS
+
+#: Rules applied per call site / definition (the LP family + ST + CC).
+ALL_RULES = tuple(sorted(RULES))
+
+#: Receiver attribute names that mark a stage-context call.
+_SET_CONTEXT = "set_context"
+_END_TASK = "end_task"
+
+#: subprocess functions that block on child processes.
+_SUBPROCESS_BLOCKING = {"run", "call", "check_call", "check_output", "Popen"}
+
+#: Builtins that perform real, blocking I/O.
+_BLOCKING_BUILTINS = {"open", "input"}
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: per-file fact collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LogSite:
+    """One log call site found in a file."""
+
+    path: str
+    line: int
+    col: int
+    method: str
+    template_expr: ast.expr  # the first positional argument
+    lpid_expr: Optional[ast.expr]  # value of the lpid= keyword, if present
+    func_qualname: str
+    resolved_template: Optional[str] = None
+    #: Inventory attribute the template resolved through, if any
+    #: (e.g. ``xc_recv_block`` for ``lps.xc_recv_block.template``).
+    template_attr: Optional[str] = None
+
+
+@dataclass
+class InventoryDef:
+    """One log-point definition: ``self.<attr> = lp("template", ...)``."""
+
+    path: str
+    line: int
+    attr: str
+    template: str
+    owner: str  # class name
+
+
+@dataclass
+class FunctionFacts:
+    """Per-function facts for the CFG rules."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str
+    owner_class: Optional[str]
+    is_generator: bool
+    has_set_context: bool
+    has_end_task: bool
+    has_log_calls: bool
+    has_dequeue: bool
+
+
+@dataclass
+class FileFacts:
+    path: str
+    tree: ast.AST
+    lines: List[str]
+    log_sites: List[LogSite] = field(default_factory=list)
+    inventory: List[InventoryDef] = field(default_factory=list)
+    functions: List[FunctionFacts] = field(default_factory=list)
+    #: class name -> (has run() method, has any log call, has set_context)
+    classes: Dict[str, Tuple[bool, bool, bool, int]] = field(default_factory=dict)
+    #: Aliases of the real ``time`` module in this file ({"time", "_time"}).
+    time_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to ``time.sleep`` via ``from time import sleep [as x]``.
+    sleep_aliases: Set[str] = field(default_factory=set)
+    #: Aliases of the stdlib ``queue`` module.
+    queue_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to ``queue.Queue`` via ``from queue import Queue``.
+    queue_classes: Set[str] = field(default_factory=set)
+    #: Bare name -> log method (``from ...loglib import debug [as dbg]``).
+    bare_log_names: Dict[str, str] = field(default_factory=dict)
+    #: Aliases of os / subprocess / socket.
+    os_aliases: Set[str] = field(default_factory=set)
+    subprocess_aliases: Set[str] = field(default_factory=set)
+    socket_aliases: Set[str] = field(default_factory=set)
+
+
+def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
+    """Rules disabled by a ``# saadlint: disable=RULE[,RULE]`` comment."""
+    if not (1 <= line <= len(lines)):
+        return set()
+    text = lines[line - 1]
+    marker = "saadlint:"
+    pos = text.find(marker)
+    if pos < 0:
+        return set()
+    directive = text[pos + len(marker):].strip()
+    if not directive.startswith("disable="):
+        return set()
+    spec = directive[len("disable="):].split("#")[0]
+    return {token.strip().upper() for token in spec.split(",") if token.strip()}
+
+
+class _Collector(ast.NodeVisitor):
+    """Pass-1 visitor filling a :class:`FileFacts`."""
+
+    def __init__(self, facts: FileFacts):
+        self.facts = facts
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        #: Facts of the function currently being visited (innermost).
+        self._current: List[FunctionFacts] = []
+
+    # -- imports --------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.facts.time_aliases.add(bound)
+            elif alias.name == "queue":
+                self.facts.queue_aliases.add(bound)
+            elif alias.name == "os":
+                self.facts.os_aliases.add(bound)
+            elif alias.name == "subprocess":
+                self.facts.subprocess_aliases.add(bound)
+            elif alias.name == "socket":
+                self.facts.socket_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "time" and alias.name == "sleep":
+                self.facts.sleep_aliases.add(bound)
+            elif module == "queue" and alias.name == "Queue":
+                self.facts.queue_classes.add(bound)
+            elif alias.name in LOG_METHODS and "log" in module.lower():
+                # Bare-name logger idiom: ``from repro.loglib import debug``.
+                self.facts.bare_log_names[bound] = alias.name
+        self.generic_visit(node)
+
+    # -- scopes ---------------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.facts.classes[node.name] = (False, False, False, node.lineno)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        owner = self._class_stack[-1] if self._class_stack else None
+        qual = ".".join(
+            ([owner] if owner else []) + self._func_stack + [node.name]
+        )
+        facts = FunctionFacts(
+            node=node,
+            qualname=qual,
+            owner_class=owner,
+            is_generator=_is_generator(node),
+            has_set_context=False,
+            has_end_task=False,
+            has_log_calls=False,
+            has_dequeue=False,
+        )
+        self.facts.functions.append(facts)
+        if owner and node.name == "run" and _is_thread_run(node):
+            has_run, logs, ctx, line = self.facts.classes[owner]
+            self.facts.classes[owner] = (True, logs, ctx, line)
+        self._current.append(facts)
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        self._current.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- calls ----------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        method: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+        elif isinstance(func, ast.Name) and func.id in self.facts.bare_log_names:
+            method = self.facts.bare_log_names[func.id]
+
+        if method in LOG_METHODS and node.args:
+            lpid_expr = next(
+                (kw.value for kw in node.keywords if kw.arg == "lpid"), None
+            )
+            self.facts.log_sites.append(
+                LogSite(
+                    path=self.facts.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=method,
+                    template_expr=node.args[0],
+                    lpid_expr=lpid_expr,
+                    func_qualname=self._current[-1].qualname if self._current else "<module>",
+                )
+            )
+            self._mark(log=True)
+        elif method == _SET_CONTEXT:
+            self._mark(set_context=True)
+        elif method == _END_TASK:
+            self._mark(end_task=True)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in DEQUEUE_METHODS
+            and "queue" in _receiver_name(func.value).lower()
+        ):
+            if self._current:
+                self._current[-1].has_dequeue = True
+        self.generic_visit(node)
+
+    def _mark(self, log=False, set_context=False, end_task=False) -> None:
+        if self._current:
+            facts = self._current[-1]
+            facts.has_log_calls = facts.has_log_calls or log
+            facts.has_set_context = facts.has_set_context or set_context
+            facts.has_end_task = facts.has_end_task or end_task
+        if self._class_stack:
+            owner = self._class_stack[-1]
+            has_run, logs, ctx, line = self.facts.classes[owner]
+            self.facts.classes[owner] = (
+                has_run, logs or log, ctx or set_context, line
+            )
+
+    # -- inventory definitions -------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        template = _register_call_template(node.value)
+        if template is not None and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self._class_stack
+            ):
+                self.facts.inventory.append(
+                    InventoryDef(
+                        path=self.facts.path,
+                        line=node.lineno,
+                        attr=target.attr,
+                        template=template,
+                        owner=self._class_stack[-1],
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _receiver_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_generator(node) -> bool:
+    for child in ast.walk(node):
+        if child is node:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Yields in nested functions belong to those functions; prune
+            # by skipping their subtrees via a manual stack.
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            if _owning_function(node, child) is node:
+                return True
+    return False
+
+
+def _owning_function(root, target) -> Optional[ast.AST]:
+    """The innermost function node under ``root`` containing ``target``."""
+    owner = root
+    stack = [(root, root)]
+    while stack:
+        current, current_owner = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            child_owner = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                else current_owner
+            )
+            if child is target:
+                return child_owner
+            stack.append((child, child_owner))
+    return owner
+
+
+def _is_thread_run(node) -> bool:
+    """A thread-body style ``run``: only ``self`` is required."""
+    args = node.args
+    required = [a for a in args.posonlyargs + args.args]
+    return len(required) - len(args.defaults) <= 1
+
+
+def _register_call_template(value: ast.expr) -> Optional[str]:
+    """Template string when ``value`` is a log-point registration call.
+
+    Recognizes local helper calls (``lp("...")``) and registry calls
+    (``<registry>.register("...")``) with a literal first argument.
+    """
+    if not isinstance(value, ast.Call) or not value.args:
+        return None
+    func = value.func
+    is_helper = isinstance(func, ast.Name) and func.id in ("lp", "_lp", "logpoint")
+    is_register = isinstance(func, ast.Attribute) and func.attr == "register"
+    if not (is_helper or is_register):
+        return None
+    first = value.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: template resolution
+# ---------------------------------------------------------------------------
+
+
+def _template_attr_chain(expr: ast.expr) -> Optional[str]:
+    """For ``<base>.<name>.template`` chains, the inventory attr ``name``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "template"
+        and isinstance(expr.value, ast.Attribute)
+    ):
+        return expr.value.attr
+    return None
+
+
+def _lpid_attr_chain(expr: Optional[ast.expr]) -> Optional[str]:
+    """For ``<base>.<name>.lpid`` chains, the inventory attr ``name``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "lpid"
+        and isinstance(expr.value, ast.Attribute)
+    ):
+        return expr.value.attr
+    return None
+
+
+def _static_template(expr: ast.expr) -> Optional[str]:
+    """Resolve literal / f-string / ``literal % args`` templates."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.JoinedStr):
+        parts: List[str] = []
+        for value in expr.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("%s")
+        return "".join(parts)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mod):
+        return _static_template(expr.left)
+    return None
+
+
+def resolve_templates(
+    files: List[FileFacts], inventory_by_attr: Dict[str, InventoryDef]
+) -> None:
+    for facts in files:
+        for site in facts.log_sites:
+            literal = _static_template(site.template_expr)
+            if literal is not None:
+                site.resolved_template = literal
+                continue
+            attr = _template_attr_chain(site.template_expr)
+            if attr is not None:
+                site.template_attr = attr
+                definition = inventory_by_attr.get(attr)
+                if definition is not None:
+                    site.resolved_template = definition.template
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: rules
+# ---------------------------------------------------------------------------
+
+
+class LintEngine:
+    """Runs the full multi-pass analysis over a set of files."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Iterable[str] = (),
+        registry: Optional[LogPointRegistry] = None,
+        registry_label: str = "<registry>",
+    ):
+        selected = set(select) if select is not None else set(ALL_RULES)
+        self.rules = selected - set(ignore)
+        unknown = self.rules - set(ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        self.registry = registry
+        self.registry_label = registry_label
+
+    # -- entry points ---------------------------------------------------------
+    def run(self, paths: Iterable[str]) -> LintResult:
+        result = LintResult()
+        files: List[FileFacts] = []
+        for path in _python_files(paths):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                facts = collect_file(path, source)
+            except SyntaxError as exc:
+                result.parse_errors.append(f"{path}: {exc}")
+                continue
+            files.append(facts)
+        result.files_scanned = len(files)
+        diagnostics = self.check_files(files)
+        for diag in diagnostics:
+            facts = next((f for f in files if f.path == diag.path), None)
+            if facts is not None and diag.rule_id in _suppressed_rules(
+                facts.lines, diag.line
+            ):
+                result.suppressed.append(diag)
+            else:
+                result.diagnostics.append(diag)
+        result.diagnostics.sort(key=Diagnostic.sort_key)
+        return result
+
+    def check_files(self, files: List[FileFacts]) -> List[Diagnostic]:
+        inventory_by_attr: Dict[str, InventoryDef] = {}
+        for facts in files:
+            for definition in facts.inventory:
+                inventory_by_attr.setdefault(definition.attr, definition)
+        resolve_templates(files, inventory_by_attr)
+
+        diagnostics: List[Diagnostic] = []
+        for facts in files:
+            diagnostics.extend(self._check_file(facts, inventory_by_attr))
+        if "LP004" in self.rules and self.registry is not None:
+            diagnostics.extend(self._check_registry_drift(files))
+        return diagnostics
+
+    # -- LP family ------------------------------------------------------------
+    def _check_file(
+        self, facts: FileFacts, inventory_by_attr: Dict[str, InventoryDef]
+    ) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        if "LP001" in self.rules:
+            out.extend(self._lp001(facts, inventory_by_attr))
+        if "LP002" in self.rules:
+            out.extend(self._lp002(facts))
+        if "LP003" in self.rules:
+            out.extend(self._lp003(facts))
+        if "ST001" in self.rules:
+            out.extend(self._st001(facts))
+        if "ST002" in self.rules or "ST003" in self.rules:
+            out.extend(self._stage_cfg_rules(facts))
+        if "CC001" in self.rules:
+            out.extend(self._cc001(facts))
+        return out
+
+    def _lp001(self, facts, inventory_by_attr) -> List[Diagnostic]:
+        out = []
+        for site in facts.log_sites:
+            if site.resolved_template is not None:
+                continue
+            if site.template_attr is not None:
+                message = (
+                    f"log template references unknown inventory attribute "
+                    f"{site.template_attr!r}"
+                )
+                hint = (
+                    "define the log point in the system's logpoints inventory "
+                    "class, or fix the attribute name"
+                )
+            else:
+                message = (
+                    f"{site.method}() first argument is not statically "
+                    f"resolvable ({type(site.template_expr).__name__})"
+                )
+                hint = (
+                    "pass a literal template (or an inventory "
+                    "<lps>.<name>.template) so the instrumentation pass can "
+                    "assign this log point an id"
+                )
+            out.append(
+                Diagnostic("LP001", facts.path, site.line, site.col, message, hint)
+            )
+        return out
+
+    def _lp002(self, facts) -> List[Diagnostic]:
+        out = []
+        # Duplicate templates among inventory definitions in one file.
+        seen: Dict[str, InventoryDef] = {}
+        for definition in facts.inventory:
+            prior = seen.get(definition.template)
+            if prior is not None:
+                out.append(
+                    Diagnostic(
+                        "LP002",
+                        facts.path,
+                        definition.line,
+                        0,
+                        f"template {definition.template!r} duplicates "
+                        f"{prior.owner}.{prior.attr} (line {prior.line})",
+                        "make the template text unique so anomaly reports "
+                        "map back to a single source location",
+                    )
+                )
+            else:
+                seen[definition.template] = definition
+        # Duplicate literal templates among direct log calls in one file
+        # (each would register as a distinct log point with identical text).
+        literal_seen: Dict[str, LogSite] = {}
+        for site in facts.log_sites:
+            if site.template_attr is not None or site.resolved_template is None:
+                continue
+            prior_site = literal_seen.get(site.resolved_template)
+            if prior_site is not None:
+                out.append(
+                    Diagnostic(
+                        "LP002",
+                        facts.path,
+                        site.line,
+                        site.col,
+                        f"literal template {site.resolved_template!r} repeats "
+                        f"line {prior_site.line}'s",
+                        "reuse one registered log point (or make the text "
+                        "unique)",
+                    )
+                )
+            else:
+                literal_seen[site.resolved_template] = site
+        return out
+
+    def _lp003(self, facts) -> List[Diagnostic]:
+        out = []
+        int_sites: List[Tuple[LogSite, int]] = []
+        for site in facts.log_sites:
+            if site.lpid_expr is None:
+                continue
+            # Inventory idiom: template and lpid must name the same entry.
+            lpid_attr = _lpid_attr_chain(site.lpid_expr)
+            if site.template_attr is not None or lpid_attr is not None:
+                if site.template_attr != lpid_attr:
+                    out.append(
+                        Diagnostic(
+                            "LP003",
+                            facts.path,
+                            site.line,
+                            site.col,
+                            f"template references "
+                            f"{site.template_attr or '<literal>'} but lpid "
+                            f"references {lpid_attr or '<non-inventory>'}",
+                            "make the template and lpid name the same "
+                            "inventory entry",
+                        )
+                    )
+                continue
+            if isinstance(site.lpid_expr, ast.Constant) and isinstance(
+                site.lpid_expr.value, int
+            ):
+                int_sites.append((site, site.lpid_expr.value))
+        # Rewriter contract: integer lpids are dense source-order ids.
+        seen_ids: Dict[int, LogSite] = {}
+        previous = None
+        for site, lpid in sorted(int_sites, key=lambda p: (p[0].line, p[0].col)):
+            if lpid in seen_ids:
+                out.append(
+                    Diagnostic(
+                        "LP003",
+                        facts.path,
+                        site.line,
+                        site.col,
+                        f"lpid={lpid} collides with line {seen_ids[lpid].line}",
+                        "re-run the instrumentation rewriter to reassign ids",
+                    )
+                )
+            else:
+                seen_ids[lpid] = site
+                if previous is not None and lpid < previous:
+                    out.append(
+                        Diagnostic(
+                            "LP003",
+                            facts.path,
+                            site.line,
+                            site.col,
+                            f"lpid={lpid} breaks source-order assignment "
+                            f"(follows lpid={previous})",
+                            "re-run the instrumentation rewriter to reassign "
+                            "ids",
+                        )
+                    )
+                previous = lpid
+        return out
+
+    def _check_registry_drift(self, files: List[FileFacts]) -> List[Diagnostic]:
+        scanned: Set[str] = set()
+        location: Dict[str, Tuple[str, int]] = {}
+        for facts in files:
+            for definition in facts.inventory:
+                scanned.add(definition.template)
+                location.setdefault(definition.template, (facts.path, definition.line))
+            for site in facts.log_sites:
+                if site.resolved_template is not None and site.template_attr is None:
+                    scanned.add(site.resolved_template)
+                    location.setdefault(site.resolved_template, (facts.path, site.line))
+        drift = self.registry.drift(scanned)
+        out = []
+        for template in drift.missing:
+            path, line = location.get(template, (self.registry_label, 0))
+            out.append(
+                Diagnostic(
+                    "LP004",
+                    path,
+                    line,
+                    0,
+                    f"template {template!r} found in source but absent from "
+                    f"the persisted registry {self.registry_label}",
+                    "regenerate the registry from the current source scan",
+                )
+            )
+        for template in drift.stale:
+            out.append(
+                Diagnostic(
+                    "LP004",
+                    self.registry_label,
+                    0,
+                    0,
+                    f"registry template {template!r} no longer exists in the "
+                    f"scanned source",
+                    "regenerate the registry from the current source scan",
+                )
+            )
+        return out
+
+    # -- ST family ------------------------------------------------------------
+    def _st001(self, facts) -> List[Diagnostic]:
+        out = []
+        for name, (has_run, logs, ctx, line) in sorted(facts.classes.items()):
+            if has_run and logs and not ctx:
+                out.append(
+                    Diagnostic(
+                        "ST001",
+                        facts.path,
+                        line,
+                        0,
+                        f"stage class {name!r} (run() body) logs but never "
+                        f"calls set_context",
+                        "call runtime.set_context(<stage>) at the beginning "
+                        "of the stage body",
+                    )
+                )
+        for func in facts.functions:
+            if func.has_dequeue and func.has_log_calls and not func.has_set_context:
+                out.append(
+                    Diagnostic(
+                        "ST001",
+                        facts.path,
+                        func.node.lineno,
+                        func.node.col_offset,
+                        f"dequeue-loop {func.qualname}() logs but never calls "
+                        f"set_context",
+                        "call set_context(<stage>) right after each dequeue "
+                        "(the consumer-stage beginning point)",
+                    )
+                )
+        return out
+
+    def _stage_cfg_rules(self, facts) -> List[Diagnostic]:
+        out = []
+        for func in facts.functions:
+            if not func.has_set_context:
+                continue
+            cfg = build_cfg(func.node)
+            context_nodes = cfg.nodes_matching(_stmt_calls(_SET_CONTEXT))
+            if not context_nodes:
+                continue  # set_context only in nested defs/lambdas
+            if "ST002" in self.rules and func.has_log_calls:
+                out.extend(self._st002(facts, func, cfg, context_nodes))
+            if "ST003" in self.rules and func.has_end_task:
+                out.extend(self._st003(facts, func, cfg, context_nodes))
+        return out
+
+    def _st002(self, facts, func, cfg: CFG, context_nodes) -> List[Diagnostic]:
+        out = []
+        bare = facts.bare_log_names
+        log_nodes = cfg.nodes_matching(lambda s: _stmt_has_log_call(s, bare))
+        reachable = cfg.reachable_avoiding(cfg.entry, context_nodes)
+        for index in sorted(log_nodes & reachable):
+            node = cfg.nodes[index]
+            out.append(
+                Diagnostic(
+                    "ST002",
+                    facts.path,
+                    node.line,
+                    node.stmt.col_offset,
+                    f"log call in {func.qualname}() is reachable before any "
+                    f"set_context",
+                    "move the log call after set_context, or set the stage "
+                    "context on every path that reaches it",
+                )
+            )
+        return out
+
+    def _st003(self, facts, func, cfg: CFG, context_nodes) -> List[Diagnostic]:
+        out = []
+        end_nodes = cfg.nodes_matching(_stmt_calls(_END_TASK))
+        blocked = end_nodes | context_nodes
+        for index in sorted(context_nodes):
+            node = cfg.nodes[index]
+            # The set_context call's own exception edges don't count — if
+            # opening the stage fails there is no stage to leave dangling.
+            escapes = cfg.reachable_via_exception_avoiding(
+                index, cfg.raise_exit, blocked, ignore_start_exceptions=True
+            ) or cfg.reachable_via_exception_avoiding(
+                index, cfg.exit, blocked, ignore_start_exceptions=True
+            )
+            if escapes:
+                out.append(
+                    Diagnostic(
+                        "ST003",
+                        facts.path,
+                        node.line,
+                        node.stmt.col_offset,
+                        f"stage opened in {func.qualname}() can terminate on "
+                        f"an exception path without end_task",
+                        "move end_task() into a finally block covering the "
+                        "stage body",
+                    )
+                )
+        return out
+
+    # -- CC001 ----------------------------------------------------------------
+    def _cc001(self, facts) -> List[Diagnostic]:
+        out = []
+        in_simsys = f"{os.sep}simsys{os.sep}" in facts.path or facts.path.startswith(
+            f"simsys{os.sep}"
+        )
+        for func in facts.functions:
+            if not (func.is_generator or in_simsys):
+                continue
+            out.extend(self._cc001_function(facts, func))
+        return out
+
+    def _cc001_function(self, facts, func) -> List[Diagnostic]:
+        out = []
+        # Local names bound to real queue.Queue(...) instances.
+        real_queues: Set[str] = set()
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                ctor = stmt.value.func
+                is_queue = (
+                    isinstance(ctor, ast.Attribute)
+                    and ctor.attr == "Queue"
+                    and isinstance(ctor.value, ast.Name)
+                    and ctor.value.id in facts.queue_aliases
+                ) or (
+                    isinstance(ctor, ast.Name) and ctor.id in facts.queue_classes
+                )
+                if is_queue:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            real_queues.add(target.id)
+
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            blocking = self._blocking_call_description(facts, node, real_queues)
+            if blocking is not None:
+                out.append(
+                    Diagnostic(
+                        "CC001",
+                        facts.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"blocking call {blocking} inside simulated "
+                        f"event-handler code ({func.qualname})",
+                        "yield a sim-clock primitive (env.timeout, SimQueue) "
+                        "instead of blocking the real thread",
+                    )
+                )
+        return out
+
+    def _blocking_call_description(
+        self, facts, node: ast.Call, real_queues: Set[str]
+    ) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in facts.sleep_aliases:
+                return f"{func.id}() (time.sleep)"
+            if func.id in _BLOCKING_BUILTINS:
+                return f"{func.id}()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            base = receiver.id
+            if func.attr == "sleep" and base in facts.time_aliases:
+                return f"{base}.sleep()"
+            if func.attr == "system" and base in facts.os_aliases:
+                return f"{base}.system()"
+            if (
+                func.attr in _SUBPROCESS_BLOCKING
+                and base in facts.subprocess_aliases
+            ):
+                return f"{base}.{func.attr}()"
+            if base in facts.socket_aliases:
+                return f"{base}.{func.attr}()"
+            if func.attr in ("get", "put", "join") and base in real_queues:
+                return f"{base}.{func.attr}() (stdlib queue.Queue)"
+        return None
+
+
+def _stmt_calls(method: str):
+    def predicate(stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == method:
+                    return True
+                if isinstance(func, ast.Name) and func.id == method:
+                    return True
+        return False
+
+    return predicate
+
+
+def _stmt_has_log_call(stmt: ast.stmt, bare_names: Set[str]) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and node.args:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in LOG_METHODS:
+                return True
+            if isinstance(func, ast.Name) and func.id in bare_names:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Helpers / module API
+# ---------------------------------------------------------------------------
+
+
+def collect_file(path: str, source: str) -> FileFacts:
+    tree = ast.parse(source, filename=path)
+    facts = FileFacts(path=path, tree=tree, lines=source.splitlines())
+    _Collector(facts).visit(tree)
+    return facts
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if not d.startswith(("__pycache__", ".")))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Iterable[str] = (),
+    registry: Optional[LogPointRegistry] = None,
+    registry_label: str = "<registry>",
+) -> LintResult:
+    """Run saadlint over ``paths`` and return the raw (unbaselined) result."""
+    engine = LintEngine(
+        select=select, ignore=ignore, registry=registry,
+        registry_label=registry_label,
+    )
+    return engine.run(paths)
+
+
+def lint_source(
+    source: str, path: str = "<source>", **kwargs
+) -> List[Diagnostic]:
+    """Lint one in-memory source text (unit-test convenience)."""
+    engine = LintEngine(**kwargs)
+    facts = collect_file(path, source)
+    diagnostics = [
+        d
+        for d in engine.check_files([facts])
+        if d.rule_id not in _suppressed_rules(facts.lines, d.line)
+    ]
+    return sorted(diagnostics, key=Diagnostic.sort_key)

@@ -1,0 +1,67 @@
+"""Reporters rendering saadlint results for humans and machines."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .diagnostics import LintResult, RULES, severity_name
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """GCC-style ``file:line:col: severity RULE message`` listing."""
+    lines: List[str] = []
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    for diag in result.diagnostics:
+        location = f"{diag.path}:{diag.line}:{diag.col}"
+        lines.append(
+            f"{location}: {diag.severity_name} {diag.rule_id} {diag.message}"
+        )
+        if diag.hint:
+            lines.append(f"    hint: {diag.hint}")
+    counts = result.counts_by_rule()
+    if counts:
+        summary = ", ".join(f"{rule}:{n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(result.diagnostics)} finding(s) in "
+            f"{result.files_scanned} file(s) [{summary}]"
+            + (f", {len(result.suppressed)} suppressed" if result.suppressed else "")
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_scanned} file(s), 0 findings"
+            + (f", {len(result.suppressed)} suppressed" if result.suppressed else "")
+        )
+    if verbose and result.suppressed:
+        lines.append("suppressed findings:")
+        for diag in result.suppressed:
+            lines.append(
+                f"  {diag.path}:{diag.line}: {diag.rule_id} {diag.message}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "tool": "saadlint",
+        "files_scanned": result.files_scanned,
+        "findings": [diag.as_dict() for diag in result.diagnostics],
+        "suppressed": [diag.as_dict() for diag in result.suppressed],
+        "parse_errors": list(result.parse_errors),
+        "counts": result.counts_by_rule(),
+        "clean": result.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_table() -> str:
+    """The rule reference (``--list-rules``)."""
+    lines = ["saadlint rules:"]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"  {rule_id}  [{severity_name(rule.severity)}] {rule.title}")
+        lines.append(f"         {rule.rationale}")
+    return "\n".join(lines)

@@ -5,15 +5,51 @@ The equivalent of the paper's 50-line Ruby script that rewrites
 The rewrite is textual but anchored on AST positions, so formatting
 elsewhere is untouched; running it twice is a no-op (calls that already
 carry ``lpid`` are skipped).
+
+The inserter is layout-aware: it places ``lpid=N`` after the call's last
+non-whitespace argument character, so single-line calls, multi-line
+calls, and calls with a trailing comma all rewrite to valid Python.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import warnings
+from typing import List, Optional, Tuple
 
 from repro.core import LogPointRegistry
 
 from .scanner import FoundLogCall, build_registry, scan_source
+
+
+class RewriteWarning(UserWarning):
+    """A log call the rewriter found but could not instrument."""
+
+
+def _last_content_position(
+    lines: List[str], call: FoundLogCall
+) -> Optional[Tuple[int, int]]:
+    """(line index, col index) of the last non-whitespace character before
+    the call's closing parenthesis, scanning backwards across lines.
+
+    Returns None when nothing but whitespace precedes the closer inside
+    the call (malformed / unexpected layout).
+    """
+    li = call.end_line - 1
+    ci = call.end_col - 2  # char just before the closing ")"
+    start_li = call.line - 1
+    start_ci = call.col
+    while li >= start_li:
+        if ci < 0:
+            li -= 1
+            if li >= start_li:
+                ci = len(lines[li]) - 1
+            continue
+        if li == start_li and ci < start_ci:
+            return None
+        if not lines[li][ci].isspace():
+            return li, ci
+        ci -= 1
+    return None
 
 
 def instrument_source(
@@ -33,15 +69,43 @@ def instrument_source(
         (call, lpid) for lpid, call in enumerate(ordered) if not call.has_lpid
     ]
     for call, lpid in sorted(edits, key=lambda pair: (-pair[0].end_line, -pair[0].end_col)):
-        line_index = call.end_line - 1
-        line = lines[line_index]
-        close = call.end_col - 1  # index of the closing parenthesis
-        if close < 0 or close >= len(line) or line[close] != ")":
-            continue  # defensive: unexpected layout, leave untouched
-        inside = line[:close].rstrip()
-        needs_comma = not inside.endswith("(")
-        insertion = f", lpid={lpid}" if needs_comma else f"lpid={lpid}"
-        lines[line_index] = line[:close] + insertion + line[close:]
+        close_li = call.end_line - 1
+        close_ci = call.end_col - 1  # index of the closing parenthesis
+        close_line = lines[close_li] if 0 <= close_li < len(lines) else ""
+        if (
+            close_ci < 0
+            or close_ci >= len(close_line)
+            or close_line[close_ci] != ")"
+        ):
+            warnings.warn(
+                f"{source_file}:{call.line}: cannot instrument "
+                f"{call.method}() call — unexpected layout at its closing "
+                f"parenthesis; log point left without an lpid",
+                RewriteWarning,
+                stacklevel=2,
+            )
+            continue
+        anchor = _last_content_position(lines, call)
+        if anchor is None:
+            warnings.warn(
+                f"{source_file}:{call.line}: cannot instrument "
+                f"{call.method}() call — no argument text found before its "
+                f"closing parenthesis; log point left without an lpid",
+                RewriteWarning,
+                stacklevel=2,
+            )
+            continue
+        li, ci = anchor
+        last_char = lines[li][ci]
+        if last_char == ",":
+            # Trailing comma: reuse it instead of emitting a second one.
+            insertion = f" lpid={lpid}"
+        elif last_char == "(":
+            insertion = f"lpid={lpid}"
+        else:
+            insertion = f", lpid={lpid}"
+        line = lines[li]
+        lines[li] = line[: ci + 1] + insertion + line[ci + 1:]
     return "".join(lines), registry
 
 

@@ -67,47 +67,78 @@ class _Scanner(ast.NodeVisitor):
     def __init__(self) -> None:
         self.result = ScanResult()
         self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        self._seen_candidates: set = set()
+        #: Bare name -> log method (``from repro.loglib import debug as dbg``).
+        self._bare_log_names: dict = {}
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if "log" in module.lower():
+            for alias in node.names:
+                if alias.name in LOG_METHODS:
+                    self._bare_log_names[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._class_stack.append(node.name)
         self.generic_visit(node)
         self._class_stack.pop()
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_function(self, node) -> None:
         if node.name == "run":
             owner = self._class_stack[-1] if self._class_stack else "<module>"
-            self.result.stage_candidates.append(
+            self._add_candidate(
                 StageCandidate(kind="run-method", name=owner, line=node.lineno)
             )
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _add_candidate(self, candidate: StageCandidate) -> None:
+        # One candidate per (kind, name, enclosing scope): repeated dequeues
+        # of the same queue in one function are a single stage beginning.
+        key = (candidate.kind, candidate.name, tuple(self._func_stack))
+        if key not in self._seen_candidates:
+            self._seen_candidates.add(key)
+            self.result.stage_candidates.append(candidate)
+
+    def _record_log_call(self, node: ast.Call, method: str) -> None:
+        template = _literal_first_arg(node)
+        if template is None:
+            return
+        self.result.log_calls.append(
+            FoundLogCall(
+                template=template,
+                level=LOG_METHODS[method],
+                line=node.lineno,
+                col=node.col_offset,
+                end_line=getattr(node, "end_lineno", node.lineno),
+                end_col=getattr(node, "end_col_offset", node.col_offset),
+                has_lpid=any(kw.arg == "lpid" for kw in node.keywords),
+                method=method,
+            )
+        )
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if isinstance(func, ast.Attribute):
             method = func.attr
             if method in LOG_METHODS:
-                template = _literal_first_arg(node)
-                if template is not None:
-                    self.result.log_calls.append(
-                        FoundLogCall(
-                            template=template,
-                            level=LOG_METHODS[method],
-                            line=node.lineno,
-                            col=node.col_offset,
-                            end_line=getattr(node, "end_lineno", node.lineno),
-                            end_col=getattr(node, "end_col_offset", node.col_offset),
-                            has_lpid=any(kw.arg == "lpid" for kw in node.keywords),
-                            method=method,
-                        )
-                    )
+                self._record_log_call(node, method)
             elif method in DEQUEUE_METHODS:
                 target = getattr(func.value, "id", None) or getattr(
                     func.value, "attr", ""
                 )
                 if "queue" in str(target).lower():
-                    self.result.stage_candidates.append(
+                    self._add_candidate(
                         StageCandidate(kind="dequeue", name=str(target), line=node.lineno)
                     )
+        elif isinstance(func, ast.Name) and func.id in self._bare_log_names:
+            self._record_log_call(node, self._bare_log_names[func.id])
         self.generic_visit(node)
 
 

@@ -1,0 +1,10 @@
+"""Fixture inventory for the clean (zero-findings) control tree."""
+
+
+class CleanLogPoints:
+    def __init__(self, saad):
+        def lp(template):
+            return saad.logpoints.register(template)
+
+        self.known_start = lp("worker starting on %s")
+        self.known_done = lp("worker done")

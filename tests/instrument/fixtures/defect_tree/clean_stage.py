@@ -1,0 +1,16 @@
+"""Fixture negative control: a fully conforming stage body."""
+
+
+def good_stage(runtime, log, lps):
+    runtime.set_context("Worker")
+    try:
+        log.info(lps.known_start.template, "host", lpid=lps.known_start.lpid)
+        log.debug(lps.known_done.template, lpid=lps.known_done.lpid)
+    finally:
+        runtime.end_task()
+
+
+def good_sim_handler(env, runtime, log, lps):
+    runtime.set_context("Worker")
+    yield env.timeout(0.5)
+    log.debug(lps.known_done.template, lpid=lps.known_done.lpid)

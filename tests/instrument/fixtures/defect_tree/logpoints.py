@@ -1,0 +1,12 @@
+"""Fixture inventory: one planted LP002 duplicate-template defect."""
+
+
+class DefectLogPoints:
+    def __init__(self, saad):
+        def lp(template, level=0, logger="", line=0):
+            return saad.logpoints.register(template, level, logger, line=line)
+
+        self.known_start = lp("worker starting on %s")
+        self.known_done = lp("worker done")
+        self.dup_a = lp("duplicated template")
+        self.dup_b = lp("duplicated template")  # planted: LP002 (line 12)

@@ -1,0 +1,49 @@
+"""Fixture server code with one planted defect per saadlint rule.
+
+Planted defects (asserted line-exactly by test_lint.py):
+
+* ``untrackable``  LP001 — dynamically built template
+* ``mismatched``   LP003 — template/lpid name different inventory entries
+* ``early_log``    ST002 — log call before any set_context
+* ``leaky_stage``  ST003 — exception path bypasses end_task
+* ``OrphanStage``  ST001 — stage run() logs without set_context (twice:
+  once via the run-method heuristic, once via the dequeue-loop heuristic)
+* ``sim_handler``  CC001 — real time.sleep inside sim event-handler code
+"""
+import time
+
+
+def untrackable(log, payload):
+    log.info(build_message(payload))
+
+
+def mismatched(runtime, log, lps):
+    runtime.set_context("Worker")
+    try:
+        log.info(lps.known_start.template, "x", lpid=lps.known_done.lpid)
+    finally:
+        runtime.end_task()
+
+
+def early_log(runtime, log):
+    log.debug("before any context")
+    runtime.set_context("Worker")
+    log.debug("inside context")
+
+
+def leaky_stage(runtime, log, lps):
+    runtime.set_context("Worker")
+    do_risky_work()
+    runtime.end_task()
+
+
+class OrphanStage:
+    def run(self):
+        while True:
+            task = self.task_queue.get()
+            self.log.info("handling %s", task)
+
+
+def sim_handler(env):
+    yield env.timeout(1.0)
+    time.sleep(0.01)

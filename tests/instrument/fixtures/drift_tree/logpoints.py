@@ -1,0 +1,10 @@
+"""Fixture inventory for the LP004 registry-drift check."""
+
+
+class DriftLogPoints:
+    def __init__(self, saad):
+        def lp(template):
+            return saad.logpoints.register(template)
+
+        self.kept = lp("kept template %s")
+        self.added = lp("added template %d")

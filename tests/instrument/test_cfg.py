@@ -1,0 +1,181 @@
+"""Tests for the lightweight per-function CFG used by saadlint."""
+
+import ast
+
+import pytest
+
+from repro.instrument.cfg import build_cfg
+
+
+def _cfg_for(source: str):
+    tree = ast.parse(source)
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def _nodes_calling(cfg, name):
+    def predicate(stmt):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == name:
+                    return True
+                if isinstance(func, ast.Attribute) and func.attr == name:
+                    return True
+        return False
+
+    return cfg.nodes_matching(predicate)
+
+
+class TestConstruction:
+    def test_straight_line(self):
+        cfg = _cfg_for("def f():\n    a()\n    b()\n")
+        assert len(cfg.stmt_nodes()) == 2
+        (a,) = sorted(_nodes_calling(cfg, "a"))
+        (b,) = sorted(_nodes_calling(cfg, "b"))
+        assert (b, False) in cfg.successors[a]
+
+    def test_rejects_non_function(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1").body[0])
+
+    def test_calls_get_exception_edges(self):
+        cfg = _cfg_for("def f():\n    a()\n")
+        (a,) = _nodes_calling(cfg, "a")
+        assert (cfg.raise_exit, True) in cfg.successors[a]
+
+    def test_pass_cannot_raise(self):
+        cfg = _cfg_for("def f():\n    pass\n")
+        (node,) = (n.index for n in cfg.stmt_nodes())
+        assert (cfg.raise_exit, True) not in cfg.successors[node]
+
+    def test_async_function_supported(self):
+        cfg = _cfg_for("async def f():\n    await a()\n")
+        assert len(cfg.stmt_nodes()) == 1
+
+
+class TestBranching:
+    SRC = """
+def f(x):
+    if x:
+        a()
+    else:
+        b()
+    c()
+"""
+
+    def test_if_both_arms_reach_join(self):
+        cfg = _cfg_for(self.SRC)
+        (a,) = _nodes_calling(cfg, "a")
+        (b,) = _nodes_calling(cfg, "b")
+        (c,) = _nodes_calling(cfg, "c")
+        assert (c, False) in cfg.successors[a]
+        assert (c, False) in cfg.successors[b]
+
+    def test_if_without_else_skips(self):
+        cfg = _cfg_for("def f(x):\n    if x:\n        a()\n    c()\n")
+        (c,) = _nodes_calling(cfg, "c")
+        reachable = cfg.reachable_avoiding(cfg.entry, _nodes_calling(cfg, "a"))
+        assert c in reachable  # the false arm bypasses a()
+
+    def test_return_cuts_fallthrough(self):
+        cfg = _cfg_for("def f(x):\n    if x:\n        return\n    a()\n")
+        (a,) = _nodes_calling(cfg, "a")
+        assert cfg.exit in cfg.reachable_avoiding(cfg.entry, {a})
+
+
+class TestLoops:
+    def test_while_true_only_exits_via_break(self):
+        cfg = _cfg_for(
+            "def f():\n"
+            "    while True:\n"
+            "        if done():\n"
+            "            break\n"
+            "        a()\n"
+            "    after()\n"
+        )
+        (after,) = _nodes_calling(cfg, "after")
+        # after() is reachable (through break) ...
+        assert after in cfg.reachable_avoiding(cfg.entry, set())
+        # ... but only through the conditional that breaks.
+        assert after not in cfg.reachable_avoiding(
+            cfg.entry, _nodes_calling(cfg, "done")
+        )
+
+    def test_loop_body_repeats(self):
+        cfg = _cfg_for("def f(xs):\n    for x in xs:\n        a()\n")
+        (a,) = _nodes_calling(cfg, "a")
+        # Back edge: a() reaches itself through the loop head.
+        assert a in cfg.reachable_avoiding(a, set()) - {a} or any(
+            a in cfg.reachable_avoiding(succ, set())
+            for succ, _ in cfg.successors[a]
+        )
+
+
+class TestExceptions:
+    def test_raise_in_body_reaches_handler(self):
+        cfg = _cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        cleanup()\n"
+        )
+        (work,) = _nodes_calling(cfg, "work")
+        (cleanup,) = _nodes_calling(cfg, "cleanup")
+        assert cleanup in cfg.reachable_avoiding(work, set())
+
+    def test_uncaught_exception_escapes(self):
+        cfg = _cfg_for("def f():\n    work()\n")
+        (work,) = _nodes_calling(cfg, "work")
+        assert cfg.reachable_via_exception_avoiding(work, cfg.raise_exit, set())
+
+    def test_catch_all_stops_propagation(self):
+        cfg = _cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "    done()\n"
+        )
+        (work,) = _nodes_calling(cfg, "work")
+        (done,) = _nodes_calling(cfg, "done")
+        # done() itself can raise, so exclude it: nothing from the try
+        # block escapes the catch-all handler.
+        assert not cfg.reachable_via_exception_avoiding(
+            cfg.entry, cfg.raise_exit, {done}
+        )
+        assert done in cfg.reachable_avoiding(work, set())
+
+    def test_finally_on_exception_path(self):
+        cfg = _cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        release()\n"
+        )
+        (release,) = _nodes_calling(cfg, "release")
+        # The exceptional exit is only reachable through the finally body.
+        assert not cfg.reachable_via_exception_avoiding(
+            cfg.entry, cfg.raise_exit, {release}
+        )
+        assert cfg.reachable_via_exception_avoiding(
+            cfg.entry, cfg.raise_exit, set()
+        )
+
+    def test_specific_handler_still_propagates(self):
+        cfg = _cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert cfg.reachable_via_exception_avoiding(
+            cfg.entry, cfg.raise_exit, set()
+        )

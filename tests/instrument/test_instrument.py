@@ -1,8 +1,11 @@
 """Tests for the static instrumentation tooling."""
 
+import dataclasses
+
 import pytest
 
 from repro.instrument import (
+    RewriteWarning,
     build_registry,
     instrument_source,
     scan_source,
@@ -91,6 +94,122 @@ class TestRewriter:
 
     def test_verify_detects_uninstrumented(self):
         assert not verify_instrumentation(SAMPLE)
+
+
+class TestScannerSatellites:
+    def test_async_run_method_is_stage_candidate(self):
+        source = (
+            "class AsyncStage:\n"
+            "    async def run(self):\n"
+            '        log.info("async working")\n'
+        )
+        result = scan_source(source)
+        runs = [c for c in result.stage_candidates if c.kind == "run-method"]
+        assert [c.name for c in runs] == ["AsyncStage"]
+
+    def test_stage_candidates_deduplicated(self):
+        # Two dequeues in one function: one candidate, not two.
+        source = (
+            "def consumer(task_queue):\n"
+            "    while True:\n"
+            "        first = task_queue.get()\n"
+            "        second = task_queue.get()\n"
+            '        log.debug("pair %s %s", first, second)\n'
+        )
+        result = scan_source(source)
+        dequeues = [c for c in result.stage_candidates if c.kind == "dequeue"]
+        assert len(dequeues) == 1
+
+    def test_bare_logger_names_from_loglib_import(self):
+        source = (
+            "from repro.loglib import debug, info as note\n"
+            'debug("bare call %s", x)\n'
+            'note("aliased call")\n'
+        )
+        result = scan_source(source)
+        templates = sorted(c.template for c in result.log_calls)
+        assert templates == ["aliased call", "bare call %s"]
+        from repro.loglib import DEBUG, INFO
+
+        by_template = {c.template: c for c in result.log_calls}
+        assert by_template["bare call %s"].level == DEBUG
+        assert by_template["aliased call"].level == INFO
+
+    def test_unrelated_bare_names_not_logged(self):
+        result = scan_source(
+            "from os.path import join\n" 'join("not a template", "x")\n'
+        )
+        assert result.log_calls == []
+
+
+class TestRewriterLayouts:
+    def test_trailing_comma_not_doubled(self):
+        instrumented, _ = instrument_source('log.debug("x",)\n')
+        assert instrumented == 'log.debug("x", lpid=0)\n'
+        compile(instrumented, "<test>", "exec")
+        assert verify_instrumentation(instrumented)
+
+    def test_trailing_comma_idempotent(self):
+        once, _ = instrument_source('log.debug("x",)\n')
+        twice, _ = instrument_source(once)
+        assert once == twice
+
+    def test_multiline_call_rewrites_on_last_argument_line(self):
+        source = (
+            "log.info(\n"
+            '    "Receiving block blk_%s",\n'
+            "    bid,\n"
+            ")\n"
+        )
+        instrumented, _ = instrument_source(source)
+        compile(instrumented, "<test>", "exec")
+        assert verify_instrumentation(instrumented)
+        # lpid reuses the trailing comma on the last argument line.
+        assert "    bid, lpid=0\n" in instrumented
+
+    def test_multiline_call_idempotent(self):
+        source = 'log.info(\n    "block %s",\n    bid\n)\n'
+        once, _ = instrument_source(source)
+        twice, _ = instrument_source(once)
+        assert once == twice
+        assert '    bid, lpid=0\n' in once
+
+    def test_fstring_with_conversion_round_trips(self):
+        source = 'log.debug(f"queued {task!r} at {depth}")\n'
+        instrumented, registry = instrument_source(source)
+        compile(instrumented, "<test>", "exec")
+        assert verify_instrumentation(instrumented)
+        assert registry.get(0).template == "queued %s at %s"
+
+    def test_already_instrumented_source_untouched(self):
+        source = 'log.info("hello %s", name, lpid=0)\nlog.debug("done", lpid=1)\n'
+        assert verify_instrumentation(source)
+        instrumented, _ = instrument_source(source)
+        assert instrumented == source
+
+    def test_mixed_instrumented_and_fresh_calls(self):
+        source = 'log.info("old", lpid=0)\nlog.debug("new")\n'
+        instrumented, _ = instrument_source(source)
+        assert 'log.debug("new", lpid=1)' in instrumented
+        assert verify_instrumentation(instrumented)
+
+    def test_unexpected_layout_warns_instead_of_silently_skipping(self, monkeypatch):
+        import repro.instrument.rewriter as rewriter
+
+        real_build = rewriter.build_registry
+
+        def skewed(source, source_file):
+            registry, result = real_build(source, source_file)
+            result.log_calls = [
+                dataclasses.replace(call, end_col=call.end_col + 7)
+                for call in result.log_calls
+            ]
+            return registry, result
+
+        monkeypatch.setattr(rewriter, "build_registry", skewed)
+        with pytest.warns(RewriteWarning, match="cannot instrument"):
+            instrumented, _ = rewriter.instrument_source('log.info("x")\n')
+        assert "lpid" not in instrumented
 
 
 class TestRoundTrip:

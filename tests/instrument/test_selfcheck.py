@@ -1,0 +1,44 @@
+"""Tier-1 selfcheck: saadlint must run clean over the real simulators.
+
+Every simulated server (HDFS, HBase, Cassandra, LSM) plus the simulation
+kernel is linted with all rules enabled.  Any unbaselined diagnostic is a
+regression: either fix the instrumentation defect or, for a deliberate
+exception, add an inline ``# saadlint: disable=RULE`` with a comment
+explaining why.
+"""
+
+import os
+
+import pytest
+
+from repro.instrument import run_lint
+from repro.instrument.cli import main as lint_cli
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+#: The trees ISSUE'd for verification: all four servers + the sim kernel.
+SIM_TREES = ["hdfs", "hbase", "cassandra", "lsm", "simsys"]
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.mark.parametrize("tree", SIM_TREES)
+def test_sim_tree_lints_clean(tree):
+    result = run_lint([os.path.join(SRC, tree)])
+    assert result.parse_errors == []
+    messages = "\n".join(
+        f"{d.path}:{d.line}: {d.rule_id} {d.message}" for d in result.diagnostics
+    )
+    assert result.diagnostics == [], f"unbaselined saadlint findings:\n{messages}"
+
+
+def test_whole_package_lints_clean():
+    result = run_lint([SRC])
+    assert result.files_scanned > 50  # the walk really covered the package
+    assert result.clean, [d.as_dict() for d in result.diagnostics]
+
+
+def test_cli_selfcheck_exits_zero(capsys):
+    assert lint_cli([SRC]) == 0
+    assert "clean" in capsys.readouterr().out
