@@ -8,6 +8,8 @@ Usage::
     python -m repro fig10
     python -m repro fig11
     python -m repro lint src/repro     # saadlint static verification
+    python -m repro stats              # telemetry snapshot (live demo)
+    python -m repro stats FILE.jsonl   # render a saved telemetry snapshot
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ def _usage() -> None:
         print(f"  {name:<8} {description}")
     print("tools:")
     print("  lint     saadlint: static instrumentation verification")
+    print("  stats    telemetry: render live or saved metric snapshots")
 
 
 def main(argv) -> int:
@@ -44,6 +47,10 @@ def main(argv) -> int:
         from repro.instrument.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if command == "stats":
+        from repro.telemetry.cli import main as stats_main
+
+        return stats_main(argv[1:])
     if command == "fig6":
         from repro.experiments import fig6_signatures
 

@@ -47,6 +47,7 @@ class RealThreadContext(ThreadContextProvider):
         self._local = threading.local()
 
     def slot(self) -> Dict[str, Any]:
+        """This thread's private dict (created on first access)."""
         store = getattr(self._local, "store", None)
         if store is None:
             store = {}
@@ -54,6 +55,7 @@ class RealThreadContext(ThreadContextProvider):
         return store
 
     def thread_name(self) -> str:
+        """Name of the current OS thread."""
         return threading.current_thread().name
 
 
@@ -70,14 +72,17 @@ class SimThreadContext(ThreadContextProvider):
         self._fallback: Dict[str, Any] = {}
 
     def slot(self) -> Dict[str, Any]:
+        """The active simulated thread's locals (main-thread fallback)."""
         thread = self.env.active_thread
         return thread.locals if thread is not None else self._fallback
 
     def thread_name(self) -> str:
+        """Name of the active simulated thread (or "main")."""
         thread = self.env.active_thread
         return thread.name if thread is not None else "main"
 
     def register_exit_hook(self, hook: Callable[[], None]) -> bool:
+        """Attach ``hook`` to the active simulated thread's death."""
         thread = self.env.active_thread
         if thread is None:
             return False

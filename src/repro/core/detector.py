@@ -24,6 +24,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.telemetry import MetricsRegistry
+
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey
 from .interning import canonical_tuple
@@ -53,6 +55,7 @@ class AnomalyEvent:
 
     @property
     def stage_key(self) -> StageKey:
+        """(host_id, stage_id) key of the stage this event belongs to."""
         return (self.host_id, self.stage_id)
 
 
@@ -73,6 +76,28 @@ class AnomalyDetector:
     Windows are closed by *event time*: when a task with
     ``start_time >= window_end + lateness`` arrives for any stage, all
     windows ending earlier are finalized.  ``flush()`` closes the rest.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.model.OutlierModel`; frozen for
+        the detector's lifetime (baselines are memoized off it).
+    config:
+        Analyzer configuration; defaults to the model's own.
+    lateness_s:
+        Allowed event-time lateness before a window is considered ripe.
+    registry:
+        Telemetry registry for the ``detector_*`` metrics; defaults to
+        a private :class:`~repro.telemetry.MetricsRegistry`, or pass a
+        :class:`~repro.telemetry.NullRegistry` to disable (the
+        benchmark's unmetered leg).
+
+    Telemetry: the per-task path mutates plain private ints exposed via
+    callback-backed counters (``detector_tasks_observed``,
+    ``detector_bucket_probes``); the rare window-lifecycle path uses real
+    locked metrics — ``detector_windows_opened`` / ``_closed{stage}`` /
+    the ``detector_windows_open`` gauge, the ``detector_close_lag_seconds``
+    histogram, ``detector_anomalies{kind}``, ``detector_new_signatures``.
     """
 
     def __init__(
@@ -80,6 +105,7 @@ class AnomalyDetector:
         model: OutlierModel,
         config: Optional[SAADConfig] = None,
         lateness_s: float = 0.0,
+        registry=None,
     ):
         self.model = model
         self.config = config or model.config
@@ -92,15 +118,67 @@ class AnomalyDetector:
         self._index_keys: Dict[int, List[StageKey]] = {}
         self._watermark = float("-inf")
         self.anomalies: List[AnomalyEvent] = []
-        self.tasks_seen = 0
-        #: Buckets examined for ripeness so far — the old implementation
-        #: visited every open bucket on every observe; the heap visits
-        #: one per peek.  Exposed for tests/benchmarks.
-        self.bucket_probe_count = 0
-        #: Windows finalized so far (ripe closes + flush).
-        self.windows_closed = 0
+        self._tasks_seen = 0
+        self._bucket_probe_count = 0
+        self._windows_closed = 0
         # (stage_key, signature) -> baseline proportion for the perf test.
         self._perf_baselines: Dict[Tuple[StageKey, Signature], float] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        registry = self.registry
+        registry.counter(
+            "detector_tasks_observed", "synopses/features classified"
+        ).set_function(lambda: self._tasks_seen)
+        registry.counter(
+            "detector_bucket_probes", "ripeness-index probes (heap peeks/pops)"
+        ).set_function(lambda: self._bucket_probe_count)
+        self._m_windows_opened = registry.counter(
+            "detector_windows_opened", "window buckets opened"
+        )
+        self._m_windows_open = registry.gauge(
+            "detector_windows_open", "window buckets currently open"
+        )
+        self._m_windows_closed = registry.counter(
+            "detector_windows_closed",
+            "windows finalized (ripe closes + flush)",
+            labels=("stage",),
+        )
+        # Per-stage children resolved once, then cached: _close_window
+        # runs per window, but labels() takes the family lock.
+        self._m_closed_by_stage: Dict[int, object] = {}
+        self._m_close_lag = registry.histogram(
+            "detector_close_lag_seconds",
+            "event-time lag between a closed window's end and the watermark",
+        )
+        self._m_anomalies = registry.counter(
+            "detector_anomalies", "anomaly events emitted", labels=("kind",)
+        )
+        self._m_anomalies_flow = self._m_anomalies.labels(kind=FLOW)
+        self._m_anomalies_perf = self._m_anomalies.labels(kind=PERFORMANCE)
+        self._m_new_signatures = registry.counter(
+            "detector_new_signatures",
+            "distinct never-trained signatures observed in closed windows",
+        )
+
+    # -- accounting (telemetry-backed, read-only) ----------------------------
+    @property
+    def tasks_seen(self) -> int:
+        """Synopses/features classified so far."""
+        return self._tasks_seen
+
+    @property
+    def bucket_probe_count(self) -> int:
+        """Buckets examined for ripeness so far — the old implementation
+        visited every open bucket on every observe; the heap visits one
+        per peek.  Exposed for tests/benchmarks."""
+        return self._bucket_probe_count
+
+    @property
+    def windows_closed(self) -> int:
+        """Windows finalized so far (ripe closes + flush)."""
+        return self._windows_closed
 
     # -- ingestion -----------------------------------------------------------
     def observe(self, synopsis: TaskSynopsis) -> List[AnomalyEvent]:
@@ -119,6 +197,11 @@ class AnomalyDetector:
         )
 
     def observe_feature(self, feature: FeatureVector) -> List[AnomalyEvent]:
+        """Ingest one already-extracted :class:`FeatureVector`.
+
+        Same semantics as :meth:`observe`; used by replay paths that
+        work from training traces rather than live synopses.
+        """
         return self._observe(
             self.model.stage_key_for(feature),
             feature.signature,
@@ -133,7 +216,7 @@ class AnomalyDetector:
         duration: float,
         start_time: float,
     ) -> List[AnomalyEvent]:
-        self.tasks_seen += 1
+        self._tasks_seen += 1
         label = self.model.classify_parts(stage_key, signature, duration)
         index = int(start_time // self.config.window_s)
         bucket_key = (stage_key, index)
@@ -146,6 +229,8 @@ class AnomalyDetector:
                 heapq.heappush(self._index_heap, index)
             else:
                 keys.append(stage_key)
+            self._m_windows_opened.inc()
+            self._m_windows_open.inc()
         bucket.n += 1
         if label.any_flow:
             bucket.flow_outliers += 1
@@ -163,7 +248,13 @@ class AnomalyDetector:
         return self._close_ripe_windows()
 
     def flush(self) -> List[AnomalyEvent]:
-        """Close every open window (end of stream)."""
+        """Close every open window (end of stream).
+
+        Also resets the per-window gauges: flush bypasses the ripe-close
+        path that decrements ``detector_windows_open``, so without the
+        explicit reset the gauge would stay stuck at the pre-flush open
+        count forever.
+        """
         emitted: List[AnomalyEvent] = []
         for index in sorted(self._index_keys):
             for stage_key in self._index_keys[index]:
@@ -171,6 +262,7 @@ class AnomalyDetector:
         self._buckets.clear()
         self._index_keys.clear()
         self._index_heap.clear()
+        self._m_windows_open.set(0)
         return emitted
 
     # -- window lifecycle -------------------------------------------------------
@@ -180,21 +272,22 @@ class AnomalyDetector:
             return []
         width = self.config.window_s
         horizon = self._watermark - self.lateness_s
-        self.bucket_probe_count += 1
+        self._bucket_probe_count += 1
         if (heap[0] + 1) * width > horizon:
             return []  # earliest open window is not ripe — nothing to scan
         emitted: List[AnomalyEvent] = []
         while heap and (heap[0] + 1) * width <= horizon:
             index = heapq.heappop(heap)
-            self.bucket_probe_count += 1
+            self._bucket_probe_count += 1
             for stage_key in self._index_keys.pop(index):
                 key = (stage_key, index)
                 emitted.extend(self._close_window(key))
                 del self._buckets[key]
+                self._m_windows_open.dec()
         return emitted
 
     def _close_window(self, key: Tuple[StageKey, int]) -> List[AnomalyEvent]:
-        self.windows_closed += 1
+        self._windows_closed += 1
         stage_key, index = key
         bucket = self._buckets[key]
         width = self.config.window_s
@@ -202,6 +295,14 @@ class AnomalyDetector:
         events: List[AnomalyEvent] = []
         stage_model = self.model.stage_model(stage_key)
         host_id, stage_id = stage_key
+        closed_child = self._m_closed_by_stage.get(stage_id)
+        if closed_child is None:
+            closed_child = self._m_windows_closed.labels(stage=str(stage_id))
+            self._m_closed_by_stage[stage_id] = closed_child
+        closed_child.inc()
+        self._m_close_lag.observe(max(0.0, self._watermark - window_end))
+        if bucket.new_signatures:
+            self._m_new_signatures.inc(len(bucket.new_signatures))
         flow_baseline = stage_model.flow_outlier_share if stage_model else 0.0
 
         if bucket.n < self.config.min_window_tasks:
@@ -226,6 +327,7 @@ class AnomalyDetector:
                         ),
                     )
                 )
+                self._m_anomalies_flow.inc()
                 self.anomalies.extend(events)
             return events
 
@@ -249,6 +351,7 @@ class AnomalyDetector:
                     ),
                 )
             )
+            self._m_anomalies_flow.inc()
 
         offending: List[Signature] = []
         worst: Optional[ProportionTest] = None
@@ -280,6 +383,7 @@ class AnomalyDetector:
                     offending_signatures=tuple(sorted(offending, key=canonical_tuple)),
                 )
             )
+            self._m_anomalies_perf.inc()
         self.anomalies.extend(events)
         return events
 

@@ -41,10 +41,12 @@ class FeatureVector:
 
     @property
     def stage_key(self) -> StageKey:
+        """(host_id, stage_id) grouping key for per-host analysis."""
         return (self.host_id, self.stage_id)
 
     @classmethod
     def from_synopsis(cls, synopsis: TaskSynopsis) -> "FeatureVector":
+        """Vectorize one task synopsis (signature interned by the tracker)."""
         return cls(
             uid=synopsis.uid,
             host_id=synopsis.host_id,

@@ -48,6 +48,7 @@ class RegistryDrift:
 
     @property
     def clean(self) -> bool:
+        """True when the scan found no missing or stale templates."""
         return not self.missing and not self.stale
 
 
@@ -101,11 +102,13 @@ class LogPointRegistry:
         raise KeyError(f"unknown log point id {lpid}")
 
     def maybe_get(self, lpid: int) -> Optional[LogPoint]:
+        """The log point with id ``lpid``, or None when out of range."""
         if 0 <= lpid < len(self._by_id):
             return self._by_id[lpid]
         return None
 
     def templates(self) -> List[str]:
+        """Every registered template, in log-point-id order."""
         return [p.template for p in self._by_id]
 
     def drift(self, scanned_templates: Iterable[str]) -> RegistryDrift:
@@ -142,6 +145,7 @@ class LogPointRegistry:
 
     @classmethod
     def from_json(cls, payload: str) -> "LogPointRegistry":
+        """Rebuild a registry from :meth:`to_json` output (lpid order kept)."""
         registry = cls()
         entries = json.loads(payload)
         for entry in sorted(entries, key=lambda e: e["lpid"]):

@@ -30,6 +30,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.telemetry import MetricsRegistry
+
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey, features_from
 from .interning import InternedSignature, intern_signature
@@ -70,6 +72,7 @@ class StageModel:
 
     @property
     def known_signatures(self) -> Set[Signature]:
+        """The signatures observed for this stage during training."""
         return set(self.signatures)
 
 
@@ -129,12 +132,37 @@ def _percentile_excluding(
 
 
 class OutlierModel:
-    """The trained classifier: stage -> signature stats + thresholds."""
+    """The trained classifier: stage -> signature stats + thresholds.
 
-    def __init__(self, config: Optional[SAADConfig] = None):
+    Parameters
+    ----------
+    config:
+        Analyzer configuration; defaults to a fresh :class:`SAADConfig`.
+    registry:
+        Telemetry registry for the ``train_*`` counters; defaults to a
+        private :class:`~repro.telemetry.MetricsRegistry`.  Training is
+        a rare batch operation, so these are ordinary locked counters.
+    """
+
+    def __init__(self, config: Optional[SAADConfig] = None, registry=None):
         self.config = config or SAADConfig()
         self.stages: Dict[StageKey, StageModel] = {}
         self.trained = False
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_train_tasks = self.registry.counter(
+            "train_tasks", "feature vectors consumed by training"
+        )
+        self._m_train_stages = self.registry.counter(
+            "train_stages", "stage models built by training"
+        )
+        self._m_signatures_ranked = self.registry.counter(
+            "train_signatures_ranked", "signature profiles fitted by training"
+        )
+        self._m_signatures_discarded = self.registry.counter(
+            "train_signatures_discarded",
+            "signatures whose duration threshold failed the k-fold "
+            "stability check",
+        )
 
     # -- training ---------------------------------------------------------------
     def train(self, synopses: Iterable[TaskSynopsis]) -> "OutlierModel":
@@ -142,7 +170,9 @@ class OutlierModel:
         return self.train_features(features_from(synopses))
 
     def train_features(self, features: List[FeatureVector]) -> "OutlierModel":
+        """Build the model from already-extracted feature vectors."""
         config = self.config
+        self._m_train_tasks.inc(len(features))
         grouped: Dict[StageKey, Dict[Signature, List[float]]] = {}
         per_host = config.per_host
         for feature in features:
@@ -171,9 +201,11 @@ class OutlierModel:
                     is_flow_outlier=is_flow_outlier,
                 )
                 self._fit_duration(profile, durations)
+                self._m_signatures_ranked.inc()
                 stage_model.signatures[signature] = profile
             stage_model.flow_outlier_share = flow_outlier_tasks / total if total else 0.0
             self.stages[stage_key] = stage_model
+            self._m_train_stages.inc()
         self.trained = True
         return self
 
@@ -225,12 +257,16 @@ class OutlierModel:
         profile.perf_eligible = (
             profile.cv_outlier_rate <= config.kfold_discard_factor * expected
         )
+        if not profile.perf_eligible:
+            self._m_signatures_discarded.inc()
 
     # -- classification ---------------------------------------------------------
     def stage_key_for(self, feature: FeatureVector) -> StageKey:
+        """The grouping key ``feature`` falls under (respects per_host)."""
         return feature.stage_key if self.config.per_host else (0, feature.stage_id)
 
     def stage_model(self, stage_key: StageKey) -> Optional[StageModel]:
+        """The learned :class:`StageModel` for ``stage_key``, or None."""
         return self.stages.get(stage_key)
 
     def classify(self, feature: FeatureVector) -> TaskLabel:

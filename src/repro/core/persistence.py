@@ -14,11 +14,23 @@ from __future__ import annotations
 import json
 from typing import Dict
 
+from repro.telemetry import NULL_REGISTRY
+
 from .config import SAADConfig
 from .interning import intern_signature
 from .model import OutlierModel, SignatureProfile, StageModel
 
 FORMAT_VERSION = 1
+
+
+def _persistence_metrics(registry):
+    """The four ``model_*`` persistence counters from ``registry``."""
+    return (
+        registry.counter("model_saves", "trained models written to disk"),
+        registry.counter("model_loads", "trained models read from disk"),
+        registry.counter("model_bytes_written", "serialized model bytes written"),
+        registry.counter("model_bytes_read", "serialized model bytes read"),
+    )
 
 
 def model_to_json(model: OutlierModel) -> str:
@@ -65,14 +77,18 @@ def model_to_json(model: OutlierModel) -> str:
     return json.dumps(payload)
 
 
-def model_from_json(payload: str) -> OutlierModel:
-    """Inverse of :func:`model_to_json`."""
+def model_from_json(payload: str, registry=None) -> OutlierModel:
+    """Inverse of :func:`model_to_json`.
+
+    ``registry`` is handed to the reconstructed :class:`OutlierModel`
+    (defaults to a private one, as direct construction does).
+    """
     data = json.loads(payload)
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported model format version {version!r}")
     config = SAADConfig(**data["config"])
-    model = OutlierModel(config)
+    model = OutlierModel(config, registry=registry)
     for stage_data in data["stages"]:
         stage_key = (stage_data["host_id"], stage_data["stage_id"])
         stage = StageModel(
@@ -99,13 +115,31 @@ def model_from_json(payload: str) -> OutlierModel:
     return model
 
 
-def save_model(model: OutlierModel, path: str) -> None:
-    """Write the model to ``path``."""
+def save_model(model: OutlierModel, path: str, registry=NULL_REGISTRY) -> None:
+    """Write the model to ``path``.
+
+    ``registry`` receives the ``model_saves`` / ``model_bytes_written``
+    counters; the default :data:`~repro.telemetry.NULL_REGISTRY` keeps
+    standalone scripts metric-free (the ``SAAD`` facade passes its own).
+    """
+    payload = model_to_json(model)
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(model_to_json(model))
+        handle.write(payload)
+    saves, _, bytes_written, _ = _persistence_metrics(registry)
+    saves.inc()
+    bytes_written.inc(len(payload.encode("utf-8")))
 
 
-def load_model(path: str) -> OutlierModel:
-    """Read a model previously written by :func:`save_model`."""
+def load_model(path: str, registry=NULL_REGISTRY) -> OutlierModel:
+    """Read a model previously written by :func:`save_model`.
+
+    ``registry`` receives the ``model_loads`` / ``model_bytes_read``
+    counters and is threaded into the reconstructed model's ``train_*``
+    metrics; defaults to :data:`~repro.telemetry.NULL_REGISTRY`.
+    """
     with open(path, encoding="utf-8") as handle:
-        return model_from_json(handle.read())
+        payload = handle.read()
+    _, loads, _, bytes_read = _persistence_metrics(registry)
+    loads.inc()
+    bytes_read.inc(len(payload.encode("utf-8")))
+    return model_from_json(payload, registry=registry)

@@ -16,6 +16,7 @@ import time as _time
 from typing import Callable, Dict, List, Optional
 
 from repro.loglib import INFO, LoggerRepository
+from repro.telemetry import MetricsRegistry
 
 from .config import SAADConfig
 from .context import RealThreadContext, SimThreadContext, ThreadContextProvider
@@ -30,7 +31,11 @@ from .tracker import TaskExecutionTracker
 
 
 class NodeRuntime:
-    """Everything SAAD installs on one server node."""
+    """Everything SAAD installs on one server node: a logger repository,
+    the task execution tracker intercepting it, and the synopsis stream
+    the tracker feeds.  Construct through :meth:`SAAD.add_node` — the
+    facade assigns host ids and threads its shared telemetry registry
+    through (each node's metrics carry a ``host=<id>`` label)."""
 
     def __init__(
         self,
@@ -47,8 +52,13 @@ class NodeRuntime:
         self.saad = saad
         self.host_id = host_id
         self.host_name = host_name
+        registry = saad.registry
         self.stream = SynopsisStream(
-            wire_format=wire_format, retain=False, flush_size=wire_flush_size
+            wire_format=wire_format,
+            retain=False,
+            flush_size=wire_flush_size,
+            registry=registry,
+            host=str(host_id),
         )
         self.tracker = TaskExecutionTracker(
             host_id=host_id,
@@ -56,6 +66,7 @@ class NodeRuntime:
             context=context,
             clock=clock,
             enabled=tracker_enabled,
+            registry=registry,
         )
         self.repository = LoggerRepository(
             root_level=log_level,
@@ -66,6 +77,7 @@ class NodeRuntime:
             self.repository.add_interceptor(self.tracker)
 
     def logger(self, name: str):
+        """A named logger from this node's repository (tracker attached)."""
         return self.repository.get_logger(name)
 
     def set_context(self, stage_name: str) -> None:
@@ -74,19 +86,37 @@ class NodeRuntime:
         self.tracker.set_context(stage.stage_id)
 
     def end_task(self) -> Optional[TaskSynopsis]:
+        """Explicitly finalize the current thread's open task."""
         return self.tracker.end_task()
 
 
 class SAAD:
-    """The deployment facade tying registries, nodes, and the analyzer."""
+    """The deployment facade tying registries, nodes, and the analyzer.
 
-    def __init__(self, config: Optional[SAADConfig] = None):
+    Parameters
+    ----------
+    config:
+        Analyzer configuration; defaults to a fresh :class:`SAADConfig`.
+    registry:
+        The deployment's shared telemetry registry.  Defaults to a fresh
+        :class:`~repro.telemetry.MetricsRegistry`; every node runtime,
+        the collector, training, and detectors created through this
+        facade register into it, so one
+        ``python -m repro stats`` snapshot covers the whole deployment.
+        Pass a :class:`~repro.telemetry.NullRegistry` to disable.
+    """
+
+    def __init__(self, config: Optional[SAADConfig] = None, registry=None):
         self.config = config or SAADConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.stages = StageRegistry()
         self.logpoints = LogPointRegistry()
-        self.collector = SynopsisCollector(retain=True)
+        self.collector = SynopsisCollector(retain=True, registry=self.registry)
         self.nodes: Dict[str, NodeRuntime] = {}
         self.model: Optional[OutlierModel] = None
+        self.registry.gauge(
+            "saad_nodes", "node runtimes registered with this deployment"
+        ).set_function(lambda: len(self.nodes))
 
     # -- node management ----------------------------------------------------
     def add_node(
@@ -128,20 +158,23 @@ class SAAD:
 
     @property
     def host_names(self) -> Dict[int, str]:
+        """host_id -> host_name for every registered node."""
         return {node.host_id: name for name, node in self.nodes.items()}
 
     # -- analyzer -----------------------------------------------------------
     def train(self, synopses: Optional[List[TaskSynopsis]] = None) -> OutlierModel:
         """Train the outlier model (default: everything collected so far)."""
         trace = synopses if synopses is not None else self.collector.synopses
-        self.model = OutlierModel(self.config).train(trace)
+        self.model = OutlierModel(self.config, registry=self.registry).train(trace)
         return self.model
 
     def detector(self, lateness_s: float = 0.0) -> AnomalyDetector:
         """A fresh streaming detector bound to the trained model."""
         if self.model is None:
             raise RuntimeError("call train() before creating a detector")
-        return AnomalyDetector(self.model, self.config, lateness_s=lateness_s)
+        return AnomalyDetector(
+            self.model, self.config, lateness_s=lateness_s, registry=self.registry
+        )
 
     def detect(self, synopses: List[TaskSynopsis]) -> List[AnomalyEvent]:
         """Batch detection convenience: stream a list, flush, return events."""
@@ -152,4 +185,5 @@ class SAAD:
         return detector.anomalies
 
     def reporter(self) -> AnomalyReporter:
+        """A reporter resolving ids through this deployment's registries."""
         return AnomalyReporter(self.stages, self.logpoints, self.host_names)

@@ -31,9 +31,11 @@ class AnomalyReporter:
 
     # -- naming helpers ------------------------------------------------------
     def host_name(self, host_id: int) -> str:
+        """Display name for ``host_id`` (falls back to ``host<N>``)."""
         return self.host_names.get(host_id, f"host{host_id}")
 
     def stage_name(self, stage_id: int) -> str:
+        """Display name for ``stage_id`` (falls back to ``stage<N>``)."""
         try:
             return self.stages.get(stage_id).name
         except KeyError:

@@ -51,18 +51,22 @@ class StageRegistry:
         return stage
 
     def get(self, stage_id: int) -> Stage:
+        """The stage with id ``stage_id``; raises KeyError when unknown."""
         if 0 <= stage_id < len(self._stages):
             return self._stages[stage_id]
         raise KeyError(f"unknown stage id {stage_id}")
 
     def by_name(self, name: str) -> Stage:
+        """The stage called ``name``; raises KeyError when unknown."""
         try:
             return self._by_name[name]
         except KeyError:
             raise KeyError(f"unknown stage {name!r}") from None
 
     def maybe_by_name(self, name: str) -> Optional[Stage]:
+        """The stage called ``name``, or None."""
         return self._by_name.get(name)
 
     def names(self) -> List[str]:
+        """Every registered stage name, in stage-id order."""
         return [s.name for s in self._stages]

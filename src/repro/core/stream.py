@@ -12,13 +12,31 @@ in-memory object flows on to subscribers.  (The old implementation
 encoded *and* re-decoded every synopsis inline, doing the codec work
 twice per task.)  Wire-level fidelity is covered by the codec round-trip
 property tests instead of a per-task decode.
+
+Telemetry: both classes keep their accounting in plain private ints
+(the sink runs once per task) and register callback-backed counters
+over them — ``stream_*{host=...}`` and ``collector_*`` in the metrics
+catalog (docs/OPERATIONS.md).  The public ``count`` / ``bytes_streamed``
+/ ... attributes survive as read-only properties.  A synopsis whose
+fields do not fit the wire format (a uid past 32 bits, a negative
+timestamp from clock skew) is *dropped from the wire* and counted
+(``stream_synopses_dropped``, ``codec_uid_range_errors``) instead of
+crashing the producing thread; in-memory subscribers still receive it.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from .synopsis import FRAME_HEADER, MAX_FRAME_SYNOPSES, TaskSynopsis, decode_frame
+from repro.telemetry import MetricsRegistry
+
+from .synopsis import (
+    FRAME_HEADER,
+    MAX_FRAME_SYNOPSES,
+    MAX_UID,
+    TaskSynopsis,
+    decode_frame,
+)
 
 Subscriber = Callable[[TaskSynopsis], None]
 FrameSink = Callable[[bytes], None]
@@ -42,6 +60,13 @@ class SynopsisStream:
     frame_sink:
         Optional callable receiving each flushed frame's bytes (a real
         transport, a file, or a :meth:`SynopsisCollector.receive_frame`).
+    registry:
+        Telemetry registry for the ``stream_*`` metrics; defaults to a
+        private :class:`~repro.telemetry.MetricsRegistry`.
+    host:
+        Label value for this stream's metric children (the ``SAAD``
+        facade passes the node's host id; standalone streams default
+        to ``"-"``).
     """
 
     def __init__(
@@ -50,6 +75,8 @@ class SynopsisStream:
         retain: bool = True,
         flush_size: int = DEFAULT_FLUSH_SIZE,
         frame_sink: Optional[FrameSink] = None,
+        registry=None,
+        host: str = "-",
     ):
         if not 1 <= flush_size <= MAX_FRAME_SYNOPSES:
             raise ValueError(f"flush_size out of range: {flush_size}")
@@ -59,23 +86,93 @@ class SynopsisStream:
         self.frame_sink = frame_sink
         self.synopses: List[TaskSynopsis] = []
         self.subscribers: List[Subscriber] = []
-        self.count = 0
-        self.bytes_streamed = 0
-        self.frames_flushed = 0
-        self.frame_bytes = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._count = 0
+        self._bytes_streamed = 0
+        self._frames_flushed = 0
+        self._frame_bytes = 0
         self._pending: List[bytes] = []
+        host = str(host)
+        labels = ("host",)
+        for name, help_text, fn in (
+            ("stream_synopses", "synopses accepted by the sink", lambda: self._count),
+            (
+                "stream_bytes",
+                "encoded synopsis payload bytes",
+                lambda: self._bytes_streamed,
+            ),
+            (
+                "stream_frames",
+                "wire frames flushed",
+                lambda: self._frames_flushed,
+            ),
+            (
+                "stream_frame_bytes",
+                "bytes of flushed wire frames (header included)",
+                lambda: self._frame_bytes,
+            ),
+        ):
+            self.registry.counter(name, help_text, labels=labels).labels(
+                host=host
+            ).set_function(fn)
+        self.registry.gauge(
+            "stream_pending",
+            "encoded synopses buffered for the next frame",
+            labels=labels,
+        ).labels(host=host).set_function(lambda: len(self._pending))
+        self._m_dropped = self.registry.counter(
+            "stream_synopses_dropped",
+            "synopses dropped from the wire (unencodable fields)",
+            labels=labels,
+        ).labels(host=host)
+        self._m_uid_range = self.registry.counter(
+            "codec_uid_range_errors",
+            "wire encodes rejected because the uid left the 32-bit range",
+            labels=labels,
+        ).labels(host=host)
+
+    # -- accounting (telemetry-backed, read-only) ----------------------------
+    @property
+    def count(self) -> int:
+        """Synopses accepted by :meth:`sink` so far."""
+        return self._count
+
+    @property
+    def bytes_streamed(self) -> int:
+        """Encoded payload bytes (from the single encode per synopsis)."""
+        return self._bytes_streamed
+
+    @property
+    def frames_flushed(self) -> int:
+        """Wire frames flushed so far."""
+        return self._frames_flushed
+
+    @property
+    def frame_bytes(self) -> int:
+        """Total bytes of flushed frames, headers included."""
+        return self._frame_bytes
 
     def sink(self, synopsis: TaskSynopsis) -> None:
-        """The tracker's sink callable."""
-        self.count += 1
+        """The tracker's sink callable: account, buffer, fan out."""
+        self._count += 1
         if self.wire_format:
-            payload = synopsis.encode()
-            self.bytes_streamed += len(payload)
-            self._pending.append(payload)
-            if len(self._pending) >= self.flush_size:
-                self.flush_wire()
+            try:
+                payload = synopsis.encode()
+            except ValueError:
+                # Unencodable synopsis (uid past 32 bits, negative/huge
+                # timestamp from clock skew, >255 log points): drop it
+                # from the wire, count it, keep the node alive.  The
+                # in-memory object still reaches subscribers below.
+                self._m_dropped.inc()
+                if not 0 <= synopsis.uid <= MAX_UID:
+                    self._m_uid_range.inc()
+            else:
+                self._bytes_streamed += len(payload)
+                self._pending.append(payload)
+                if len(self._pending) >= self.flush_size:
+                    self.flush_wire()
         else:
-            self.bytes_streamed += synopsis.encoded_size()
+            self._bytes_streamed += synopsis.encoded_size()
         if self.retain:
             self.synopses.append(synopsis)
         for subscriber in self.subscribers:
@@ -92,8 +189,8 @@ class SynopsisStream:
         payload = b"".join(self._pending)
         frame = FRAME_HEADER.pack(len(payload), len(self._pending)) + payload
         self._pending.clear()
-        self.frames_flushed += 1
-        self.frame_bytes += len(frame)
+        self._frames_flushed += 1
+        self._frame_bytes += len(frame)
         if self.frame_sink is not None:
             self.frame_sink(frame)
         return frame
@@ -104,6 +201,7 @@ class SynopsisStream:
         return len(self._pending)
 
     def subscribe(self, subscriber: Subscriber) -> None:
+        """Add a callable receiving every synopsis passed to :meth:`sink`."""
         self.subscribers.append(subscriber)
 
     def drain(self) -> List[TaskSynopsis]:
@@ -113,23 +211,67 @@ class SynopsisStream:
 
 
 class SynopsisCollector:
-    """Central analyzer inlet merging streams from every node."""
+    """Central analyzer inlet merging streams from every node.
 
-    def __init__(self, retain: bool = True):
+    Parameters
+    ----------
+    retain:
+        Keep received synopses in memory (training-trace collection).
+    registry:
+        Telemetry registry for the ``collector_*`` metrics; defaults to
+        a private :class:`~repro.telemetry.MetricsRegistry`.
+    """
+
+    def __init__(self, retain: bool = True, registry=None):
         self.retain = retain
         self.synopses: List[TaskSynopsis] = []
         self.subscribers: List[Subscriber] = []
-        self.count = 0
-        self.bytes_received = 0
-        self.frames_received = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._count = 0
+        self._bytes_received = 0
+        self._frames_received = 0
+        for name, help_text, fn in (
+            (
+                "collector_synopses",
+                "synopses received from all node streams",
+                lambda: self._count,
+            ),
+            (
+                "collector_bytes",
+                "wire bytes received (or accounted for object streams)",
+                lambda: self._bytes_received,
+            ),
+            (
+                "collector_frames",
+                "wire frames received",
+                lambda: self._frames_received,
+            ),
+        ):
+            self.registry.counter(name, help_text).set_function(fn)
+
+    # -- accounting (telemetry-backed, read-only) ----------------------------
+    @property
+    def count(self) -> int:
+        """Synopses received so far (object or frame path)."""
+        return self._count
+
+    @property
+    def bytes_received(self) -> int:
+        """Bytes received (frame bytes, or encoded size on the object path)."""
+        return self._bytes_received
+
+    @property
+    def frames_received(self) -> int:
+        """Wire frames ingested via :meth:`receive_frame`."""
+        return self._frames_received
 
     def attach(self, stream: SynopsisStream) -> None:
         """Subscribe this collector to a node stream."""
         stream.subscribe(self._receive)
 
     def _receive(self, synopsis: TaskSynopsis) -> None:
-        self.count += 1
-        self.bytes_received += synopsis.encoded_size()
+        self._count += 1
+        self._bytes_received += synopsis.encoded_size()
         if self.retain:
             self.synopses.append(synopsis)
         for subscriber in self.subscribers:
@@ -141,9 +283,9 @@ class SynopsisCollector:
         synopses, consumed = decode_frame(frame, 0)
         if consumed != len(frame):
             raise ValueError(f"trailing bytes after frame ({len(frame) - consumed})")
-        self.frames_received += 1
-        self.count += len(synopses)
-        self.bytes_received += len(frame)
+        self._frames_received += 1
+        self._count += len(synopses)
+        self._bytes_received += len(frame)
         if self.retain:
             self.synopses.extend(synopses)
         for subscriber in self.subscribers:
@@ -152,8 +294,10 @@ class SynopsisCollector:
         return synopses
 
     def subscribe(self, subscriber: Subscriber) -> None:
+        """Add a callable receiving every synopsis this collector ingests."""
         self.subscribers.append(subscriber)
 
     def drain(self) -> List[TaskSynopsis]:
+        """Return and clear retained synopses."""
         drained, self.synopses = self.synopses, []
         return drained

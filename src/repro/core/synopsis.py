@@ -102,6 +102,7 @@ class TaskSynopsis:
 
     @property
     def total_log_calls(self) -> int:
+        """Total log-point visits recorded in this task."""
         return sum(self.log_points.values())
 
     # -- codec ---------------------------------------------------------------

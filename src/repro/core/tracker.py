@@ -24,6 +24,7 @@ import time as _time
 from typing import Any, Callable, Dict, Optional
 
 from repro.loglib.record import LogCall
+from repro.telemetry import MetricsRegistry
 
 from .context import RealThreadContext, ThreadContextProvider
 from .synopsis import TaskSynopsis
@@ -48,7 +49,15 @@ class _OpenTask:
 
 
 class TrackerStats:
-    """Counters the tracker maintains about itself (overhead accounting)."""
+    """Hot-path accumulator for the tracker's self-accounting.
+
+    Plain integer attributes mutated inline (``on_log`` runs once per
+    log call; a locked metric increment there would be measurable).  The
+    tracker registers callback-backed telemetry counters over these
+    fields at construction, so the registry reads them lazily at
+    collection time — the blessed pattern for per-event counting
+    (DESIGN.md §10).
+    """
 
     def __init__(self) -> None:
         self.tasks_started = 0
@@ -74,6 +83,12 @@ class TaskExecutionTracker:
     enabled:
         When False the tracker ignores everything (the "original" system
         of the Fig. 7 overhead comparison).
+    registry:
+        Telemetry registry receiving the tracker's self-metrics
+        (``tracker_*{host=...}``).  Defaults to a private
+        :class:`~repro.telemetry.MetricsRegistry`; pass a shared one
+        (the ``SAAD`` facade does) to aggregate a deployment, or a
+        :class:`~repro.telemetry.NullRegistry` to disable.
     """
 
     def __init__(
@@ -83,6 +98,7 @@ class TaskExecutionTracker:
         context: Optional[ThreadContextProvider] = None,
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
+        registry=None,
     ):
         self.host_id = host_id
         self.sink = sink
@@ -90,12 +106,54 @@ class TaskExecutionTracker:
         self.clock = clock or _time.time
         self.enabled = enabled
         self.stats = TrackerStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._register_metrics()
         self._next_uid = 0
         # Bound-method caches for the per-log-call hot path: on_log runs
         # once per logging call in the instrumented system, so each saved
         # attribute hop matters (paper Fig. 7: tracker overhead must stay
         # negligible).
         self._slot = self.context.slot
+
+    def _register_metrics(self) -> None:
+        """Register callback-backed counters over :class:`TrackerStats`.
+
+        The hot path keeps mutating plain ints; the registry evaluates
+        these callbacks only when a snapshot is taken, so instrumenting
+        the tracker costs nothing per log call.
+        """
+        stats = self.stats
+        host = str(self.host_id)
+        for name, help_text, fn in (
+            (
+                "tracker_tasks_started",
+                "tasks opened by set_context",
+                lambda: stats.tasks_started,
+            ),
+            (
+                "tracker_tasks_completed",
+                "tasks finalized into a synopsis",
+                lambda: stats.tasks_completed,
+            ),
+            (
+                "tracker_log_calls_tracked",
+                "log-point visits recorded into an open task",
+                lambda: stats.log_calls_tracked,
+            ),
+            (
+                "tracker_log_calls_untracked",
+                "log calls seen with no open task on the thread",
+                lambda: stats.log_calls_untracked,
+            ),
+            (
+                "tracker_synopsis_bytes",
+                "wire bytes of all emitted synopses",
+                lambda: stats.synopsis_bytes,
+            ),
+        ):
+            self.registry.counter(name, help_text, labels=("host",)).labels(
+                host=host
+            ).set_function(fn)
 
     # -- stage delimiters -------------------------------------------------------
     def set_context(self, stage_id: int) -> None:

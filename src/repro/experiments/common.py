@@ -148,7 +148,9 @@ def run_cassandra_scenario(
         s for s in cluster.saad.collector.drain() if s.start_time >= warmup_cut
     ]
     model = cluster.saad.train(train_synopses)
-    detector = AnomalyDetector(model, saad_config)
+    detector = AnomalyDetector(
+        model, saad_config, registry=cluster.saad.registry
+    )
     cluster.saad.collector.subscribe(detector.observe)
     cluster.saad.collector.retain = False
 
@@ -240,7 +242,9 @@ def run_hbase_scenario(
         s for s in cluster.saad.collector.drain() if s.start_time >= warmup_cut
     ]
     model = cluster.saad.train(train_synopses)
-    detector = AnomalyDetector(model, saad_config)
+    detector = AnomalyDetector(
+        model, saad_config, registry=cluster.saad.registry
+    )
     cluster.saad.collector.subscribe(detector.observe)
     cluster.saad.collector.retain = False
 

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.cassandra import CassandraCluster, ClientOp
 from repro.hbase import HBaseCluster, HBaseOp
@@ -57,6 +57,9 @@ class Fig7Params:
 @dataclass
 class Fig7Result:
     measurements: Dict[str, OverheadMeasurement]
+    #: Telemetry snapshot (collected family dicts) of each instrumented
+    #: deployment, keyed like ``measurements``.
+    telemetry: Dict[str, List[dict]] = field(default_factory=dict)
 
 
 def _run_cassandra(params: Fig7Params, tracker_enabled: bool):
@@ -102,7 +105,7 @@ def _run_hbase(params: Fig7Params, tracker_enabled: bool):
     return cluster, pool, wall
 
 
-def _measure(system: str, runner, params: Fig7Params) -> OverheadMeasurement:
+def _measure(system: str, runner, params: Fig7Params):
     cluster_on, pool_on, wall_on = runner(params, True)
     _cluster_off, pool_off, wall_off = runner(params, False)
 
@@ -114,7 +117,7 @@ def _measure(system: str, runner, params: Fig7Params) -> OverheadMeasurement:
         node.tracker.stats.log_calls_tracked
         for node in cluster_on.saad.nodes.values()
     )
-    return OverheadMeasurement(
+    measurement = OverheadMeasurement(
         system=system,
         throughput_with=pool_on.meter.mean_throughput(0, params.run_s),
         throughput_without=pool_off.meter.mean_throughput(0, params.run_s),
@@ -124,22 +127,26 @@ def _measure(system: str, runner, params: Fig7Params) -> OverheadMeasurement:
         wall_without_s=wall_off,
         log_calls_tracked=tracked,
     )
+    return measurement, cluster_on.saad.registry.collect()
 
 
 def run_fig7(params: Optional[Fig7Params] = None) -> Fig7Result:
     params = params or Fig7Params()
+    cassandra, cassandra_telemetry = _measure("Cassandra", _run_cassandra, params)
+    hbase, hbase_telemetry = _measure("HBase", _run_hbase, params)
     return Fig7Result(
-        measurements={
-            "cassandra": _measure("Cassandra", _run_cassandra, params),
-            "hbase": _measure("HBase", _run_hbase, params),
-        }
+        measurements={"cassandra": cassandra, "hbase": hbase},
+        telemetry={"cassandra": cassandra_telemetry, "hbase": hbase_telemetry},
     )
 
 
 def main() -> None:
+    from repro.telemetry import write_jsonl
     from repro.viz import render_table
 
     fig = run_fig7()
+    for snapshot in fig.telemetry.values():
+        write_jsonl(snapshot, "TELEMETRY_fig7.jsonl")
     rows = [
         (
             m.system,
@@ -158,6 +165,10 @@ def main() -> None:
             rows,
             title="Fig 7: SAAD overhead (normalized throughput ~= 1.0)",
         )
+    )
+    print(
+        f"telemetry: {len(fig.telemetry)} snapshots appended to "
+        "TELEMETRY_fig7.jsonl (render: python -m repro stats TELEMETRY_fig7.jsonl)"
     )
 
 

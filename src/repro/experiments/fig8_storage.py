@@ -14,8 +14,8 @@ correctly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.cassandra import CassandraCluster, ClientOp
 from repro.hbase import HBaseCluster, HBaseOp
@@ -77,6 +77,9 @@ class Fig8Params:
 @dataclass
 class Fig8Result:
     measurements: Dict[str, VolumeMeasurement]
+    #: Telemetry snapshot (collected family dicts) per deployment; the
+    #: stream/tracker byte counters corroborate the volume numbers.
+    telemetry: Dict[str, List[dict]] = field(default_factory=dict)
 
 
 def _synopsis_stats(saad, system: str):
@@ -154,14 +157,21 @@ def run_fig8(params: Optional[Fig8Params] = None) -> Fig8Result:
                 cass_synopsis_bytes,
                 cass_count,
             ),
-        }
+        },
+        telemetry={
+            "cassandra": cassandra.saad.registry.collect(),
+            "hbase": hbase.saad.registry.collect(),
+        },
     )
 
 
 def main() -> None:
+    from repro.telemetry import write_jsonl
     from repro.viz import render_table
 
     fig = run_fig8()
+    for snapshot in fig.telemetry.values():
+        write_jsonl(snapshot, "TELEMETRY_fig8.jsonl")
     rows = [
         (
             m.system,
@@ -177,6 +187,10 @@ def main() -> None:
             rows,
             title="Fig 8: monitoring-data volume",
         )
+    )
+    print(
+        f"telemetry: {len(fig.telemetry)} snapshots appended to "
+        "TELEMETRY_fig8.jsonl (render: python -m repro stats TELEMETRY_fig8.jsonl)"
     )
 
 

@@ -17,8 +17,8 @@ orders of magnitude more expensive per task than the analyzer.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.baseline import MapReduceJob, ReverseMatcher, extract_fields
 from repro.cassandra import CassandraCluster, ClientOp
@@ -49,6 +49,9 @@ class Sec533Result:
     analyzer_synopses_per_s: float
     model_build_wall_s: float
     matched_fraction: float
+    #: Telemetry snapshot (collected family dicts) of the deployment,
+    #: including the train_* / detector_* series of the timed legs.
+    telemetry: List[dict] = field(default_factory=list)
 
     @property
     def per_task_cost_ratio(self) -> float:
@@ -95,12 +98,13 @@ def run_sec533(params: Optional[Sec533Params] = None) -> Sec533Result:
 
     # (b) SAAD: model build + full streaming analysis of the synopses.
     config = SAADConfig(window_s=60.0)
+    registry = cluster.saad.registry
     half = len(synopses) // 2
     started = time.perf_counter()
-    model = OutlierModel(config).train(synopses[:half])
+    model = OutlierModel(config, registry=registry).train(synopses[:half])
     model_build_wall = time.perf_counter() - started
 
-    detector = AnomalyDetector(model, config)
+    detector = AnomalyDetector(model, config, registry=registry)
     started = time.perf_counter()
     for synopsis in synopses[half:]:
         detector.observe(synopsis)
@@ -117,6 +121,7 @@ def run_sec533(params: Optional[Sec533Params] = None) -> Sec533Result:
         analyzer_synopses_per_s=analyzed / max(analyzer_wall, 1e-9),
         model_build_wall_s=model_build_wall,
         matched_fraction=matched / max(len(corpus), 1),
+        telemetry=registry.collect(),
     )
 
 
@@ -142,7 +147,10 @@ def run_mapreduce_mining(corpus, registry, workers: int = 1):
 
 
 def main() -> None:
+    from repro.telemetry import write_jsonl
+
     result = run_sec533()
+    write_jsonl(result.telemetry, "TELEMETRY_sec533.jsonl")
     print("Sec 5.3.3: analyzer overhead")
     print(f"  corpus: {result.corpus_lines} DEBUG lines "
           f"(matched {result.matched_fraction:.1%})")
@@ -154,6 +162,7 @@ def main() -> None:
     print(f"  model build: {result.model_build_wall_s:.2f}s")
     print(f"  per-task cost ratio (mining/SAAD): "
           f"{result.per_task_cost_ratio:.0f}x")
+    print("  telemetry: snapshot appended to TELEMETRY_sec533.jsonl")
 
 
 if __name__ == "__main__":

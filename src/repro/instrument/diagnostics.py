@@ -98,6 +98,15 @@ RULES: Dict[str, Rule] = {
             "inside discrete-event handler code stall the entire simulation "
             "instead of the simulated thread.",
         ),
+        Rule(
+            "TM001",
+            INFO,
+            "direct mutation of a telemetry-backed counter",
+            "Accounting fields such as tasks_seen or windows_closed are "
+            "read-only properties backed by telemetry; assigning to the "
+            "public name bypasses (or breaks) the exported metric.  Mutate "
+            "the private attribute or go through the registry instead.",
+        ),
     )
 }
 

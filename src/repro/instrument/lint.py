@@ -13,8 +13,9 @@ The analyzer walks a source tree in three passes:
    f-strings resolve directly.
 3. **Check** — run the rules: the LP family over resolved sites and
    (optionally) a persisted registry, the ST family over per-function
-   CFGs (see :mod:`repro.instrument.cfg`), and CC001 over simulated
-   event-handler code.
+   CFGs (see :mod:`repro.instrument.cfg`), CC001 over simulated
+   event-handler code, and TM001 over writes to telemetry-backed
+   accounting properties.
 
 Findings come back as :class:`~repro.instrument.diagnostics.Diagnostic`
 objects; the baseline layer (:mod:`repro.instrument.baseline`) filters
@@ -46,6 +47,24 @@ _SUBPROCESS_BLOCKING = {"run", "call", "check_call", "check_output", "Popen"}
 
 #: Builtins that perform real, blocking I/O.
 _BLOCKING_BUILTINS = {"open", "input"}
+
+#: Accounting attributes exposed as read-only properties backed by
+#: telemetry (TM001).  Writing to the *public* name either raises
+#: AttributeError at runtime or shadows the property on a subclass,
+#: silently detaching the exported metric from reality.
+_TELEMETRY_ATTRS = frozenset(
+    {
+        "tasks_seen",
+        "bucket_probe_count",
+        "windows_closed",
+        "windows_open",
+        "bytes_streamed",
+        "frames_flushed",
+        "frame_bytes",
+        "bytes_received",
+        "frames_received",
+    }
+)
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +138,11 @@ class FileFacts:
     os_aliases: Set[str] = field(default_factory=set)
     subprocess_aliases: Set[str] = field(default_factory=set)
     socket_aliases: Set[str] = field(default_factory=set)
+    #: (line, col, attribute, receiver) of writes to telemetry-backed
+    #: accounting properties (TM001).
+    telemetry_mutations: List[Tuple[int, int, str, str]] = field(
+        default_factory=list
+    )
 
 
 def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
@@ -263,7 +287,27 @@ class _Collector(ast.NodeVisitor):
             )
 
     # -- inventory definitions -------------------------------------------------
+    def _note_telemetry_write(self, target: ast.expr, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _TELEMETRY_ATTRS
+        ):
+            self.facts.telemetry_mutations.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    target.attr,
+                    _receiver_name(target.value),
+                )
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_telemetry_write(node.target, node)
+        self.generic_visit(node)
+
     def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_telemetry_write(target, node)
         template = _register_call_template(node.value)
         if template is not None and len(node.targets) == 1:
             target = node.targets[0]
@@ -492,6 +536,27 @@ class LintEngine:
             out.extend(self._stage_cfg_rules(facts))
         if "CC001" in self.rules:
             out.extend(self._cc001(facts))
+        if "TM001" in self.rules:
+            out.extend(self._tm001(facts))
+        return out
+
+    def _tm001(self, facts) -> List[Diagnostic]:
+        out = []
+        for line, col, attr, receiver in facts.telemetry_mutations:
+            where = f"{receiver}.{attr}" if receiver else attr
+            out.append(
+                Diagnostic(
+                    "TM001",
+                    facts.path,
+                    line,
+                    col,
+                    f"direct write to telemetry-backed counter {where!r}",
+                    f"{attr} is a read-only property whose value feeds an "
+                    f"exported metric; mutate the private _{attr} field "
+                    "inside the owning class, or record the event through "
+                    "the component's MetricsRegistry",
+                )
+            )
         return out
 
     def _lp001(self, facts, inventory_by_attr) -> List[Diagnostic]:

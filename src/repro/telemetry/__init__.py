@@ -1,0 +1,71 @@
+"""SAAD self-telemetry: a dependency-free metrics subsystem.
+
+The paper positions SAAD as a *low-overhead, always-on* monitor
+(Sec. 5.3.3 budgets the analyzer; Fig. 7 measures the tracker) — this
+package is how the reproduction observes *itself* under that budget.
+One :class:`MetricsRegistry` per deployment collects counters, gauges,
+and log-scale histograms from every hot path (tracker, wire codec,
+detector, training, persistence); two exporters snapshot it (JSON-lines
+and Prometheus text format) and ``python -m repro stats`` renders it.
+
+Quick use::
+
+    from repro.telemetry import MetricsRegistry, render_prometheus
+
+    registry = MetricsRegistry()
+    closed = registry.counter(
+        "detector_windows_closed", "windows finalized", labels=("stage",)
+    )
+    closed.labels(stage="3").inc()
+    print(render_prometheus(registry))
+
+Telemetry is on by default (each component falls back to a private
+registry); pass a :class:`NullRegistry` to disable it — the no-op fast
+path the overhead benchmark's "unmetered" leg measures.  The metrics
+catalog with operational meaning and alerting hints lives in
+``docs/OPERATIONS.md``; the architecture and overhead methodology in
+DESIGN.md §10.
+"""
+
+from .export import (
+    SNAPSHOT_FORMAT,
+    read_jsonl,
+    render_prometheus,
+    render_table,
+    snapshot_of,
+    write_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricFamily,
+    log_buckets,
+)
+from .registry import NULL_REGISTRY, MetricsRegistry, NullRegistry, null_metric
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SNAPSHOT_FORMAT",
+    "log_buckets",
+    "null_metric",
+    "read_jsonl",
+    "render_prometheus",
+    "render_table",
+    "snapshot_of",
+    "write_jsonl",
+]

@@ -1,0 +1,144 @@
+"""``python -m repro stats`` — render SAAD telemetry.
+
+Two sources:
+
+* **Live demo** (no file argument): builds a small deterministic SAAD
+  deployment — two nodes (one wire-format), a fake clock, training and a
+  detection pass with an injected novel signature, one model save/load
+  round-trip — and renders the resulting registry.  This exercises every
+  metric family in the catalog (docs/OPERATIONS.md), so it doubles as a
+  live end-to-end check of the telemetry wiring.
+* **Saved snapshot** (a ``.jsonl`` path written by
+  :func:`repro.telemetry.export.write_jsonl`): re-renders the *last*
+  snapshot in the file.
+
+Usage::
+
+    python -m repro stats                 # live demo deployment, table
+    python -m repro stats --prom          # ... Prometheus text format
+    python -m repro stats --write X.jsonl # ... also append a snapshot
+    python -m repro stats X.jsonl         # render a saved snapshot
+    python -m repro stats X.jsonl --prom
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional
+
+from .export import read_jsonl, render_prometheus, render_table, write_jsonl
+
+
+def _emit_task(node, log, clock, stage, i, lps, retry=False):
+    """One demo task: begin/end log points, optionally a retry burst."""
+    lp_begin, lp_end, lp_retry = lps
+    node.set_context(stage)
+    log.info("step %s begins", i, lpid=lp_begin)
+    clock[0] += 0.004
+    if retry:
+        log.warn("retrying step %s after transient fault", i, lpid=lp_retry)
+    log.info("step %s ends", i, lpid=lp_end)
+
+
+def _demo_registry():
+    """Run the deterministic demo deployment; returns its registry."""
+    from repro.core import SAAD, SAADConfig, load_model, save_model
+
+    config = SAADConfig(window_s=10.0, min_window_tasks=5, min_signature_samples=5)
+    saad = SAAD(config)
+    clock = [0.0]
+    nodes = [
+        saad.add_node("alpha", clock=lambda: clock[0]),
+        saad.add_node("beta", clock=lambda: clock[0], wire_format=True),
+    ]
+    saad.stages.register("read")
+    saad.stages.register("compact")
+    lps = (
+        saad.logpoints.register("step begins").lpid,
+        saad.logpoints.register("step ends").lpid,
+        saad.logpoints.register("retrying after transient fault").lpid,
+    )
+    loggers = [node.logger("demo.Stage") for node in nodes]
+
+    # Fault-free training phase: two stages, steady shapes.
+    for i in range(400):
+        clock[0] = i * 0.05
+        stage = "read" if i % 3 else "compact"
+        _emit_task(nodes[i % 2], loggers[i % 2], clock, stage, i, lps)
+    for node in nodes:
+        node.end_task()
+        node.stream.flush_wire()
+    saad.train()
+
+    # Detection phase: same workload plus a late burst with a novel log
+    # point (a flow anomaly via never-trained signature).
+    detector = saad.detector()
+    trained = len(saad.collector.synopses)
+    for i in range(300, 400):
+        clock[0] = 30.0 + i * 0.05
+        _emit_task(
+            nodes[i % 2], loggers[i % 2], clock, "read", i, lps, retry=i > 380
+        )
+    for node in nodes:
+        node.end_task()
+        node.stream.flush_wire()
+    for synopsis in saad.collector.synopses[trained:]:
+        detector.observe(synopsis)
+    detector.flush()
+
+    # Persistence round-trip so the model_* counters are live too.
+    handle, path = tempfile.mkstemp(suffix=".saad-model.json")
+    os.close(handle)
+    try:
+        save_model(saad.model, path, registry=saad.registry)
+        load_model(path, registry=saad.registry)
+    finally:
+        os.unlink(path)
+    return saad.registry
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro stats``; returns an exit code."""
+    argv = list(argv or [])
+    prom = False
+    write_path: Optional[str] = None
+    paths: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg == "--prom":
+            prom = True
+        elif arg == "--write":
+            i += 1
+            if i >= len(argv):
+                print("stats: --write needs a path")
+                return 2
+            write_path = argv[i]
+        elif arg.startswith("-"):
+            print(f"stats: unknown option {arg!r}")
+            return 2
+        else:
+            paths.append(arg)
+        i += 1
+    if len(paths) > 1:
+        print("stats: at most one snapshot file")
+        return 2
+
+    if paths:
+        try:
+            source = read_jsonl(paths[0])
+        except (OSError, ValueError) as exc:
+            print(f"stats: cannot read {paths[0]}: {exc}")
+            return 1
+    else:
+        source = _demo_registry()
+
+    if write_path is not None:
+        write_jsonl(source, write_path)
+        print(f"snapshot appended to {write_path}")
+    print(render_prometheus(source) if prom else render_table(source), end="")
+    return 0

@@ -1,0 +1,198 @@
+"""Exporters: JSON-lines snapshots and Prometheus text exposition.
+
+Both exporters consume the plain-dict snapshot structure produced by
+:meth:`MetricsRegistry.collect` (or an already-collected list of family
+dicts), so they work identically on a live registry and on a snapshot
+re-read from disk.
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per line:
+  a header line identifying the format, then one line per metric
+  family.  Appending successive snapshots to one file gives a cheap
+  time series; :func:`read_jsonl` returns the families of the *last*
+  snapshot in the file.
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` comments, one sample per line, histograms as
+  cumulative ``_bucket``/``_sum``/``_count`` series) for scraping or
+  pushing to a gateway.
+* :func:`render_table` — a fixed-width human-readable table for the
+  ``python -m repro stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "read_jsonl",
+    "render_prometheus",
+    "render_table",
+    "snapshot_of",
+    "write_jsonl",
+]
+
+#: Format tag on the header line of every JSON-lines snapshot.
+SNAPSHOT_FORMAT = "saad-telemetry/1"
+
+Families = List[Dict[str, object]]
+Source = Union[Families, "MetricsRegistryLike"]
+
+
+class MetricsRegistryLike:
+    """Structural type: anything with ``collect() -> list of dicts``."""
+
+    def collect(self) -> Families:  # pragma: no cover - protocol only
+        raise NotImplementedError
+
+
+def snapshot_of(source: Source) -> Families:
+    """Normalize a registry or an already-collected snapshot to family dicts."""
+    if hasattr(source, "collect"):
+        return source.collect()  # type: ignore[union-attr]
+    return list(source)  # type: ignore[arg-type]
+
+
+# -- JSON lines ---------------------------------------------------------------
+def write_jsonl(
+    source: Source,
+    destination: Union[str, IO[str]],
+    timestamp: Optional[float] = None,
+) -> int:
+    """Write one snapshot (header + one line per family); returns line count.
+
+    ``destination`` is a path (opened for append, so successive
+    snapshots accumulate) or an open text file object.
+    """
+    families = snapshot_of(source)
+    header = {"format": SNAPSHOT_FORMAT, "families": len(families)}
+    if timestamp is not None:
+        header["unix_time"] = timestamp
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(family, sort_keys=True) for family in families)
+    text = "\n".join(lines) + "\n"
+    if isinstance(destination, str):
+        with open(destination, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> Families:
+    """Read back the *last* snapshot in a JSON-lines telemetry file."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    snapshots: List[Families] = []
+    current: Optional[Families] = None
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {number}: not JSON ({exc})") from None
+        if "format" in record:
+            if record["format"] != SNAPSHOT_FORMAT:
+                raise ValueError(
+                    f"line {number}: unsupported snapshot format "
+                    f"{record['format']!r}"
+                )
+            current = []
+            snapshots.append(current)
+        elif current is None:
+            raise ValueError(f"line {number}: family line before snapshot header")
+        else:
+            current.append(record)
+    if not snapshots:
+        raise ValueError("no telemetry snapshot header found")
+    return snapshots[-1]
+
+
+# -- Prometheus text format ---------------------------------------------------
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_labels(labels: Dict[str, str], extra: Iterable[str] = ()) -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    ]
+    parts.extend(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(source: Source) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in snapshot_of(source):
+        name = family["name"]
+        help_text = family.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(str(help_text))}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:  # type: ignore[union-attr]
+            labels = sample.get("labels") or {}
+            if family["type"] == "histogram":
+                for bound, count in sample["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    bucket_labels = _format_labels(labels, [f'le="{le}"'])
+                    lines.append(f"{name}_bucket{bucket_labels} {count}")
+                base = _format_labels(labels)
+                lines.append(f"{name}_sum{base} {_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{base} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- human-readable table -----------------------------------------------------
+def render_table(source: Source) -> str:
+    """Fixed-width ``metric{labels}  type  value`` listing for terminals."""
+    rows: List[tuple] = []
+    for family in snapshot_of(source):
+        name = str(family["name"])
+        for sample in family["samples"]:  # type: ignore[union-attr]
+            labels = sample.get("labels") or {}
+            series = name + _format_labels(labels)
+            if family["type"] == "histogram":
+                value = (
+                    f"count={sample['count']} sum={_format_value(sample['sum'])}"
+                )
+            else:
+                value = _format_value(sample["value"])
+            rows.append((series, str(family["type"]), value))
+    if not rows:
+        return "(no metrics)\n"
+    width_series = max(len(row[0]) for row in rows)
+    width_kind = max(len(row[1]) for row in rows)
+    lines = [
+        f"{series:<{width_series}}  {kind:<{width_kind}}  {value}"
+        for series, kind, value in rows
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,240 @@
+"""The metrics registry: the process's catalog of metric families.
+
+A :class:`MetricsRegistry` is the unit of observability scope: every
+instrumented component (tracker, stream, detector, ...) registers its
+families into the registry it was constructed with, and the exporters
+(:mod:`repro.telemetry.export`) snapshot a registry in one call.  The
+``SAAD`` facade creates one registry per deployment and threads it
+through every layer; components constructed standalone default to a
+private registry so telemetry is *on by default* everywhere.
+
+Disabling telemetry is a type swap, not a flag check: pass a
+:class:`NullRegistry` and every registration returns the shared no-op
+metric, so instrumented call sites run a single dynamic dispatch to an
+empty method — the fast path the overhead benchmark's "unmetered" leg
+measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from .metrics import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricFamily,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "null_metric",
+]
+
+
+class MetricsRegistry:
+    """Thread-safe name -> :class:`MetricFamily` catalog.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (so independent call sites can share a series), but
+    re-registering a name as a different metric kind or with different
+    label names is a programming error and raises ``ValueError``.
+    """
+
+    #: Real registries collect; the Null variant advertises False so
+    #: components can gate optional, expensive instrumentation.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- registration ---------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> CounterFamily:
+        """Register (or fetch) a counter family called ``name``."""
+        return self._get_or_create(CounterFamily, name, help, tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> GaugeFamily:
+        """Register (or fetch) a gauge family called ``name``."""
+        return self._get_or_create(GaugeFamily, name, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> HistogramFamily:
+        """Register (or fetch) a histogram family called ``name``."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = HistogramFamily(name, help, tuple(labels), buckets)
+                self._families[name] = family
+                return family
+        self._check_compatible(family, HistogramFamily, name, tuple(labels))
+        return family  # type: ignore[return-value]
+
+    def _get_or_create(
+        self,
+        cls: Type[MetricFamily],
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, label_names)
+                self._families[name] = family
+                return family
+        self._check_compatible(family, cls, name, label_names)
+        return family
+
+    @staticmethod
+    def _check_compatible(
+        family: MetricFamily,
+        cls: Type[MetricFamily],
+        name: str,
+        label_names: Tuple[str, ...],
+    ) -> None:
+        if not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        if family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{family.label_names}, not {label_names}"
+            )
+
+    # -- introspection --------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family called ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered metric names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._families))
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Snapshot every family as plain dicts, sorted by name.
+
+        The returned structure is the wire form of the JSON-lines
+        exporter and the input of every renderer — collecting and
+        re-reading a written snapshot yield the same value.
+        """
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        return [family.collect() for family in families]
+
+
+class _NullMetric:
+    """The do-nothing metric every :class:`NullRegistry` call returns.
+
+    Implements the union of the counter/gauge/histogram child and family
+    surfaces so instrumented code never branches on whether telemetry is
+    enabled.
+    """
+
+    __slots__ = ()
+
+    kind = "null"
+    name = ""
+    help = ""
+    label_names: Tuple[str, ...] = ()
+    bucket_bounds: Tuple[float, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, **labels: object) -> "_NullMetric":
+        """Return self: one shared no-op child for every combination."""
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+    def set_function(self, fn) -> None:
+        """No-op."""
+
+    def buckets(self) -> list:
+        """No buckets."""
+        return []
+
+    def collect(self) -> Dict[str, object]:
+        """Empty family snapshot."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "label_names": [],
+            "samples": [],
+        }
+
+
+#: The shared no-op metric (one instance serves the whole process).
+null_metric = _NullMetric()
+
+
+class NullRegistry:
+    """Telemetry disabled: every registration returns the no-op metric.
+
+    ``collect()`` is empty and ``enabled`` is False; instrumented hot
+    paths degrade to one no-op method call per event (or zero, for
+    callback-backed series that are simply never read).
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        """The shared no-op metric."""
+        return null_metric
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        """The shared no-op metric."""
+        return null_metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ):
+        """The shared no-op metric."""
+        return null_metric
+
+    def get(self, name: str) -> None:
+        """Always None."""
+        return None
+
+    def names(self) -> Tuple[str, ...]:
+        """Always empty."""
+        return ()
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Always empty."""
+        return []
+
+
+#: Shared inert registry for "telemetry off" call sites.
+NULL_REGISTRY = NullRegistry()

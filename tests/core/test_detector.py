@@ -161,6 +161,17 @@ class TestWindowing:
         assert len(first) == 1
         assert second == []
 
+    def test_flush_resets_open_window_gauge(self, model):
+        # Regression: flush() closes every remaining bucket but used to
+        # leave the windows_open gauge at its pre-flush value.
+        detector = AnomalyDetector(model)
+        for host in range(5):
+            detector.observe(synopsis(host=host, uid=host, start=1.0))
+        gauge = detector.registry.get("detector_windows_open")
+        assert gauge.value == 5
+        detector.flush()
+        assert gauge.value == 0
+
 
 class TestHeapWindowing:
     """The detector must not scan every open bucket on every observe."""

@@ -9,6 +9,7 @@ Planted defects (asserted line-exactly by test_lint.py):
 * ``OrphanStage``  ST001 — stage run() logs without set_context (twice:
   once via the run-method heuristic, once via the dequeue-loop heuristic)
 * ``sim_handler``  CC001 — real time.sleep inside sim event-handler code
+* ``impatient``    TM001 — direct write to a telemetry-backed counter
 """
 import time
 
@@ -47,3 +48,7 @@ class OrphanStage:
 def sim_handler(env):
     yield env.timeout(1.0)
     time.sleep(0.01)
+
+
+def impatient(detector):
+    detector.tasks_seen += 1

@@ -323,17 +323,69 @@ class TestCC001:
         assert rules_of(diags) == ["CC001"]
 
 
+class TestTM001:
+    def test_augmented_write_flagged(self):
+        diags = lint_source(
+            "def probe(detector):\n"
+            "    detector.tasks_seen += 1\n"
+        )
+        assert rules_of(diags) == ["TM001"]
+        assert "tasks_seen" in diags[0].message
+
+    def test_plain_assignment_flagged(self):
+        diags = lint_source(
+            "def reset(stream):\n"
+            "    stream.bytes_streamed = 0\n"
+        )
+        assert rules_of(diags) == ["TM001"]
+
+    def test_self_write_flagged(self):
+        diags = lint_source(
+            "class Shadow:\n"
+            "    def bump(self):\n"
+            "        self.windows_closed += 1\n"
+        )
+        assert rules_of(diags) == ["TM001"]
+
+    def test_private_backing_field_ok(self):
+        # The blessed pattern: owning classes mutate the private field.
+        assert lint_source(
+            "class Detector:\n"
+            "    def observe(self):\n"
+            "        self._tasks_seen += 1\n"
+        ) == []
+
+    def test_unrelated_attribute_ok(self):
+        assert lint_source(
+            "def track(stats):\n"
+            "    stats.tasks_started += 1\n"
+        ) == []
+
+    def test_read_is_not_a_mutation(self):
+        assert lint_source(
+            "def report(detector):\n"
+            "    return detector.tasks_seen\n"
+        ) == []
+
+    def test_suppression_comment(self):
+        assert lint_source(
+            "def probe(detector):\n"
+            "    detector.tasks_seen += 1  # saadlint: disable=TM001\n"
+        ) == []
+
+
 class TestSeededDefectTree:
     """The analyzer must find every planted defect — and nothing else."""
 
     EXPECTED = {
-        ("LP001", "seeded_sim.py", 17),
-        ("LP003", "seeded_sim.py", 23),
-        ("ST002", "seeded_sim.py", 29),
-        ("ST003", "seeded_sim.py", 35),
-        ("ST001", "seeded_sim.py", 40),  # run-method heuristic
-        ("ST001", "seeded_sim.py", 41),  # dequeue-loop heuristic
-        ("CC001", "seeded_sim.py", 49),
+        ("LP001", "seeded_sim.py", 18),
+        ("LP003", "seeded_sim.py", 24),
+        ("ST002", "seeded_sim.py", 30),
+        ("ST003", "seeded_sim.py", 36),
+        ("ST001", "seeded_sim.py", 41),  # run-method heuristic
+        ("ST001", "seeded_sim.py", 42),  # dequeue-loop heuristic
+        ("CC001", "seeded_sim.py", 50),
+        ("TM001", "seeded_sim.py", 54),
         ("LP002", "logpoints.py", 12),
     }
 
@@ -415,7 +467,7 @@ class TestReporters:
     def test_text_report_lists_findings_and_summary(self):
         result = run_lint([DEFECT_TREE])
         text = render_text(result)
-        assert "seeded_sim.py:17" in text
+        assert "seeded_sim.py:18" in text
         assert "LP001" in text and "hint:" in text
         assert "finding(s)" in text
 

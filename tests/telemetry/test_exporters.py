@@ -1,0 +1,155 @@
+"""Exporter behavior: Prometheus text format (golden) and JSON-lines."""
+
+import io
+import json
+import os
+import re
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    read_jsonl,
+    render_prometheus,
+    render_table,
+    snapshot_of,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.telemetry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "prometheus.txt")
+
+#: One Prometheus text-format sample line: name{labels} value.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # optional label set
+    r" [^ ]+$"  # value
+)
+
+
+def build_registry() -> MetricsRegistry:
+    """A small deterministic registry exercising all three metric kinds."""
+    registry = MetricsRegistry()
+    tasks = registry.counter("demo_tasks", "Tasks processed per host.", labels=("host",))
+    tasks.labels(host="alpha").inc(3)
+    tasks.labels(host="beta").inc(4)
+    registry.gauge("demo_open_windows", "Currently open detection windows.").set(2)
+    lag = registry.histogram(
+        "demo_lag_seconds", "Window close lag.", buckets=(0.5, 2.0)
+    )
+    for value in (0.25, 0.5, 5.0):
+        lag.observe(value)
+    registry.counter("demo_untouched", "Registered but never incremented.")
+    return registry
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert render_prometheus(build_registry()) == expected
+
+    def test_every_line_parses(self):
+        for line in render_prometheus(build_registry()).splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_histogram_bucket_series_are_cumulative(self):
+        text = render_prometheus(build_registry())
+        buckets = re.findall(r'demo_lag_seconds_bucket\{le="([^"]+)"\} (\d+)', text)
+        assert buckets == [("0.5", "2"), ("2", "2"), ("+Inf", "3")]
+        assert "demo_lag_seconds_count 3" in text
+        assert "demo_lag_seconds_sum 5.75" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("path",)).labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_zero_valued_metric_still_rendered(self):
+        assert "demo_untouched 0" in render_prometheus(build_registry())
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus([]) == ""
+
+
+class TestJsonLines:
+    def test_round_trip_preserves_snapshot(self):
+        registry = build_registry()
+        buffer = io.StringIO()
+        lines = write_jsonl(registry, buffer, timestamp=123.0)
+        assert lines == 1 + len(registry.collect())
+        buffer.seek(0)
+        assert read_jsonl(buffer) == registry.collect()
+
+    def test_read_returns_last_of_appended_snapshots(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        buffer = io.StringIO()
+        counter.inc()
+        write_jsonl(registry, buffer)
+        counter.inc()
+        write_jsonl(registry, buffer)
+        buffer.seek(0)
+        families = read_jsonl(buffer)
+        assert families[0]["samples"][0]["value"] == 2
+
+    def test_header_carries_format_and_timestamp(self):
+        buffer = io.StringIO()
+        write_jsonl([], buffer, timestamp=42.0)
+        header = json.loads(buffer.getvalue().splitlines()[0])
+        assert header == {
+            "format": "saad-telemetry/1",
+            "families": 0,
+            "unix_time": 42.0,
+        }
+
+    def test_path_destination_appends(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        write_jsonl(registry, path)
+        write_jsonl(registry, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 4
+
+    def test_unknown_format_rejected(self):
+        buffer = io.StringIO('{"format": "other/9"}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(buffer)
+
+    def test_family_line_before_header_rejected(self):
+        buffer = io.StringIO('{"name": "c"}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(buffer)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_jsonl(io.StringIO(""))
+
+    def test_non_json_line_rejected(self):
+        buffer = io.StringIO("not json\n")
+        with pytest.raises(ValueError):
+            read_jsonl(buffer)
+
+
+class TestTable:
+    def test_lists_every_series(self):
+        text = render_table(build_registry())
+        assert 'demo_tasks{host="alpha"}' in text
+        assert "count=3 sum=5.75" in text
+
+    def test_empty_snapshot(self):
+        assert render_table([]) == "(no metrics)\n"
+
+
+class TestSnapshotOf:
+    def test_accepts_registry_and_plain_list(self):
+        registry = build_registry()
+        families = registry.collect()
+        assert snapshot_of(registry) == families
+        assert snapshot_of(families) == families

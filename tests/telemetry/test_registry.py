@@ -1,0 +1,93 @@
+"""Registry semantics and the NullRegistry (telemetry-off) contract."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    null_metric,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("tasks", "help", labels=("host",))
+        second = registry.counter("tasks", "different help", labels=("host",))
+        assert first is second
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=("host",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labels=("stage",))
+        with pytest.raises(ValueError):
+            registry.counter("x")
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        registry.histogram("mid")
+        assert registry.names() == ("alpha", "mid", "zeta")
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g")
+        assert registry.get("g") is family
+        assert registry.get("missing") is None
+
+    def test_collect_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(7)
+        snapshot = registry.collect()
+        assert [family["name"] for family in snapshot] == ["a", "b"]
+        assert snapshot[0]["type"] == "gauge"
+        assert snapshot[1]["samples"][0]["value"] == 2
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+
+
+class TestNullRegistry:
+    def test_singleton_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+    def test_every_registration_returns_the_shared_null_metric(self):
+        registry = NullRegistry()
+        assert registry.counter("c") is null_metric
+        assert registry.gauge("g") is null_metric
+        assert registry.histogram("h", buckets=(1.0,)) is null_metric
+
+    def test_null_metric_absorbs_the_full_surface(self):
+        metric = NULL_REGISTRY.counter("c", "help", labels=("host",))
+        child = metric.labels(host="a")
+        assert child is metric
+        child.inc()
+        child.inc(5)
+        child.dec()
+        child.set(9)
+        child.observe(1.5)
+        child.set_function(lambda: 3)
+        assert child.value == 0.0
+        assert child.count == 0
+        assert child.sum == 0.0
+        assert child.buckets() == []
+
+    def test_introspection_is_empty(self):
+        assert NULL_REGISTRY.get("anything") is None
+        assert NULL_REGISTRY.names() == ()
+        assert NULL_REGISTRY.collect() == []
