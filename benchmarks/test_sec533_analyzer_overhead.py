@@ -25,3 +25,7 @@ def test_sec533_analyzer_overhead(benchmark):
     assert result.per_task_cost_ratio > 8
     # Model construction is cheap (paper: counting + percentiles).
     assert result.model_build_wall_s < 60
+    # The injected novel-signature burst surfaces as anomaly evidence:
+    # flagged events carry pinned exemplar traces.
+    assert any(event.exemplars for event in result.anomalies)
+    assert result.exemplar_count >= 1

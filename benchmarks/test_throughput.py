@@ -11,7 +11,10 @@ It also meters the telemetry subsystem itself: the headline detection
 leg runs with telemetry on (a real ``MetricsRegistry``, the default
 everywhere) and a second leg runs the identical trace with the
 ``NULL_REGISTRY``; the metered leg must stay within
-``MAX_TELEMETRY_OVERHEAD_PCT`` of the unmetered one.
+``MAX_TELEMETRY_OVERHEAD_PCT`` of the unmetered one.  A third leg runs
+the metered configuration with a live ``Tracer`` attached (exemplar
+candidate tracking plus pinning on window close) and must stay within
+``MAX_TRACING_OVERHEAD_PCT`` of the metered leg.
 
 Results are written to ``BENCH_throughput.json`` at the repo root so
 later PRs inherit a perf trajectory.
@@ -43,6 +46,7 @@ from repro.core import (
 from repro.core.detector import _WindowBucket
 from repro.loglib.record import LogCall
 from repro.telemetry import NULL_REGISTRY
+from repro.tracing import Tracer
 
 pytestmark = pytest.mark.slow
 
@@ -65,6 +69,10 @@ MIN_DETECT_SPEEDUP = 3.0
 #: Acceptance guardrail: default-on telemetry may cost at most this much
 #: of detect throughput versus the NULL_REGISTRY fast path.
 MAX_TELEMETRY_OVERHEAD_PCT = 5.0
+
+#: Acceptance guardrail: a live tracer (exemplar tracking + pinning) may
+#: cost at most this much of detect throughput versus the metered leg.
+MAX_TRACING_OVERHEAD_PCT = 5.0
 
 #: Alternating repetitions per telemetry leg; each side keeps its best.
 LEG_REPEATS = 3
@@ -263,11 +271,11 @@ def test_throughput_and_write_trajectory():
     _, baseline_seconds = _timed(run_baseline)
     baseline_tps = BASELINE_DETECT_TASKS / baseline_seconds
 
-    def run_leg(registry) -> Tuple[float, AnomalyDetector]:
+    def run_leg(registry, tracer=None) -> Tuple[float, AnomalyDetector]:
         # Every repetition pays the same interning cost on the shared trace.
         for synopsis in detect_trace:
             synopsis._signature = None
-        detector = AnomalyDetector(model, config, registry=registry)
+        detector = AnomalyDetector(model, config, registry=registry, tracer=tracer)
 
         def run():
             observe = detector.observe
@@ -280,11 +288,13 @@ def test_throughput_and_write_trajectory():
         return seconds, detector
 
     # Metered (default MetricsRegistry — the deployed configuration) vs
-    # unmetered (NULL_REGISTRY) legs.  Wall-clock noise on a shared box
-    # runs ~+-10% per 2s leg, far above the overhead being measured, so
-    # legs alternate and each side keeps its best of LEG_REPEATS runs.
+    # unmetered (NULL_REGISTRY) vs traced (metered + live Tracer) legs.
+    # Wall-clock noise on a shared box runs ~+-10% per 2s leg, far above
+    # the overhead being measured, so legs alternate and each side keeps
+    # its best of LEG_REPEATS runs.
     unmetered_seconds = float("inf")
     detect_seconds = float("inf")
+    traced_seconds = float("inf")
     detector = None
     for _ in range(LEG_REPEATS):
         seconds, _unmetered = run_leg(NULL_REGISTRY)
@@ -292,9 +302,13 @@ def test_throughput_and_write_trajectory():
         seconds, metered = run_leg(None)
         if seconds < detect_seconds:
             detect_seconds, detector = seconds, metered
+        seconds, _traced = run_leg(None, tracer=Tracer(registry=NULL_REGISTRY))
+        traced_seconds = min(traced_seconds, seconds)
     unmetered_tps = DETECT_TASKS / unmetered_seconds
     detect_tps = DETECT_TASKS / detect_seconds
+    traced_tps = DETECT_TASKS / traced_seconds
     telemetry_overhead_pct = 100.0 * (1.0 - detect_tps / unmetered_tps)
+    tracing_overhead_pct = 100.0 * (1.0 - traced_tps / detect_tps)
 
     # O(n) window management: ripeness probes are ~1 per observe plus a
     # bounded term per closed window — NOT tasks x open buckets as in the
@@ -340,7 +354,18 @@ def test_throughput_and_write_trajectory():
                 f"best of {LEG_REPEATS} alternating runs"
             ),
         },
+        "detect_traced": {
+            "tasks": DETECT_TASKS,
+            "seconds": traced_seconds,
+            "tasks_per_sec": traced_tps,
+            "note": (
+                "metered leg with a live Tracer on the detector (exemplar "
+                "candidate tracking + pinning on window close); best of "
+                f"{LEG_REPEATS} alternating runs"
+            ),
+        },
         "telemetry_overhead_pct": telemetry_overhead_pct,
+        "tracing_overhead_pct": tracing_overhead_pct,
         "detect_baseline_seed_replica": {
             "tasks": BASELINE_DETECT_TASKS,
             "seconds": baseline_seconds,
@@ -363,4 +388,9 @@ def test_throughput_and_write_trajectory():
         f"telemetry overhead {telemetry_overhead_pct:.1f}% exceeds the "
         f"{MAX_TELEMETRY_OVERHEAD_PCT}% budget (metered {detect_tps:,.0f} "
         f"tasks/s vs unmetered {unmetered_tps:,.0f} tasks/s)"
+    )
+    assert traced_tps >= (1.0 - MAX_TRACING_OVERHEAD_PCT / 100.0) * detect_tps, (
+        f"tracing overhead {tracing_overhead_pct:.1f}% exceeds the "
+        f"{MAX_TRACING_OVERHEAD_PCT}% budget (traced {traced_tps:,.0f} "
+        f"tasks/s vs metered {detect_tps:,.0f} tasks/s)"
     )

@@ -10,6 +10,9 @@ Usage::
     python -m repro lint src/repro     # saadlint static verification
     python -m repro stats              # telemetry snapshot (live demo)
     python -m repro stats FILE.jsonl   # render a saved telemetry snapshot
+    python -m repro trace              # task-trace timelines (live demo)
+    python -m repro trace --export chrome --out TRACE.json
+    python -m repro trace TRACE.json   # re-render a saved trace export
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ def _usage() -> None:
     print("tools:")
     print("  lint     saadlint: static instrumentation verification")
     print("  stats    telemetry: render live or saved metric snapshots")
+    print("  trace    tracing: render or export per-task trace timelines")
 
 
 def main(argv) -> int:
@@ -51,6 +55,10 @@ def main(argv) -> int:
         from repro.telemetry.cli import main as stats_main
 
         return stats_main(argv[1:])
+    if command == "trace":
+        from repro.tracing.cli import main as trace_main
+
+        return trace_main(argv[1:])
     if command == "fig6":
         from repro.experiments import fig6_signatures
 

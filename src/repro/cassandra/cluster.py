@@ -29,6 +29,7 @@ class CassandraCluster:
         env: Optional[Environment] = None,
         tracker_enabled: bool = True,
         log_level: Optional[int] = None,
+        tracing: bool = False,
     ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -40,7 +41,7 @@ class CassandraCluster:
         self.sim_cluster = Cluster(self.env, host_names, seed=seed)
         self.network = self.sim_cluster.network
         self.ring = TokenRing(host_names, self.config.replication_factor)
-        self.saad = SAAD(saad_config or SAADConfig())
+        self.saad = SAAD(saad_config or SAADConfig(), tracing=tracing)
         self.lps = CassandraLogPoints(self.saad)
         self.nodes: Dict[str, CassandraNode] = {}
         node_kwargs = {"tracker_enabled": tracker_enabled}

@@ -21,7 +21,7 @@ for the detector's lifetime.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.telemetry import MetricsRegistry
@@ -39,7 +39,14 @@ PERFORMANCE = "performance"
 
 @dataclass(frozen=True)
 class AnomalyEvent:
-    """One detected anomaly for one stage in one window."""
+    """One detected anomaly for one stage in one window.
+
+    ``exemplars`` carries up to K pinned :class:`~repro.tracing.
+    TaskTrace` objects — concrete evidence for the verdict (new-signature
+    tasks first, then the window's slowest) — when the deployment runs
+    with tracing enabled; empty otherwise.  Excluded from equality so
+    events compare on the verdict itself.
+    """
 
     kind: str  # FLOW or PERFORMANCE
     host_id: int
@@ -52,6 +59,7 @@ class AnomalyEvent:
     p_value: float
     new_signatures: Tuple[Signature, ...] = ()
     offending_signatures: Tuple[Signature, ...] = ()
+    exemplars: Tuple = field(default=(), compare=False)
 
     @property
     def stage_key(self) -> StageKey:
@@ -68,6 +76,11 @@ class _WindowBucket:
     new_signatures: Set[Signature] = field(default_factory=set)
     # signature -> [perf outliers, eligible task count]
     perf: Dict[Signature, List[int]] = field(default_factory=dict)
+    # Exemplar candidates, tracked only when tracing is on:
+    # trace keys of new-signature tasks (first K, arrival order) ...
+    new_sig_keys: List[Tuple[int, int]] = field(default_factory=list)
+    # ... and a min-heap of (duration, trace key) for the K slowest.
+    slow: List[Tuple[float, Tuple[int, int]]] = field(default_factory=list)
 
 
 class AnomalyDetector:
@@ -91,6 +104,14 @@ class AnomalyDetector:
         a private :class:`~repro.telemetry.MetricsRegistry`, or pass a
         :class:`~repro.telemetry.NullRegistry` to disable (the
         benchmark's unmetered leg).
+    tracer:
+        The deployment's :class:`~repro.tracing.Tracer`; when enabled,
+        each anomalous window pins up to ``exemplars_per_window``
+        buffered traces and attaches them to the emitted events.
+        Defaults to the inert :data:`~repro.tracing.NULL_TRACER`.
+    exemplars_per_window:
+        Cap on exemplar traces per flagged window (new-signature tasks
+        first, then slowest).
 
     Telemetry: the per-task path mutates plain private ints exposed via
     callback-backed counters (``detector_tasks_observed``,
@@ -106,10 +127,21 @@ class AnomalyDetector:
         config: Optional[SAADConfig] = None,
         lateness_s: float = 0.0,
         registry=None,
+        tracer=None,
+        exemplars_per_window: int = 3,
     ):
         self.model = model
         self.config = config or model.config
         self.lateness_s = lateness_s
+        if tracer is None:
+            from repro.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._tracing = bool(tracer.enabled)
+        if exemplars_per_window < 0:
+            raise ValueError(f"exemplars_per_window must be >= 0: {exemplars_per_window}")
+        self.exemplars_per_window = exemplars_per_window
         self._buckets: Dict[Tuple[StageKey, int], _WindowBucket] = {}
         # Ripeness index: min-heap of open window indices plus, per index,
         # the stage keys opened in arrival order (for deterministic close
@@ -193,7 +225,11 @@ class AnomalyDetector:
             else (0, synopsis.stage_id)
         )
         return self._observe(
-            stage_key, synopsis.signature, synopsis.duration, synopsis.start_time
+            stage_key,
+            synopsis.signature,
+            synopsis.duration,
+            synopsis.start_time,
+            synopsis if self._tracing else None,
         )
 
     def observe_feature(self, feature: FeatureVector) -> List[AnomalyEvent]:
@@ -207,6 +243,7 @@ class AnomalyDetector:
             feature.signature,
             feature.duration,
             feature.start_time,
+            feature if self._tracing else None,
         )
 
     def _observe(
@@ -215,6 +252,7 @@ class AnomalyDetector:
         signature: Signature,
         duration: float,
         start_time: float,
+        task=None,
     ) -> List[AnomalyEvent]:
         self._tasks_seen += 1
         label = self.model.classify_parts(stage_key, signature, duration)
@@ -243,6 +281,18 @@ class AnomalyDetector:
             counts[1] += 1
             if label.perf_outlier:
                 counts[0] += 1
+        if task is not None:
+            # Exemplar candidates.  The (host_id, uid) trace key is built
+            # only on admission — candidate turnover is O(K log n) over a
+            # window, so the steady-state cost is two comparisons.
+            k = self.exemplars_per_window
+            if label.new_signature and len(bucket.new_sig_keys) < k:
+                bucket.new_sig_keys.append((task.host_id, task.uid))
+            slow = bucket.slow
+            if len(slow) < k:
+                heapq.heappush(slow, (duration, (task.host_id, task.uid)))
+            elif slow and duration > slow[0][0]:
+                heapq.heapreplace(slow, (duration, (task.host_id, task.uid)))
         if start_time > self._watermark:
             self._watermark = start_time
         return self._close_ripe_windows()
@@ -328,8 +378,7 @@ class AnomalyDetector:
                     )
                 )
                 self._m_anomalies_flow.inc()
-                self.anomalies.extend(events)
-            return events
+            return self._emit(events, bucket)
 
         flow_test = proportion_exceeds_test(
             bucket.flow_outliers, bucket.n, flow_baseline, self.config.alpha
@@ -384,8 +433,39 @@ class AnomalyDetector:
                 )
             )
             self._m_anomalies_perf.inc()
+        return self._emit(events, bucket)
+
+    def _emit(
+        self, events: List[AnomalyEvent], bucket: _WindowBucket
+    ) -> List[AnomalyEvent]:
+        """Attach exemplar traces (tracing on) and record the events."""
+        if events and self._tracing and self.exemplars_per_window:
+            exemplars = self._pin_exemplars(bucket)
+            if exemplars:
+                events = [replace(event, exemplars=exemplars) for event in events]
         self.anomalies.extend(events)
         return events
+
+    def _pin_exemplars(self, bucket: _WindowBucket) -> Tuple:
+        """Pin up to K of the window's candidate traces as exemplars.
+
+        New-signature tasks come first (they *are* the flow anomaly),
+        then the slowest tasks, slowest first; candidates whose trace
+        was sampled out or already evicted are skipped.
+        """
+        exemplars = []
+        seen: Set[Tuple[int, int]] = set()
+        slowest = [key for _, key in sorted(bucket.slow, reverse=True)]
+        for trace_key in (*bucket.new_sig_keys, *slowest):
+            if trace_key in seen:
+                continue
+            seen.add(trace_key)
+            trace = self.tracer.pin(trace_key)
+            if trace is not None:
+                exemplars.append(trace)
+                if len(exemplars) >= self.exemplars_per_window:
+                    break
+        return tuple(exemplars)
 
     def _perf_baseline(
         self, stage_key: StageKey, stage_model, signature: Signature

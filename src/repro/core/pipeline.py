@@ -67,6 +67,7 @@ class NodeRuntime:
             clock=clock,
             enabled=tracker_enabled,
             registry=registry,
+            tracer=saad.tracer,
         )
         self.repository = LoggerRepository(
             root_level=log_level,
@@ -104,11 +105,30 @@ class SAAD:
         facade register into it, so one
         ``python -m repro stats`` snapshot covers the whole deployment.
         Pass a :class:`~repro.telemetry.NullRegistry` to disable.
+    tracer:
+        The deployment's shared :class:`~repro.tracing.Tracer`; pass
+        one to control capacities/sampling.  Defaults to the inert
+        :data:`~repro.tracing.NULL_TRACER` unless ``tracing=True``.
+    tracing:
+        Convenience switch: True builds a default
+        :class:`~repro.tracing.Tracer` on the shared telemetry registry.
+        Ignored when an explicit ``tracer`` is passed.
     """
 
-    def __init__(self, config: Optional[SAADConfig] = None, registry=None):
+    def __init__(
+        self,
+        config: Optional[SAADConfig] = None,
+        registry=None,
+        tracer=None,
+        tracing: bool = False,
+    ):
         self.config = config or SAADConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is None:
+            from repro.tracing import NULL_TRACER, Tracer
+
+            tracer = Tracer(registry=self.registry) if tracing else NULL_TRACER
+        self.tracer = tracer
         self.stages = StageRegistry()
         self.logpoints = LogPointRegistry()
         self.collector = SynopsisCollector(retain=True, registry=self.registry)
@@ -166,6 +186,9 @@ class SAAD:
         """Train the outlier model (default: everything collected so far)."""
         trace = synopses if synopses is not None else self.collector.synopses
         self.model = OutlierModel(self.config, registry=self.registry).train(trace)
+        # From here on the tracer's tail retention is model-driven: keep
+        # traces the trained classifier would flag, not just novel ones.
+        self.tracer.set_model(self.model)
         return self.model
 
     def detector(self, lateness_s: float = 0.0) -> AnomalyDetector:
@@ -173,7 +196,11 @@ class SAAD:
         if self.model is None:
             raise RuntimeError("call train() before creating a detector")
         return AnomalyDetector(
-            self.model, self.config, lateness_s=lateness_s, registry=self.registry
+            self.model,
+            self.config,
+            lateness_s=lateness_s,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     def detect(self, synopses: List[TaskSynopsis]) -> List[AnomalyEvent]:

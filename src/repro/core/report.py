@@ -49,6 +49,26 @@ class AnomalyReporter:
             lines.append(point.describe() if point else f"L{lpid} <unknown log point>")
         return lines
 
+    def _template(self, lpid: int) -> Optional[str]:
+        """Bare template text for one log point id, or None."""
+        point = self.logpoints.maybe_get(lpid)
+        return point.template if point else None
+
+    def render_trace(self, trace) -> str:
+        """ASCII timeline of one exemplar :class:`~repro.tracing.TaskTrace`,
+        with stage names and log templates resolved through this
+        reporter's registries."""
+        # Lazy import: repro.viz imports repro.core, so a module-level
+        # import here would be circular.
+        from repro.viz.timeline import render_trace
+
+        return render_trace(
+            trace,
+            stage_names=lambda sid: self.stage_name(sid),
+            host_names=self.host_names,
+            templates=self._template,
+        )
+
     # -- rendering ----------------------------------------------------------
     def render_event(self, event: AnomalyEvent) -> str:
         """Multi-line description of one anomaly."""
@@ -67,6 +87,11 @@ class AnomalyReporter:
         for signature in event.offending_signatures:
             lines.append(f"  slow signature {format_signature(signature)}:")
             lines.extend(f"    {t}" for t in self.signature_templates(signature))
+        for trace in event.exemplars:
+            lines.append("  exemplar trace:")
+            lines.extend(
+                f"    {line}" for line in self.render_trace(trace).rstrip("\n").split("\n")
+            )
         return "\n".join(lines)
 
     def render(self, events: Iterable[AnomalyEvent]) -> str:

@@ -21,7 +21,7 @@ the configured sink (normally a synopsis stream to the analyzer).
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.loglib.record import LogCall
 from repro.telemetry import MetricsRegistry
@@ -36,16 +36,28 @@ SynopsisSink = Callable[[TaskSynopsis], None]
 
 
 class _OpenTask:
-    """Mutable per-task state kept in thread-local storage."""
+    """Mutable per-task state kept in thread-local storage.
 
-    __slots__ = ("stage_id", "uid", "start_time", "last_log_time", "log_points")
+    ``events`` stays None unless tracing is enabled, so the untraced
+    hot path never pays for an empty list per task.
+    """
 
-    def __init__(self, stage_id: int, uid: int, start_time: float):
+    __slots__ = (
+        "stage_id",
+        "uid",
+        "start_time",
+        "last_log_time",
+        "log_points",
+        "events",
+    )
+
+    def __init__(self, stage_id: int, uid: int, start_time: float, traced: bool = False):
         self.stage_id = stage_id
         self.uid = uid
         self.start_time = start_time
         self.last_log_time = start_time
         self.log_points: Dict[int, int] = {}
+        self.events: Optional[List[Tuple[int, float]]] = [] if traced else None
 
 
 class TrackerStats:
@@ -89,6 +101,13 @@ class TaskExecutionTracker:
         :class:`~repro.telemetry.MetricsRegistry`; pass a shared one
         (the ``SAAD`` facade does) to aggregate a deployment, or a
         :class:`~repro.telemetry.NullRegistry` to disable.
+    tracer:
+        Span recorder receiving one :class:`~repro.tracing.TaskTrace`
+        per finished task (the ``SAAD`` facade shares one tracer across
+        all nodes).  Defaults to the inert
+        :data:`~repro.tracing.NULL_TRACER`, in which case the tracker
+        skips all per-event timeline work — same type-swap off-switch
+        as the telemetry registry.
     """
 
     def __init__(
@@ -99,6 +118,7 @@ class TaskExecutionTracker:
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
         registry=None,
+        tracer=None,
     ):
         self.host_id = host_id
         self.sink = sink
@@ -107,6 +127,12 @@ class TaskExecutionTracker:
         self.enabled = enabled
         self.stats = TrackerStats()
         self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is None:
+            from repro.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._traced = bool(tracer.enabled)
         self._register_metrics()
         self._next_uid = 0
         # Bound-method caches for the per-log-call hot path: on_log runs
@@ -169,7 +195,10 @@ class TaskExecutionTracker:
             # finished (producer-consumer termination inference).
             self._finalize(slot, open_task)
         slot[_SLOT_KEY] = _OpenTask(
-            stage_id=stage_id, uid=self._alloc_uid(), start_time=self.clock()
+            stage_id=stage_id,
+            uid=self._alloc_uid(),
+            start_time=self.clock(),
+            traced=self._traced,
         )
         self.stats.tasks_started += 1
         if not slot.get(_HOOK_KEY):
@@ -210,6 +239,9 @@ class TaskExecutionTracker:
         log_points = task.log_points
         log_points[lpid] = log_points.get(lpid, 0) + 1
         task.last_log_time = call.time
+        events = task.events
+        if events is not None:
+            events.append((lpid, call.time))
         self.stats.log_calls_tracked += 1
 
     # -- internals ----------------------------------------------------------------
@@ -237,6 +269,11 @@ class TaskExecutionTracker:
         )
         self.stats.tasks_completed += 1
         self.stats.synopsis_bytes += synopsis.encoded_size()
+        if task.events is not None:
+            # Record before the sink runs: the sink chain may reach the
+            # detector synchronously, which may close a window and try
+            # to pin this very trace as an exemplar.
+            self.tracer.finish(synopsis, task.events)
         if self.sink is not None:
             self.sink(synopsis)
         return synopsis

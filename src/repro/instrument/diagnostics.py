@@ -99,6 +99,16 @@ RULES: Dict[str, Rule] = {
             "instead of the simulated thread.",
         ),
         Rule(
+            "TR001",
+            INFO,
+            "manual span management in simulated server code",
+            "Sim/server event handlers should get their traces from the "
+            "task execution tracker (set_context/end_task emit spans when "
+            "the deployment enables tracing); opening spans by hand on a "
+            "tracer double-counts tasks and bypasses sampling and "
+            "retention policy.",
+        ),
+        Rule(
             "TM001",
             INFO,
             "direct mutation of a telemetry-backed counter",

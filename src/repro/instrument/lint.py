@@ -14,8 +14,9 @@ The analyzer walks a source tree in three passes:
 3. **Check** — run the rules: the LP family over resolved sites and
    (optionally) a persisted registry, the ST family over per-function
    CFGs (see :mod:`repro.instrument.cfg`), CC001 over simulated
-   event-handler code, and TM001 over writes to telemetry-backed
-   accounting properties.
+   event-handler code, TM001 over writes to telemetry-backed
+   accounting properties, and TR001 over manual tracer span calls in
+   sim/server code.
 
 Findings come back as :class:`~repro.instrument.diagnostics.Diagnostic`
 objects; the baseline layer (:mod:`repro.instrument.baseline`) filters
@@ -47,6 +48,13 @@ _SUBPROCESS_BLOCKING = {"run", "call", "check_call", "check_output", "Popen"}
 
 #: Builtins that perform real, blocking I/O.
 _BLOCKING_BUILTINS = {"open", "input"}
+
+#: Span-lifecycle method names on tracer-like receivers (TR001).  Sim
+#: and server code should never call these directly — the task execution
+#: tracker emits spans from set_context/end_task when tracing is on.
+_TRACER_SPAN_METHODS = frozenset(
+    {"begin_task", "begin_span", "start_span", "open_span", "finish", "record"}
+)
 
 #: Accounting attributes exposed as read-only properties backed by
 #: telemetry (TM001).  Writing to the *public* name either raises
@@ -141,6 +149,11 @@ class FileFacts:
     #: (line, col, attribute, receiver) of writes to telemetry-backed
     #: accounting properties (TM001).
     telemetry_mutations: List[Tuple[int, int, str, str]] = field(
+        default_factory=list
+    )
+    #: (line, col, receiver, method, inside-a-generator) of span-lifecycle
+    #: calls on tracer-like receivers (TR001).
+    tracer_calls: List[Tuple[int, int, str, str, bool]] = field(
         default_factory=list
     )
 
@@ -264,6 +277,20 @@ class _Collector(ast.NodeVisitor):
             self._mark(set_context=True)
         elif method == _END_TASK:
             self._mark(end_task=True)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _TRACER_SPAN_METHODS
+            and "tracer" in _receiver_name(func.value).lower()
+        ):
+            self.facts.tracer_calls.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    _receiver_name(func.value),
+                    func.attr,
+                    self._current[-1].is_generator if self._current else False,
+                )
+            )
         elif (
             isinstance(func, ast.Attribute)
             and func.attr in DEQUEUE_METHODS
@@ -538,6 +565,36 @@ class LintEngine:
             out.extend(self._cc001(facts))
         if "TM001" in self.rules:
             out.extend(self._tm001(facts))
+        if "TR001" in self.rules:
+            out.extend(self._tr001(facts))
+        return out
+
+    def _tr001(self, facts) -> List[Diagnostic]:
+        out = []
+        in_simsys = f"{os.sep}simsys{os.sep}" in facts.path or facts.path.startswith(
+            f"simsys{os.sep}"
+        )
+        for line, col, receiver, attr, in_generator in facts.tracer_calls:
+            # Same scope as CC001: simulated event-handler code only —
+            # generator handlers anywhere, or anything under simsys.
+            # Core pipeline code (the tracker itself) legitimately calls
+            # the tracer and stays out of scope.
+            if not (in_generator or in_simsys):
+                continue
+            out.append(
+                Diagnostic(
+                    "TR001",
+                    facts.path,
+                    line,
+                    col,
+                    f"manual span call {receiver}.{attr}() in simulated "
+                    "event-handler code",
+                    "rely on tracker instrumentation instead: set_context()/"
+                    "end_task() emit spans automatically when the deployment "
+                    "enables tracing, with sampling and retention applied; "
+                    "hand-opened spans double-count the task",
+                )
+            )
         return out
 
     def _tm001(self, facts) -> List[Diagnostic]:

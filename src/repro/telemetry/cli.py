@@ -41,12 +41,19 @@ def _emit_task(node, log, clock, stage, i, lps, retry=False):
     log.info("step %s ends", i, lpid=lp_end)
 
 
-def _demo_registry():
-    """Run the deterministic demo deployment; returns its registry."""
+def _demo_deployment():
+    """Run the deterministic demo deployment; returns the SAAD facade.
+
+    Tracing is enabled so the ``tracer_*`` self-metrics register and the
+    injected novel-signature burst leaves pinned exemplar traces — the
+    same deployment backs ``python -m repro stats`` (registry view) and
+    ``python -m repro trace`` (trace view), and the catalog test treats
+    its registry as the ground-truth metric inventory.
+    """
     from repro.core import SAAD, SAADConfig, load_model, save_model
 
     config = SAADConfig(window_s=10.0, min_window_tasks=5, min_signature_samples=5)
-    saad = SAAD(config)
+    saad = SAAD(config, tracing=True)
     clock = [0.0]
     nodes = [
         saad.add_node("alpha", clock=lambda: clock[0]),
@@ -95,7 +102,12 @@ def _demo_registry():
         load_model(path, registry=saad.registry)
     finally:
         os.unlink(path)
-    return saad.registry
+    return saad
+
+
+def _demo_registry():
+    """The demo deployment's registry (catalog-test ground truth)."""
+    return _demo_deployment().registry
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,45 @@
+"""Per-task distributed tracing for the SAAD pipeline.
+
+Where synopses answer *what happened in aggregate*, traces answer *what
+did this one task do*: a root span per task uid, a child stage span per
+``set_context``, and a timestamped event per log-point visit.  The
+:class:`Tracer` keeps a bounded, thread-safe buffer with deterministic
+head sampling plus tail retention (rare signatures and slow tasks are
+always kept), the detector pins exemplar traces onto anomaly events,
+and exporters render the result as an ASCII timeline
+(:func:`repro.viz.timeline.render_trace`) or Chrome trace-event JSON
+loadable in Perfetto (:func:`chrome_trace`).
+
+Tracing is off by default.  ``SAAD(tracing=True)`` threads a shared
+tracer through every node's tracker and the detector; call sites that
+never enabled it hold the inert :data:`NULL_TRACER` instead (type swap,
+no flag checks on the hot path).  See docs/OPERATIONS.md §7 for the
+operator knobs and ``python -m repro trace`` for a live demo.
+"""
+
+from .export import (
+    TraceArchive,
+    chrome_trace,
+    parse_chrome_trace,
+    read_chrome_trace,
+    write_chrome_trace,
+)
+from .spans import StageSpan, TaskTrace, TraceEvent, TraceKey, trace_from_synopsis
+from .tracer import NULL_TRACER, NullTracer, Tracer, TracerStats
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "StageSpan",
+    "TaskTrace",
+    "TraceArchive",
+    "TraceEvent",
+    "TraceKey",
+    "Tracer",
+    "TracerStats",
+    "chrome_trace",
+    "parse_chrome_trace",
+    "read_chrome_trace",
+    "trace_from_synopsis",
+    "write_chrome_trace",
+]

@@ -1,0 +1,280 @@
+"""Chrome trace-event export: load SAAD task traces in Perfetto.
+
+Writes the `Trace Event Format <https://docs.google.com/document/d/
+1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_ JSON that
+``ui.perfetto.dev`` (and legacy ``chrome://tracing``) open directly:
+
+* one **process** per host (``pid`` = host id, named via ``process_name``
+  metadata),
+* one **thread lane** per task (``tid`` = task uid, named via
+  ``thread_name`` metadata),
+* a complete (``ph: "X"``) root span per task, a nested complete span
+  per stage, and a thread-scoped instant (``ph: "i"``) per log-point
+  visit, named with the log template so the Perfetto timeline reads
+  like the anomaly report.
+
+Everything needed to reconstruct the traces rides in ``args`` (ids,
+signature, retention flags), so :func:`read_chrome_trace` round-trips a
+written file back into :class:`~repro.tracing.spans.TaskTrace` objects
+plus the id → name maps — the ``python -m repro trace`` saved-file
+re-render path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .spans import StageSpan, TaskTrace, TraceEvent
+
+__all__ = [
+    "TraceArchive",
+    "chrome_trace",
+    "read_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: ``otherData.format`` stamp; bump on layout changes.
+CHROME_TRACE_FORMAT = "saad-trace/1"
+
+_US = 1_000_000.0  # trace-event timestamps are microseconds
+
+
+def _resolve(mapping, key: int, fallback: str) -> str:
+    if mapping is None:
+        return fallback
+    value = mapping.get(key) if hasattr(mapping, "get") else mapping(key)
+    return value if value is not None else fallback
+
+
+def chrome_trace(
+    traces: Iterable[TaskTrace],
+    stage_names: Optional[Dict[int, str]] = None,
+    host_names: Optional[Dict[int, str]] = None,
+    templates: Optional[Dict[int, str]] = None,
+) -> dict:
+    """The Perfetto-loadable JSON document for ``traces``.
+
+    ``stage_names`` / ``host_names`` / ``templates`` map ids to display
+    names (dicts or callables); unknown ids fall back to ``stage<N>`` /
+    ``host<N>`` / ``L<N>``.
+    """
+    events: List[dict] = []
+    seen_hosts: set = set()
+    for trace in traces:
+        pid, tid = trace.host_id, trace.uid
+        if pid not in seen_hosts:
+            seen_hosts.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": _resolve(host_names, pid, f"host{pid}")},
+                }
+            )
+        stage_label = _resolve(stage_names, trace.stage_id, f"stage{trace.stage_id}")
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"task {tid} ({stage_label})"},
+            }
+        )
+        events.append(
+            {
+                "ph": "X",
+                "cat": "task",
+                "name": f"task {tid}",
+                "pid": pid,
+                "tid": tid,
+                "ts": trace.start_time * _US,
+                "dur": trace.duration * _US,
+                "args": {
+                    "host_id": trace.host_id,
+                    "uid": trace.uid,
+                    "signature_lpids": sorted(trace.signature),
+                    "retained": trace.retained,
+                    "pinned": trace.pinned,
+                },
+            }
+        )
+        for span in trace.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "cat": "stage",
+                    "name": _resolve(stage_names, span.stage_id, f"stage{span.stage_id}"),
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start_time * _US,
+                    "dur": span.duration * _US,
+                    "args": {"stage_id": span.stage_id},
+                }
+            )
+            for event in span.events:
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "cat": "logpoint",
+                        "name": _resolve(templates, event.lpid, f"L{event.lpid}"),
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": event.time * _US,
+                        "args": {"lpid": event.lpid},
+                    }
+                )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.tracing", "format": CHROME_TRACE_FORMAT},
+    }
+
+
+def write_chrome_trace(
+    traces: Iterable[TaskTrace],
+    path: str,
+    stage_names: Optional[Dict[int, str]] = None,
+    host_names: Optional[Dict[int, str]] = None,
+    templates: Optional[Dict[int, str]] = None,
+) -> dict:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the document."""
+    doc = chrome_trace(
+        traces, stage_names=stage_names, host_names=host_names, templates=templates
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return doc
+
+
+@dataclass
+class TraceArchive:
+    """A Chrome trace file read back: traces plus the id → name maps."""
+
+    traces: List[TaskTrace] = field(default_factory=list)
+    stage_names: Dict[int, str] = field(default_factory=dict)
+    host_names: Dict[int, str] = field(default_factory=dict)
+    templates: Dict[int, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        """Number of traces in the archive."""
+        return len(self.traces)
+
+
+def _require(event: dict, key: str):
+    if key not in event:
+        raise ValueError(f"trace event missing {key!r}: {event}")
+    return event[key]
+
+
+def parse_chrome_trace(doc: dict) -> TraceArchive:
+    """Reconstruct a :class:`TraceArchive` from a trace-event document.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form of the spec; raises ``ValueError`` on anything that
+    is not a structurally valid SAAD trace export.
+    """
+    if isinstance(doc, list):
+        raw_events = doc
+    elif isinstance(doc, dict):
+        raw_events = doc.get("traceEvents")
+        if not isinstance(raw_events, list):
+            raise ValueError("trace document has no traceEvents array")
+    else:
+        raise ValueError(f"not a trace document: {type(doc).__name__}")
+
+    archive = TraceArchive()
+    tasks: Dict[tuple, dict] = {}
+    spans: Dict[tuple, List[StageSpan]] = {}
+    points: Dict[tuple, List[TraceEvent]] = {}
+    for event in raw_events:
+        if not isinstance(event, dict):
+            raise ValueError(f"trace event is not an object: {event!r}")
+        ph = _require(event, "ph")
+        if ph == "M":
+            args = event.get("args", {})
+            if event.get("name") == "process_name":
+                archive.host_names[int(_require(event, "pid"))] = args.get("name", "")
+            continue
+        if ph not in ("X", "i"):
+            continue  # tolerate foreign event types in merged files
+        key = (int(_require(event, "pid")), int(_require(event, "tid")))
+        ts = float(_require(event, "ts")) / _US
+        cat = event.get("cat", "")
+        args = event.get("args", {})
+        if cat == "task":
+            tasks[key] = {
+                "start": ts,
+                "end": ts + float(event.get("dur", 0.0)) / _US,
+                "args": args,
+            }
+        elif cat == "stage":
+            stage_id = int(args.get("stage_id", -1))
+            spans.setdefault(key, []).append(
+                StageSpan(
+                    stage_id=stage_id,
+                    start_time=ts,
+                    end_time=ts + float(event.get("dur", 0.0)) / _US,
+                )
+            )
+            if stage_id >= 0 and event.get("name"):
+                archive.stage_names.setdefault(stage_id, event["name"])
+        elif cat == "logpoint":
+            lpid = int(_require(args, "lpid"))
+            points.setdefault(key, []).append(TraceEvent(lpid=lpid, time=ts))
+            if event.get("name"):
+                archive.templates.setdefault(lpid, event["name"])
+
+    for key, task in sorted(tasks.items()):
+        host_id, tid = key
+        args = task["args"]
+        task_spans = sorted(spans.get(key, []), key=lambda s: s.start_time)
+        task_events = sorted(points.get(key, []), key=lambda e: e.time)
+        if task_spans:
+            # Attach each instant to the last span starting at or before
+            # it (single-stage traces: all events land on the one span).
+            bound: List[List[TraceEvent]] = [[] for _ in task_spans]
+            for event in task_events:
+                index = 0
+                for i, span in enumerate(task_spans):
+                    if span.start_time <= event.time:
+                        index = i
+                bound[index].append(event)
+            task_spans = [
+                StageSpan(
+                    stage_id=span.stage_id,
+                    start_time=span.start_time,
+                    end_time=span.end_time,
+                    events=tuple(events),
+                )
+                for span, events in zip(task_spans, bound)
+            ]
+        archive.traces.append(
+            TaskTrace(
+                host_id=int(args.get("host_id", host_id)),
+                uid=int(args.get("uid", tid)),
+                start_time=task["start"],
+                end_time=task["end"],
+                spans=tuple(task_spans),
+                signature=frozenset(args.get("signature_lpids", ())),
+                retained=bool(args.get("retained", False)),
+                pinned=bool(args.get("pinned", False)),
+            )
+        )
+    archive.traces.sort(key=lambda t: (t.start_time, t.key))
+    return archive
+
+
+def read_chrome_trace(path: str) -> TraceArchive:
+    """Read and parse a Chrome trace JSON file written by this module."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not valid JSON: {exc}") from exc
+    return parse_chrome_trace(doc)

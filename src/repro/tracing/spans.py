@@ -1,0 +1,124 @@
+"""The span data model: one :class:`TaskTrace` per tracked task.
+
+A trace is the per-task counterpart of a :class:`~repro.core.synopsis.
+TaskSynopsis`: where the synopsis reduces a task to a signature and a
+duration, the trace keeps the *timeline* — the root task span, a child
+:class:`StageSpan` for every ``set_context`` the task passed through,
+and one timestamped :class:`TraceEvent` per log-point visit.  Traces
+are what turn an anomaly verdict ("window 540-720s tripped the flow
+test") into evidence ("here is one concrete task and exactly where its
+time went").
+
+The model is deliberately dependency-free: ids only (host, stage, log
+point), resolved to names at render/export time by whoever holds the
+registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Tuple
+
+#: Identity of a trace across a deployment: (host_id, task uid).  Task
+#: uids are per-host counters, so the host id is part of the key.
+TraceKey = Tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One log-point visit inside a span: which point, and when."""
+
+    lpid: int
+    time: float
+
+
+@dataclass
+class StageSpan:
+    """One stage execution inside a task: ``set_context`` to termination."""
+
+    stage_id: int
+    start_time: float
+    end_time: float
+    events: Tuple[TraceEvent, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return max(0.0, self.end_time - self.start_time)
+
+
+@dataclass
+class TaskTrace:
+    """The root span of one task, with its child stage spans.
+
+    ``retained`` marks traces the tracer kept via tail retention (rare
+    signature or outlier duration) rather than head sampling; ``pinned``
+    marks traces attached to an :class:`~repro.core.detector.
+    AnomalyEvent` as exemplars.  Both flags are set by the tracer, never
+    by the producer.
+    """
+
+    host_id: int
+    uid: int
+    start_time: float
+    end_time: float
+    spans: Tuple[StageSpan, ...] = ()
+    signature: FrozenSet[int] = frozenset()
+    retained: bool = False
+    pinned: bool = False
+
+    @property
+    def key(self) -> TraceKey:
+        """Deployment-wide identity: (host_id, uid)."""
+        return (self.host_id, self.uid)
+
+    @property
+    def stage_id(self) -> int:
+        """Stage of the task's first (usually only) stage span, or -1."""
+        return self.spans[0].stage_id if self.spans else -1
+
+    @property
+    def duration(self) -> float:
+        """Root span length in seconds."""
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def n_events(self) -> int:
+        """Total log-point events across all stage spans."""
+        return sum(len(span.events) for span in self.spans)
+
+    def events(self) -> Iterator[TraceEvent]:
+        """All log-point events across all spans, in span order."""
+        for span in self.spans:
+            yield from span.events
+
+    @property
+    def n_spans(self) -> int:
+        """Stage spans recorded under the root task span."""
+        return len(self.spans)
+
+
+def trace_from_synopsis(synopsis, events: List[Tuple[int, float]]) -> TaskTrace:
+    """Build a single-stage :class:`TaskTrace` from a finished synopsis.
+
+    ``synopsis`` is duck-typed (host_id, stage_id, uid, start_time,
+    duration, signature); ``events`` is the tracker's raw per-task
+    ``(lpid, time)`` list.  This is the shape the task execution tracker
+    produces: one ``set_context`` per task means one child stage span
+    covering the whole root span.
+    """
+    end = synopsis.start_time + synopsis.duration
+    span = StageSpan(
+        stage_id=synopsis.stage_id,
+        start_time=synopsis.start_time,
+        end_time=end,
+        events=tuple(TraceEvent(lpid, time) for lpid, time in events),
+    )
+    return TaskTrace(
+        host_id=synopsis.host_id,
+        uid=synopsis.uid,
+        start_time=synopsis.start_time,
+        end_time=end,
+        spans=(span,),
+        signature=synopsis.signature,
+    )

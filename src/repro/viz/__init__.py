@@ -1,6 +1,6 @@
-"""Text visualization of anomaly timelines and result tables."""
+"""Text visualization of anomaly timelines, task traces, and result tables."""
 
 from .tables import render_table
-from .timeline import TimelineGrid, render_timeline
+from .timeline import TimelineGrid, render_timeline, render_trace
 
-__all__ = ["TimelineGrid", "render_table", "render_timeline"]
+__all__ = ["TimelineGrid", "render_table", "render_timeline", "render_trace"]

@@ -4,6 +4,11 @@ Rows are (stage, host) pairs, columns are detection windows.  Cell
 glyphs: ``F`` flow anomaly, ``P`` performance anomaly, ``B`` both,
 ``E`` error-log alert, ``·`` nothing.  A throughput sparkline and fault
 window overlays can be appended below the grid.
+
+:func:`render_trace` is the per-task companion: one captured
+:class:`~repro.tracing.TaskTrace` rendered as an ASCII timeline — a
+gauge line per stage span plus one proportional-position line per
+log-point event, with stage names and log templates resolved inline.
 """
 
 from __future__ import annotations
@@ -117,4 +122,73 @@ def render_timeline(
                 "^" if start <= i * grid.window_s < end else " " for i in range(n)
             )
             lines.append(f"{name:<{label_width}} {marks}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_duration(seconds: float) -> str:
+    """Compact duration label: ms below one second, seconds above."""
+    if seconds < 1.0:
+        return f"{seconds * 1000.0:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _named(mapping, key: int, fallback: str) -> str:
+    if mapping is None:
+        return fallback
+    value = mapping.get(key) if hasattr(mapping, "get") else mapping(key)
+    return value if value is not None else fallback
+
+
+def render_trace(
+    trace,
+    stage_names: Optional[Dict[int, str]] = None,
+    host_names: Optional[Dict[int, str]] = None,
+    templates: Optional[Dict[int, str]] = None,
+    width: int = 40,
+) -> str:
+    """ASCII timeline of one captured :class:`~repro.tracing.TaskTrace`.
+
+    One header line (task identity, duration, span/event counts, and
+    the ``retained``/``pinned`` capture flags), then per stage span a
+    bracket line followed by its log-point events: relative offset, a
+    ``width``-column gauge with a ``*`` at the event's proportional
+    position inside the root span, and the resolved log template.
+
+    ``stage_names`` / ``host_names`` / ``templates`` are id → name
+    lookups (dicts or callables); missing entries fall back to
+    ``stage<N>`` / ``host<N>`` / ``L<N>``.  Output is deterministic for
+    a given trace — the viz golden tests rely on that.
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2: {width}")
+    host = _named(host_names, trace.host_id, f"host{trace.host_id}")
+    flags = "".join(
+        f" [{flag}]"
+        for flag, on in (("retained", trace.retained), ("pinned", trace.pinned))
+        if on
+    )
+    span_word = "span" if trace.n_spans == 1 else "spans"
+    event_word = "event" if trace.n_events == 1 else "events"
+    lines = [
+        f"task {trace.uid} @ {host} — {_fmt_duration(trace.duration)}, "
+        f"{trace.n_spans} {span_word}, {trace.n_events} {event_word}{flags}"
+    ]
+    start = trace.start_time
+    duration = trace.duration
+    for span in trace.spans:
+        stage = _named(stage_names, span.stage_id, f"stage{span.stage_id}")
+        lines.append(
+            f"  stage {stage} "
+            f"[+{_fmt_duration(max(0.0, span.start_time - start))}"
+            f" → +{_fmt_duration(max(0.0, span.end_time - start))}]"
+        )
+        for event in span.events:
+            offset = max(0.0, event.time - start)
+            cell = 0
+            if duration > 0.0:
+                cell = min(width - 1, int(offset / duration * (width - 1) + 0.5))
+            gauge = "·" * cell + "*" + "·" * (width - 1 - cell)
+            template = _named(templates, event.lpid, "")
+            label = f"L{event.lpid}" + (f" {template}" if template else "")
+            lines.append(f"    +{_fmt_duration(offset):<10} |{gauge}| {label}")
     return "\n".join(lines) + "\n"

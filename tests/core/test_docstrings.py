@@ -1,14 +1,27 @@
-"""Docstring coverage of the public ``repro.core`` API.
+"""Docstring coverage of the public analyzer API surfaces.
 
-Every symbol exported via ``repro.core.__all__`` — and every public
-method and property those classes expose — must carry a non-empty
-docstring.  This keeps ``help(repro.core.X)`` useful and stops new
-public surface from landing undocumented.
+Every symbol exported via ``__all__`` of the covered packages
+(``repro.core``, ``repro.telemetry``, ``repro.tracing``) — and every
+public method and property those classes expose — must carry a
+non-empty docstring.  This keeps ``help(repro.core.X)`` useful and
+stops new public surface from landing undocumented.
 """
 
 import inspect
 
+import pytest
+
 import repro.core
+import repro.telemetry
+import repro.tracing
+
+PACKAGES = [repro.core, repro.telemetry, repro.tracing]
+
+
+@pytest.fixture(params=PACKAGES, ids=lambda module: module.__name__)
+def package(request):
+    """One covered package per parametrized run."""
+    return request.param
 
 
 def _documented(obj) -> bool:
@@ -34,26 +47,27 @@ def _public_members(cls):
             yield name, member
 
 
-def test_module_itself_is_documented():
-    assert _documented(repro.core)
+def test_module_itself_is_documented(package):
+    assert _documented(package)
 
 
-def test_every_public_symbol_has_a_docstring():
+def test_every_public_symbol_has_a_docstring(package):
     undocumented = []
-    for name in repro.core.__all__:
-        symbol = getattr(repro.core, name)
+    for name in package.__all__:
+        symbol = getattr(package, name)
         # Classes and functions only: type aliases (Signature, StageKey)
-        # and constants (FLOW) carry their docs in the defining module.
+        # and constants (FLOW, NULL_TRACER) carry their docs in the
+        # defining module.
         if inspect.isclass(symbol) or inspect.isroutine(symbol):
             if not _documented(symbol):
                 undocumented.append(name)
     assert not undocumented, f"undocumented public symbols: {undocumented}"
 
 
-def test_every_public_method_and_property_has_a_docstring():
+def test_every_public_method_and_property_has_a_docstring(package):
     undocumented = []
-    for name in repro.core.__all__:
-        symbol = getattr(repro.core, name)
+    for name in package.__all__:
+        symbol = getattr(package, name)
         if not inspect.isclass(symbol):
             continue
         for member_name, member in _public_members(symbol):
@@ -62,6 +76,6 @@ def test_every_public_method_and_property_has_a_docstring():
     assert not undocumented, f"undocumented public members: {undocumented}"
 
 
-def test_all_list_is_accurate():
-    for name in repro.core.__all__:
-        assert hasattr(repro.core, name), f"__all__ exports missing name {name}"
+def test_all_list_is_accurate(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"__all__ exports missing name {name}"

@@ -1,0 +1,95 @@
+"""Sec. 5.3.3 driver: injected anomaly → pinned exemplars → Chrome export.
+
+A scaled-down run of the sec5.3.3 experiment (the benchmark-scale run
+lives in ``benchmarks/test_sec533_analyzer_overhead.py``) checking the
+tracing acceptance path end to end: the injected novel-signature burst
+must surface as an :class:`AnomalyEvent` carrying at least one exemplar
+trace, and the driver's Chrome export must load cleanly.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.sec533_analyzer import Sec533Params, run_sec533
+from repro.tracing import parse_chrome_trace
+
+PARAMS = Sec533Params(run_s=25.0, n_clients=3, inject_at_frac=0.8)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sec533(PARAMS)
+
+
+@pytest.fixture(scope="module")
+def injected_lpid(result):
+    archive = parse_chrome_trace(result.trace_export)
+    lpids = [
+        lpid
+        for lpid, template in archive.templates.items()
+        if "injected" in template
+    ]
+    assert len(lpids) == 1
+    return lpids[0]
+
+
+class TestInjectedAnomaly:
+    def test_flow_event_flags_injected_signature(self, result, injected_lpid):
+        flagged = [
+            event
+            for event in result.anomalies
+            if any(injected_lpid in sig for sig in event.new_signatures)
+        ]
+        assert len(flagged) == 1
+        assert flagged[0].kind == "flow"
+
+    def test_flagged_event_carries_exemplar_traces(self, result, injected_lpid):
+        (event,) = [
+            event
+            for event in result.anomalies
+            if any(injected_lpid in sig for sig in event.new_signatures)
+        ]
+        assert len(event.exemplars) >= 1
+        injected = [
+            trace for trace in event.exemplars if injected_lpid in trace.signature
+        ]
+        assert injected, "the injected task itself must be pinned as evidence"
+        trace = injected[0]
+        assert trace.pinned
+        assert injected_lpid in [e.lpid for e in trace.events()]
+
+    def test_disabled_injection_stays_quiet(self):
+        result = run_sec533(
+            Sec533Params(
+                run_s=25.0, n_clients=3, inject_anomaly=False
+            )
+        )
+        archive = parse_chrome_trace(result.trace_export)
+        assert not any(
+            "injected" in template for template in archive.templates.values()
+        )
+
+
+class TestChromeExport:
+    def test_export_survives_strict_json_round_trip(self, result):
+        doc = json.loads(json.dumps(result.trace_export))
+        assert doc == result.trace_export
+        assert doc["otherData"]["format"] == "saad-trace/1"
+
+    def test_export_parses_back_to_pinned_traces(self, result, injected_lpid):
+        archive = parse_chrome_trace(result.trace_export)
+        assert len(archive) >= 1
+        assert all(trace.pinned for trace in archive.traces)
+        assert any(injected_lpid in trace.signature for trace in archive.traces)
+
+    def test_task_slices_carry_perfetto_conventions(self, result):
+        events = result.trace_export["traceEvents"]
+        tasks = [event for event in events if event.get("cat") == "task"]
+        assert tasks
+        for task in tasks:
+            assert task["ph"] == "X"
+            assert task["dur"] >= 0
+            assert task["args"]["pinned"] is True
+        assert any(event["ph"] == "M" for event in events)
+        assert any(event["ph"] == "i" for event in events)

@@ -10,6 +10,7 @@ Planted defects (asserted line-exactly by test_lint.py):
   once via the run-method heuristic, once via the dequeue-loop heuristic)
 * ``sim_handler``  CC001 — real time.sleep inside sim event-handler code
 * ``impatient``    TM001 — direct write to a telemetry-backed counter
+* ``eager_spans``  TR001 — manual tracer span calls in a sim handler
 """
 import time
 
@@ -52,3 +53,9 @@ def sim_handler(env):
 
 def impatient(detector):
     detector.tasks_seen += 1
+
+
+def eager_spans(env, tracer, task):
+    tracer.begin_span("handle")
+    yield env.timeout(1.0)
+    tracer.finish(task, [])

@@ -1,0 +1,106 @@
+"""``python -m repro trace`` CLI behavior (demo capture kept small via a
+saved-export fixture wherever possible — the live demo run is exercised
+once)."""
+
+import json
+
+import pytest
+
+from repro.tracing import StageSpan, TaskTrace, TraceEvent, write_chrome_trace
+from repro.tracing.cli import main
+
+
+@pytest.fixture()
+def export_path(tmp_path):
+    traces = []
+    for uid in range(3):
+        start = 10.0 * uid
+        events = (TraceEvent(1, start), TraceEvent(2, start + 0.2))
+        span = StageSpan(stage_id=0, start_time=start, end_time=start + 0.2,
+                         events=events)
+        traces.append(
+            TaskTrace(host_id=0, uid=uid, start_time=start, end_time=start + 0.2,
+                      spans=(span,), signature=frozenset({1, 2}),
+                      pinned=(uid == 2))
+        )
+    path = str(tmp_path / "saved.json")
+    write_chrome_trace(
+        traces, path,
+        stage_names={0: "flush"},
+        host_names={0: "alpha"},
+        templates={1: "begin {}", 2: "end {}"},
+    )
+    return path
+
+
+class TestSavedFile:
+    def test_rerender(self, export_path, capsys):
+        assert main([export_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 traces captured" in out
+        assert "(1 pinned to anomalies)" in out
+        assert "stage flush" in out
+        assert "begin {}" in out
+
+    def test_anomalies_only(self, export_path, capsys):
+        assert main([export_path, "--anomalies-only"]) == 0
+        out = capsys.readouterr().out
+        assert "showing pinned only" in out
+        assert out.count("task ") == 1
+        assert "[pinned]" in out
+
+    def test_limit(self, export_path, capsys):
+        assert main([export_path, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "showing first 1" in out
+        assert out.count("task ") == 1
+
+    def test_reexport(self, export_path, tmp_path, capsys):
+        out_path = str(tmp_path / "again.json")
+        assert main([export_path, "--export", "chrome", "--out", out_path]) == 0
+        doc = json.loads(open(out_path, encoding="utf-8").read())
+        assert len([e for e in doc["traceEvents"] if e.get("cat") == "task"]) == 3
+
+    def test_unreadable_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main([missing]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        assert main([str(path)]) == 1
+
+
+class TestUsageErrors:
+    def test_unknown_option(self, capsys):
+        assert main(["--frobnicate"]) == 2
+
+    def test_unknown_export_format(self, capsys):
+        assert main(["--export", "pprof"]) == 2
+
+    def test_missing_option_values(self, capsys):
+        assert main(["--export"]) == 2
+        assert main(["--out"]) == 2
+        assert main(["--limit"]) == 2
+        assert main(["--limit", "many"]) == 2
+        assert main(["--limit", "-3"]) == 2
+
+    def test_two_files_rejected(self, capsys):
+        assert main(["a.json", "b.json"]) == 2
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "perfetto" in capsys.readouterr().out.lower()
+
+
+@pytest.mark.slow
+class TestLiveDemo:
+    def test_demo_export_and_pinned_traces(self, tmp_path, capsys):
+        out_path = str(tmp_path / "TRACE.json")
+        assert main(["--export", "chrome", "--out", out_path,
+                     "--anomalies-only"]) == 0
+        doc = json.loads(open(out_path, encoding="utf-8").read())
+        tasks = [e for e in doc["traceEvents"] if e.get("cat") == "task"]
+        assert tasks, "demo deployment must pin exemplar traces"
+        assert all(event["args"]["pinned"] for event in tasks)

@@ -1,0 +1,144 @@
+"""Chrome trace-event export: structure, Perfetto conventions, round-trip."""
+
+import json
+
+import pytest
+
+from repro.tracing import (
+    StageSpan,
+    TaskTrace,
+    TraceEvent,
+    chrome_trace,
+    parse_chrome_trace,
+    read_chrome_trace,
+    write_chrome_trace,
+)
+
+STAGES = {3: "flush"}
+HOSTS = {0: "alpha", 1: "beta"}
+TEMPLATES = {1: "begin {}", 2: "end {}"}
+
+
+def make_trace(uid, host_id=0, start=10.0, pinned=False):
+    events = (TraceEvent(1, start), TraceEvent(2, start + 0.5))
+    span = StageSpan(stage_id=3, start_time=start, end_time=start + 0.5, events=events)
+    return TaskTrace(
+        host_id=host_id,
+        uid=uid,
+        start_time=start,
+        end_time=start + 0.5,
+        spans=(span,),
+        signature=frozenset({1, 2}),
+        retained=pinned,
+        pinned=pinned,
+    )
+
+
+class TestChromeTraceStructure:
+    def test_document_shape(self):
+        doc = chrome_trace([make_trace(7)], STAGES, HOSTS, TEMPLATES)
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        # The whole document must survive strict JSON serialization.
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_event_phases_and_categories(self):
+        doc = chrome_trace([make_trace(7)], STAGES, HOSTS, TEMPLATES)
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        # process_name + thread_name metadata, task X, stage X, 2 instants
+        assert phases == ["M", "M", "X", "X", "i", "i"]
+        task = doc["traceEvents"][2]
+        assert task["cat"] == "task"
+        assert task["pid"] == 0 and task["tid"] == 7
+        assert task["ts"] == pytest.approx(10.0 * 1e6)
+        assert task["dur"] == pytest.approx(0.5 * 1e6)
+        stage = doc["traceEvents"][3]
+        assert stage["name"] == "flush"
+        instant = doc["traceEvents"][4]
+        assert instant["s"] == "t"
+        assert instant["name"] == "begin {}"
+        assert instant["args"]["lpid"] == 1
+
+    def test_one_process_metadata_per_host(self):
+        traces = [make_trace(0, host_id=0), make_trace(1, host_id=0),
+                  make_trace(0, host_id=1)]
+        doc = chrome_trace(traces, STAGES, HOSTS, TEMPLATES)
+        process_names = [
+            event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        assert process_names == ["alpha", "beta"]
+
+    def test_unknown_ids_fall_back(self):
+        doc = chrome_trace([make_trace(7)])
+        names = [event.get("name") for event in doc["traceEvents"]]
+        assert "stage3" in names
+        assert "L1" in names
+
+    def test_capture_flags_in_args(self):
+        doc = chrome_trace([make_trace(7, pinned=True)], STAGES, HOSTS, TEMPLATES)
+        task = next(e for e in doc["traceEvents"] if e.get("cat") == "task")
+        assert task["args"]["pinned"] is True
+        assert task["args"]["retained"] is True
+        assert task["args"]["signature_lpids"] == [1, 2]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        traces = [make_trace(0), make_trace(1, host_id=1, start=20.0, pinned=True)]
+        write_chrome_trace(traces, path, STAGES, HOSTS, TEMPLATES)
+        archive = read_chrome_trace(path)
+        assert len(archive) == 2
+        assert archive.stage_names == STAGES
+        assert archive.host_names == HOSTS
+        assert archive.templates == TEMPLATES
+        by_key = {trace.key: trace for trace in archive.traces}
+        for original in traces:
+            loaded = by_key[original.key]
+            assert loaded.signature == original.signature
+            assert loaded.duration == pytest.approx(original.duration)
+            assert loaded.n_spans == original.n_spans
+            assert loaded.n_events == original.n_events
+            assert loaded.pinned == original.pinned
+            assert [e.lpid for e in loaded.events()] == [
+                e.lpid for e in original.events()
+            ]
+
+    def test_parse_tolerates_foreign_events(self):
+        doc = chrome_trace([make_trace(0)], STAGES, HOSTS, TEMPLATES)
+        doc["traceEvents"].append(
+            {"ph": "C", "name": "counter", "pid": 0, "ts": 0, "args": {"v": 1}}
+        )
+        archive = parse_chrome_trace(doc)
+        assert len(archive) == 1
+
+    def test_parse_accepts_bare_array_form(self):
+        doc = chrome_trace([make_trace(0)], STAGES, HOSTS, TEMPLATES)
+        archive = parse_chrome_trace(doc["traceEvents"])
+        assert len(archive) == 1
+
+
+class TestMalformedInput:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_chrome_trace(str(path))
+
+    def test_no_trace_events_key(self):
+        with pytest.raises(ValueError):
+            parse_chrome_trace({"events": []})
+
+    def test_wrong_top_level_type(self):
+        with pytest.raises(ValueError):
+            parse_chrome_trace("nope")
+
+    def test_event_not_an_object(self):
+        with pytest.raises(ValueError):
+            parse_chrome_trace({"traceEvents": [17]})
+
+    def test_event_missing_required_field(self):
+        with pytest.raises(ValueError):
+            parse_chrome_trace({"traceEvents": [{"cat": "task"}]})

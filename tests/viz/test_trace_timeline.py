@@ -1,0 +1,104 @@
+"""Golden-output tests for :func:`repro.viz.timeline.render_trace`."""
+
+import pytest
+
+from repro.tracing import StageSpan, TaskTrace, TraceEvent
+from repro.viz import render_trace
+
+STAGES = {3: "flush"}
+HOSTS = {1: "alpha"}
+TEMPLATES = {10: "begin {}", 11: "midpoint {}", 12: "end {}"}
+
+
+def small_trace(retained=False, pinned=False):
+    events = (
+        TraceEvent(10, 100.0),
+        TraceEvent(11, 100.05),
+        TraceEvent(12, 100.1),
+    )
+    span = StageSpan(stage_id=3, start_time=100.0, end_time=100.1, events=events)
+    return TaskTrace(
+        host_id=1,
+        uid=42,
+        start_time=100.0,
+        end_time=100.1,
+        spans=(span,),
+        signature=frozenset({10, 11, 12}),
+        retained=retained,
+        pinned=pinned,
+    )
+
+
+GOLDEN = """\
+task 42 @ alpha — 100.00ms, 1 span, 3 events
+  stage flush [+0.00ms → +100.00ms]
+    +0.00ms     |*··········| L10 begin {}
+    +50.00ms    |·····*·····| L11 midpoint {}
+    +100.00ms   |··········*| L12 end {}
+"""
+
+
+class TestGoldenOutput:
+    def test_exact_rendering(self):
+        text = render_trace(
+            small_trace(),
+            stage_names=STAGES,
+            host_names=HOSTS,
+            templates=TEMPLATES,
+            width=11,
+        )
+        assert text == GOLDEN
+
+    def test_deterministic(self):
+        kwargs = dict(
+            stage_names=STAGES, host_names=HOSTS, templates=TEMPLATES, width=11
+        )
+        assert render_trace(small_trace(), **kwargs) == render_trace(
+            small_trace(), **kwargs
+        )
+
+
+class TestFlagsAndFallbacks:
+    def test_capture_flags_in_header(self):
+        text = render_trace(small_trace(retained=True, pinned=True))
+        assert "[retained] [pinned]" in text.splitlines()[0]
+
+    def test_unknown_ids_fall_back(self):
+        text = render_trace(small_trace())
+        assert "host1" in text
+        assert "stage3" in text
+        assert "L10" in text and "begin" not in text
+
+    def test_callable_resolvers(self):
+        text = render_trace(
+            small_trace(),
+            stage_names=lambda sid: f"S{sid}",
+            templates=lambda lpid: None,  # None falls back to bare L<id>
+        )
+        assert "stage S3" in text
+        assert "L10\n" in text
+
+    def test_seconds_formatting_above_one_second(self):
+        span = StageSpan(stage_id=0, start_time=0.0, end_time=2.5,
+                         events=(TraceEvent(1, 2.5),))
+        trace = TaskTrace(host_id=0, uid=0, start_time=0.0, end_time=2.5,
+                          spans=(span,), signature=frozenset({1}))
+        text = render_trace(trace)
+        assert "2.500s" in text
+
+    def test_zero_duration_trace(self):
+        span = StageSpan(stage_id=0, start_time=5.0, end_time=5.0,
+                         events=(TraceEvent(1, 5.0),))
+        trace = TaskTrace(host_id=0, uid=0, start_time=5.0, end_time=5.0,
+                          spans=(span,), signature=frozenset({1}))
+        text = render_trace(trace, width=10)
+        # Marker stays at column 0 of the 10-column gauge.
+        assert "|*·········|" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_trace(small_trace(), width=1)
+
+    def test_singular_plural_wording(self):
+        text = render_trace(small_trace())
+        assert "1 span, 3 events" in text
