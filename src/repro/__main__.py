@@ -13,104 +13,135 @@ Usage::
     python -m repro trace              # task-trace timelines (live demo)
     python -m repro trace --export chrome --out TRACE.json
     python -m repro trace TRACE.json   # re-render a saved trace export
+    python -m repro shard --shards 4   # stage-sharded detection demo
+    python -m repro serve --port 9000  # TCP synopsis ingest endpoint
 """
 
 from __future__ import annotations
 
+import importlib
 import sys
 
+
+def _experiment(module_name: str):
+    """Runner for a paper experiment module exposing ``main()``."""
+
+    def run(args) -> int:
+        importlib.import_module(module_name).main()
+        return 0
+
+    return run
+
+
+def _tool(module_name: str, func: str = "main"):
+    """Runner for a tool CLI taking the remaining argv."""
+
+    def run(args) -> int:
+        return getattr(importlib.import_module(module_name), func)(args)
+
+    return run
+
+
+def _fig9(args) -> int:
+    from repro.experiments.fig9_cassandra_faults import VARIANTS, run_fig9
+    from repro.viz import render_timeline
+
+    for variant in args or list("abcd"):
+        fig = run_fig9(variant)
+        path, mode = VARIANTS[variant]
+        print(f"=== Fig 9({variant}): {mode} on {path} (host4) ===")
+        print(
+            render_timeline(
+                fig.result.timeline(),
+                throughput=fig.result.throughput_series(),
+                fault_windows=[
+                    (*fig.low_window, "low fault"),
+                    (*fig.high_window, "high fault"),
+                ],
+            )
+        )
+    return 0
+
+
+#: name -> (description, runner) for the experiment section of the help.
 _EXPERIMENTS = {
-    "fig6": "Fig. 6  signature distributions (fault-free runs)",
-    "fig7": "Fig. 7  SAAD runtime overhead",
-    "fig8": "Fig. 8  monitoring-data volume",
-    "sec533": "Sec. 5.3.3  analyzer vs text-mining cost",
-    "table1": "Table 1  frozen-MemTable signatures",
-    "fig9": "Fig. 9  Cassandra fault timelines (a-d)",
-    "fig10": "Fig. 10  HBase/HDFS disk-hog timeline",
-    "fig11": "Fig. 11  false-positive analysis",
+    "fig6": (
+        "Fig. 6  signature distributions (fault-free runs)",
+        _experiment("repro.experiments.fig6_signatures"),
+    ),
+    "fig7": (
+        "Fig. 7  SAAD runtime overhead",
+        _experiment("repro.experiments.fig7_overhead"),
+    ),
+    "fig8": (
+        "Fig. 8  monitoring-data volume",
+        _experiment("repro.experiments.fig8_storage"),
+    ),
+    "sec533": (
+        "Sec. 5.3.3  analyzer vs text-mining cost",
+        _experiment("repro.experiments.sec533_analyzer"),
+    ),
+    "table1": (
+        "Table 1  frozen-MemTable signatures",
+        _experiment("repro.experiments.table1_signatures"),
+    ),
+    "fig9": ("Fig. 9  Cassandra fault timelines (a-d)", _fig9),
+    "fig10": (
+        "Fig. 10  HBase/HDFS disk-hog timeline",
+        _experiment("repro.experiments.fig10_hbase_hdfs"),
+    ),
+    "fig11": (
+        "Fig. 11  false-positive analysis",
+        _experiment("repro.experiments.fig11_false_positives"),
+    ),
+}
+
+#: name -> (description, runner) for the tools section of the help.
+_TOOLS = {
+    "lint": (
+        "saadlint: static instrumentation verification",
+        _tool("repro.instrument.cli"),
+    ),
+    "stats": (
+        "telemetry: render live or saved metric snapshots",
+        _tool("repro.telemetry.cli"),
+    ),
+    "trace": (
+        "tracing: render or export per-task trace timelines",
+        _tool("repro.tracing.cli"),
+    ),
+    "shard": (
+        "sharded analyzer: partition map + parallel detection demo",
+        _tool("repro.shard.cli"),
+    ),
+    "serve": (
+        "TCP synopsis ingest endpoint (collection or sharded detection)",
+        _tool("repro.shard.cli", "serve"),
+    ),
 }
 
 
 def _usage() -> None:
     print(__doc__)
     print("available experiments:")
-    for name, description in _EXPERIMENTS.items():
+    for name, (description, _) in _EXPERIMENTS.items():
         print(f"  {name:<8} {description}")
     print("tools:")
-    print("  lint     saadlint: static instrumentation verification")
-    print("  stats    telemetry: render live or saved metric snapshots")
-    print("  trace    tracing: render or export per-task trace timelines")
+    for name, (description, _) in _TOOLS.items():
+        print(f"  {name:<8} {description}")
 
 
 def main(argv) -> int:
     if not argv or argv[0] in ("list", "-h", "--help"):
         _usage()
         return 0
-    command = argv[0]
-    if command == "lint":
-        from repro.instrument.cli import main as lint_main
-
-        return lint_main(argv[1:])
-    if command == "stats":
-        from repro.telemetry.cli import main as stats_main
-
-        return stats_main(argv[1:])
-    if command == "trace":
-        from repro.tracing.cli import main as trace_main
-
-        return trace_main(argv[1:])
-    if command == "fig6":
-        from repro.experiments import fig6_signatures
-
-        fig6_signatures.main()
-    elif command == "fig7":
-        from repro.experiments import fig7_overhead
-
-        fig7_overhead.main()
-    elif command == "fig8":
-        from repro.experiments import fig8_storage
-
-        fig8_storage.main()
-    elif command == "sec533":
-        from repro.experiments import sec533_analyzer
-
-        sec533_analyzer.main()
-    elif command == "table1":
-        from repro.experiments import table1_signatures
-
-        table1_signatures.main()
-    elif command == "fig9":
-        from repro.experiments.fig9_cassandra_faults import VARIANTS, run_fig9
-        from repro.viz import render_timeline
-
-        variants = argv[1:] or list("abcd")
-        for variant in variants:
-            fig = run_fig9(variant)
-            path, mode = VARIANTS[variant]
-            print(f"=== Fig 9({variant}): {mode} on {path} (host4) ===")
-            print(
-                render_timeline(
-                    fig.result.timeline(),
-                    throughput=fig.result.throughput_series(),
-                    fault_windows=[
-                        (*fig.low_window, "low fault"),
-                        (*fig.high_window, "high fault"),
-                    ],
-                )
-            )
-    elif command == "fig10":
-        from repro.experiments import fig10_hbase_hdfs
-
-        fig10_hbase_hdfs.main()
-    elif command == "fig11":
-        from repro.experiments import fig11_false_positives
-
-        fig11_false_positives.main()
-    else:
+    command, args = argv[0], argv[1:]
+    entry = _TOOLS.get(command) or _EXPERIMENTS.get(command)
+    if entry is None:
         print(f"unknown experiment {command!r}\n")
         _usage()
         return 2
-    return 0
+    return entry[1](args)
 
 
 if __name__ == "__main__":

@@ -28,13 +28,38 @@ from repro.telemetry import MetricsRegistry
 
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey
-from .interning import canonical_tuple
+from .interning import canonical_tuple, intern_signature
 from .model import OutlierModel
 from .stats import ProportionTest, proportion_exceeds_test
-from .synopsis import TaskSynopsis
+from .synopsis import (
+    FRAME_HEADER,
+    SYNOPSIS_HEADER,
+    SYNOPSIS_ENTRY,
+    TaskSynopsis,
+    entry_struct,
+)
 
 FLOW = "flow"
 PERFORMANCE = "performance"
+
+#: Bound on the wire-ingest signature cache (raw entry bytes -> interned
+#: signature).  Real streams repeat a handful of shapes per stage; the
+#: cap only matters for adversarial inputs, where the cache resets.
+_WIRE_SIGNATURE_CACHE_MAX = 1 << 16
+
+
+class _WireTask:
+    """Minimal task handle the wire ingest path hands to exemplar tracking.
+
+    Only the ``(host_id, uid)`` trace key is needed there, so the fused
+    loop avoids building a full :class:`TaskSynopsis` when tracing is on.
+    """
+
+    __slots__ = ("host_id", "uid")
+
+    def __init__(self, host_id: int, uid: int):
+        self.host_id = host_id
+        self.uid = uid
 
 
 @dataclass(frozen=True)
@@ -155,6 +180,8 @@ class AnomalyDetector:
         self._windows_closed = 0
         # (stage_key, signature) -> baseline proportion for the perf test.
         self._perf_baselines: Dict[Tuple[StageKey, Signature], float] = {}
+        # Wire ingest path: raw entry bytes -> interned signature.
+        self._wire_signatures: Dict[bytes, Signature] = {}
         self.registry = registry if registry is not None else MetricsRegistry()
         self._register_metrics()
 
@@ -296,6 +323,78 @@ class AnomalyDetector:
         if start_time > self._watermark:
             self._watermark = start_time
         return self._close_ripe_windows()
+
+    def observe_frame(self, frame: bytes, offset: int = 0) -> List[AnomalyEvent]:
+        """Ingest one length-prefixed wire frame straight from its bytes.
+
+        The fused fast path behind sharded workers: each synopsis is
+        classified directly from the packed layout — header fields via
+        one ``unpack_from``, the signature via a cache keyed on the raw
+        log-point entry bytes — without materializing a
+        :class:`TaskSynopsis`.  Semantically identical to decoding the
+        frame and calling :meth:`observe` per synopsis (the cache maps
+        every distinct entry byte pattern to the same interned signature
+        the decode path would produce).
+
+        Returns anomalies from any windows the frame's tasks closed.
+        Raises ``ValueError`` on a truncated or inconsistent frame,
+        mirroring :func:`repro.core.synopsis.decode_frame`.
+        """
+        if len(frame) - offset < FRAME_HEADER.size:
+            raise ValueError("truncated frame header")
+        length, count = FRAME_HEADER.unpack_from(frame, offset)
+        start = offset + FRAME_HEADER.size
+        end = start + length
+        if len(frame) < end:
+            raise ValueError("truncated frame payload")
+        return self._observe_payload(frame, start, end, count)
+
+    def _observe_payload(
+        self, payload: bytes, offset: int, end: int, expected: int
+    ) -> List[AnomalyEvent]:
+        events: List[AnomalyEvent] = []
+        unpack_header = SYNOPSIS_HEADER.unpack_from
+        header_size = SYNOPSIS_HEADER.size
+        entry_size = SYNOPSIS_ENTRY.size
+        cache = self._wire_signatures
+        per_host = self.model.config.per_host
+        tracing = self._tracing
+        observe = self._observe
+        seen = 0
+        while offset < end:
+            if end - offset < header_size:
+                raise ValueError("truncated synopsis header")
+            host_id, stage_id, uid, ts_ms, duration_us, n = unpack_header(
+                payload, offset
+            )
+            offset += header_size
+            entries_end = offset + entry_size * n
+            if entries_end > end:
+                raise ValueError("truncated synopsis log point entries")
+            entry_bytes = payload[offset:entries_end]
+            signature = cache.get(entry_bytes)
+            if signature is None:
+                flat = entry_struct(n).unpack_from(payload, offset) if n else ()
+                if len(cache) >= _WIRE_SIGNATURE_CACHE_MAX:
+                    cache.clear()
+                signature = cache[entry_bytes] = intern_signature(flat[0::2])
+            offset = entries_end
+            emitted = observe(
+                (host_id, stage_id) if per_host else (0, stage_id),
+                signature,
+                duration_us / 1_000_000.0,
+                ts_ms / 1000.0,
+                _WireTask(host_id, uid) if tracing else None,
+            )
+            if emitted:
+                events.extend(emitted)
+            seen += 1
+        if seen != expected:
+            raise ValueError(
+                f"frame count mismatch: header says {expected}, payload "
+                f"holds {seen}"
+            )
+        return events
 
     def flush(self) -> List[AnomalyEvent]:
         """Close every open window (end of stream).

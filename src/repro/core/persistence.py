@@ -115,6 +115,28 @@ def model_from_json(payload: str, registry=None) -> OutlierModel:
     return model
 
 
+def broadcast_model(model: OutlierModel) -> str:
+    """The wire form used to broadcast a trained model to shard workers.
+
+    The sharded analyzer serializes the model once and hands every
+    worker process the same payload — the plain-JSON persistence format,
+    so a broadcast is byte-identical to what :func:`save_model` writes
+    and a worker can equally be pointed at a file on disk.
+    """
+    return model_to_json(model)
+
+
+def receive_model(payload: str, registry=None) -> OutlierModel:
+    """Reconstruct a broadcast model inside a worker process.
+
+    The inverse of :func:`broadcast_model`; signatures are interned into
+    the worker's own process-local table (see
+    :mod:`repro.core.interning`), so shards never share mutable state.
+    ``registry`` defaults to a private one, as direct construction does.
+    """
+    return model_from_json(payload, registry=registry)
+
+
 def save_model(model: OutlierModel, path: str, registry=NULL_REGISTRY) -> None:
     """Write the model to ``path``.
 

@@ -76,6 +76,7 @@ class NodeRuntime:
         )
         if tracker_enabled:
             self.repository.add_interceptor(self.tracker)
+        self._client = None
 
     def logger(self, name: str):
         """A named logger from this node's repository (tracker attached)."""
@@ -89,6 +90,34 @@ class NodeRuntime:
     def end_task(self) -> Optional[TaskSynopsis]:
         """Explicitly finalize the current thread's open task."""
         return self.tracker.end_task()
+
+    def connect(self, address) -> None:
+        """Ship this node's wire frames to a remote analyzer over TCP.
+
+        ``address`` is the ``(host, port)`` a
+        :class:`~repro.shard.server.SynopsisServer` is listening on
+        (e.g. :attr:`SAAD.address` of a ``SAAD(listen=...)``
+        deployment).  Requires the node to run with ``wire_format=True``
+        — frames are the transport unit.  The previous ``frame_sink``
+        (if any) is replaced.
+        """
+        if not self.stream.wire_format:
+            raise ValueError("connect() requires a wire_format=True node")
+        from repro.shard.server import FrameClient
+
+        if self._client is not None:
+            self._client.close()
+        self._client = FrameClient(address)
+        self.stream.frame_sink = self._client
+
+    def disconnect(self) -> None:
+        """Flush pending frames and close the TCP sender.  Idempotent."""
+        if self._client is None:
+            return
+        self.stream.flush_wire()
+        self._client.close()
+        self._client = None
+        self.stream.frame_sink = None
 
 
 class SAAD:
@@ -113,6 +142,17 @@ class SAAD:
         Convenience switch: True builds a default
         :class:`~repro.tracing.Tracer` on the shared telemetry registry.
         Ignored when an explicit ``tracer`` is passed.
+    shards:
+        Scale-out switch: partition detection across this many worker
+        processes (see :class:`~repro.shard.ShardedAnalyzer` and
+        DESIGN.md §12).  :meth:`detect` then routes through a sharded
+        pool, and :meth:`shard` hands out long-lived pools.  Default
+        None keeps the single-process analyzer.
+    listen:
+        ``(host, port)`` to accept wire frames over TCP: starts a
+        :class:`~repro.shard.SynopsisServer` feeding this deployment's
+        collector (port 0 picks a free port; see :attr:`address`).
+        Remote nodes connect with :meth:`NodeRuntime.connect`.
     """
 
     def __init__(
@@ -121,7 +161,11 @@ class SAAD:
         registry=None,
         tracer=None,
         tracing: bool = False,
+        shards: Optional[int] = None,
+        listen=None,
     ):
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1: {shards}")
         self.config = config or SAADConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         if tracer is None:
@@ -134,9 +178,13 @@ class SAAD:
         self.collector = SynopsisCollector(retain=True, registry=self.registry)
         self.nodes: Dict[str, NodeRuntime] = {}
         self.model: Optional[OutlierModel] = None
+        self.shards = shards
+        self.server = None
         self.registry.gauge(
             "saad_nodes", "node runtimes registered with this deployment"
         ).set_function(lambda: len(self.nodes))
+        if listen is not None:
+            self.listen(*listen)
 
     # -- node management ----------------------------------------------------
     def add_node(
@@ -203,13 +251,90 @@ class SAAD:
             tracer=self.tracer,
         )
 
+    def shard(self, shards: Optional[int] = None, lateness_s: float = 0.0):
+        """A sharded analyzer pool bound to the trained model.
+
+        ``shards`` defaults to the facade's ``shards`` setting.  The
+        pool shares this deployment's telemetry registry and tracer, so
+        ``shard_*`` metrics land in the same snapshot and merged events
+        resolve their exemplar trace keys against the deployment's
+        traces.  Callers own the pool's lifecycle (``flush`` /
+        ``close``, or use it as a context manager).
+        """
+        if self.model is None:
+            raise RuntimeError("call train() before creating a sharded analyzer")
+        shards = shards if shards is not None else self.shards
+        if shards is None:
+            raise ValueError("pass shards= here or to the SAAD constructor")
+        from repro.shard import ShardedAnalyzer
+
+        return ShardedAnalyzer(
+            self.model,
+            shards,
+            lateness_s=lateness_s,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+
     def detect(self, synopses: List[TaskSynopsis]) -> List[AnomalyEvent]:
-        """Batch detection convenience: stream a list, flush, return events."""
+        """Batch detection convenience: stream a list, flush, return events.
+
+        With ``shards`` configured the batch runs through a sharded
+        worker pool; the returned events are identical (canonically
+        ordered) either way.
+        """
+        if self.shards is not None and self.shards > 1:
+            with self.shard() as analyzer:
+                analyzer.dispatch(synopses)
+                analyzer.close()
+                return analyzer.anomalies
+        from repro.shard import EVENT_ORDER
+
         detector = self.detector()
         for synopsis in synopses:
             detector.observe(synopsis)
         detector.flush()
-        return detector.anomalies
+        return sorted(detector.anomalies, key=EVENT_ORDER)
+
+    # -- transport ----------------------------------------------------------
+    def listen(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (or return) the deployment's TCP synopsis server.
+
+        Frames received on the socket feed the central collector via
+        its reassembly inlet (:meth:`~repro.core.stream.
+        SynopsisCollector.feed`), exactly as locally attached streams
+        do.  Returns the bound ``(host, port)``.
+        """
+        if self.server is None:
+            from repro.shard import SynopsisServer
+
+            self.server = SynopsisServer(
+                self.collector.feed, host=host, port=port, registry=self.registry
+            )
+            self.server.start()
+        return self.server.address
+
+    @property
+    def address(self):
+        """The TCP server's bound ``(host, port)``; None when not listening."""
+        return self.server.address if self.server is not None else None
+
+    def close(self) -> None:
+        """Shut down transports and seal the collector.
+
+        Disconnects every node's TCP sender (flushing pending frames
+        first), stops the listen server, and closes the collector —
+        which raises if a truncated frame would have lost the last
+        batch (see :meth:`~repro.core.stream.SynopsisCollector.close`).
+        """
+        for node in self.nodes.values():
+            node.disconnect()
+        try:
+            self.collector.close()
+        finally:
+            if self.server is not None:
+                self.server.close()
+                self.server = None
 
     def reporter(self) -> AnomalyReporter:
         """A reporter resolving ids through this deployment's registries."""

@@ -226,10 +226,13 @@ class SynopsisCollector:
         self.retain = retain
         self.synopses: List[TaskSynopsis] = []
         self.subscribers: List[Subscriber] = []
+        self.streams: List[SynopsisStream] = []
         self.registry = registry if registry is not None else MetricsRegistry()
         self._count = 0
         self._bytes_received = 0
         self._frames_received = 0
+        self._buffer = bytearray()
+        self.closed = False
         for name, help_text, fn in (
             (
                 "collector_synopses",
@@ -248,6 +251,10 @@ class SynopsisCollector:
             ),
         ):
             self.registry.counter(name, help_text).set_function(fn)
+        self.registry.gauge(
+            "collector_pending_bytes",
+            "bytes of an incomplete wire frame awaiting reassembly",
+        ).set_function(lambda: len(self._buffer))
 
     # -- accounting (telemetry-backed, read-only) ----------------------------
     @property
@@ -265,9 +272,27 @@ class SynopsisCollector:
         """Wire frames ingested via :meth:`receive_frame`."""
         return self._frames_received
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of an incomplete frame buffered by :meth:`feed`."""
+        return len(self._buffer)
+
     def attach(self, stream: SynopsisStream) -> None:
-        """Subscribe this collector to a node stream."""
-        stream.subscribe(self._receive)
+        """Subscribe this collector to a node stream.
+
+        The stream is also remembered so :meth:`flush` / :meth:`close`
+        can drain its pending wire batch — the shutdown-ordering
+        guarantee that a partially filled frame is never dropped.
+
+        A stream whose ``frame_sink`` already delivers into this
+        collector (:meth:`feed` / :meth:`receive_frame`) is *not*
+        subscribed on the object path as well: every synopsis would
+        otherwise be counted twice, once live and once per frame.
+        """
+        sink = getattr(stream, "frame_sink", None)
+        if getattr(sink, "__self__", None) is not self:
+            stream.subscribe(self._receive)
+        self.streams.append(stream)
 
     def _receive(self, synopsis: TaskSynopsis) -> None:
         self._count += 1
@@ -292,6 +317,71 @@ class SynopsisCollector:
             for synopsis in synopses:
                 subscriber(synopsis)
         return synopses
+
+    def feed(self, chunk: bytes) -> List[TaskSynopsis]:
+        """Ingest an arbitrary byte chunk of the framed wire stream.
+
+        The transport-agnostic inlet: unlike :meth:`receive_frame`, the
+        chunk may hold half a frame, several frames, or a frame split
+        across calls (exactly what a socket read produces).  Complete
+        frames are ingested immediately; a trailing partial frame waits
+        in the reassembly buffer (``collector_pending_bytes``) for the
+        next chunk.  Returns the synopses decoded from this chunk.
+        """
+        self._buffer.extend(chunk)
+        header_size = FRAME_HEADER.size
+        buffer = self._buffer
+        out: List[TaskSynopsis] = []
+        offset = 0
+        while len(buffer) - offset >= header_size:
+            length, _ = FRAME_HEADER.unpack_from(buffer, offset)
+            stop = offset + header_size + length
+            if len(buffer) < stop:
+                break
+            out.extend(self.receive_frame(bytes(buffer[offset:stop])))
+            offset = stop
+        if offset:
+            del buffer[:offset]
+        return out
+
+    def flush(self) -> List[TaskSynopsis]:
+        """Drain every attached stream's pending wire batch, in order.
+
+        Shutdown ordering matters: the *streams* flush first (their
+        partially filled frames travel through their ``frame_sink`` —
+        typically :meth:`feed` / :meth:`receive_frame` on this
+        collector), and only then is the reassembly buffer checked.  A
+        non-empty buffer at that point is a truncated frame whose tail
+        can no longer arrive, so ``ValueError`` is raised instead of
+        silently dropping the last batch.  Returns the synopses that
+        arrived through :meth:`feed` during the flush.
+        """
+        before = self._count
+        for stream in self.streams:
+            if stream.wire_format:
+                stream.flush_wire()
+        if self._buffer:
+            raise ValueError(
+                f"collector holds {len(self._buffer)} bytes of a truncated "
+                "frame after flush; the last batch would be lost"
+            )
+        received = self._count - before
+        if received and self.retain:
+            return list(self.synopses[-received:])
+        return []
+
+    def close(self) -> None:
+        """Flush attached streams, then seal the collector.
+
+        Idempotent.  Raises like :meth:`flush` when a truncated frame
+        is stuck in the reassembly buffer — the regression this guards:
+        a transport that dies mid-frame must be noticed at shutdown,
+        not absorbed as silent data loss.
+        """
+        if self.closed:
+            return
+        self.flush()
+        self.closed = True
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Add a callable receiving every synopsis this collector ingests."""

@@ -49,6 +49,19 @@ def _entry_array(n: int) -> struct.Struct:
     return cached
 
 
+#: Public aliases of the packed layouts for zero-copy consumers: the
+#: sharded analyzer routes synopses between workers by scanning these
+#: fields straight out of frame bytes, and the detector's wire ingest
+#: path classifies without materializing :class:`TaskSynopsis` objects.
+SYNOPSIS_HEADER = _HEADER
+SYNOPSIS_ENTRY = _ENTRY
+
+
+def entry_struct(n: int) -> struct.Struct:
+    """The cached packed layout of ``n`` consecutive log-point entries."""
+    return _entry_array(n)
+
+
 @dataclass(slots=True)
 class TaskSynopsis:
     """Summary of one task execution, produced at task termination.

@@ -49,6 +49,10 @@ _SUBPROCESS_BLOCKING = {"run", "call", "check_call", "check_output", "Popen"}
 #: Builtins that perform real, blocking I/O.
 _BLOCKING_BUILTINS = {"open", "input"}
 
+#: Class whose direct construction SH001 flags inside shard packages —
+#: per-shard detectors must come from repro.shard.factory.shard_detector.
+_DETECTOR_CLASS = "AnomalyDetector"
+
 #: Span-lifecycle method names on tracer-like receivers (TR001).  Sim
 #: and server code should never call these directly — the task execution
 #: tracker emits spans from set_context/end_task when tracing is on.
@@ -156,6 +160,8 @@ class FileFacts:
     tracer_calls: List[Tuple[int, int, str, str, bool]] = field(
         default_factory=list
     )
+    #: (line, col) of direct ``AnomalyDetector(...)`` constructions (SH001).
+    detector_ctors: List[Tuple[int, int]] = field(default_factory=list)
 
 
 def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
@@ -298,6 +304,13 @@ class _Collector(ast.NodeVisitor):
         ):
             if self._current:
                 self._current[-1].has_dequeue = True
+        ctor_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if ctor_name == _DETECTOR_CLASS:
+            self.facts.detector_ctors.append((node.lineno, node.col_offset))
         self.generic_visit(node)
 
     def _mark(self, log=False, set_context=False, end_task=False) -> None:
@@ -567,6 +580,32 @@ class LintEngine:
             out.extend(self._tm001(facts))
         if "TR001" in self.rules:
             out.extend(self._tr001(facts))
+        if "SH001" in self.rules:
+            out.extend(self._sh001(facts))
+        return out
+
+    def _sh001(self, facts) -> List[Diagnostic]:
+        out = []
+        # Scoped like CC001, but to shard packages: only code that runs
+        # inside (or builds) shard workers is held to the factory rule.
+        in_shard = f"{os.sep}shard{os.sep}" in facts.path or facts.path.startswith(
+            f"shard{os.sep}"
+        )
+        if not in_shard:
+            return out
+        for line, col in facts.detector_ctors:
+            out.append(
+                Diagnostic(
+                    "SH001",
+                    facts.path,
+                    line,
+                    col,
+                    "direct AnomalyDetector construction in sharded code",
+                    "build per-shard detectors through repro.shard.factory."
+                    "shard_detector so the worker gets its process-local "
+                    "registry, the key-echo tracer, and a shard_id tag",
+                )
+            )
         return out
 
     def _tr001(self, facts) -> List[Diagnostic]:

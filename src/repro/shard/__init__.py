@@ -1,0 +1,40 @@
+"""Stage-sharded parallel analyzer (scale-out of the paper's Sec. 3 design).
+
+Every statistic the analyzer keeps is keyed by ``(host, stage)``, which
+makes the detection stage embarrassingly partitionable: route each
+stage's synopses to one worker and N workers reproduce a single
+detector's event set exactly.  This package provides the pieces —
+
+* :mod:`~repro.shard.partition` — the deterministic ``stage -> shard``
+  mapping and the decode-free byte router,
+* :mod:`~repro.shard.factory` — the sanctioned per-shard detector
+  constructor (saadlint SH001),
+* :mod:`~repro.shard.worker` — the spawn-safe worker process,
+* :mod:`~repro.shard.coordinator` — :class:`ShardedAnalyzer`, the
+  parent-side router/merger,
+* :mod:`~repro.shard.server` — asyncio TCP ingest so node streams can
+  ship frames over a socket.
+
+See DESIGN.md §12 for the partition/merge data flow.
+"""
+
+from .coordinator import EVENT_ORDER, ShardedAnalyzer, ShardWorkerError
+from .factory import shard_detector
+from .partition import route_payload, shard_for, shard_table
+from .server import FrameClient, SynopsisServer
+from .worker import KeyPinner, WorkerInit, worker_main
+
+__all__ = [
+    "EVENT_ORDER",
+    "FrameClient",
+    "KeyPinner",
+    "ShardWorkerError",
+    "ShardedAnalyzer",
+    "SynopsisServer",
+    "WorkerInit",
+    "route_payload",
+    "shard_detector",
+    "shard_for",
+    "shard_table",
+    "worker_main",
+]

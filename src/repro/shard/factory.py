@@ -1,0 +1,52 @@
+"""The sanctioned constructor for per-shard detectors.
+
+Worker code inside the shard package must not build
+:class:`~repro.core.detector.AnomalyDetector` directly (saadlint rule
+SH001): the factory is the one place that wires a shard's detector the
+way the coordinator protocol expects — a process-local registry whose
+snapshot is shipped back for aggregation, the key-echo tracer stand-in
+that routes exemplar pinning to the parent, and a ``shard_id`` tag used
+by telemetry and error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SAADConfig
+from repro.core.detector import AnomalyDetector
+from repro.core.model import OutlierModel
+
+
+def shard_detector(
+    model: OutlierModel,
+    config: Optional[SAADConfig] = None,
+    *,
+    shard_id: int,
+    lateness_s: float = 0.0,
+    registry=None,
+    tracer=None,
+    exemplars_per_window: int = 3,
+) -> AnomalyDetector:
+    """A streaming detector configured for one shard of the analyzer.
+
+    Identical detection semantics to a single-process detector — the
+    shard only ever sees the stages partitioned to it, and every
+    per-stage statistic is independent, so N shards emit the same event
+    set as one (order aside).  ``tracer`` is normally a
+    :class:`~repro.shard.worker.KeyPinner` so exemplar candidates come
+    back to the coordinator as trace keys rather than process-local
+    trace objects.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard_id must be >= 0: {shard_id}")
+    detector = AnomalyDetector(  # saadlint: disable=SH001  # the factory itself
+        model,
+        config,
+        lateness_s=lateness_s,
+        registry=registry,
+        tracer=tracer,
+        exemplars_per_window=exemplars_per_window,
+    )
+    detector.shard_id = shard_id
+    return detector

@@ -1,0 +1,88 @@
+"""Stage partitioning for the sharded analyzer.
+
+The paper's analyzer is stage-partitionable by construction (Middleware
+'14 Sec. 3): every statistic the detector keeps — window buckets,
+signature profiles, proportion tests — is keyed by ``(host, stage)``,
+and a task's stage id travels in byte 1 of its wire synopsis.  Routing
+``stage_id -> shard`` therefore never has to decode a synopsis: the
+coordinator scans frame bytes, reads the stage byte and the entry count
+byte, and slices each encoded synopsis straight into its shard's output
+buffer.
+
+The mapping is ``hash(stage_id) % shards`` with a fixed multiplicative
+(Fibonacci) mix instead of Python's builtin ``hash`` so the result is
+stable across processes, interpreter versions, and ``PYTHONHASHSEED`` —
+a shard must route the same stage to the same worker on every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.synopsis import SYNOPSIS_ENTRY, SYNOPSIS_HEADER
+
+#: Knuth's multiplicative-hash constant (2^32 / phi), the fixed mix.
+_MIX = 0x9E3779B1
+_MASK = 0xFFFFFFFF
+
+#: Wire offsets the routing scan reads (see ``repro.core.synopsis``):
+#: byte 1 is the stage id, the last header byte is the entry count.
+_HEADER_SIZE = SYNOPSIS_HEADER.size
+_ENTRY_SIZE = SYNOPSIS_ENTRY.size
+_STAGE_OFFSET = 1
+_COUNT_OFFSET = _HEADER_SIZE - 1
+
+
+def shard_for(stage_id: int, shards: int) -> int:
+    """The shard index stage ``stage_id`` is partitioned to.
+
+    Deterministic across processes and runs: ``(stage_id * 2654435761
+    mod 2^32) >> 16 mod shards``.  Every task of one stage lands on one
+    shard, so per-stage windows and tests never straddle workers.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1: {shards}")
+    return ((stage_id * _MIX & _MASK) >> 16) % shards
+
+
+def shard_table(shards: int) -> List[int]:
+    """``shard_for`` precomputed for every possible stage byte (0..255).
+
+    The routing hot loop indexes this table instead of re-mixing per
+    synopsis.
+    """
+    return [shard_for(stage_id, shards) for stage_id in range(256)]
+
+
+def route_payload(
+    payload: bytes,
+    offset: int,
+    end: int,
+    table: Sequence[int],
+    buckets: Sequence[List[bytes]],
+) -> List[int]:
+    """Route the encoded synopses in ``payload[offset:end]`` by stage.
+
+    The coordinator's hot loop: for each synopsis, read the stage byte,
+    look up its shard in ``table`` (from :func:`shard_table`), and
+    append the synopsis's raw byte slice to ``buckets[shard]`` — no
+    decoding, no object materialization.  Returns the number of
+    synopses appended per shard.  Raises ``ValueError`` when the range
+    does not hold a whole number of synopses.
+    """
+    counts = [0] * len(buckets)
+    header_size = _HEADER_SIZE
+    entry_size = _ENTRY_SIZE
+    stage_off = _STAGE_OFFSET
+    count_off = _COUNT_OFFSET
+    while offset < end:
+        if end - offset < header_size:
+            raise ValueError("truncated synopsis header")
+        stop = offset + header_size + entry_size * payload[offset + count_off]
+        if stop > end:
+            raise ValueError("truncated synopsis log point entries")
+        shard = table[payload[offset + stage_off]]
+        buckets[shard].append(payload[offset:stop])
+        counts[shard] += 1
+        offset = stop
+    return counts

@@ -1,0 +1,228 @@
+"""Async TCP synopsis ingest (the paper's node -> analyzer transport).
+
+:class:`SynopsisServer` is an asyncio TCP acceptor that reassembles the
+length-prefixed wire frames produced by
+:meth:`~repro.core.stream.SynopsisStream.flush_wire` and hands each
+complete frame to a ``sink`` callable — typically
+:meth:`SynopsisCollector.receive_frame
+<repro.core.stream.SynopsisCollector.receive_frame>` or
+:meth:`ShardedAnalyzer.dispatch_frame
+<repro.shard.coordinator.ShardedAnalyzer.dispatch_frame>`.  The event
+loop runs in a daemon thread, so the server drops into synchronous
+deployments (the ``SAAD`` facade, tests) without an async caller.
+
+Framing is ``readexactly``-driven: 6 header bytes, then exactly the
+advertised payload — a frame split across any number of TCP segments
+reassembles correctly, and a peer that dies mid-frame is detected (the
+partial tail is counted, never silently ingested).
+
+Every connection's frames are delivered from the single event-loop
+thread, so a sink shared by many nodes sees frames strictly
+sequentially; coordinate externally before feeding the same sink from
+other threads as well.
+
+:class:`FrameClient` is the node-side counterpart: a small blocking TCP
+sender whose instances are valid ``frame_sink`` callables for
+:class:`~repro.core.stream.SynopsisStream`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.core.synopsis import FRAME_HEADER
+from repro.telemetry import NULL_REGISTRY
+
+__all__ = ["SynopsisServer", "FrameClient"]
+
+_MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB: reject absurd length prefixes early
+
+
+class SynopsisServer:
+    """Asyncio TCP collector for wire frames.
+
+    Parameters
+    ----------
+    sink:
+        Callable receiving each complete frame's bytes (header
+        included) — the same contract as a stream's ``frame_sink``.
+    host, port:
+        Bind address; port 0 picks a free port (see :attr:`address`
+        after :meth:`start`).
+    registry:
+        Telemetry registry for the ``shard_server_*`` metrics; defaults
+        to :data:`~repro.telemetry.NULL_REGISTRY`.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[bytes], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+    ):
+        self.sink = sink
+        self.host = host
+        self.port = port
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_connections = registry.counter(
+            "shard_server_connections", "TCP synopsis connections accepted"
+        )
+        self._m_frames = registry.counter(
+            "shard_server_frames", "wire frames ingested over TCP"
+        )
+        self._m_bytes = registry.counter(
+            "shard_server_bytes", "wire bytes ingested over TCP (headers included)"
+        )
+        self._m_truncated = registry.counter(
+            "shard_server_truncated",
+            "connections that died mid-frame (partial tail discarded)",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    async def _handle(self, reader, writer) -> None:
+        self._m_connections.inc()
+        header_size = FRAME_HEADER.size
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(header_size)
+                except asyncio.IncompleteReadError as partial:
+                    if partial.partial:
+                        self._m_truncated.inc()
+                    break
+                length, _ = FRAME_HEADER.unpack(header)
+                if length > _MAX_FRAME_PAYLOAD:
+                    self._m_truncated.inc()
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    self._m_truncated.inc()
+                    break
+                self._m_frames.inc()
+                self._m_bytes.inc(header_size + length)
+                self.sink(header + payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            return await asyncio.start_server(self._handle, self.host, self.port)
+
+        try:
+            self._server = loop.run_until_complete(boot())
+            sockname = self._server.sockets[0].getsockname()
+            self._address = (sockname[0], sockname[1])
+        except BaseException as exc:  # bind failure -> surface in start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; the bound ``(host, port)``."""
+        if self._thread is not None:
+            return self.address
+        self._thread = threading.Thread(
+            target=self._run, name="saad-synopsis-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread = None
+            raise error
+        return self.address
+
+    def close(self) -> None:
+        """Stop accepting, close the loop, join the thread.  Idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+    def __enter__(self) -> "SynopsisServer":
+        """Context-manager entry: start and return the server."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the server."""
+        self.close()
+
+
+class FrameClient:
+    """Blocking TCP sender for wire frames (node side).
+
+    An instance is a valid ``frame_sink``: construct with the server's
+    address and hand it to :class:`~repro.core.stream.SynopsisStream`
+    — every flushed frame is written to the socket verbatim.  TCP
+    preserves the byte stream, so the server's ``readexactly`` framing
+    needs no extra envelope.
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 10.0):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.bytes_sent = 0
+        self.frames_sent = 0
+
+    def __call__(self, frame: bytes) -> None:
+        """The ``frame_sink`` protocol: :meth:`send`."""
+        self.send(frame)
+
+    def send(self, frame: bytes) -> None:
+        """Write one frame to the socket (blocking, whole frame)."""
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+
+    def close(self) -> None:
+        """Shut the connection down cleanly.  Idempotent."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

@@ -102,6 +102,35 @@ def _demo_deployment():
         load_model(path, registry=saad.registry)
     finally:
         os.unlink(path)
+
+    # Scale-out pass: replay the detection trace through a 2-shard pool
+    # fed over the TCP ingest loopback, so the shard_* coordinator and
+    # shard_server_* transport families are live in this registry too.
+    import time
+
+    from repro.core.synopsis import encode_frame
+    from repro.shard import FrameClient, ShardedAnalyzer, SynopsisServer
+
+    def _counter(name):
+        for family in saad.registry.collect():
+            if family["name"] == name:
+                return sum(sample["value"] for sample in family["samples"])
+        return 0.0
+
+    replay = saad.collector.synopses[trained:]
+    with ShardedAnalyzer(
+        saad.model, 2, registry=saad.registry, tracer=saad.tracer
+    ) as pool:
+        with SynopsisServer(pool.dispatch_frame, registry=saad.registry) as server:
+            with FrameClient(server.address) as client:
+                client.send(encode_frame(replay))
+            # frames land on the server's loop thread; wait for delivery
+            deadline = time.monotonic() + 10.0
+            while _counter("shard_server_frames") < 1:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("demo ingest frame never arrived")
+                time.sleep(0.005)
+        pool.close()
     return saad
 
 

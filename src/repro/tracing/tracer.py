@@ -254,6 +254,30 @@ class Tracer:
                 self._pinned.popitem(last=False)
             return trace
 
+    def pin_many(self, keys) -> List[TaskTrace]:
+        """Pin every trace in ``keys``; the traces actually found.
+
+        The batched form of :meth:`pin` the sharded coordinator uses
+        when resolving a merged event's exemplar trace keys — one lock
+        acquisition for the whole event rather than one per key.  Keys
+        that were never admitted (or already evicted) are skipped.
+        """
+        with self._lock:
+            out = []
+            for key in keys:
+                trace = self._pinned.get(key)
+                if trace is None:
+                    trace = self._retained.pop(key, None) or self._ring.pop(key, None)
+                    if trace is None:
+                        continue
+                    trace.pinned = True
+                    self.stats.traces_pinned += 1
+                    self._pinned[key] = trace
+                out.append(trace)
+            while len(self._pinned) > self.pinned_capacity:
+                self._pinned.popitem(last=False)
+            return out
+
     def traces(self) -> List[TaskTrace]:
         """Every buffered trace, ordered by task start time."""
         with self._lock:
@@ -303,6 +327,10 @@ class NullTracer:
     def pin(self, key) -> None:
         """Always None."""
         return None
+
+    def pin_many(self, keys) -> List[TaskTrace]:
+        """Always empty."""
+        return []
 
     def traces(self) -> List[TaskTrace]:
         """Always empty."""

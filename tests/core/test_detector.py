@@ -225,3 +225,70 @@ class TestHeapWindowing:
         assert emitted == []
         emitted = detector.observe(synopsis(uid=2, start=100.0))
         assert any(frozenset({1, 9}) in e.new_signatures for e in emitted)
+
+
+class TestWireIngest:
+    """observe_frame: the fused bytes path must mirror the object path."""
+
+    def make_stream(self, tasks=1500):
+        rng = random.Random(23)
+        stream = []
+        for i in range(tasks):
+            lps = (1, 2, 4, 5)
+            duration = 0.01 * rng.lognormvariate(0, 0.3)
+            if i > tasks // 2:
+                if i % 2:  # novel signature burst
+                    lps = (1, 2, 3, 4, 5, 6)
+                else:  # sustained slowdown
+                    duration *= 6
+            stream.append(
+                synopsis(
+                    uid=i, host=i % 2, start=i * 0.05, duration=duration, lps=lps
+                )
+            )
+        return stream
+
+    def test_frame_path_matches_object_path(self, model):
+        from repro.core.synopsis import encode_frame
+
+        stream = self.make_stream()
+        object_path = AnomalyDetector(model)
+        for s in stream:
+            object_path.observe(s)
+        object_path.flush()
+        assert object_path.anomalies, "workload must trip the detector"
+
+        wire_path = AnomalyDetector(model)
+        for start in range(0, len(stream), 100):
+            wire_path.observe_frame(encode_frame(stream[start : start + 100]))
+        wire_path.flush()
+
+        assert wire_path.anomalies == object_path.anomalies
+        assert wire_path.windows_closed == object_path.windows_closed
+
+    def test_frame_offset_skips_prefix(self, model):
+        from repro.core.synopsis import encode_frame
+
+        stream = self.make_stream(tasks=200)
+        frame = encode_frame(stream)
+        padded = b"\x00" * 11 + frame
+        plain = AnomalyDetector(model)
+        plain.observe_frame(frame)
+        offsetted = AnomalyDetector(model)
+        offsetted.observe_frame(padded, offset=11)
+        assert offsetted.tasks_seen == plain.tasks_seen == 200
+
+    def test_truncated_frames_rejected(self, model):
+        from repro.core.synopsis import FRAME_HEADER, encode_frame
+
+        detector = AnomalyDetector(model)
+        frame = encode_frame([synopsis(uid=1), synopsis(uid=2)])
+        with pytest.raises(ValueError, match="truncated frame header"):
+            detector.observe_frame(frame[:4])
+        with pytest.raises(ValueError, match="truncated frame payload"):
+            detector.observe_frame(frame[:-3])
+
+        payload = frame[FRAME_HEADER.size :]
+        lying = FRAME_HEADER.pack(len(payload), 3) + payload
+        with pytest.raises(ValueError, match="count mismatch"):
+            detector.observe_frame(lying)

@@ -139,6 +139,68 @@ class TestStreams:
             SynopsisStream(wire_format=True, flush_size=0)
 
 
+class TestCollectorShutdown:
+    """flush()/close() ordering: the last wire batch must not be lost."""
+
+    def make_pipeline(self, flush_size=10):
+        collector = SynopsisCollector()
+        stream = SynopsisStream(
+            wire_format=True, retain=False, flush_size=flush_size,
+            frame_sink=collector.feed,
+        )
+        collector.attach(stream)
+        return collector, stream
+
+    def test_feed_reassembles_split_frames(self):
+        collector = SynopsisCollector()
+        stream = SynopsisStream(wire_format=True, retain=False, flush_size=10)
+        for i in range(3):
+            stream.sink(synopsis(uid=i))
+        frame = stream.flush_wire()
+        # deliver in dribs: nothing decodes until the frame completes
+        assert collector.feed(frame[:4]) == []
+        assert collector.pending_bytes == 4
+        assert collector.feed(frame[4:10]) == []
+        decoded = collector.feed(frame[10:])
+        assert [s.uid for s in decoded] == [0, 1, 2]
+        assert collector.pending_bytes == 0
+        assert collector.frames_received == 1
+
+    def test_flush_drains_partial_stream_batches(self):
+        collector, stream = self.make_pipeline(flush_size=10)
+        for i in range(4):  # under flush_size: still pending in the stream
+            stream.sink(synopsis(uid=i))
+        assert collector.count == 0
+        flushed = collector.flush()
+        assert [s.uid for s in flushed] == [0, 1, 2, 3]
+        assert collector.count == 4
+        assert collector.flush() == []  # nothing new
+
+    def test_close_flushes_then_seals(self):
+        collector, stream = self.make_pipeline(flush_size=10)
+        stream.sink(synopsis(uid=9))
+        collector.close()
+        assert collector.closed
+        assert collector.count == 1
+        collector.close()  # idempotent
+
+    def test_truncated_frame_fails_loudly_at_flush(self):
+        collector, stream = self.make_pipeline(flush_size=2)
+        for i in range(2):
+            stream.sink(synopsis(uid=i))
+        # a transport that died mid-frame: only half the bytes arrived
+        tail_stream = SynopsisStream(wire_format=True, retain=False, flush_size=2)
+        tail_stream.sink(synopsis(uid=7))
+        frame = tail_stream.flush_wire()
+        collector.feed(frame[: len(frame) // 2])
+        assert collector.pending_bytes > 0
+        with pytest.raises(ValueError, match="truncated frame"):
+            collector.flush()
+        with pytest.raises(ValueError, match="truncated frame"):
+            collector.close()
+        assert not collector.closed
+
+
 class TestReporter:
     def make_reporter(self):
         stages = StageRegistry()

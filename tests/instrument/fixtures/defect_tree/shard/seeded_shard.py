@@ -1,0 +1,25 @@
+"""Seeded SH001 defects: detector construction inside a shard package.
+
+Planted defects (line numbers are asserted in test_lint.py):
+
+* line 13 — bare ``AnomalyDetector(...)`` in worker code (SH001)
+* line 19 — attribute form ``detector_mod.AnomalyDetector(...)`` (SH001)
+
+The factory call below must stay quiet.
+"""
+
+
+def build_worker_detector(model, detector_mod):
+    bare = AnomalyDetector(model)  # noqa: F821 -- lint fixture
+
+    return bare
+
+
+def build_worker_detector_via_module(model, detector_mod):
+    qualified = detector_mod.AnomalyDetector(model)
+    return qualified
+
+
+def sanctioned_sites(model, shard_detector):
+    from_factory = shard_detector(model, shard_id=0)
+    return from_factory

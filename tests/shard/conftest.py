@@ -1,0 +1,58 @@
+"""Shared fixtures for the sharded-analyzer suite.
+
+The workload spans several stages on two hosts so a multi-shard pool
+actually partitions work, with a flow fault (novel signature burst) on
+one stage and a performance fault (5x slowdown) on another in the
+detection half.
+"""
+
+import random
+
+import pytest
+
+from repro.core import OutlierModel, SAADConfig, TaskSynopsis
+
+STAGES = (1, 2, 3, 7, 11, 42)
+
+
+def make_synopsis(stage, host, uid, start, duration, lps):
+    return TaskSynopsis(
+        host_id=host,
+        stage_id=stage,
+        uid=uid,
+        start_time=start,
+        duration=duration,
+        log_points={lp: 1 for lp in lps},
+    )
+
+
+def make_trace(tasks, *, seed=7, faults=False, uid_base=0):
+    """A deterministic multi-stage trace; ``faults`` plants anomalies."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(tasks):
+        stage = STAGES[i % len(STAGES)]
+        lps = (stage, stage + 1, stage + 3)
+        duration = 0.01 * rng.lognormvariate(0, 0.3)
+        if faults and i > tasks // 2:
+            if stage == 7 and i % 2:  # novel signature burst
+                lps = (stage, stage + 1, stage + 2, stage + 3)
+            elif stage == 11:  # sustained slowdown
+                duration *= 5
+        out.append(
+            make_synopsis(stage, i % 2, uid_base + i, i * 0.05, duration, lps)
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def model():
+    """A model trained on a fault-free multi-stage trace."""
+    config = SAADConfig(window_s=60.0, min_window_tasks=8)
+    return OutlierModel(config).train(make_trace(4000))
+
+
+@pytest.fixture()
+def detect_trace():
+    """3000 tasks with a flow fault on stage 7, perf fault on stage 11."""
+    return make_trace(3000, seed=13, faults=True, uid_base=10_000)

@@ -1,0 +1,75 @@
+"""Tests for the stage partitioner and the decode-free byte router."""
+
+import pytest
+
+from repro.core.synopsis import decode_batch, encode_batch
+from repro.shard import route_payload, shard_for, shard_table
+
+from .conftest import make_trace
+
+pytestmark = pytest.mark.shard
+
+
+class TestShardFor:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 2, 3, 4, 7, 16):
+            for stage in range(256):
+                shard = shard_for(stage, shards)
+                assert 0 <= shard < shards
+                assert shard == shard_for(stage, shards)
+
+    def test_single_shard_maps_everything_to_zero(self):
+        assert {shard_for(stage, 1) for stage in range(256)} == {0}
+
+    def test_spreads_stages_across_shards(self):
+        # The Fibonacci mix must not collapse small consecutive stage
+        # ids (the common case) onto one shard.
+        assigned = {shard_for(stage, 4) for stage in range(16)}
+        assert assigned == {0, 1, 2, 3}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for(1, 0)
+        with pytest.raises(ValueError):
+            shard_for(1, -2)
+
+    def test_table_matches_function(self):
+        table = shard_table(5)
+        assert len(table) == 256
+        assert table == [shard_for(stage, 5) for stage in range(256)]
+
+
+class TestRoutePayload:
+    def test_routes_by_stage_without_decoding(self):
+        synopses = make_trace(600)
+        payload = encode_batch(synopses)
+        table = shard_table(4)
+        buckets = [[] for _ in range(4)]
+        counts = route_payload(payload, 0, len(payload), table, buckets)
+
+        assert sum(counts) == len(synopses)
+        for shard, bucket in enumerate(buckets):
+            assert counts[shard] == len(bucket)
+            decoded = decode_batch(b"".join(bucket))
+            assert decoded  # every shard sees work for this stage mix
+            assert {table[s.stage_id] for s in decoded} == {shard}
+
+    def test_slices_roundtrip_exactly(self):
+        synopses = make_trace(50)
+        payload = encode_batch(synopses)
+        buckets = [[]]
+        route_payload(payload, 0, len(payload), shard_table(1), buckets)
+        assert b"".join(buckets[0]) == payload
+
+    def test_truncated_header_rejected(self):
+        synopses = make_trace(3)
+        payload = encode_batch(synopses)
+        # cut into the last synopsis's header: leave a few bytes of it
+        end = len(payload) - len(synopses[-1].encode()) + 5
+        with pytest.raises(ValueError, match="truncated synopsis header"):
+            route_payload(payload, 0, end, shard_table(2), [[], []])
+
+    def test_truncated_entries_rejected(self):
+        payload = encode_batch(make_trace(1))
+        with pytest.raises(ValueError, match="log point entries"):
+            route_payload(payload, 0, len(payload) - 3, shard_table(2), [[], []])
