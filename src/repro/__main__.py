@@ -8,6 +8,7 @@ Usage::
     python -m repro fig10
     python -m repro fig11
     python -m repro lint src/repro     # saadlint static verification
+    python -m repro rules MODEL.json   # compiled per-stage rule tables
     python -m repro stats              # telemetry snapshot (live demo)
     python -m repro stats FILE.jsonl   # render a saved telemetry snapshot
     python -m repro trace              # task-trace timelines (live demo)
@@ -109,6 +110,10 @@ _TOOLS = {
     "trace": (
         "tracing: render or export per-task trace timelines",
         _tool("repro.tracing.cli"),
+    ),
+    "rules": (
+        "compiled classifiers: export a model's per-stage rule tables",
+        _tool("repro.core.rules"),
     ),
     "shard": (
         "sharded analyzer: partition map + parallel detection demo",

@@ -18,6 +18,13 @@ Typical use::
     print(saad.reporter().render(anomalies))
 """
 
+from .columnar import (
+    CompiledModel,
+    CompiledStage,
+    FrameColumns,
+    compile_model,
+    decode_columns,
+)
 from .config import SAADConfig
 from .context import RealThreadContext, SimThreadContext, ThreadContextProvider
 from .detector import FLOW, PERFORMANCE, AnomalyDetector, AnomalyEvent
@@ -30,6 +37,7 @@ from .features import (
 )
 from .interning import (
     InternedSignature,
+    SignatureIdSpace,
     canonical_tuple,
     clear_intern_table,
     intern_signature,
@@ -38,6 +46,7 @@ from .interning import (
 from .logpoints import LogPoint, LogPointRegistry, RegistryDrift
 from .model import OutlierModel, SignatureProfile, StageModel, TaskLabel
 from .persistence import load_model, model_from_json, model_to_json, save_model
+from .rules import ParsedRules, parse_rules, render_rules
 from .pipeline import SAAD, NodeRuntime
 from .report import AnomalyReporter
 from .stages import Stage, StageRegistry
@@ -63,9 +72,13 @@ __all__ = [
     "AnomalyDetector",
     "AnomalyEvent",
     "AnomalyReporter",
+    "CompiledModel",
+    "CompiledStage",
     "FLOW",
     "FeatureVector",
+    "FrameColumns",
     "InternedSignature",
+    "ParsedRules",
     "LogPoint",
     "LogPointRegistry",
     "NodeRuntime",
@@ -78,6 +91,7 @@ __all__ = [
     "SAADConfig",
     "Signature",
     "SignatureProfile",
+    "SignatureIdSpace",
     "SimThreadContext",
     "Stage",
     "StageKey",
@@ -92,7 +106,9 @@ __all__ = [
     "TrackerStats",
     "canonical_tuple",
     "clear_intern_table",
+    "compile_model",
     "decode_batch",
+    "decode_columns",
     "decode_frame",
     "decode_frames",
     "encode_batch",
@@ -105,8 +121,10 @@ __all__ = [
     "load_model",
     "model_from_json",
     "model_to_json",
+    "parse_rules",
     "percentile",
     "percentile_sorted",
     "proportion_exceeds_test",
+    "render_rules",
     "save_model",
 ]

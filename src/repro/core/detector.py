@@ -26,9 +26,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.telemetry import MetricsRegistry
 
+from . import columnar
 from .config import SAADConfig
 from .features import FeatureVector, Signature, StageKey
-from .interning import canonical_tuple, intern_signature
+from .interning import SignatureIdSpace, canonical_tuple, intern_signature
 from .model import OutlierModel
 from .stats import ProportionTest, proportion_exceeds_test
 from .synopsis import (
@@ -46,6 +47,25 @@ PERFORMANCE = "performance"
 #: signature).  Real streams repeat a handful of shapes per stage; the
 #: cap only matters for adversarial inputs, where the cache resets.
 _WIRE_SIGNATURE_CACHE_MAX = 1 << 16
+
+#: Records per vectorized slice of the batch detect path.  Bounds the
+#: working set of the gathered columns (~1 MiB of int64 per column).
+_BATCH_CHUNK = 1 << 16
+
+#: Window-close triggers tolerated per chunk before the remainder of the
+#: chunk degrades to the per-record path.  Each trigger rescans the
+#: chunk's tail, so an adversarial close-every-task stream would
+#: otherwise make the scan quadratic; real streams close a handful of
+#: windows per chunk.
+_BATCH_MAX_TRIGGERS = 64
+
+#: Timestamps at/above 2**53 ms lose integer precision as float64; the
+#: batch path hands such records to the exact per-record path.
+_BATCH_TS_LIMIT = 1 << 53
+
+#: Window indices must leave room for the packed (index, stage, sig-id,
+#: verdict-bit) count keys to fit a signed 64-bit lane.
+_BATCH_INDEX_LIMIT = 1 << 28
 
 
 class _WireTask:
@@ -182,6 +202,14 @@ class AnomalyDetector:
         self._perf_baselines: Dict[Tuple[StageKey, Signature], float] = {}
         # Wire ingest path: raw entry bytes -> interned signature.
         self._wire_signatures: Dict[bytes, Signature] = {}
+        # Columnar batch path: compiled verdict tables plus the dense
+        # signature-id space they are indexed by.  The space outlives
+        # recompiles (it is append-only), so ids stay stable across model
+        # generations while stale tables are rebuilt lazily.
+        self._compiled: Optional[columnar.CompiledModel] = None
+        self._sig_space: Optional[SignatureIdSpace] = None
+        self._columnar_tasks = 0
+        self._columnar_fallback_tasks = 0
         self.registry = registry if registry is not None else MetricsRegistry()
         self._register_metrics()
 
@@ -193,6 +221,16 @@ class AnomalyDetector:
         registry.counter(
             "detector_bucket_probes", "ripeness-index probes (heap peeks/pops)"
         ).set_function(lambda: self._bucket_probe_count)
+        registry.counter(
+            "columnar_tasks", "synopses ingested through the batch detect path"
+        ).set_function(lambda: self._columnar_tasks)
+        registry.counter(
+            "columnar_fallback_tasks",
+            "batch-path synopses that degraded to the exact per-task path",
+        ).set_function(lambda: self._columnar_fallback_tasks)
+        self._m_columnar_batches = registry.counter(
+            "columnar_batches", "observe_batch calls ingested"
+        )
         self._m_windows_opened = registry.counter(
             "detector_windows_opened", "window buckets opened"
         )
@@ -394,6 +432,285 @@ class AnomalyDetector:
                 f"frame count mismatch: header says {expected}, payload "
                 f"holds {seen}"
             )
+        return events
+
+    # -- columnar batch ingestion (DESIGN §13) -------------------------------
+    def compiled_model(self) -> columnar.CompiledModel:
+        """The compiled verdict tables for the current model generation.
+
+        Compiled lazily and cached; a retrain (generation bump) or a
+        model swap invalidates the cache and the next batch recompiles —
+        the invalidation-on-retrain contract of DESIGN §13.  The dense
+        signature-id space is shared across recompiles, so ids already
+        handed out stay valid.
+        """
+        compiled = self._compiled
+        model = self.model
+        if (
+            compiled is None
+            or compiled.model is not model
+            or compiled.generation != model.generation
+        ):
+            if self._sig_space is None:
+                self._sig_space = SignatureIdSpace()
+            compiled = columnar.compile_model(
+                model, space=self._sig_space, registry=self.registry
+            )
+            self._compiled = compiled
+        return compiled
+
+    def observe_batch(self, frames, offset: int = 0) -> List[AnomalyEvent]:
+        """Ingest a run of concatenated wire frames through the columnar path.
+
+        ``frames`` is a bytes-like object holding one or more
+        length-prefixed frames back to back (or an iterable of such
+        chunks, which is joined).  The batch path explodes the frames
+        into columns, classifies them against the compiled per-stage
+        tables (:meth:`compiled_model`), and applies window-bucket
+        counts a column run at a time — **bit-identical** to calling
+        :meth:`observe_frame` per frame, including event order, exemplar
+        pins, and the error/partial-state behaviour on truncated input
+        (the complete prefix is ingested, then ``ValueError`` raises
+        with the scalar path's message).
+
+        Equivalence is preserved under degradation: when tracing is on,
+        numpy is unavailable, or a chunk trips an exactness guard
+        (timestamp/window-index range, signature-id exhaustion,
+        pathological close rates), the affected records flow through the
+        exact per-task path instead (``columnar_fallback_tasks``).
+
+        Returns the anomalies from every window the batch closed, in
+        close order.
+        """
+        if isinstance(frames, (bytes, bytearray, memoryview)):
+            data = frames if isinstance(frames, bytes) else bytes(frames)
+        else:
+            data = b"".join(bytes(chunk) for chunk in frames)
+        self._m_columnar_batches.inc()
+        before = self._tasks_seen
+        try:
+            if self._tracing or not columnar.HAVE_NUMPY:
+                return self._observe_batch_scalar(data, offset)
+            return self._observe_batch_vector(data, offset)
+        finally:
+            self._columnar_tasks += self._tasks_seen - before
+
+    def _observe_batch_scalar(self, data: bytes, offset: int) -> List[AnomalyEvent]:
+        """Whole-batch fallback: frame-by-frame through the scalar path.
+
+        Used when tracing is enabled (exemplar candidates need per-task
+        trace keys) or numpy is missing; exact by construction.
+        """
+        events: List[AnomalyEvent] = []
+        before = self._tasks_seen
+        total = len(data)
+        try:
+            while offset < total:
+                emitted = self.observe_frame(data, offset)
+                if emitted:
+                    events.extend(emitted)
+                length, _ = FRAME_HEADER.unpack_from(data, offset)
+                offset += FRAME_HEADER.size + length
+        finally:
+            self._columnar_fallback_tasks += self._tasks_seen - before
+        return events
+
+    def _observe_batch_vector(self, data: bytes, offset: int) -> List[AnomalyEvent]:
+        """Vectorized batch ingest over the scanned record offsets."""
+        np = columnar._np
+        offsets, _, error = columnar.scan_frames(data, offset)
+        events: List[AnomalyEvent] = []
+        if offsets:
+            compiled = self.compiled_model()
+            b = np.frombuffer(data, dtype=np.uint8)
+            offs_all = np.asarray(offsets, dtype=np.int64)
+            for lo in range(0, len(offs_all), _BATCH_CHUNK):
+                self._ingest_chunk(
+                    np, b, data, offs_all[lo : lo + _BATCH_CHUNK], compiled, events
+                )
+        if error is not None:
+            # The scalar loop would have ingested every complete record
+            # before raising; the prefix above reproduces that state.
+            raise ValueError(error)
+        return events
+
+    def _ingest_chunk(self, np, b, data, offs, compiled, events) -> None:
+        """Decode, classify, and apply one chunk of records.
+
+        Any exactness guard tripping hands the (rest of the) chunk to
+        :meth:`_observe_records`; otherwise counts are grouped by
+        (window, stage, signature, verdict) and applied in
+        first-occurrence order, which reproduces the scalar path's
+        bucket / perf-dict creation order exactly.
+        """
+        m = len(offs)
+        if not m:
+            return
+        ts_ms = columnar._gather_u64(b, offs, 6, 8)
+        ts_lo, ts_hi = int(ts_ms.min()), int(ts_ms.max())
+        width = self.config.window_s
+        bounds = None
+        if 0 <= ts_lo and ts_hi < _BATCH_TS_LIMIT:
+            bounds = columnar.window_boundaries(ts_lo, ts_hi, width)
+            if bounds is not None:
+                first, _ = bounds
+                if not 0 <= first < _BATCH_INDEX_LIMIT - 4096:
+                    bounds = None
+        sig = None
+        if bounds is not None:
+            sig = columnar.resolve_sig_ids(
+                b, offs + SYNOPSIS_HEADER.size, b[offs + 18].astype(np.int64),
+                compiled.space,
+            )
+        if sig is None:
+            events.extend(self._observe_records(data, offs, 0, m))
+            return
+        first, boundaries = bounds
+        idx = first + np.searchsorted(
+            np.asarray(boundaries, dtype=np.int64), ts_ms, side="right"
+        )
+        stage_int = b[offs + 1].astype(np.int64)
+        if self.model.config.per_host:
+            stage_int |= b[offs].astype(np.int64) << 8
+        cell = (stage_int << columnar.SIG_BITS) | sig
+        duration = (
+            columnar._gather_u64(b, offs, 14, 4)
+            .astype(np.uint32)
+            .view(np.int32)
+            .astype(np.int64)
+        )
+        unique_cells, inverse = np.unique(cell, return_inverse=True)
+        cuts = np.empty(len(unique_cells), dtype=np.int64)
+        for j, packed in enumerate(unique_cells):
+            cuts[j] = compiled.rule(int(packed))[1]
+        bit = (duration > cuts[inverse]).astype(np.int64)
+        span = columnar.SIG_BITS + 16  # cell bits: 8 host + 8 stage + sig
+        kk = (idx * (1 << span) + cell) * 2 + bit
+        ts_sec = ts_ms / 1000.0
+        lateness = self.lateness_s
+        pos = 0
+        triggers = 0
+        while pos < m:
+            # Running heap-min / watermark the scalar path would hold
+            # after each record (no closes happen inside a segment, so
+            # both are pure accumulates seeded with the current state).
+            seg_min = np.minimum.accumulate(idx[pos:])
+            if self._index_heap:
+                seg_min = np.minimum(seg_min, self._index_heap[0])
+            seg_wm = np.maximum.accumulate(ts_sec[pos:])
+            seg_wm = np.maximum(seg_wm, self._watermark)
+            # Same IEEE ops as _close_ripe_windows' ripeness test, so the
+            # first hit is exactly where the scalar path would close.
+            hits = np.flatnonzero((seg_min + 1) * width <= seg_wm - lateness)
+            t = int(hits[0]) if hits.size else m - pos - 1
+            self._apply_counts(np, kk[pos : pos + t + 1], compiled)
+            self._watermark = float(seg_wm[t])
+            pos += t + 1
+            if hits.size:
+                emitted = self._close_ripe_windows()
+                if emitted:
+                    events.extend(emitted)
+                triggers += 1
+                if triggers >= _BATCH_MAX_TRIGGERS and pos < m:
+                    events.extend(self._observe_records(data, offs, pos, m))
+                    return
+
+    def _apply_counts(self, np, kk, compiled) -> None:
+        """Apply one segment's grouped counts to the window buckets.
+
+        Groups are applied in order of first occurrence, so buckets and
+        per-signature perf entries are created in exactly the order the
+        scalar per-task loop would create them (close order and
+        worst-offender tie-breaks depend on it).
+        """
+        unique_keys, firsts, counts = np.unique(
+            kk, return_index=True, return_counts=True
+        )
+        space = compiled.space
+        span = columnar.SIG_BITS + 16
+        cell_mask = (1 << span) - 1
+        sig_mask = (1 << columnar.SIG_BITS) - 1
+        buckets = self._buckets
+        for j in np.argsort(firsts):
+            packed = int(unique_keys[j])
+            count = int(counts[j])
+            outlier_bit = packed & 1
+            rest = packed >> 1
+            index = rest >> span
+            cell = rest & cell_mask
+            stage_int = cell >> columnar.SIG_BITS
+            stage_key = (stage_int >> 8, stage_int & 0xFF)
+            bucket_key = (stage_key, index)
+            bucket = buckets.get(bucket_key)
+            if bucket is None:
+                # Mirrors _observe's bucket creation (kept inline there
+                # to spare the scalar hot path a call).
+                bucket = buckets[bucket_key] = _WindowBucket()
+                keys = self._index_keys.get(index)
+                if keys is None:
+                    self._index_keys[index] = [stage_key]
+                    heapq.heappush(self._index_heap, index)
+                else:
+                    keys.append(stage_key)
+                self._m_windows_opened.inc()
+                self._m_windows_open.inc()
+            bucket.n += count
+            flags, _ = compiled.rule(cell)
+            if not flags & columnar.KNOWN:
+                bucket.flow_outliers += count
+                bucket.new_signatures.add(space.signature_of(cell & sig_mask))
+            else:
+                if flags & columnar.FLOW_OUTLIER:
+                    bucket.flow_outliers += count
+                if flags & columnar.PERF_ELIGIBLE:
+                    signature = space.signature_of(cell & sig_mask)
+                    perf = bucket.perf.get(signature)
+                    if perf is None:
+                        perf = bucket.perf[signature] = [0, 0]
+                    perf[1] += count
+                    if outlier_bit:
+                        perf[0] += count
+            self._tasks_seen += count
+
+    def _observe_records(self, data, offs, lo: int, hi: int) -> List[AnomalyEvent]:
+        """Exact per-record fallback for a slice of scanned offsets.
+
+        Decodes each record and funnels it through :meth:`_observe`,
+        identically to the fused scalar wire path (shared signature
+        cache included).  Only reached with tracing off.
+        """
+        events: List[AnomalyEvent] = []
+        unpack_header = SYNOPSIS_HEADER.unpack_from
+        header_size = SYNOPSIS_HEADER.size
+        cache = self._wire_signatures
+        per_host = self.model.config.per_host
+        observe = self._observe
+        before = self._tasks_seen
+        try:
+            for i in range(lo, hi):
+                record = int(offs[i])
+                host_id, stage_id, _uid, ts_ms, duration_us, n = unpack_header(
+                    data, record
+                )
+                start = record + header_size
+                entry_bytes = data[start : start + 6 * n]
+                signature = cache.get(entry_bytes)
+                if signature is None:
+                    flat = entry_struct(n).unpack_from(data, start) if n else ()
+                    if len(cache) >= _WIRE_SIGNATURE_CACHE_MAX:
+                        cache.clear()
+                    signature = cache[entry_bytes] = intern_signature(flat[0::2])
+                emitted = observe(
+                    (host_id, stage_id) if per_host else (0, stage_id),
+                    signature,
+                    duration_us / 1_000_000.0,
+                    ts_ms / 1000.0,
+                    None,
+                )
+                if emitted:
+                    events.extend(emitted)
+        finally:
+            self._columnar_fallback_tasks += self._tasks_seen - before
         return events
 
     def flush(self) -> List[AnomalyEvent]:

@@ -24,10 +24,11 @@ equal signatures are *identity*-equal across layers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "InternedSignature",
+    "SignatureIdSpace",
     "canonical_tuple",
     "clear_intern_table",
     "intern_signature",
@@ -75,6 +76,89 @@ def canonical_tuple(signature: Iterable[int]) -> Tuple[int, ...]:
     if canonical is not None:
         return canonical
     return tuple(sorted(signature))
+
+
+#: Bound on one :class:`SignatureIdSpace`'s dense id range.  Ids must fit
+#: the columnar path's packed (stage, sig-id) cell keys, and a workload
+#: that mints this many distinct signatures is emitting per-task ids —
+#: the space refuses new ids instead of corrupting the packing.
+MAX_SIGNATURE_IDS = 1 << 17
+
+
+class SignatureIdSpace:
+    """Append-only dense ``signature <-> small int`` mapping.
+
+    The columnar detect path replaces per-task signature objects with
+    integer ids so compiled per-stage tables can be flat arrays.  Ids
+    are assigned on first encounter and never reused; the reverse list
+    turns an id back into the shared :class:`InternedSignature` when a
+    window bucket needs the real object (reports, new-signature sets).
+
+    A space also memoizes the *wire entry bytes* of each signature
+    pattern (the packed log-point entries of a synopsis), so batch
+    decoding resolves raw byte patterns straight to ids without
+    unpacking or set construction per task.
+    """
+
+    __slots__ = ("ids", "signatures", "_by_entry")
+
+    def __init__(self) -> None:
+        self.ids: Dict["InternedSignature", int] = {}
+        self.signatures: List["InternedSignature"] = []
+        self._by_entry: Dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        """Number of ids assigned so far."""
+        return len(self.signatures)
+
+    @property
+    def full(self) -> bool:
+        """True when the id range is exhausted (see MAX_SIGNATURE_IDS)."""
+        return len(self.signatures) >= MAX_SIGNATURE_IDS
+
+    def id_of(self, signature: Iterable[int]) -> Optional[int]:
+        """The dense id for ``signature``, assigning one on first sight.
+
+        Returns None when the space is full and the signature has no id
+        yet — callers fall back to the object path for that task.
+        """
+        interned = (
+            signature
+            if isinstance(signature, InternedSignature)
+            else intern_signature(signature)
+        )
+        sig_id = self.ids.get(interned)
+        if sig_id is None:
+            if len(self.signatures) >= MAX_SIGNATURE_IDS:
+                return None
+            sig_id = len(self.signatures)
+            self.ids[interned] = sig_id
+            self.signatures.append(interned)
+        return sig_id
+
+    def signature_of(self, sig_id: int) -> "InternedSignature":
+        """The shared signature object behind ``sig_id``."""
+        return self.signatures[sig_id]
+
+    def resolve_entry(self, entry_bytes: bytes) -> Optional[int]:
+        """Dense id for a packed log-point entry byte pattern.
+
+        ``entry_bytes`` is the raw wire payload of one synopsis's
+        entries (``len(entry_bytes) % 6 == 0``; see
+        :data:`repro.core.synopsis.SYNOPSIS_ENTRY`).  The pattern ->
+        id mapping is memoized, so steady-state resolution is one dict
+        probe.  Returns None when the space is full (new pattern only).
+        """
+        sig_id = self._by_entry.get(entry_bytes)
+        if sig_id is None:
+            from .synopsis import entry_struct
+
+            n = len(entry_bytes) // 6
+            flat = entry_struct(n).unpack(entry_bytes) if n else ()
+            sig_id = self.id_of(intern_signature(flat[0::2]))
+            if sig_id is not None:
+                self._by_entry[entry_bytes] = sig_id
+        return sig_id
 
 
 def intern_table_size() -> int:

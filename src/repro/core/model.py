@@ -148,6 +148,11 @@ class OutlierModel:
         self.config = config or SAADConfig()
         self.stages: Dict[StageKey, StageModel] = {}
         self.trained = False
+        #: Monotone training epoch: bumped by every (re)training pass so
+        #: derived artifacts — compiled stage tables
+        #: (:func:`repro.core.columnar.compile_model`), exported rules —
+        #: can detect staleness and invalidate (DESIGN.md §13).
+        self.generation = 0
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m_train_tasks = self.registry.counter(
             "train_tasks", "feature vectors consumed by training"
@@ -207,6 +212,7 @@ class OutlierModel:
             self.stages[stage_key] = stage_model
             self._m_train_stages.inc()
         self.trained = True
+        self.generation += 1
         return self
 
     def _fit_duration(self, profile: SignatureProfile, durations: List[float]) -> None:

@@ -112,6 +112,10 @@ def model_from_json(payload: str, registry=None) -> OutlierModel:
             )
         model.stages[stage_key] = stage
     model.trained = True
+    # A reloaded model embodies one completed training pass: start its
+    # generation past zero so compiled artifacts built from it are
+    # distinguishable from "never trained" (DESIGN.md §13).
+    model.generation = 1
     return model
 
 

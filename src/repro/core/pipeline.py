@@ -251,6 +251,23 @@ class SAAD:
             tracer=self.tracer,
         )
 
+    def stream_detector(self, lateness_s: float = 0.0) -> AnomalyDetector:
+        """A detector fed frame-wise by this deployment's collector.
+
+        Builds a :meth:`detector` and subscribes its columnar
+        :meth:`~repro.core.detector.AnomalyDetector.observe_batch` to
+        the collector's frame fan-out
+        (:meth:`~repro.core.stream.SynopsisCollector.subscribe_frames`),
+        so wire frames arriving over TCP (:meth:`listen`) or from local
+        wire-format nodes are classified straight from their bytes —
+        no per-synopsis object decode on the detection path.  The
+        caller owns the detector's lifecycle (``flush()`` at end of
+        stream); its anomalies accumulate on ``detector.anomalies``.
+        """
+        detector = self.detector(lateness_s=lateness_s)
+        self.collector.subscribe_frames(detector.observe_batch)
+        return detector
+
     def shard(self, shards: Optional[int] = None, lateness_s: float = 0.0):
         """A sharded analyzer pool bound to the trained model.
 

@@ -1,0 +1,215 @@
+"""Readable export of compiled per-stage classifier tables.
+
+``python -m repro rules MODEL.json`` lowers a saved model through
+:func:`repro.core.columnar.compile_model` and prints each stage's verdict
+table as plain rule text — one line per trained signature, stating the
+flow verdict and the exact integer microsecond duration cut the columnar
+detect path applies (DESIGN §13).  The format is deliberately both
+human-readable *and* parseable: :func:`parse_rules` reconstructs the
+tables from the text, and the round-trip classifies identically to the
+compiled stage it came from (covered by ``tests/core/test_rules.py``).
+
+Example::
+
+    # saad compiled rules v1
+    # model: generation=1 per_host=False stages=3 signatures=7
+    stage host=0 id=1 tasks=667 flow_share=0.0
+      sig 10,11 -> normal perf cut_us=117204
+      sig 10,11,19 -> flow-outlier
+      sig * -> novel (flow anomaly)
+
+A ``sig`` line names the signature's sorted log-point ids (``-`` for the
+empty signature); the verdict after ``->`` is the baked flow-outlier
+flag; a ``perf cut_us=N`` clause marks a perf-eligible signature whose
+tasks are performance outliers strictly above ``N`` microseconds
+(``inf`` when the profile has no finite threshold).  The ``sig *`` line
+spells out the fallback every table carries: signatures unseen at
+compile time are flow anomalies.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Tuple
+
+from .columnar import (
+    FLOW_OUTLIER,
+    KNOWN,
+    NO_CUT,
+    PERF_ELIGIBLE,
+    CompiledModel,
+    compile_model,
+)
+from .features import StageKey
+from .interning import canonical_tuple
+from .model import _LABEL_NEW_SIGNATURE, TaskLabel
+from .persistence import load_model
+
+FORMAT_LINE = "# saad compiled rules v1"
+
+#: One stage's parsed table: sorted log-point tuple -> (flags, cut_us).
+RuleTable = Dict[Tuple[int, ...], Tuple[int, int]]
+
+
+def _render_signature(canonical: Tuple[int, ...]) -> str:
+    """``10,11,12`` for a signature's sorted log-point ids (``-`` empty)."""
+    return ",".join(str(point) for point in canonical) if canonical else "-"
+
+
+def render_rules(compiled: CompiledModel) -> str:
+    """The rule-text form of every stage table in ``compiled``.
+
+    Deterministic: stages sort by (host, stage) key, signatures by their
+    canonical log-point tuples — the golden-file test depends on it.
+    """
+    stages = sorted(compiled.stages.values(), key=lambda stage: stage.stage_key)
+    total_rules = sum(
+        1 for stage in stages for flag in stage.flags if flag & KNOWN
+    )
+    lines = [
+        FORMAT_LINE,
+        f"# model: generation={compiled.generation} "
+        f"per_host={compiled.per_host} stages={len(stages)} "
+        f"signatures={total_rules}",
+    ]
+    for stage in stages:
+        host_id, stage_id = stage.stage_key
+        lines.append(
+            f"stage host={host_id} id={stage_id} tasks={stage.total_tasks} "
+            f"flow_share={stage.flow_outlier_share!r}"
+        )
+        rules = []
+        for sig_id, flag in enumerate(stage.flags):
+            if not flag & KNOWN:
+                continue
+            canonical = canonical_tuple(compiled.space.signature_of(sig_id))
+            rules.append((canonical, flag, stage.cuts[sig_id]))
+        for canonical, flag, cut in sorted(rules):
+            verdict = "flow-outlier" if flag & FLOW_OUTLIER else "normal"
+            line = f"  sig {_render_signature(canonical)} -> {verdict}"
+            if flag & PERF_ELIGIBLE:
+                line += f" perf cut_us={'inf' if cut >= NO_CUT else cut}"
+            lines.append(line)
+        lines.append("  sig * -> novel (flow anomaly)")
+    return "\n".join(lines) + "\n"
+
+
+class ParsedRules:
+    """Classifier tables reconstructed from exported rule text.
+
+    Classifies identically to the :class:`~repro.core.columnar.
+    CompiledModel` the text was rendered from — same flags, same exact
+    integer cuts, same novel-signature fallback — so an operator can
+    audit (or diff) the text with confidence that it *is* the deployed
+    behaviour.
+    """
+
+    def __init__(
+        self, per_host: bool, generation: int, stages: Dict[StageKey, RuleTable]
+    ):
+        self.per_host = per_host
+        self.generation = generation
+        self.stages = stages
+
+    def rule(self, stage_key: StageKey, signature) -> Optional[Tuple[int, int]]:
+        """``(flags, cut)`` for one signature, or None when novel."""
+        table = self.stages.get(stage_key)
+        if table is None:
+            return None
+        return table.get(canonical_tuple(signature))
+
+    def classify(
+        self, host_id: int, stage_id: int, signature, duration_us: int
+    ) -> TaskLabel:
+        """Verdict for one task, mirroring ``CompiledModel.classify``."""
+        key = (host_id, stage_id) if self.per_host else (0, stage_id)
+        rule = self.rule(key, signature)
+        if rule is None:
+            return _LABEL_NEW_SIGNATURE
+        flags, cut = rule
+        return TaskLabel(
+            flow_outlier=bool(flags & FLOW_OUTLIER),
+            new_signature=False,
+            perf_outlier=bool(flags & PERF_ELIGIBLE) and duration_us > cut,
+            perf_eligible=bool(flags & PERF_ELIGIBLE),
+        )
+
+
+def parse_rules(text: str) -> ParsedRules:
+    """Inverse of :func:`render_rules`; raises ``ValueError`` on bad text."""
+    lines = text.splitlines()
+    if not lines or lines[0] != FORMAT_LINE:
+        raise ValueError("not a saad compiled rules file")
+    per_host = False
+    generation = 0
+    stages: Dict[StageKey, RuleTable] = {}
+    table: Optional[RuleTable] = None
+    for line in lines[1:]:
+        if line.startswith("# model:"):
+            fields = dict(
+                pair.split("=", 1) for pair in line[len("# model:") :].split()
+            )
+            per_host = fields.get("per_host") == "True"
+            generation = int(fields.get("generation", 0))
+        elif line.startswith("stage "):
+            fields = dict(pair.split("=", 1) for pair in line[len("stage ") :].split())
+            key = (int(fields["host"]), int(fields["id"]))
+            table = stages.setdefault(key, {})
+        elif line.startswith("  sig "):
+            if table is None:
+                raise ValueError(f"sig rule outside any stage: {line!r}")
+            body = line[len("  sig ") :]
+            points_text, _, verdict = body.partition(" -> ")
+            if not verdict:
+                raise ValueError(f"malformed sig rule: {line!r}")
+            if points_text == "*":
+                continue  # the implicit novel fallback
+            canonical = (
+                ()
+                if points_text == "-"
+                else tuple(int(point) for point in points_text.split(","))
+            )
+            flags = KNOWN
+            if verdict.startswith("flow-outlier"):
+                flags |= FLOW_OUTLIER
+            elif not verdict.startswith("normal"):
+                raise ValueError(f"unknown verdict in rule: {line!r}")
+            cut = NO_CUT
+            if " perf cut_us=" in verdict:
+                flags |= PERF_ELIGIBLE
+                cut_text = verdict.rsplit("cut_us=", 1)[1].strip()
+                cut = NO_CUT if cut_text == "inf" else int(cut_text)
+            table[canonical] = (flags, cut)
+        elif line.startswith("#") or not line.strip():
+            continue
+        else:
+            raise ValueError(f"unrecognized rules line: {line!r}")
+    return ParsedRules(per_host, generation, stages)
+
+
+def main(argv=None) -> int:
+    """CLI: compile a saved model and print its rule tables.
+
+    ``python -m repro rules MODEL.json [--out RULES.txt]``
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro rules",
+        description="export a saved model's compiled per-stage classifier "
+        "tables as readable rule text",
+    )
+    parser.add_argument("model", help="path to a model saved by save_model()")
+    parser.add_argument(
+        "--out", default=None, help="write the rules here instead of stdout"
+    )
+    args = parser.parse_args(argv)
+    text = render_rules(compile_model(load_model(args.model)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+__all__ = ["ParsedRules", "main", "parse_rules", "render_rules"]

@@ -226,6 +226,7 @@ class SynopsisCollector:
         self.retain = retain
         self.synopses: List[TaskSynopsis] = []
         self.subscribers: List[Subscriber] = []
+        self.frame_subscribers: List[FrameSink] = []
         self.streams: List[SynopsisStream] = []
         self.registry = registry if registry is not None else MetricsRegistry()
         self._count = 0
@@ -304,13 +305,21 @@ class SynopsisCollector:
 
     def receive_frame(self, frame: bytes) -> List[TaskSynopsis]:
         """Ingest one wire frame (the transport-side counterpart of
-        :meth:`SynopsisStream.flush_wire`); returns the decoded batch."""
+        :meth:`SynopsisStream.flush_wire`); returns the decoded batch.
+
+        Frame subscribers (:meth:`subscribe_frames`) run *before* the
+        per-synopsis decode fan-out, receiving the raw frame bytes —
+        the hook the columnar detect path hangs off (a decode error
+        raises before any subscriber sees a bad frame, because
+        ``decode_frame`` validates first)."""
         synopses, consumed = decode_frame(frame, 0)
         if consumed != len(frame):
             raise ValueError(f"trailing bytes after frame ({len(frame) - consumed})")
         self._frames_received += 1
         self._count += len(synopses)
         self._bytes_received += len(frame)
+        for frame_subscriber in self.frame_subscribers:
+            frame_subscriber(frame)
         if self.retain:
             self.synopses.extend(synopses)
         for subscriber in self.subscribers:
@@ -386,6 +395,17 @@ class SynopsisCollector:
     def subscribe(self, subscriber: Subscriber) -> None:
         """Add a callable receiving every synopsis this collector ingests."""
         self.subscribers.append(subscriber)
+
+    def subscribe_frames(self, sink: FrameSink) -> None:
+        """Add a callable receiving every complete wire frame's raw bytes.
+
+        The columnar inlet: a TCP-fed collector (``SAAD.listen`` /
+        :meth:`feed`) can hand whole frames to
+        :meth:`repro.core.detector.AnomalyDetector.observe_batch`
+        without the per-synopsis object decode in between.  Only frames
+        that arrive *as frames* fan out here; synopses received on the
+        object path have no wire form to forward."""
+        self.frame_subscribers.append(sink)
 
     def drain(self) -> List[TaskSynopsis]:
         """Return and clear retained synopses."""

@@ -53,6 +53,10 @@ _BLOCKING_BUILTINS = {"open", "input"}
 #: per-shard detectors must come from repro.shard.factory.shard_detector.
 _DETECTOR_CLASS = "AnomalyDetector"
 
+#: Detect-path methods that have a batch-capable equivalent (CP001):
+#: ``observe`` -> ``observe_batch``, ``classify`` -> compiled rule tables.
+_BATCH_CAPABLE_METHODS = frozenset({"observe", "classify"})
+
 #: Span-lifecycle method names on tracer-like receivers (TR001).  Sim
 #: and server code should never call these directly — the task execution
 #: tracker emits spans from set_context/end_task when tracing is on.
@@ -162,6 +166,11 @@ class FileFacts:
     )
     #: (line, col) of direct ``AnomalyDetector(...)`` constructions (SH001).
     detector_ctors: List[Tuple[int, int]] = field(default_factory=list)
+    #: (line, col, receiver, method) of per-task ``observe``/``classify``
+    #: calls made inside a loop body (CP001).
+    detect_loop_calls: List[Tuple[int, int, str, str]] = field(
+        default_factory=list
+    )
 
 
 def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
@@ -189,6 +198,8 @@ class _Collector(ast.NodeVisitor):
         self._func_stack: List[str] = []
         #: Facts of the function currently being visited (innermost).
         self._current: List[FunctionFacts] = []
+        #: How many for/while bodies enclose the current node (CP001).
+        self._loop_depth = 0
 
     # -- imports --------------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -247,12 +258,26 @@ class _Collector(ast.NodeVisitor):
             self.facts.classes[owner] = (True, logs, ctx, line)
         self._current.append(facts)
         self._func_stack.append(node.name)
+        # A nested def's body does not run per iteration of an enclosing
+        # loop; loop depth restarts inside it.
+        outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
+        self._loop_depth = outer_depth
         self._func_stack.pop()
         self._current.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    # -- loops (CP001 scope) ---------------------------------------------------
+    def _visit_loop(self, node) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
 
     # -- calls ----------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -304,6 +329,20 @@ class _Collector(ast.NodeVisitor):
         ):
             if self._current:
                 self._current[-1].has_dequeue = True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BATCH_CAPABLE_METHODS
+            and node.args
+            and self._loop_depth > 0
+        ):
+            self.facts.detect_loop_calls.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    _receiver_name(func.value),
+                    func.attr,
+                )
+            )
         ctor_name = (
             func.id
             if isinstance(func, ast.Name)
@@ -582,6 +621,39 @@ class LintEngine:
             out.extend(self._tr001(facts))
         if "SH001" in self.rules:
             out.extend(self._sh001(facts))
+        if "CP001" in self.rules:
+            out.extend(self._cp001(facts))
+        return out
+
+    def _cp001(self, facts) -> List[Diagnostic]:
+        out = []
+        # Advisory, and scoped to the code that actually sits on the hot
+        # ingest path: shard packages and benchmark files.  Application
+        # code feeding a detector object-by-object is out of scope.
+        in_shard = f"{os.sep}shard{os.sep}" in facts.path or facts.path.startswith(
+            f"shard{os.sep}"
+        )
+        in_bench = "bench" in os.path.basename(facts.path).lower() or (
+            f"{os.sep}benchmarks{os.sep}" in facts.path
+            or facts.path.startswith(f"benchmarks{os.sep}")
+        )
+        if not (in_shard or in_bench):
+            return out
+        for line, col, receiver, method in facts.detect_loop_calls:
+            site = f"{receiver}.{method}()" if receiver else f"{method}()"
+            out.append(
+                Diagnostic(
+                    "CP001",
+                    facts.path,
+                    line,
+                    col,
+                    f"per-task {site} loop on a batch-capable path",
+                    "feed whole wire frames through AnomalyDetector."
+                    "observe_batch (or classify through compile_model's "
+                    "rule tables) instead of looping per synopsis; a "
+                    "deliberate scalar baseline can disable CP001 inline",
+                )
+            )
         return out
 
     def _sh001(self, facts) -> List[Diagnostic]:

@@ -78,7 +78,7 @@ def main(argv) -> int:
     # Coordinator-side reference run, not a shard worker's detector.
     single = AnomalyDetector(model)  # saadlint: disable=SH001
     for synopsis in trace:
-        single.observe(synopsis)
+        single.observe(synopsis)  # saadlint: disable=CP001
     single.flush()
     single_s = time.perf_counter() - started
 

@@ -5,9 +5,12 @@ length-prefixed wire frames produced by
 :meth:`~repro.core.stream.SynopsisStream.flush_wire` and hands each
 complete frame to a ``sink`` callable — typically
 :meth:`SynopsisCollector.receive_frame
-<repro.core.stream.SynopsisCollector.receive_frame>` or
+<repro.core.stream.SynopsisCollector.receive_frame>`,
 :meth:`ShardedAnalyzer.dispatch_frame
-<repro.shard.coordinator.ShardedAnalyzer.dispatch_frame>`.  The event
+<repro.shard.coordinator.ShardedAnalyzer.dispatch_frame>`, or the
+columnar :meth:`AnomalyDetector.observe_batch
+<repro.core.detector.AnomalyDetector.observe_batch>` for decode-free
+single-process detection straight off the socket.  The event
 loop runs in a daemon thread, so the server drops into synchronous
 deployments (the ``SAAD`` facade, tests) without an async caller.
 

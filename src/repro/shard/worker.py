@@ -4,8 +4,9 @@ Each worker owns one :class:`~repro.core.detector.AnomalyDetector` (built
 through :func:`repro.shard.factory.shard_detector`), its own process-local
 signature interning table, and its own telemetry registry.  The parent
 coordinator ships work as length-prefixed wire frames; the worker ingests
-them through the detector's fused :meth:`observe_frame` path and ships
-back anomaly events, telemetry snapshots, and busy-time accounting.
+each blob through the detector's columnar :meth:`observe_batch` path
+(DESIGN §13) and ships back anomaly events, telemetry snapshots, and
+busy-time accounting.
 
 Everything here is **spawn-safe**: :func:`worker_main` is a module-level
 function, its :class:`WorkerInit` argument is a plain picklable
@@ -35,10 +36,9 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from repro.core.persistence import receive_model
-from repro.core.synopsis import FRAME_HEADER
 from repro.telemetry import MetricsRegistry
 
 from .factory import shard_detector
@@ -118,22 +118,16 @@ def worker_main(conn, init: WorkerInit) -> None:
             exemplars_per_window=init.exemplars_per_window,
         )
         base_cpu = time.process_time()
-        frame_header_size = FRAME_HEADER.size
-        observe_frame = detector.observe_frame
+        observe_batch = detector.observe_batch
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "frames":
-                payload = message[1]
-                events: List = []
-                offset = 0
-                length = len(payload)
-                while offset < length:
-                    emitted = observe_frame(payload, offset)
-                    if emitted:
-                        events.extend(emitted)
-                    frame_bytes, _ = FRAME_HEADER.unpack_from(payload, offset)
-                    offset += frame_header_size + frame_bytes
+                # One "frames" payload is concatenated wire frames — the
+                # columnar batch path ingests the whole blob in one call
+                # (and degrades to the exact per-frame path itself when
+                # tracing is on or numpy is missing).
+                events = observe_batch(message[1])
                 if events:
                     conn.send(("events", events))
             elif kind == "flush":

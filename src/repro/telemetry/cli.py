@@ -94,6 +94,17 @@ def _demo_deployment():
         detector.observe(synopsis)
     detector.flush()
 
+    # Columnar pass: replay the detection trace as one wire blob through
+    # a batch detector, so the columnar_* ingest counters and the model
+    # compiler's compile_* counters are live in this registry.
+    from repro.core import AnomalyDetector
+    from repro.core.synopsis import encode_frame
+
+    replay = saad.collector.synopses[trained:]
+    batch_detector = AnomalyDetector(saad.model, saad.config, registry=saad.registry)
+    batch_detector.observe_batch(encode_frame(replay))
+    batch_detector.flush()
+
     # Persistence round-trip so the model_* counters are live too.
     handle, path = tempfile.mkstemp(suffix=".saad-model.json")
     os.close(handle)
@@ -108,7 +119,6 @@ def _demo_deployment():
     # shard_server_* transport families are live in this registry too.
     import time
 
-    from repro.core.synopsis import encode_frame
     from repro.shard import FrameClient, ShardedAnalyzer, SynopsisServer
 
     def _counter(name):
@@ -117,7 +127,6 @@ def _demo_deployment():
                 return sum(sample["value"] for sample in family["samples"])
         return 0.0
 
-    replay = saad.collector.synopses[trained:]
     with ShardedAnalyzer(
         saad.model, 2, registry=saad.registry, tracer=saad.tracer
     ) as pool:

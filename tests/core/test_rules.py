@@ -1,0 +1,156 @@
+"""Compiled rule export: golden file, round-trip, and the CLI.
+
+The golden file pins the exact text ``python -m repro rules`` emits for
+a deterministic model — format drift must be a conscious edit of
+``tests/core/golden/rules_demo.txt``, never an accident.  The
+round-trip tests prove the text is faithful: :func:`parse_rules` on the
+rendered output classifies identically to the compiled tables it came
+from.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    OutlierModel,
+    SAADConfig,
+    TaskSynopsis,
+    compile_model,
+    parse_rules,
+    render_rules,
+    save_model,
+)
+from repro.core.rules import FORMAT_LINE, main as rules_cli
+
+pytestmark = pytest.mark.columnar
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "rules_demo.txt")
+
+
+def synopsis(stage=1, host=0, uid=0, start=0.0, duration=0.01, lps=(1, 2, 4, 5)):
+    return TaskSynopsis(
+        host_id=host,
+        stage_id=stage,
+        uid=uid,
+        start_time=start,
+        duration=duration,
+        log_points={lp: 1 for lp in lps},
+    )
+
+
+def golden_model():
+    """Fully deterministic (no RNG): arithmetic durations, fixed mix.
+
+    Four stage groups (2 hosts x 2 stages) and three signatures chosen
+    to exercise every verdict the format can express: a dominant normal
+    signature with a perf cut, a rare-but-tolerated signature, and a
+    single-occurrence flow outlier.
+    """
+    trace = []
+    for i in range(480):
+        if i == 0:
+            lps = (1, 2, 3, 4, 5, 6)  # single occurrence: flow outlier
+        elif i % 40 == 2:
+            lps = (1, 2, 3, 4, 5)  # rare but tolerated
+        else:
+            lps = (1, 2, 4, 5)
+        trace.append(
+            synopsis(
+                stage=1 + i % 2,
+                host=(i // 2) % 2,
+                uid=i,
+                start=i * 0.05,
+                duration=0.005 + (i % 20) * 0.0005,
+                lps=lps,
+            )
+        )
+    config = SAADConfig(window_s=60.0, min_window_tasks=8)
+    return OutlierModel(config).train(trace)
+
+
+class TestGoldenFile:
+    def test_rendered_rules_match_golden_file(self):
+        text = render_rules(compile_model(golden_model()))
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert text == handle.read()
+
+    def test_cli_prints_the_same_text(self, tmp_path, capsys):
+        path = str(tmp_path / "model.json")
+        save_model(golden_model(), path)
+        assert rules_cli([path]) == 0
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert capsys.readouterr().out == handle.read()
+
+    def test_cli_out_flag_writes_file(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        out_path = str(tmp_path / "rules.txt")
+        save_model(golden_model(), model_path)
+        assert rules_cli([model_path, "--out", out_path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.startswith(FORMAT_LINE)
+
+
+class TestRoundTrip:
+    def test_parsed_rules_classify_identically(self):
+        model = golden_model()
+        compiled = compile_model(model)
+        parsed = parse_rules(render_rules(compiled))
+        assert parsed.per_host == compiled.per_host
+        assert parsed.generation == compiled.generation
+
+        signatures = {
+            signature
+            for stage_model in model.stages.values()
+            for signature in stage_model.signatures
+        }
+        signatures.add(frozenset({1, 99}))  # novel at compile time
+        grid = [0, 1, 4999, 5000, 5001, 9_000, 14_500, 14_501, 100_000]
+        for stage_key, stage in compiled.stages.items():
+            host_id, stage_id = stage.stage_key
+            for signature in signatures:
+                sig_id = compiled.space.id_of(signature)
+                for duration_us in grid:
+                    want = compiled.classify(host_id, stage_id, sig_id, duration_us)
+                    got = parsed.classify(host_id, stage_id, signature, duration_us)
+                    assert got == want, (stage_key, signature, duration_us)
+
+    def test_round_trip_covers_exact_cut_boundaries(self):
+        compiled = compile_model(golden_model())
+        parsed = parse_rules(render_rules(compiled))
+        for stage in compiled.stages.values():
+            host_id, stage_id = stage.stage_key
+            for sig_id, flag in enumerate(stage.flags):
+                if not flag:
+                    continue
+                cut = stage.cuts[sig_id]
+                signature = compiled.space.signature_of(sig_id)
+                for duration_us in (cut - 1, cut, cut + 1):
+                    if not 0 <= duration_us < 2**31:
+                        continue
+                    assert parsed.classify(
+                        host_id, stage_id, signature, duration_us
+                    ) == compiled.classify(host_id, stage_id, sig_id, duration_us)
+
+
+class TestParseErrors:
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ValueError, match="not a saad compiled rules"):
+            parse_rules("bogus\n")
+
+    def test_sig_outside_stage_rejected(self):
+        with pytest.raises(ValueError, match="outside any stage"):
+            parse_rules(FORMAT_LINE + "\n  sig 1,2 -> normal\n")
+
+    def test_unknown_verdict_rejected(self):
+        with pytest.raises(ValueError, match="unknown verdict"):
+            parse_rules(
+                FORMAT_LINE + "\nstage host=0 id=1 tasks=1 flow_share=0.0\n"
+                "  sig 1,2 -> maybe\n"
+            )
+
+    def test_unrecognized_line_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_rules(FORMAT_LINE + "\nwat\n")

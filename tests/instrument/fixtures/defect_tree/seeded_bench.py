@@ -1,0 +1,19 @@
+"""Seeded CP001 defect: per-task classification in benchmark code.
+
+Planted defects (line numbers are asserted in test_lint.py):
+
+* line 14 — ``model.classify(...)`` inside the timing loop (CP001)
+
+The columnar leg below must stay quiet.
+"""
+
+
+def scalar_leg(model, rows):
+    labels = []
+    for stage_key, signature, duration in rows:
+        labels.append(model.classify(stage_key, signature, duration))
+    return labels
+
+
+def columnar_leg(detector, blob):
+    return detector.observe_batch(blob)

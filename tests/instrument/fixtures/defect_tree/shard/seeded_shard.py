@@ -1,11 +1,12 @@
-"""Seeded SH001 defects: detector construction inside a shard package.
+"""Seeded SH001/CP001 defects: shard-package detector misuse.
 
 Planted defects (line numbers are asserted in test_lint.py):
 
-* line 13 — bare ``AnomalyDetector(...)`` in worker code (SH001)
-* line 19 — attribute form ``detector_mod.AnomalyDetector(...)`` (SH001)
+* line 14 — bare ``AnomalyDetector(...)`` in worker code (SH001)
+* line 20 — attribute form ``detector_mod.AnomalyDetector(...)`` (SH001)
+* line 31 — per-task ``detector.observe(...)`` loop (CP001)
 
-The factory call below must stay quiet.
+The factory call and the batch replay below must stay quiet.
 """
 
 
@@ -23,3 +24,13 @@ def build_worker_detector_via_module(model, detector_mod):
 def sanctioned_sites(model, shard_detector):
     from_factory = shard_detector(model, shard_id=0)
     return from_factory
+
+
+def replay_per_task(detector, trace):
+    for synopsis in trace:
+        detector.observe(synopsis)
+    return detector.flush()
+
+
+def replay_batched(detector, blob):
+    return detector.observe_batch(blob)
