@@ -1,0 +1,385 @@
+"""Project-wide call graph with conservative receiver-type resolution.
+
+Built over the per-file facts from :mod:`repro.instrument.facts`, the
+graph maps each function (keyed by ``(path, qualname)``) to the
+functions it may call.  Resolution is deliberately conservative — an
+edge exists only when the callee is statically identifiable:
+
+* ``self.m(...)`` resolves through the receiver's class (and its
+  same-tree base classes, nearest-ancestor-first);
+* ``obj.m(...)`` resolves when ``obj``'s class is known — from a local
+  ``obj = ClassName(...)`` binding, a parameter annotation, or a
+  ``self.attr = ClassName(...)`` assignment recorded in class facts;
+* ``ClassName(...)`` resolves to ``ClassName.__init__``;
+* a bare ``name(...)`` resolves to a module-level function, same file
+  first, then a unique match anywhere in the tree (``from x import y``
+  crossings resolve through the import map when the target module is in
+  the scanned tree).
+
+Unresolvable calls (duck-typed attributes, callables passed as values)
+simply produce no edge; whole-program rules built on the graph
+(:mod:`repro.instrument.concurrency`) under-approximate rather than
+guess.  Thread/process/callback *entry points* are modelled explicitly:
+``Thread(target=self._run)``, ``mp.Process(target=worker_main)``, and
+``loop.call_soon_threadsafe(cb)`` add an edge from the spawning function
+to the target, tagged so rules can treat it as a concurrency boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .facts import FileFacts, FunctionFacts, iter_own_nodes, receiver_name
+
+__all__ = ["CallEdge", "CallGraph", "FuncKey", "build_callgraph"]
+
+#: Stable identity of a function across the scanned tree.
+FuncKey = Tuple[str, str]  # (path, qualname)
+
+#: Constructor names that spawn a concurrent entry point from a
+#: ``target=``/callback argument.
+_SPAWN_CTORS = frozenset({"Thread", "Process", "Timer"})
+_CALLBACK_METHODS = frozenset(
+    {"call_soon", "call_soon_threadsafe", "call_later", "run_in_executor", "submit"}
+)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` may invoke ``callee`` at ``line``."""
+
+    caller: FuncKey
+    callee: FuncKey
+    line: int
+    col: int
+    #: "call" for a plain invocation; "spawn" when the callee runs on a
+    #: new thread/process/event-loop turn (a concurrency boundary).
+    kind: str = "call"
+
+
+@dataclass
+class CallGraph:
+    """Whole-program call graph over collected facts."""
+
+    functions: Dict[FuncKey, FunctionFacts] = field(default_factory=dict)
+    edges: List[CallEdge] = field(default_factory=list)
+    out_edges: Dict[FuncKey, List[CallEdge]] = field(default_factory=dict)
+    #: Functions reached via a spawn edge (thread/process/callback
+    #: targets) — the concurrent entry points of the program.
+    spawned: Dict[FuncKey, List[CallEdge]] = field(default_factory=dict)
+
+    def callees(
+        self, key: FuncKey, kinds: Optional[Set[str]] = None
+    ) -> List[CallEdge]:
+        edges = self.out_edges.get(key, [])
+        if kinds is None:
+            return edges
+        return [edge for edge in edges if edge.kind in kinds]
+
+    def reachable_from(
+        self, roots: Iterable[FuncKey], kinds: Optional[Set[str]] = None
+    ) -> Set[FuncKey]:
+        """All functions transitively callable from ``roots`` (inclusive).
+
+        ``kinds`` restricts traversal to the given edge kinds — e.g.
+        ``{"call"}`` for same-thread reachability (AS001 must not follow
+        a spawn edge: the target runs elsewhere and cannot stall the
+        caller's event loop).
+        """
+        seen: Set[FuncKey] = set()
+        queue = deque(k for k in roots if k in self.functions)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for edge in self.callees(current, kinds):
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    queue.append(edge.callee)
+        return seen
+
+    def shortest_chain(
+        self, root: FuncKey, target: FuncKey, kinds: Optional[Set[str]] = None
+    ) -> Optional[List[FuncKey]]:
+        """A shortest call chain root -> ... -> target, or None.
+
+        Deterministic: ties break on edge insertion order, which follows
+        source order within the deterministic file walk.
+        """
+        if root not in self.functions:
+            return None
+        parents: Dict[FuncKey, FuncKey] = {root: root}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            if current == target:
+                chain = [current]
+                while parents[chain[-1]] != chain[-1]:
+                    chain.append(parents[chain[-1]])
+                return list(reversed(chain))
+            for edge in self.callees(current, kinds):
+                if edge.callee not in parents:
+                    parents[edge.callee] = current
+                    queue.append(edge.callee)
+        return None
+
+
+class _Resolver:
+    """Name/receiver resolution context shared across one build."""
+
+    def __init__(self, files: Sequence[FileFacts]):
+        self.files = files
+        # (path, qualname) -> facts, and per-file lookup tables.
+        self.functions: Dict[FuncKey, FunctionFacts] = {}
+        #: path -> {qualname -> key} for same-file resolution.
+        self.by_file: Dict[str, Dict[str, FuncKey]] = {}
+        #: module-level function name -> keys across the tree.
+        self.toplevel: Dict[str, List[FuncKey]] = {}
+        #: class name -> (path, class facts) occurrences.
+        self.classes: Dict[str, List[Tuple[str, "object"]]] = {}
+        #: (path, ClassName) -> {method name -> key}
+        self.methods: Dict[Tuple[str, str], Dict[str, FuncKey]] = {}
+        for facts in files:
+            file_map = self.by_file.setdefault(facts.path, {})
+            for func in facts.functions:
+                key = (facts.path, func.qualname)
+                self.functions[key] = func
+                file_map[func.qualname] = key
+                if "." not in func.qualname:
+                    self.toplevel.setdefault(func.qualname, []).append(key)
+                elif func.owner_class and func.qualname == (
+                    f"{func.owner_class}.{func.node.name}"
+                ):
+                    self.methods.setdefault(
+                        (facts.path, func.owner_class), {}
+                    )[func.node.name] = key
+            for name, cls in facts.class_facts.items():
+                self.classes.setdefault(name, []).append((facts.path, cls))
+
+    # -- class-level lookups --------------------------------------------------
+    def method_on_class(
+        self, path: str, class_name: str, method: str
+    ) -> Optional[FuncKey]:
+        """Resolve ``ClassName.method`` with same-tree base-class walk."""
+        seen: Set[Tuple[str, str]] = set()
+        queue = deque([(path, class_name)])
+        while queue:
+            current_path, current_class = queue.popleft()
+            if (current_path, current_class) in seen:
+                continue
+            seen.add((current_path, current_class))
+            hit = self.methods.get((current_path, current_class), {}).get(method)
+            if hit is not None:
+                return hit
+            base_facts = None
+            for facts in self.files:
+                if facts.path == current_path:
+                    base_facts = facts.class_facts.get(current_class)
+                    break
+            if base_facts is None:
+                continue
+            for base in base_facts.bases:
+                for base_path, _ in self._class_sites(base, prefer=current_path):
+                    queue.append((base_path, base))
+        return None
+
+    def _class_sites(self, class_name: str, prefer: str) -> List[Tuple[str, "object"]]:
+        sites = self.classes.get(class_name, [])
+        return sorted(sites, key=lambda site: (site[0] != prefer, site[0]))
+
+    def attr_type(self, path: str, class_name: str, attr: str) -> Optional[str]:
+        """Declared class of ``self.<attr>`` from ``__init__``-style facts."""
+        for facts in self.files:
+            if facts.path != path:
+                continue
+            cls = facts.class_facts.get(class_name)
+            if cls is not None:
+                return cls.attr_types.get(attr)
+        return None
+
+    def resolve_bare(self, path: str, name: str) -> Optional[FuncKey]:
+        """A bare function name: same file, then imports, then unique."""
+        same_file = self.by_file.get(path, {}).get(name)
+        if same_file is not None:
+            return same_file
+        facts = next((f for f in self.files if f.path == path), None)
+        if facts is not None and name in facts.from_imports:
+            _, original = facts.from_imports[name]
+            candidates = self.toplevel.get(original, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        candidates = self.toplevel.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_class(self, path: str, name: str) -> Optional[str]:
+        """Whether ``name`` denotes a known class (same tree), its name."""
+        facts = next((f for f in self.files if f.path == path), None)
+        if facts is not None and name in facts.from_imports:
+            name = facts.from_imports[name][1]
+        return name if name in self.classes else None
+
+
+def _local_bindings(resolver: _Resolver, facts: FileFacts, func) -> Dict[str, str]:
+    """Local name -> class name, from ctor assignments and annotations."""
+    bindings: Dict[str, str] = {}
+    node = func.node
+    for arg in list(node.args.args) + list(node.args.posonlyargs) + list(
+        node.args.kwonlyargs
+    ):
+        annotation = arg.annotation
+        if isinstance(annotation, ast.Name):
+            cls = resolver.resolve_class(facts.path, annotation.id)
+            if cls:
+                bindings[arg.arg] = cls
+        elif isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            cls = resolver.resolve_class(facts.path, annotation.value)
+            if cls:
+                bindings[arg.arg] = cls
+    for child in iter_own_nodes(node):
+        if not (isinstance(child, ast.Assign) and len(child.targets) == 1):
+            continue
+        target = child.targets[0]
+        if not (isinstance(target, ast.Name) and isinstance(child.value, ast.Call)):
+            continue
+        ctor = child.value.func
+        ctor_name = (
+            ctor.id
+            if isinstance(ctor, ast.Name)
+            else ctor.attr if isinstance(ctor, ast.Attribute) else None
+        )
+        if ctor_name:
+            cls = resolver.resolve_class(facts.path, ctor_name)
+            if cls:
+                bindings[target.id] = cls
+    return bindings
+
+
+def _callable_ref_key(
+    resolver: _Resolver, facts: FileFacts, func, expr: ast.expr,
+    bindings: Dict[str, str],
+) -> Optional[FuncKey]:
+    """Resolve a *reference* to a callable (not a call): spawn targets."""
+    if isinstance(expr, ast.Name):
+        return resolver.resolve_bare(facts.path, expr.id)
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        base = expr.value.id
+        if base == "self" and func.owner_class:
+            return resolver.method_on_class(facts.path, func.owner_class, expr.attr)
+        cls = bindings.get(base)
+        if cls:
+            for class_path, _ in resolver._class_sites(cls, prefer=facts.path):
+                hit = resolver.method_on_class(class_path, cls, expr.attr)
+                if hit is not None:
+                    return hit
+    return None
+
+
+def _resolve_call(
+    resolver: _Resolver, facts: FileFacts, func, call: ast.Call,
+    bindings: Dict[str, str],
+) -> Optional[FuncKey]:
+    target = call.func
+    if isinstance(target, ast.Name):
+        cls = resolver.resolve_class(facts.path, target.id)
+        if cls:
+            for class_path, _ in resolver._class_sites(cls, prefer=facts.path):
+                hit = resolver.method_on_class(class_path, cls, "__init__")
+                if hit is not None:
+                    return hit
+            return None
+        return resolver.resolve_bare(facts.path, target.id)
+    if not isinstance(target, ast.Attribute):
+        return None
+    receiver = target.value
+    if isinstance(receiver, ast.Name):
+        base = receiver.id
+        if base == "self" and func.owner_class:
+            return resolver.method_on_class(
+                facts.path, func.owner_class, target.attr
+            )
+        cls = bindings.get(base)
+        if cls:
+            for class_path, _ in resolver._class_sites(cls, prefer=facts.path):
+                hit = resolver.method_on_class(class_path, cls, target.attr)
+                if hit is not None:
+                    return hit
+        return None
+    # self.attr.m(...): type the attribute through recorded class facts.
+    if (
+        isinstance(receiver, ast.Attribute)
+        and isinstance(receiver.value, ast.Name)
+        and receiver.value.id == "self"
+        and func.owner_class
+    ):
+        cls = resolver.attr_type(facts.path, func.owner_class, receiver.attr)
+        if cls:
+            for class_path, _ in resolver._class_sites(cls, prefer=facts.path):
+                hit = resolver.method_on_class(class_path, cls, target.attr)
+                if hit is not None:
+                    return hit
+    return None
+
+
+def _spawn_target_expr(call: ast.Call) -> Optional[ast.expr]:
+    """The callable run concurrently by this call, if it spawns one."""
+    func = call.func
+    ctor_name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if ctor_name in _SPAWN_CTORS:
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                return keyword.value
+        return None
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _CALLBACK_METHODS
+        and call.args
+    ):
+        # call_later(delay, cb) puts the callback second; the rest first.
+        index = 1 if func.attr == "call_later" and len(call.args) > 1 else 0
+        if func.attr == "run_in_executor" and len(call.args) > 1:
+            index = 1
+        return call.args[index]
+    return None
+
+
+def build_callgraph(files: Sequence[FileFacts]) -> CallGraph:
+    """Build the whole-program call graph for collected files."""
+    resolver = _Resolver(files)
+    graph = CallGraph(functions=dict(resolver.functions))
+    for facts in files:
+        for func in facts.functions:
+            caller: FuncKey = (facts.path, func.qualname)
+            bindings = _local_bindings(resolver, facts, func)
+            for node in iter_own_nodes(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                spawn_expr = _spawn_target_expr(node)
+                if spawn_expr is not None:
+                    callee = _callable_ref_key(
+                        resolver, facts, func, spawn_expr, bindings
+                    )
+                    if callee is not None:
+                        edge = CallEdge(
+                            caller, callee, node.lineno, node.col_offset,
+                            kind="spawn",
+                        )
+                        graph.edges.append(edge)
+                        graph.out_edges.setdefault(caller, []).append(edge)
+                        graph.spawned.setdefault(callee, []).append(edge)
+                    continue
+                callee = _resolve_call(resolver, facts, func, node, bindings)
+                if callee is not None and callee != caller:
+                    edge = CallEdge(caller, callee, node.lineno, node.col_offset)
+                    graph.edges.append(edge)
+                    graph.out_edges.setdefault(caller, []).append(edge)
+    return graph

@@ -43,6 +43,10 @@ _RAISING_EXPRS = (
 
 _CATCH_ALL_NAMES = {"Exception", "BaseException"}
 
+#: ``match`` statements exist from Python 3.10 (they cannot parse on
+#: 3.9, so a None here simply never matches an isinstance check).
+_MATCH_STMT = getattr(ast, "Match", None)
+
 
 def _can_raise(stmt: ast.stmt) -> bool:
     """Whether executing ``stmt`` itself (not its nested blocks) can raise."""
@@ -76,6 +80,11 @@ def own_expr_container(stmt: ast.AST) -> ast.AST:
         )
     if isinstance(stmt, ast.Try):
         return empty
+    if _MATCH_STMT is not None and isinstance(stmt, _MATCH_STMT):
+        # The match statement itself evaluates only its subject; case
+        # bodies are separate CFG nodes (guards are part of case
+        # dispatch and stay out of the subject node conservatively).
+        return stmt.subject
     if isinstance(stmt, ast.ExceptHandler):
         return stmt.type if stmt.type is not None else empty
     if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
@@ -85,6 +94,25 @@ def own_expr_container(stmt: ast.AST) -> ast.AST:
 
 # Backwards-compatible internal alias.
 _own_expr_container = own_expr_container
+
+
+def _is_irrefutable_case(case) -> bool:
+    """Whether a match case always matches (``case _:``, ``case x:``).
+
+    A guard makes any pattern refutable; an or-pattern is irrefutable
+    when its last alternative is (Python only allows it there).
+    """
+    if case.guard is not None:
+        return False
+
+    def irrefutable(pattern) -> bool:
+        if isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+            return True
+        if isinstance(pattern, ast.MatchOr):
+            return any(irrefutable(p) for p in pattern.patterns)
+        return False
+
+    return irrefutable(case.pattern)
 
 
 def _is_catch_all(handler: ast.ExceptHandler) -> bool:
@@ -300,6 +328,26 @@ class _CFGBuilder:
 
         if isinstance(stmt, ast.Try):
             return self._try(stmt, node, break_to, continue_to, exc_targets, exc_caught)
+
+        if _MATCH_STMT is not None and isinstance(stmt, _MATCH_STMT):
+            # Each case body branches from the match head.  Unless some
+            # case is irrefutable (a bare ``case _:`` / capture pattern
+            # with no guard), no case may match and control falls
+            # through the statement unchanged.
+            tails: List[Tuple[int, bool]] = []
+            irrefutable = False
+            for case in stmt.cases:
+                if _is_irrefutable_case(case):
+                    irrefutable = True
+                tails.extend(
+                    self.block(
+                        case.body, [(node, False)], break_to, continue_to,
+                        exc_targets, exc_caught,
+                    )
+                )
+            if not irrefutable:
+                tails.append((node, False))
+            return tails
 
         # Function/class definitions: no control flow into the nested body.
         return [(node, False)]

@@ -21,7 +21,8 @@ from typing import List, Optional
 from repro.core import LogPointRegistry
 
 from .baseline import Baseline, find_default_baseline
-from .lint import ALL_RULES, run_lint
+from .cache import DEFAULT_CACHE_NAME, cache_key, load_cached_result, store_result
+from .lint import ALL_RULES, _python_files, run_lint
 from .reporters import render_json, render_rule_table, render_text
 
 
@@ -72,6 +73,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept all current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="collect file facts with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the content-hash result cache (always analyze)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help=f"result cache file (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     parser.add_argument(
@@ -117,17 +135,37 @@ def _main(argv: Optional[List[str]] = None) -> int:
             print(f"saadlint: cannot load registry: {exc}", file=sys.stderr)
             return 2
 
-    try:
-        result = run_lint(
-            args.paths,
-            select=_parse_rules(args.select),
-            ignore=_parse_rules(args.ignore) or (),
-            registry=registry,
-            registry_label=args.registry or "<registry>",
-        )
-    except ValueError as exc:
-        print(f"saadlint: {exc}", file=sys.stderr)
-        return 2
+    select = _parse_rules(args.select)
+    ignore = _parse_rules(args.ignore) or ()
+    effective_rules = [r for r in (select or ALL_RULES) if r not in set(ignore)]
+
+    cache_path = args.cache or DEFAULT_CACHE_NAME
+    key = None
+    result = None
+    if not args.no_cache:
+        hashed = list(_python_files(args.paths))
+        if args.registry:
+            # The registry changes LP004 output, so its content is part
+            # of the cache identity too.
+            hashed.append(args.registry)
+        key = cache_key(hashed, effective_rules)
+        result = load_cached_result(cache_path, key)
+
+    if result is None:
+        try:
+            result = run_lint(
+                args.paths,
+                select=select,
+                ignore=ignore,
+                registry=registry,
+                registry_label=args.registry or "<registry>",
+                jobs=args.jobs,
+            )
+        except ValueError as exc:
+            print(f"saadlint: {exc}", file=sys.stderr)
+            return 2
+        if key is not None:
+            store_result(cache_path, key, result)
 
     baseline_path = args.baseline or find_default_baseline(args.paths)
     if args.write_baseline:

@@ -1,0 +1,759 @@
+"""Whole-program concurrency rules over the project call graph.
+
+Five rule families, all conservative (no edge / no type → no finding):
+
+* **AS001** — a real blocking primitive (``time.sleep``, blocking
+  socket/file/queue ops, ``subprocess``) transitively reachable from an
+  ``async def`` without crossing a spawn boundary stalls the event loop.
+  Interprocedural generalization of CC001.
+* **RC001** — lockset-lite race detection: within a class that guards
+  state with ``with self.<lock>:``, an attribute accessed under the lock
+  somewhere but *written* outside it elsewhere (``__init__`` excluded)
+  is a data race once the object is shared across threads.
+* **DL001** — lock-order deadlock cycles: a global lock-acquisition
+  -order graph (nested ``with`` blocks plus lock acquisitions reached
+  through calls made while holding a lock); any edge on a cycle is an
+  inconsistent ordering that can deadlock.
+* **SP001** — spawn safety: values captured into ``mp.Process`` args or
+  sent over an ``mp.Pipe`` connection that reference unpicklable or
+  process-local state (sync primitives, sockets, open files,
+  module-level interning tables mutated after fork).
+* **WP001** — wire-protocol symmetry: every ``struct`` pack format in
+  the tree must have a matching unpack site (same field order), or the
+  bytes can never be decoded by this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, FuncKey, build_callgraph
+from .diagnostics import Diagnostic
+from .facts import (
+    FileFacts,
+    blocking_call_description,
+    iter_own_nodes,
+    real_queue_names,
+)
+
+__all__ = ["CONCURRENCY_RULES", "check_concurrency"]
+
+#: The whole-program rule families this pass owns.
+CONCURRENCY_RULES = frozenset({"AS001", "RC001", "DL001", "SP001", "WP001"})
+
+#: Receiver classes treated as locks for RC001/DL001 lockset inference.
+_LOCK_TYPES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: threading names whose instances cannot cross a spawn boundary.
+_THREADING_LOCALS = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore"}
+)
+
+#: ``self.<attr>`` types that are process-local (SP001 payload check).
+_PROCESS_LOCAL_TYPES = _THREADING_LOCALS | {"socket", "create_connection"}
+
+#: struct methods on each side of the wire.
+_PACK_METHODS = frozenset({"pack", "pack_into"})
+_UNPACK_METHODS = frozenset({"unpack", "unpack_from", "iter_unpack"})
+
+#: Byte-order / padding prefix characters stripped when normalizing a
+#: struct format into its field-order signature.
+_ORDER_CHARS = "<>=!@ \t"
+
+
+def check_concurrency(
+    files: Sequence[FileFacts], rules: Set[str]
+) -> List[Diagnostic]:
+    """Run the selected whole-program rules over collected files."""
+    out: List[Diagnostic] = []
+    graph: Optional[CallGraph] = None
+    if rules & {"AS001", "RC001", "DL001"}:
+        graph = build_callgraph(files)
+    if "AS001" in rules:
+        out.extend(_as001(files, graph))
+    if "RC001" in rules:
+        out.extend(_rc001(files, graph))
+    if "DL001" in rules:
+        out.extend(_dl001(files, graph))
+    if "SP001" in rules:
+        out.extend(_sp001(files))
+    if "WP001" in rules:
+        out.extend(_wp001(files))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# AS001: blocking call reachable from an async def
+# ---------------------------------------------------------------------------
+
+
+def _as001(files: Sequence[FileFacts], graph: CallGraph) -> List[Diagnostic]:
+    facts_by_path = {facts.path: facts for facts in files}
+    entries = sorted(
+        key
+        for key, func in graph.functions.items()
+        if func.is_async and not func.is_generator
+    )
+    if not entries:
+        return []
+    # Same-thread reachability only: work handed to a thread/process via
+    # a spawn edge cannot stall the caller's event loop.
+    reach_by_entry = {
+        entry: graph.reachable_from([entry], kinds={"call"})
+        for entry in entries
+    }
+    out: List[Diagnostic] = []
+    for key in sorted(graph.functions):
+        reaching = [e for e in entries if key in reach_by_entry[e]]
+        if not reaching:
+            continue
+        path, qualname = key
+        facts = facts_by_path[path]
+        func = graph.functions[key]
+        if func.is_generator and not func.is_async:
+            continue  # sync generators run only when driven; CC001 territory
+        real_queues = real_queue_names(facts, func.node)
+        for node in iter_own_nodes(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            blocking = blocking_call_description(facts, node, real_queues)
+            if blocking is None:
+                continue
+            entry = min(reaching, key=lambda e: (e[1], e[0]))
+            chain = graph.shortest_chain(entry, key, kinds={"call"}) or [key]
+            via = " -> ".join(f"{q}()" for _, q in chain)
+            out.append(
+                Diagnostic(
+                    "AS001",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking call {blocking} reachable from async "
+                    f"{entry[1]}() (chain: {via})",
+                    "stalling the event loop starves every other coroutine; "
+                    "await an asyncio equivalent (asyncio.sleep, "
+                    "loop.sock_recv, asyncio streams) or push the blocking "
+                    "work through loop.run_in_executor",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC001 / DL001: lockset inference
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Access:
+    """One ``self.<attr>`` access inside a method body."""
+
+    attr: str
+    line: int
+    col: int
+    is_write: bool
+    locks: FrozenSet[str]  # class-qualified lock ids held at the access
+    method: str
+
+
+@dataclass
+class _LockRegion:
+    """One ``with self.<lock>:`` region and what happens inside it."""
+
+    lock: str
+    line: int
+    #: (lock id, line, col) of acquisitions nested directly inside.
+    inner: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: (line, col, call node) of calls made while the lock is held.
+    calls: List[Tuple[int, int, ast.Call]] = field(default_factory=list)
+
+
+@dataclass
+class _ClassLockInfo:
+    name: str
+    path: str
+    lock_attrs: Set[str] = field(default_factory=set)
+    accesses: List[_Access] = field(default_factory=list)
+    regions: List[_LockRegion] = field(default_factory=list)
+
+
+def _lock_id_for_with_item(
+    item: ast.withitem, facts: FileFacts, owner_class: Optional[str]
+) -> Optional[str]:
+    """Class-qualified (or module-qualified) lock id for a with-item."""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and owner_class
+    ):
+        attr = expr.attr
+        cls = facts.class_facts.get(owner_class)
+        declared = cls.attr_types.get(attr) if cls else None
+        lowered = attr.lower()
+        if declared in _LOCK_TYPES or "lock" in lowered or "mutex" in lowered:
+            return f"{owner_class}.{attr}"
+        return None
+    if isinstance(expr, ast.Name):
+        lowered = expr.id.lower()
+        if "lock" in lowered or "mutex" in lowered:
+            return f"{os.path.basename(facts.path)}:{expr.id}"
+    return None
+
+
+def _scan_method_locks(
+    facts: FileFacts, func, info: _ClassLockInfo
+) -> None:
+    """Record lock regions and self-attribute accesses for one method."""
+
+    def walk(node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate scope
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                walk(item.context_expr, held)
+                if item.optional_vars is not None:
+                    walk(item.optional_vars, held)
+                lock = _lock_id_for_with_item(item, facts, func.owner_class)
+                if lock is not None:
+                    acquired.append(lock)
+                    info.lock_attrs.add(lock.split(".")[-1])
+                    region = _LockRegion(lock=lock, line=node.lineno)
+                    info.regions.append(region)
+                    _fill_region(node, region, held | frozenset(acquired))
+            inner_held = held | frozenset(acquired)
+            for stmt in node.body:
+                walk(stmt, inner_held)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            info.accesses.append(
+                _Access(
+                    attr=node.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    locks=held,
+                    method=func.qualname,
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    def _fill_region(
+        with_node: ast.AST, region: _LockRegion, held: FrozenSet[str]
+    ) -> None:
+        """Direct nested acquisitions and calls while this lock is held."""
+        stack = list(getattr(with_node, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    lock = _lock_id_for_with_item(item, facts, func.owner_class)
+                    if lock is not None and lock != region.lock:
+                        region.inner.append((lock, node.lineno, node.col_offset))
+            if isinstance(node, ast.Call):
+                region.calls.append((node.lineno, node.col_offset, node))
+            stack.extend(ast.iter_child_nodes(node))
+
+    for stmt in func.node.body:
+        walk(stmt, frozenset())
+
+
+def _collect_lock_info(
+    files: Sequence[FileFacts],
+) -> Dict[Tuple[str, str], _ClassLockInfo]:
+    """Per (path, class): lock regions + accesses for lockset rules."""
+    infos: Dict[Tuple[str, str], _ClassLockInfo] = {}
+    for facts in files:
+        for func in facts.functions:
+            if not func.owner_class:
+                continue
+            if func.qualname != f"{func.owner_class}.{func.node.name}":
+                continue  # nested defs analyze with their own scope rules
+            key = (facts.path, func.owner_class)
+            info = infos.setdefault(
+                key, _ClassLockInfo(name=func.owner_class, path=facts.path)
+            )
+            _scan_method_locks(facts, func, info)
+    return infos
+
+
+def _rc001(
+    files: Sequence[FileFacts], graph: CallGraph
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    infos = _collect_lock_info(files)
+    spawned_quals = {
+        key[1] for key in graph.spawned
+    }  # qualnames targeted by Thread/Process/callback spawns
+    for (path, class_name), info in sorted(infos.items()):
+        if not info.regions:
+            continue  # class never takes a lock: nothing to infer from
+        # An attribute is "guarded" if some access happens under a lock
+        # of this class; the guard set is every lock it was seen under.
+        guards: Dict[str, Set[str]] = {}
+        for access in info.accesses:
+            if access.attr in info.lock_attrs:
+                continue
+            if access.locks:
+                guards.setdefault(access.attr, set()).update(access.locks)
+        class_spawns = any(
+            qual.startswith(f"{class_name}.") for qual in spawned_quals
+        )
+        for access in info.accesses:
+            if not access.is_write or access.attr not in guards:
+                continue
+            method_name = access.method.rsplit(".", 1)[-1]
+            if method_name in ("__init__", "__post_init__"):
+                continue  # construction happens-before sharing
+            if access.locks & guards[access.attr]:
+                continue
+            guard_list = ", ".join(sorted(guards[access.attr]))
+            shared = (
+                " (class methods run on spawned threads/tasks)"
+                if class_spawns
+                else ""
+            )
+            out.append(
+                Diagnostic(
+                    "RC001",
+                    path,
+                    access.line,
+                    access.col,
+                    f"write to self.{access.attr} in {access.method}() "
+                    f"without holding {guard_list}, which guards it "
+                    f"elsewhere{shared}",
+                    f"wrap the write in `with self.{guard_list.split('.')[-1]}:` "
+                    "(or document the happens-before reason and disable "
+                    "RC001 inline); a torn or lost update here corrupts "
+                    "state shared across threads",
+                )
+            )
+    return out
+
+
+def _dl001(
+    files: Sequence[FileFacts], graph: CallGraph
+) -> List[Diagnostic]:
+    # Locks each function acquires anywhere in its body (direct), then a
+    # transitive fixpoint over call edges.
+    direct: Dict[FuncKey, Set[str]] = {key: set() for key in graph.functions}
+    regions_by_func: Dict[FuncKey, List[_LockRegion]] = {}
+    for facts in files:
+        for func in facts.functions:
+            key = (facts.path, func.qualname)
+            info = _ClassLockInfo(name=func.owner_class or "", path=facts.path)
+            _scan_method_locks(facts, func, info)
+            regions_by_func[key] = info.regions
+            direct[key] = {region.lock for region in info.regions}
+
+    transitive: Dict[FuncKey, Set[str]] = {
+        key: set(value) for key, value in direct.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key in graph.functions:
+            acquired = transitive[key]
+            before = len(acquired)
+            for edge in graph.callees(key, kinds={"call"}):
+                acquired |= transitive.get(edge.callee, set())
+            if len(acquired) != before:
+                changed = True
+
+    # Build the lock-order graph: edge L1 -> L2 with its source site(s).
+    edges: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = {}
+    for facts in files:
+        for func in facts.functions:
+            key = (facts.path, func.qualname)
+            resolved_calls = {
+                (edge.line, edge.col): edge.callee
+                for edge in graph.callees(key, kinds={"call"})
+            }
+            for region in regions_by_func.get(key, []):
+                for lock, line, col in region.inner:
+                    edges.setdefault((region.lock, lock), []).append(
+                        (facts.path, line, col)
+                    )
+                for line, col, _call in region.calls:
+                    callee = resolved_calls.get((line, col))
+                    if callee is None:
+                        continue
+                    for lock in transitive.get(callee, ()):
+                        if lock != region.lock:
+                            edges.setdefault((region.lock, lock), []).append(
+                                (facts.path, line, col)
+                            )
+
+    # Flag every edge that sits on a cycle (L2 reaches back to L1).
+    adjacency: Dict[str, Set[str]] = {}
+    for (first, second) in edges:
+        adjacency.setdefault(first, set()).add(second)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current == goal:
+                return True
+            for nxt in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    out: List[Diagnostic] = []
+    seen_sites: Set[Tuple[str, int, str, str]] = set()
+    for (first, second), sites in sorted(edges.items()):
+        if not reaches(second, first):
+            continue
+        for path, line, col in sites:
+            site_key = (path, line, first, second)
+            if site_key in seen_sites:
+                continue
+            seen_sites.add(site_key)
+            out.append(
+                Diagnostic(
+                    "DL001",
+                    path,
+                    line,
+                    col,
+                    f"lock order {first} -> {second} here conflicts with an "
+                    f"opposite acquisition order elsewhere (deadlock cycle)",
+                    "pick one global acquisition order for these locks and "
+                    "refactor every nesting site to follow it; two threads "
+                    "taking them in opposite orders deadlock permanently",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# SP001: spawn safety
+# ---------------------------------------------------------------------------
+
+
+def _process_local_binding_desc(
+    facts: FileFacts, value: ast.expr
+) -> Optional[str]:
+    """Describe ``value`` when it constructs process-local state."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "an open file handle"
+        imported = facts.from_imports.get(func.id)
+        if imported is not None:
+            module, original = imported
+            if module == "threading" and original in _THREADING_LOCALS:
+                return f"a threading.{original}"
+            if (module, original) == ("socket", "socket"):
+                return "an open socket"
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module = facts.module_aliases.get(func.value.id)
+        if module == "threading" and func.attr in _THREADING_LOCALS:
+            return f"a threading.{func.attr}"
+        if module == "socket" and func.attr in ("socket", "create_connection"):
+            return "an open socket"
+    return None
+
+
+def _sp001(files: Sequence[FileFacts]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for facts in files:
+        #: global interning tables mutated after module import
+        hot_tables = facts.mutable_globals & facts.mutated_globals
+        for func in facts.functions:
+            out.extend(_sp001_function(facts, func, hot_tables))
+    return out
+
+
+def _sp001_function(
+    facts: FileFacts, func, hot_tables: Set[str]
+) -> List[Diagnostic]:
+    # Local names bound to process-local values, and to Pipe connections.
+    local_bad: Dict[str, str] = {}
+    pipe_conns: Set[str] = set()
+    for node in iter_own_nodes(func.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        desc = _process_local_binding_desc(facts, node.value)
+        if desc is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local_bad[target.id] = desc
+        if _is_pipe_call(facts, node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Tuple):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            pipe_conns.add(element.id)
+                elif isinstance(target, ast.Name):
+                    pipe_conns.add(target.id)
+
+    def payload_problems(expr: ast.expr) -> List[str]:
+        problems: List[str] = []
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                if node.id in local_bad:
+                    problems.append(f"{node.id!r} ({local_bad[node.id]})")
+                elif node.id in hot_tables:
+                    problems.append(
+                        f"{node.id!r} (module-level table mutated after "
+                        "import: the child gets a frozen copy)"
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and func.owner_class
+            ):
+                cls = facts.class_facts.get(func.owner_class)
+                declared = cls.attr_types.get(node.attr) if cls else None
+                if declared in _PROCESS_LOCAL_TYPES:
+                    problems.append(
+                        f"'self.{node.attr}' ({declared} instance)"
+                    )
+            elif isinstance(node, ast.Call):
+                desc = _process_local_binding_desc(facts, node)
+                if desc is not None:
+                    problems.append(f"inline {desc}")
+        return problems
+
+    out: List[Diagnostic] = []
+    for node in iter_own_nodes(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        # mp.Process(...) style construction with an args= payload.
+        is_process = (
+            isinstance(target, ast.Attribute) and target.attr == "Process"
+        ) or (
+            isinstance(target, ast.Name)
+            and facts.from_imports.get(target.id, ("", ""))[0].startswith(
+                "multiprocessing"
+            )
+            and facts.from_imports.get(target.id, ("", ""))[1] == "Process"
+        )
+        if is_process:
+            for keyword in node.keywords:
+                if keyword.arg != "args":
+                    continue
+                for problem in _dedupe(payload_problems(keyword.value)):
+                    out.append(
+                        Diagnostic(
+                            "SP001",
+                            facts.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"Process args capture {problem}, which cannot "
+                            f"cross a spawn boundary intact",
+                            "pass picklable snapshots (plain tuples/dataclasses"
+                            ") and recreate process-local resources inside "
+                            "the worker; spawned children do not share "
+                            "parent state",
+                        )
+                    )
+        # conn.send(payload) on a Pipe connection.
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "send"
+            and isinstance(target.value, ast.Name)
+            and target.value.id in pipe_conns
+            and node.args
+        ):
+            for problem in _dedupe(payload_problems(node.args[0])):
+                out.append(
+                    Diagnostic(
+                        "SP001",
+                        facts.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"Pipe payload references {problem}; pickling it "
+                        f"fails or silently snapshots process-local state",
+                        "send plain picklable data over the pipe and rebuild "
+                        "locks/sockets/tables on the receiving side",
+                    )
+                )
+    return out
+
+
+def _dedupe(items: List[str]) -> List[str]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _is_pipe_call(facts: FileFacts, value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == "Pipe":
+        return True
+    if isinstance(func, ast.Name):
+        imported = facts.from_imports.get(func.id)
+        return imported is not None and imported[1] == "Pipe"
+    return False
+
+
+# ---------------------------------------------------------------------------
+# WP001: wire-protocol pack/unpack symmetry
+# ---------------------------------------------------------------------------
+
+
+def _signature(fmt: str) -> str:
+    """Field-order signature of a struct format (byte order stripped)."""
+    return "".join(ch for ch in fmt if ch not in _ORDER_CHARS)
+
+
+def _factory_signatures(facts: FileFacts) -> Dict[str, str]:
+    """Function name -> signature, for struct-factory helpers.
+
+    A factory is a function whose body constructs ``struct.Struct`` with
+    a dynamically-built format (``"<" + "Hi" * n``); its signature is
+    the concatenated literal fragments, which matches the per-record
+    format a decoder iterates with.
+    """
+    out: Dict[str, str] = {}
+    struct_ok = (
+        any(m == "struct" for m in facts.module_aliases.values())
+        or any(v == ("struct", "Struct") for v in facts.from_imports.values())
+    )
+    if not struct_ok:
+        return out
+    for func in facts.functions:
+        for node in iter_own_nodes(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            is_struct = (
+                isinstance(target, ast.Attribute)
+                and target.attr == "Struct"
+                and isinstance(target.value, ast.Name)
+                and facts.module_aliases.get(target.value.id) == "struct"
+            ) or (
+                isinstance(target, ast.Name)
+                and facts.from_imports.get(target.id) == ("struct", "Struct")
+            )
+            if not is_struct or not node.args:
+                continue
+            fragments = [
+                child.value
+                for child in ast.walk(node.args[0])
+                if isinstance(child, ast.Constant)
+                and isinstance(child.value, str)
+            ]
+            if fragments:
+                out[func.qualname] = _signature("".join(fragments))
+    return out
+
+
+def _wp001(files: Sequence[FileFacts]) -> List[Diagnostic]:
+    # Global name -> signature maps for module-level structs + factories.
+    sig_by_name: Dict[str, str] = {}
+    factory_by_name: Dict[str, str] = {}
+    for facts in files:
+        for name, fmt in facts.struct_defs.items():
+            if fmt is not None:
+                sig_by_name[name] = _signature(fmt)
+        for name, signature in _factory_signatures(facts).items():
+            factory_by_name[name] = signature
+
+    def resolve_receiver(facts: FileFacts, expr: ast.expr) -> Optional[str]:
+        """Signature of the struct object a pack/unpack call runs on."""
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in facts.struct_defs:
+                fmt = facts.struct_defs[name]
+                return _signature(fmt) if fmt is not None else None
+            imported = facts.from_imports.get(name)
+            if imported is not None and imported[1] in sig_by_name:
+                return sig_by_name[imported[1]]
+            return sig_by_name.get(name)
+        if isinstance(expr, ast.Call):
+            target = expr.func
+            fname = (
+                target.id
+                if isinstance(target, ast.Name)
+                else target.attr if isinstance(target, ast.Attribute) else None
+            )
+            if fname is not None:
+                imported = facts.from_imports.get(fname)
+                if imported is not None and imported[1] in factory_by_name:
+                    return factory_by_name[imported[1]]
+                return factory_by_name.get(fname)
+        return None
+
+    pack_sites: Dict[str, List[Tuple[str, int, int, str]]] = {}
+    unpacked: Set[str] = set()
+    for facts in files:
+        for node in ast.walk(facts.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if not isinstance(target, ast.Attribute):
+                continue
+            method = target.attr
+            if method in _PACK_METHODS or method in _UNPACK_METHODS:
+                # Direct module calls: struct.pack("<fmt", ...).
+                signature = None
+                if (
+                    isinstance(target.value, ast.Name)
+                    and facts.module_aliases.get(target.value.id) == "struct"
+                ):
+                    first = node.args[0] if node.args else None
+                    if isinstance(first, ast.Constant) and isinstance(
+                        first.value, str
+                    ):
+                        signature = _signature(first.value)
+                else:
+                    signature = resolve_receiver(facts, target.value)
+                if signature is None:
+                    continue
+                if method in _UNPACK_METHODS:
+                    unpacked.add(signature)
+                else:
+                    pack_sites.setdefault(signature, []).append(
+                        (facts.path, node.lineno, node.col_offset, method)
+                    )
+    out: List[Diagnostic] = []
+    for signature in sorted(pack_sites):
+        if signature in unpacked:
+            continue
+        for path, line, col, method in pack_sites[signature]:
+            out.append(
+                Diagnostic(
+                    "WP001",
+                    path,
+                    line,
+                    col,
+                    f"struct format with field order {signature!r} is packed "
+                    f"here ({method}) but never unpacked anywhere in the "
+                    f"tree",
+                    "add the matching unpack/unpack_from site (or reuse the "
+                    "shared Struct object on both sides); asymmetric "
+                    "codecs drift silently until the wire breaks",
+                )
+            )
+    return out

@@ -6,7 +6,7 @@ The analyzer walks a source tree in three passes:
    expression), log-point *inventory definitions* (``self.x = lp("...")``
    in the per-system ``logpoints.py`` classes), ``set_context`` /
    ``end_task`` sites, stage candidates, import aliases, and inline
-   suppression comments.
+   suppression comments (:mod:`repro.instrument.facts`).
 2. **Resolve** — build the global inventory (attribute name → template)
    and resolve every call site's template against it; attribute chains
    ending in ``.template`` resolve through the inventory, literals and
@@ -15,8 +15,11 @@ The analyzer walks a source tree in three passes:
    (optionally) a persisted registry, the ST family over per-function
    CFGs (see :mod:`repro.instrument.cfg`), CC001 over simulated
    event-handler code, TM001 over writes to telemetry-backed
-   accounting properties, and TR001 over manual tracer span calls in
-   sim/server code.
+   accounting properties, TR001 over manual tracer span calls in
+   sim/server code, and the whole-program concurrency families
+   (AS001/RC001/DL001/SP001/WP001) over the project call graph
+   (:mod:`repro.instrument.callgraph` +
+   :mod:`repro.instrument.concurrency`).
 
 Findings come back as :class:`~repro.instrument.diagnostics.Diagnostic`
 objects; the baseline layer (:mod:`repro.instrument.baseline`) filters
@@ -27,451 +30,31 @@ from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core import LogPointRegistry
 
 from .cfg import CFG, build_cfg
+from .concurrency import CONCURRENCY_RULES, check_concurrency
 from .diagnostics import Diagnostic, LintResult, RULES
-from .scanner import DEQUEUE_METHODS, LOG_METHODS
+from .facts import (  # noqa: F401  (re-exported for backward compatibility)
+    BLOCKING_BUILTINS as _BLOCKING_BUILTINS,
+    END_TASK as _END_TASK,
+    SET_CONTEXT as _SET_CONTEXT,
+    SUBPROCESS_BLOCKING as _SUBPROCESS_BLOCKING,
+    FileFacts,
+    FunctionFacts,
+    InventoryDef,
+    LogSite,
+    blocking_call_description,
+    collect_file,
+    real_queue_names,
+    suppressed_rules as _suppressed_rules,
+)
+from .scanner import LOG_METHODS
 
 #: Rules applied per call site / definition (the LP family + ST + CC).
 ALL_RULES = tuple(sorted(RULES))
-
-#: Receiver attribute names that mark a stage-context call.
-_SET_CONTEXT = "set_context"
-_END_TASK = "end_task"
-
-#: subprocess functions that block on child processes.
-_SUBPROCESS_BLOCKING = {"run", "call", "check_call", "check_output", "Popen"}
-
-#: Builtins that perform real, blocking I/O.
-_BLOCKING_BUILTINS = {"open", "input"}
-
-#: Class whose direct construction SH001 flags inside shard packages —
-#: per-shard detectors must come from repro.shard.factory.shard_detector.
-_DETECTOR_CLASS = "AnomalyDetector"
-
-#: Detect-path methods that have a batch-capable equivalent (CP001):
-#: ``observe`` -> ``observe_batch``, ``classify`` -> compiled rule tables.
-_BATCH_CAPABLE_METHODS = frozenset({"observe", "classify"})
-
-#: Span-lifecycle method names on tracer-like receivers (TR001).  Sim
-#: and server code should never call these directly — the task execution
-#: tracker emits spans from set_context/end_task when tracing is on.
-_TRACER_SPAN_METHODS = frozenset(
-    {"begin_task", "begin_span", "start_span", "open_span", "finish", "record"}
-)
-
-#: Accounting attributes exposed as read-only properties backed by
-#: telemetry (TM001).  Writing to the *public* name either raises
-#: AttributeError at runtime or shadows the property on a subclass,
-#: silently detaching the exported metric from reality.
-_TELEMETRY_ATTRS = frozenset(
-    {
-        "tasks_seen",
-        "bucket_probe_count",
-        "windows_closed",
-        "windows_open",
-        "bytes_streamed",
-        "frames_flushed",
-        "frame_bytes",
-        "bytes_received",
-        "frames_received",
-    }
-)
-
-
-# ---------------------------------------------------------------------------
-# Pass 1: per-file fact collection
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class LogSite:
-    """One log call site found in a file."""
-
-    path: str
-    line: int
-    col: int
-    method: str
-    template_expr: ast.expr  # the first positional argument
-    lpid_expr: Optional[ast.expr]  # value of the lpid= keyword, if present
-    func_qualname: str
-    resolved_template: Optional[str] = None
-    #: Inventory attribute the template resolved through, if any
-    #: (e.g. ``xc_recv_block`` for ``lps.xc_recv_block.template``).
-    template_attr: Optional[str] = None
-
-
-@dataclass
-class InventoryDef:
-    """One log-point definition: ``self.<attr> = lp("template", ...)``."""
-
-    path: str
-    line: int
-    attr: str
-    template: str
-    owner: str  # class name
-
-
-@dataclass
-class FunctionFacts:
-    """Per-function facts for the CFG rules."""
-
-    node: ast.AST  # FunctionDef | AsyncFunctionDef
-    qualname: str
-    owner_class: Optional[str]
-    is_generator: bool
-    has_set_context: bool
-    has_end_task: bool
-    has_log_calls: bool
-    has_dequeue: bool
-
-
-@dataclass
-class FileFacts:
-    path: str
-    tree: ast.AST
-    lines: List[str]
-    log_sites: List[LogSite] = field(default_factory=list)
-    inventory: List[InventoryDef] = field(default_factory=list)
-    functions: List[FunctionFacts] = field(default_factory=list)
-    #: class name -> (has run() method, has any log call, has set_context)
-    classes: Dict[str, Tuple[bool, bool, bool, int]] = field(default_factory=dict)
-    #: Aliases of the real ``time`` module in this file ({"time", "_time"}).
-    time_aliases: Set[str] = field(default_factory=set)
-    #: Names bound to ``time.sleep`` via ``from time import sleep [as x]``.
-    sleep_aliases: Set[str] = field(default_factory=set)
-    #: Aliases of the stdlib ``queue`` module.
-    queue_aliases: Set[str] = field(default_factory=set)
-    #: Names bound to ``queue.Queue`` via ``from queue import Queue``.
-    queue_classes: Set[str] = field(default_factory=set)
-    #: Bare name -> log method (``from ...loglib import debug [as dbg]``).
-    bare_log_names: Dict[str, str] = field(default_factory=dict)
-    #: Aliases of os / subprocess / socket.
-    os_aliases: Set[str] = field(default_factory=set)
-    subprocess_aliases: Set[str] = field(default_factory=set)
-    socket_aliases: Set[str] = field(default_factory=set)
-    #: (line, col, attribute, receiver) of writes to telemetry-backed
-    #: accounting properties (TM001).
-    telemetry_mutations: List[Tuple[int, int, str, str]] = field(
-        default_factory=list
-    )
-    #: (line, col, receiver, method, inside-a-generator) of span-lifecycle
-    #: calls on tracer-like receivers (TR001).
-    tracer_calls: List[Tuple[int, int, str, str, bool]] = field(
-        default_factory=list
-    )
-    #: (line, col) of direct ``AnomalyDetector(...)`` constructions (SH001).
-    detector_ctors: List[Tuple[int, int]] = field(default_factory=list)
-    #: (line, col, receiver, method) of per-task ``observe``/``classify``
-    #: calls made inside a loop body (CP001).
-    detect_loop_calls: List[Tuple[int, int, str, str]] = field(
-        default_factory=list
-    )
-
-
-def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
-    """Rules disabled by a ``# saadlint: disable=RULE[,RULE]`` comment."""
-    if not (1 <= line <= len(lines)):
-        return set()
-    text = lines[line - 1]
-    marker = "saadlint:"
-    pos = text.find(marker)
-    if pos < 0:
-        return set()
-    directive = text[pos + len(marker):].strip()
-    if not directive.startswith("disable="):
-        return set()
-    spec = directive[len("disable="):].split("#")[0]
-    return {token.strip().upper() for token in spec.split(",") if token.strip()}
-
-
-class _Collector(ast.NodeVisitor):
-    """Pass-1 visitor filling a :class:`FileFacts`."""
-
-    def __init__(self, facts: FileFacts):
-        self.facts = facts
-        self._class_stack: List[str] = []
-        self._func_stack: List[str] = []
-        #: Facts of the function currently being visited (innermost).
-        self._current: List[FunctionFacts] = []
-        #: How many for/while bodies enclose the current node (CP001).
-        self._loop_depth = 0
-
-    # -- imports --------------------------------------------------------------
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            bound = alias.asname or alias.name.split(".")[0]
-            if alias.name == "time":
-                self.facts.time_aliases.add(bound)
-            elif alias.name == "queue":
-                self.facts.queue_aliases.add(bound)
-            elif alias.name == "os":
-                self.facts.os_aliases.add(bound)
-            elif alias.name == "subprocess":
-                self.facts.subprocess_aliases.add(bound)
-            elif alias.name == "socket":
-                self.facts.socket_aliases.add(bound)
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        for alias in node.names:
-            bound = alias.asname or alias.name
-            if module == "time" and alias.name == "sleep":
-                self.facts.sleep_aliases.add(bound)
-            elif module == "queue" and alias.name == "Queue":
-                self.facts.queue_classes.add(bound)
-            elif alias.name in LOG_METHODS and "log" in module.lower():
-                # Bare-name logger idiom: ``from repro.loglib import debug``.
-                self.facts.bare_log_names[bound] = alias.name
-        self.generic_visit(node)
-
-    # -- scopes ---------------------------------------------------------------
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self._class_stack.append(node.name)
-        self.facts.classes[node.name] = (False, False, False, node.lineno)
-        self.generic_visit(node)
-        self._class_stack.pop()
-
-    def _visit_function(self, node) -> None:
-        owner = self._class_stack[-1] if self._class_stack else None
-        qual = ".".join(
-            ([owner] if owner else []) + self._func_stack + [node.name]
-        )
-        facts = FunctionFacts(
-            node=node,
-            qualname=qual,
-            owner_class=owner,
-            is_generator=_is_generator(node),
-            has_set_context=False,
-            has_end_task=False,
-            has_log_calls=False,
-            has_dequeue=False,
-        )
-        self.facts.functions.append(facts)
-        if owner and node.name == "run" and _is_thread_run(node):
-            has_run, logs, ctx, line = self.facts.classes[owner]
-            self.facts.classes[owner] = (True, logs, ctx, line)
-        self._current.append(facts)
-        self._func_stack.append(node.name)
-        # A nested def's body does not run per iteration of an enclosing
-        # loop; loop depth restarts inside it.
-        outer_depth, self._loop_depth = self._loop_depth, 0
-        self.generic_visit(node)
-        self._loop_depth = outer_depth
-        self._func_stack.pop()
-        self._current.pop()
-
-    visit_FunctionDef = _visit_function
-    visit_AsyncFunctionDef = _visit_function
-
-    # -- loops (CP001 scope) ---------------------------------------------------
-    def _visit_loop(self, node) -> None:
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    visit_For = _visit_loop
-    visit_AsyncFor = _visit_loop
-    visit_While = _visit_loop
-
-    # -- calls ----------------------------------------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        method: Optional[str] = None
-        if isinstance(func, ast.Attribute):
-            method = func.attr
-        elif isinstance(func, ast.Name) and func.id in self.facts.bare_log_names:
-            method = self.facts.bare_log_names[func.id]
-
-        if method in LOG_METHODS and node.args:
-            lpid_expr = next(
-                (kw.value for kw in node.keywords if kw.arg == "lpid"), None
-            )
-            self.facts.log_sites.append(
-                LogSite(
-                    path=self.facts.path,
-                    line=node.lineno,
-                    col=node.col_offset,
-                    method=method,
-                    template_expr=node.args[0],
-                    lpid_expr=lpid_expr,
-                    func_qualname=self._current[-1].qualname if self._current else "<module>",
-                )
-            )
-            self._mark(log=True)
-        elif method == _SET_CONTEXT:
-            self._mark(set_context=True)
-        elif method == _END_TASK:
-            self._mark(end_task=True)
-        elif (
-            isinstance(func, ast.Attribute)
-            and func.attr in _TRACER_SPAN_METHODS
-            and "tracer" in _receiver_name(func.value).lower()
-        ):
-            self.facts.tracer_calls.append(
-                (
-                    node.lineno,
-                    node.col_offset,
-                    _receiver_name(func.value),
-                    func.attr,
-                    self._current[-1].is_generator if self._current else False,
-                )
-            )
-        elif (
-            isinstance(func, ast.Attribute)
-            and func.attr in DEQUEUE_METHODS
-            and "queue" in _receiver_name(func.value).lower()
-        ):
-            if self._current:
-                self._current[-1].has_dequeue = True
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in _BATCH_CAPABLE_METHODS
-            and node.args
-            and self._loop_depth > 0
-        ):
-            self.facts.detect_loop_calls.append(
-                (
-                    node.lineno,
-                    node.col_offset,
-                    _receiver_name(func.value),
-                    func.attr,
-                )
-            )
-        ctor_name = (
-            func.id
-            if isinstance(func, ast.Name)
-            else func.attr if isinstance(func, ast.Attribute) else ""
-        )
-        if ctor_name == _DETECTOR_CLASS:
-            self.facts.detector_ctors.append((node.lineno, node.col_offset))
-        self.generic_visit(node)
-
-    def _mark(self, log=False, set_context=False, end_task=False) -> None:
-        if self._current:
-            facts = self._current[-1]
-            facts.has_log_calls = facts.has_log_calls or log
-            facts.has_set_context = facts.has_set_context or set_context
-            facts.has_end_task = facts.has_end_task or end_task
-        if self._class_stack:
-            owner = self._class_stack[-1]
-            has_run, logs, ctx, line = self.facts.classes[owner]
-            self.facts.classes[owner] = (
-                has_run, logs or log, ctx or set_context, line
-            )
-
-    # -- inventory definitions -------------------------------------------------
-    def _note_telemetry_write(self, target: ast.expr, node: ast.AST) -> None:
-        if (
-            isinstance(target, ast.Attribute)
-            and target.attr in _TELEMETRY_ATTRS
-        ):
-            self.facts.telemetry_mutations.append(
-                (
-                    node.lineno,
-                    node.col_offset,
-                    target.attr,
-                    _receiver_name(target.value),
-                )
-            )
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._note_telemetry_write(node.target, node)
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._note_telemetry_write(target, node)
-        template = _register_call_template(node.value)
-        if template is not None and len(node.targets) == 1:
-            target = node.targets[0]
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-                and self._class_stack
-            ):
-                self.facts.inventory.append(
-                    InventoryDef(
-                        path=self.facts.path,
-                        line=node.lineno,
-                        attr=target.attr,
-                        template=template,
-                        owner=self._class_stack[-1],
-                    )
-                )
-        self.generic_visit(node)
-
-
-def _receiver_name(node: ast.expr) -> str:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return ""
-
-
-def _is_generator(node) -> bool:
-    for child in ast.walk(node):
-        if child is node:
-            continue
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            # Yields in nested functions belong to those functions; prune
-            # by skipping their subtrees via a manual stack.
-            continue
-        if isinstance(child, (ast.Yield, ast.YieldFrom)):
-            if _owning_function(node, child) is node:
-                return True
-    return False
-
-
-def _owning_function(root, target) -> Optional[ast.AST]:
-    """The innermost function node under ``root`` containing ``target``."""
-    owner = root
-    stack = [(root, root)]
-    while stack:
-        current, current_owner = stack.pop()
-        for child in ast.iter_child_nodes(current):
-            child_owner = (
-                child
-                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
-                else current_owner
-            )
-            if child is target:
-                return child_owner
-            stack.append((child, child_owner))
-    return owner
-
-
-def _is_thread_run(node) -> bool:
-    """A thread-body style ``run``: only ``self`` is required."""
-    args = node.args
-    required = [a for a in args.posonlyargs + args.args]
-    return len(required) - len(args.defaults) <= 1
-
-
-def _register_call_template(value: ast.expr) -> Optional[str]:
-    """Template string when ``value`` is a log-point registration call.
-
-    Recognizes local helper calls (``lp("...")``) and registry calls
-    (``<registry>.register("...")``) with a literal first argument.
-    """
-    if not isinstance(value, ast.Call) or not value.args:
-        return None
-    func = value.func
-    is_helper = isinstance(func, ast.Name) and func.id in ("lp", "_lp", "logpoint")
-    is_register = isinstance(func, ast.Attribute) and func.attr == "register"
-    if not (is_helper or is_register):
-        return None
-    first = value.args[0]
-    if isinstance(first, ast.Constant) and isinstance(first.value, str):
-        return first.value
-    return None
 
 
 # ---------------------------------------------------------------------------
@@ -560,23 +143,22 @@ class LintEngine:
 
     # -- entry points ---------------------------------------------------------
     def run(self, paths: Iterable[str]) -> LintResult:
+        files, parse_errors = load_files(paths)
+        return self.run_collected(files, parse_errors)
+
+    def run_collected(
+        self, files: List[FileFacts], parse_errors: Optional[List[str]] = None
+    ) -> LintResult:
+        """Pass 2+3 over already-collected facts (the ``--jobs`` path)."""
         result = LintResult()
-        files: List[FileFacts] = []
-        for path in _python_files(paths):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    source = handle.read()
-                facts = collect_file(path, source)
-            except SyntaxError as exc:
-                result.parse_errors.append(f"{path}: {exc}")
-                continue
-            files.append(facts)
+        result.parse_errors = list(parse_errors or [])
         result.files_scanned = len(files)
         diagnostics = self.check_files(files)
+        by_path = {facts.path: facts for facts in files}
         for diag in diagnostics:
-            facts = next((f for f in files if f.path == diag.path), None)
-            if facts is not None and diag.rule_id in _suppressed_rules(
-                facts.lines, diag.line
+            facts = by_path.get(diag.path)
+            if facts is not None and diag.rule_id in facts.suppressions.get(
+                diag.line, set()
             ):
                 result.suppressed.append(diag)
             else:
@@ -596,6 +178,8 @@ class LintEngine:
             diagnostics.extend(self._check_file(facts, inventory_by_attr))
         if "LP004" in self.rules and self.registry is not None:
             diagnostics.extend(self._check_registry_drift(files))
+        if self.rules & CONCURRENCY_RULES:
+            diagnostics.extend(check_concurrency(files, self.rules))
         return diagnostics
 
     # -- LP family ------------------------------------------------------------
@@ -623,6 +207,28 @@ class LintEngine:
             out.extend(self._sh001(facts))
         if "CP001" in self.rules:
             out.extend(self._cp001(facts))
+        if "SL001" in self.rules:
+            out.extend(self._sl001(facts))
+        return out
+
+    def _sl001(self, facts) -> List[Diagnostic]:
+        out = []
+        for line in sorted(facts.suppressions):
+            for token in sorted(facts.suppressions[line]):
+                if token in RULES:
+                    continue
+                out.append(
+                    Diagnostic(
+                        "SL001",
+                        facts.path,
+                        line,
+                        0,
+                        f"suppression names unknown rule {token!r}",
+                        "fix the rule id (python -m repro lint --list-rules "
+                        "prints the registry); an unknown id silently "
+                        "suppresses nothing",
+                    )
+                )
         return out
 
     def _cp001(self, facts) -> List[Diagnostic]:
@@ -1013,24 +619,7 @@ class LintEngine:
 
     def _cc001_function(self, facts, func) -> List[Diagnostic]:
         out = []
-        # Local names bound to real queue.Queue(...) instances.
-        real_queues: Set[str] = set()
-        for stmt in ast.walk(func.node):
-            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
-                ctor = stmt.value.func
-                is_queue = (
-                    isinstance(ctor, ast.Attribute)
-                    and ctor.attr == "Queue"
-                    and isinstance(ctor.value, ast.Name)
-                    and ctor.value.id in facts.queue_aliases
-                ) or (
-                    isinstance(ctor, ast.Name) and ctor.id in facts.queue_classes
-                )
-                if is_queue:
-                    for target in stmt.targets:
-                        if isinstance(target, ast.Name):
-                            real_queues.add(target.id)
-
+        real_queues = real_queue_names(facts, func.node)
         for node in ast.walk(func.node):
             if not isinstance(node, ast.Call):
                 continue
@@ -1053,32 +642,7 @@ class LintEngine:
     def _blocking_call_description(
         self, facts, node: ast.Call, real_queues: Set[str]
     ) -> Optional[str]:
-        func = node.func
-        if isinstance(func, ast.Name):
-            if func.id in facts.sleep_aliases:
-                return f"{func.id}() (time.sleep)"
-            if func.id in _BLOCKING_BUILTINS:
-                return f"{func.id}()"
-            return None
-        if not isinstance(func, ast.Attribute):
-            return None
-        receiver = func.value
-        if isinstance(receiver, ast.Name):
-            base = receiver.id
-            if func.attr == "sleep" and base in facts.time_aliases:
-                return f"{base}.sleep()"
-            if func.attr == "system" and base in facts.os_aliases:
-                return f"{base}.system()"
-            if (
-                func.attr in _SUBPROCESS_BLOCKING
-                and base in facts.subprocess_aliases
-            ):
-                return f"{base}.{func.attr}()"
-            if base in facts.socket_aliases:
-                return f"{base}.{func.attr}()"
-            if func.attr in ("get", "put", "join") and base in real_queues:
-                return f"{base}.{func.attr}() (stdlib queue.Queue)"
-        return None
+        return blocking_call_description(facts, node, real_queues)
 
 
 def _stmt_calls(method: str):
@@ -1111,13 +675,6 @@ def _stmt_has_log_call(stmt: ast.stmt, bare_names: Set[str]) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def collect_file(path: str, source: str) -> FileFacts:
-    tree = ast.parse(source, filename=path)
-    facts = FileFacts(path=path, tree=tree, lines=source.splitlines())
-    _Collector(facts).visit(tree)
-    return facts
-
-
 def _python_files(paths: Iterable[str]) -> List[str]:
     out: List[str] = []
     for path in paths:
@@ -1132,19 +689,69 @@ def _python_files(paths: Iterable[str]) -> List[str]:
     return out
 
 
+def load_files(
+    paths: Iterable[str], jobs: int = 1
+) -> Tuple[List[FileFacts], List[str]]:
+    """Collect facts for every python file under ``paths`` (pass 1).
+
+    With ``jobs > 1`` the per-file collection fans out over a process
+    pool — pass 1 dominates a cold full-tree run, and each file is
+    independent.  Results come back in deterministic path order either
+    way.  Any pool failure (e.g. a restricted environment that cannot
+    spawn) falls back to in-process collection.
+    """
+    names = _python_files(paths)
+    files: List[FileFacts] = []
+    parse_errors: List[str] = []
+    if jobs > 1 and len(names) > 1:
+        try:
+            return _load_files_parallel(names, jobs)
+        except (ImportError, OSError, PermissionError):
+            pass
+    for path in names:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            files.append(collect_file(path, source))
+        except SyntaxError as exc:
+            parse_errors.append(f"{path}: {exc}")
+    return files, parse_errors
+
+
+def _load_files_parallel(
+    names: Sequence[str], jobs: int
+) -> Tuple[List[FileFacts], List[str]]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from .facts import read_and_collect
+
+    files: List[FileFacts] = []
+    parse_errors: List[str] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [(path, pool.submit(read_and_collect, path)) for path in names]
+        for path, future in futures:
+            try:
+                files.append(future.result())
+            except SyntaxError as exc:
+                parse_errors.append(f"{path}: {exc}")
+    return files, parse_errors
+
+
 def run_lint(
     paths: Iterable[str],
     select: Optional[Iterable[str]] = None,
     ignore: Iterable[str] = (),
     registry: Optional[LogPointRegistry] = None,
     registry_label: str = "<registry>",
+    jobs: int = 1,
 ) -> LintResult:
     """Run saadlint over ``paths`` and return the raw (unbaselined) result."""
     engine = LintEngine(
         select=select, ignore=ignore, registry=registry,
         registry_label=registry_label,
     )
-    return engine.run(paths)
+    files, parse_errors = load_files(paths, jobs=jobs)
+    return engine.run_collected(files, parse_errors)
 
 
 def lint_source(
@@ -1156,6 +763,6 @@ def lint_source(
     diagnostics = [
         d
         for d in engine.check_files([facts])
-        if d.rule_id not in _suppressed_rules(facts.lines, d.line)
+        if d.rule_id not in facts.suppressions.get(d.line, set())
     ]
     return sorted(diagnostics, key=Diagnostic.sort_key)

@@ -1,0 +1,59 @@
+"""Seeded concurrency defects for the whole-program pass.
+
+Planted defects (asserted line-exactly by TestSeededDefectTree):
+
+* AS001 — ``Gateway.handle`` is async; ``Gateway._drain`` (reached via
+  the call graph) calls ``time.sleep`` (line 23).
+* RC001 — ``SharedCounter.total`` is guarded by ``self._lock`` in
+  ``bump`` but written without it in the thread body ``_spin``
+  (line 42).
+* DL001 — ``Ledger.credit`` nests ``_block`` under ``_alock`` while
+  ``Ledger.debit`` nests them in the opposite order (lines 53 and 58).
+"""
+
+import threading
+import time
+
+
+class Gateway:
+    async def handle(self, frame):
+        return self._drain(frame)
+
+    def _drain(self, frame):
+        time.sleep(0.05)
+        return len(frame)
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self._worker = threading.Thread(target=self._spin)
+
+    def start(self):
+        self._worker.start()
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def _spin(self):
+        for _ in range(1000):
+            self.total -= 1
+
+
+class Ledger:
+    def __init__(self):
+        self._alock = threading.Lock()
+        self._block = threading.Lock()
+        self.balance = 0
+
+    def credit(self, amount):
+        with self._alock:
+            with self._block:
+                self.balance += amount
+
+    def debit(self, amount):
+        with self._block:
+            with self._alock:
+                self.balance -= amount

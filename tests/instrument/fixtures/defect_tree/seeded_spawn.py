@@ -1,0 +1,34 @@
+"""Seeded spawn-safety defects (SP001).
+
+Planted defects (asserted line-exactly by TestSeededDefectTree):
+
+* SP001 — ``launch`` passes a ``threading.Lock`` into ``mp.Process``
+  args (the Process(...) call line).
+* SP001 — ``launch`` sends the module-level interning table ``_INTERN``
+  (mutated after import by ``_remember``) over an ``mp.Pipe``
+  (the parent.send(...) call line).
+"""
+
+import multiprocessing as mp
+import threading
+
+_INTERN = {}
+
+
+def _remember(key):
+    _INTERN[key] = len(_INTERN)
+    return _INTERN[key]
+
+
+def _child(records, guard):
+    with guard:
+        return list(records)
+
+
+def launch(records):
+    guard = threading.Lock()
+    worker = mp.Process(target=_child, args=(records, guard))
+    worker.start()
+    parent, child = mp.Pipe()
+    parent.send(_INTERN)
+    return worker, parent, child

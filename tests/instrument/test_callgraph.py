@@ -1,0 +1,181 @@
+"""Unit tests for the whole-program call graph (resolution + traversal)."""
+
+from repro.instrument.callgraph import build_callgraph
+from repro.instrument.facts import collect_file
+
+
+def _graph(sources):
+    files = [collect_file(path, text) for path, text in sorted(sources.items())]
+    return build_callgraph(files)
+
+
+def _edge_pairs(graph, kind=None):
+    return {
+        (e.caller[1], e.callee[1])
+        for e in graph.edges
+        if kind is None or e.kind == kind
+    }
+
+
+class TestResolution:
+    def test_self_method_call(self):
+        graph = _graph({
+            "a.py": (
+                "class Worker:\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+                "    def step(self):\n"
+                "        pass\n"
+            ),
+        })
+        assert ("Worker.run", "Worker.step") in _edge_pairs(graph)
+
+    def test_inherited_method_resolves_to_base(self):
+        graph = _graph({
+            "a.py": (
+                "class Base:\n"
+                "    def step(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+            ),
+        })
+        assert ("Child.run", "Base.step") in _edge_pairs(graph)
+
+    def test_local_constructor_binding(self):
+        graph = _graph({
+            "a.py": (
+                "class Worker:\n"
+                "    def go(self):\n"
+                "        pass\n"
+                "def main():\n"
+                "    w = Worker()\n"
+                "    w.go()\n"
+            ),
+        })
+        assert ("main", "Worker.go") in _edge_pairs(graph)
+
+    def test_annotated_parameter(self):
+        graph = _graph({
+            "a.py": (
+                "class Worker:\n"
+                "    def go(self):\n"
+                "        pass\n"
+                "def drive(w: Worker):\n"
+                "    w.go()\n"
+            ),
+        })
+        assert ("drive", "Worker.go") in _edge_pairs(graph)
+
+    def test_attribute_constructor_type(self):
+        graph = _graph({
+            "a.py": (
+                "class Engine:\n"
+                "    def fire(self):\n"
+                "        pass\n"
+                "class Car:\n"
+                "    def __init__(self):\n"
+                "        self.engine = Engine()\n"
+                "    def drive(self):\n"
+                "        self.engine.fire()\n"
+            ),
+        })
+        assert ("Car.drive", "Engine.fire") in _edge_pairs(graph)
+
+    def test_from_import_crosses_files(self):
+        graph = _graph({
+            "util.py": "def helper():\n    pass\n",
+            "app.py": "from util import helper\ndef main():\n    helper()\n",
+        })
+        assert ("main", "helper") in _edge_pairs(graph)
+
+    def test_constructor_call_targets_init(self):
+        graph = _graph({
+            "a.py": (
+                "class Worker:\n"
+                "    def __init__(self):\n"
+                "        pass\n"
+                "def main():\n"
+                "    Worker()\n"
+            ),
+        })
+        assert ("main", "Worker.__init__") in _edge_pairs(graph)
+
+    def test_unresolvable_call_produces_no_edge(self):
+        graph = _graph({
+            "a.py": "def main(x):\n    x.anything()\n    mystery()\n",
+        })
+        assert _edge_pairs(graph) == set()
+
+
+class TestSpawnEdges:
+    SRC = {
+        "a.py": (
+            "import threading\n"
+            "class Pool:\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._work).start()\n"
+            "    def _work(self):\n"
+            "        self.step()\n"
+            "    def step(self):\n"
+            "        pass\n"
+        ),
+    }
+
+    def test_thread_target_is_a_spawn_edge(self):
+        graph = _graph(self.SRC)
+        assert ("Pool.start", "Pool._work") in _edge_pairs(graph, kind="spawn")
+        assert ("Pool.start", "Pool._work") not in _edge_pairs(graph, kind="call")
+
+    def test_spawn_targets_are_recorded(self):
+        graph = _graph(self.SRC)
+        assert [key[1] for key in graph.spawned] == ["Pool._work"]
+
+    def test_call_only_reachability_stops_at_spawn(self):
+        graph = _graph(self.SRC)
+        (start,) = [k for k in graph.functions if k[1] == "Pool.start"]
+        same_thread = {
+            k[1] for k in graph.reachable_from([start], kinds={"call"})
+        }
+        everywhere = {k[1] for k in graph.reachable_from([start])}
+        assert "Pool._work" not in same_thread
+        assert {"Pool._work", "Pool.step"} <= everywhere
+
+    def test_event_loop_callback_is_a_spawn_edge(self):
+        graph = _graph({
+            "a.py": (
+                "def tick():\n"
+                "    pass\n"
+                "def arm(loop):\n"
+                "    loop.call_later(5.0, tick)\n"
+            ),
+        })
+        assert ("arm", "tick") in _edge_pairs(graph, kind="spawn")
+
+
+class TestTraversal:
+    def test_shortest_chain_prefers_fewest_hops(self):
+        graph = _graph({
+            "a.py": (
+                "def sink():\n"
+                "    pass\n"
+                "def mid():\n"
+                "    sink()\n"
+                "def top():\n"
+                "    mid()\n"
+                "    sink()\n"
+            ),
+        })
+        (top,) = [k for k in graph.functions if k[1] == "top"]
+        (sink,) = [k for k in graph.functions if k[1] == "sink"]
+        chain = graph.shortest_chain(top, sink)
+        assert [key[1] for key in chain] == ["top", "sink"]
+
+    def test_chain_is_none_when_unreachable(self):
+        graph = _graph({
+            "a.py": "def a():\n    pass\ndef b():\n    pass\n",
+        })
+        (a,) = [k for k in graph.functions if k[1] == "a"]
+        (b,) = [k for k in graph.functions if k[1] == "b"]
+        assert graph.shortest_chain(a, b) is None

@@ -115,6 +115,92 @@ class TestLoops:
         )
 
 
+class TestMatch:
+    SRC = """
+def f(cmd):
+    match cmd:
+        case "start":
+            a()
+        case "stop":
+            b()
+    c()
+"""
+
+    def test_case_bodies_branch_from_match_head(self):
+        cfg = _cfg_for(self.SRC)
+        (a,) = _nodes_calling(cfg, "a")
+        (b,) = _nodes_calling(cfg, "b")
+        (c,) = _nodes_calling(cfg, "c")
+        assert (c, False) in cfg.successors[a]
+        assert (c, False) in cfg.successors[b]
+        # The arms are alternatives, not straight-line code.
+        assert (b, False) not in cfg.successors[a]
+
+    def test_no_case_falls_through(self):
+        cfg = _cfg_for(self.SRC)
+        (c,) = _nodes_calling(cfg, "c")
+        blocked = _nodes_calling(cfg, "a") | _nodes_calling(cfg, "b")
+        # With no irrefutable case, c() is reachable without entering
+        # any case body.
+        assert c in cfg.reachable_avoiding(cfg.entry, blocked)
+
+    def test_wildcard_case_blocks_fallthrough(self):
+        cfg = _cfg_for(
+            "def f(cmd):\n"
+            "    match cmd:\n"
+            "        case 'start':\n"
+            "            a()\n"
+            "        case _:\n"
+            "            b()\n"
+            "    c()\n"
+        )
+        (c,) = _nodes_calling(cfg, "c")
+        blocked = _nodes_calling(cfg, "a") | _nodes_calling(cfg, "b")
+        assert c not in cfg.reachable_avoiding(cfg.entry, blocked)
+
+    def test_guard_keeps_wildcard_refutable(self):
+        cfg = _cfg_for(
+            "def f(cmd):\n"
+            "    match cmd:\n"
+            "        case x if x:\n"
+            "            a()\n"
+            "    c()\n"
+        )
+        (c,) = _nodes_calling(cfg, "c")
+        assert c in cfg.reachable_avoiding(cfg.entry, _nodes_calling(cfg, "a"))
+
+    def test_st002_seen_through_match(self):
+        from repro.instrument import lint_source
+
+        diags = lint_source(
+            "def f(runtime, log, cmd):\n"
+            "    match cmd:\n"
+            "        case 'init':\n"
+            "            runtime.set_context('stage')\n"
+            "        case _:\n"
+            "            pass\n"
+            "    log.info('working')\n",
+            select={"ST002"},
+        )
+        # The wildcard arm reaches the log call without set_context.
+        assert [d.rule_id for d in diags] == ["ST002"]
+
+    def test_st002_clean_when_all_cases_set_context(self):
+        from repro.instrument import lint_source
+
+        diags = lint_source(
+            "def f(runtime, log, cmd):\n"
+            "    match cmd:\n"
+            "        case 'init':\n"
+            "            runtime.set_context('a')\n"
+            "        case _:\n"
+            "            runtime.set_context('b')\n"
+            "    log.info('working')\n",
+            select={"ST002"},
+        )
+        assert diags == []
+
+
 class TestExceptions:
     def test_raise_in_body_reaches_handler(self):
         cfg = _cfg_for(

@@ -1,0 +1,308 @@
+"""Unit tests for the five whole-program concurrency rules.
+
+The defect-tree fixtures (``test_lint.py``) pin each rule to exact
+lines in realistic code; these tests probe the rule *boundaries* —
+what must fire, and just as importantly what must stay quiet.
+"""
+
+from repro.instrument.facts import collect_file
+from repro.instrument.lint import LintEngine, lint_source
+
+
+def _lint_tree(sources, select):
+    files = [collect_file(path, text) for path, text in sorted(sources.items())]
+    return LintEngine(select=select).run_collected(files).diagnostics
+
+
+class TestAS001:
+    def test_direct_blocking_call(self):
+        diags = lint_source(
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)\n",
+            select={"AS001"},
+        )
+        assert [(d.rule_id, d.line) for d in diags] == [("AS001", 3)]
+        assert diags[0].hint  # every finding ships a fix hint
+
+    def test_transitive_through_sync_helper(self):
+        diags = lint_source(
+            "import time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def handle():\n"
+            "    helper()\n",
+            select={"AS001"},
+        )
+        assert [(d.rule_id, d.line) for d in diags] == [("AS001", 3)]
+        assert "handle" in diags[0].message and "helper" in diags[0].message
+
+    def test_spawned_work_does_not_count(self):
+        diags = lint_source(
+            "import time, threading\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def handle():\n"
+            "    threading.Thread(target=helper).start()\n",
+            select={"AS001"},
+        )
+        assert diags == []
+
+    def test_plain_functions_are_out_of_scope(self):
+        diags = lint_source(
+            "import time\n"
+            "def handle():\n"
+            "    time.sleep(1)\n",
+            select={"AS001"},
+        )
+        assert diags == []
+
+    def test_inline_suppression(self):
+        diags = lint_source(
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)  # saadlint: disable=AS001\n",
+            select={"AS001"},
+        )
+        assert diags == []
+
+
+class TestRC001:
+    GUARDED = (
+        "import threading\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self.total += 1\n"
+    )
+
+    def test_unguarded_write_is_flagged(self):
+        diags = lint_source(
+            self.GUARDED + "    def reset(self):\n        self.total = 0\n",
+            select={"RC001"},
+        )
+        assert [(d.rule_id, d.line) for d in diags] == [("RC001", 10)]
+        assert "total" in diags[0].message and "_lock" in diags[0].message
+
+    def test_writes_under_the_lock_are_clean(self):
+        assert lint_source(self.GUARDED, select={"RC001"}) == []
+
+    def test_constructor_writes_are_exempt(self):
+        # __init__ assigns self.total without the lock; no finding.
+        diags = lint_source(self.GUARDED, select={"RC001"})
+        assert diags == []
+
+    def test_reads_are_not_flagged(self):
+        diags = lint_source(
+            self.GUARDED + "    def peek(self):\n        return self.total\n",
+            select={"RC001"},
+        )
+        assert diags == []
+
+    def test_unguarded_attributes_are_free(self):
+        diags = lint_source(
+            self.GUARDED + "    def tag(self):\n        self.label = 'x'\n",
+            select={"RC001"},
+        )
+        assert diags == []
+
+    def test_spawn_target_is_named_in_message(self):
+        diags = lint_source(
+            self.GUARDED
+            + "    def _spin(self):\n"
+            + "        self.total -= 1\n"
+            + "    def start(self):\n"
+            + "        threading.Thread(target=self._spin).start()\n",
+            select={"RC001"},
+        )
+        assert len(diags) == 1
+        assert "thread" in diags[0].message.lower()
+
+
+class TestDL001:
+    def test_opposite_nested_order_flags_both_sites(self):
+        diags = lint_source(
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def ba(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n",
+            select={"DL001"},
+        )
+        assert [d.rule_id for d in diags] == ["DL001", "DL001"]
+        assert {d.line for d in diags} == {8, 12}
+
+    def test_consistent_order_is_clean(self):
+        diags = lint_source(
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n",
+            select={"DL001"},
+        )
+        assert diags == []
+
+    def test_cycle_through_a_call_under_lock(self):
+        diags = lint_source(
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def _grab_b(self):\n"
+            "        with self.b:\n"
+            "            pass\n"
+            "    def fwd(self):\n"
+            "        with self.a:\n"
+            "            self._grab_b()\n"
+            "    def rev(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n",
+            select={"DL001"},
+        )
+        assert diags and all(d.rule_id == "DL001" for d in diags)
+        joined = " ".join(d.message for d in diags)
+        assert "Box.a" in joined and "Box.b" in joined
+
+
+class TestSP001:
+    def test_lock_in_process_args(self):
+        diags = lint_source(
+            "import threading\n"
+            "import multiprocessing as mp\n"
+            "def child(payload):\n"
+            "    pass\n"
+            "def launch(items):\n"
+            "    guard = threading.Lock()\n"
+            "    mp.Process(target=child, args=(items, guard)).start()\n",
+            select={"SP001"},
+        )
+        assert [(d.rule_id, d.line) for d in diags] == [("SP001", 7)]
+        assert "guard" in diags[0].message
+
+    def test_plain_data_payload_is_clean(self):
+        diags = lint_source(
+            "import multiprocessing as mp\n"
+            "def child(payload):\n"
+            "    pass\n"
+            "def launch(items):\n"
+            "    mp.Process(target=child, args=(list(items),)).start()\n",
+            select={"SP001"},
+        )
+        assert diags == []
+
+    def test_mutated_module_table_sent_over_pipe(self):
+        diags = lint_source(
+            "import multiprocessing as mp\n"
+            "CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    CACHE[key] = value\n"
+            "def ship():\n"
+            "    parent, child = mp.Pipe()\n"
+            "    parent.send(CACHE)\n",
+            select={"SP001"},
+        )
+        assert [(d.rule_id, d.line) for d in diags] == [("SP001", 7)]
+        assert "CACHE" in diags[0].message
+
+    def test_immutable_module_constant_is_clean(self):
+        diags = lint_source(
+            "import multiprocessing as mp\n"
+            "LIMIT = 64\n"
+            "def ship():\n"
+            "    parent, child = mp.Pipe()\n"
+            "    parent.send(LIMIT)\n",
+            select={"SP001"},
+        )
+        assert diags == []
+
+
+class TestWP001:
+    def test_pack_without_unpack(self):
+        diags = lint_source(
+            "import struct\n"
+            "HEADER = struct.Struct('<IH')\n"
+            "def emit(a, b):\n"
+            "    return HEADER.pack(a, b)\n",
+            select={"WP001"},
+        )
+        assert len(diags) == 1 and diags[0].rule_id == "WP001"
+
+    def test_matching_unpack_is_clean(self):
+        diags = lint_source(
+            "import struct\n"
+            "HEADER = struct.Struct('<IH')\n"
+            "def emit(a, b):\n"
+            "    return HEADER.pack(a, b)\n"
+            "def parse(blob):\n"
+            "    return HEADER.unpack(blob)\n",
+            select={"WP001"},
+        )
+        assert diags == []
+
+    def test_byte_order_prefix_is_ignored_when_matching(self):
+        diags = _lint_tree({
+            "writer.py": (
+                "import struct\n"
+                "def emit(a, b):\n"
+                "    return struct.pack('<IH', a, b)\n"
+            ),
+            "reader.py": (
+                "import struct\n"
+                "def parse(blob):\n"
+                "    return struct.unpack('!IH', blob)\n"
+            ),
+        }, select={"WP001"})
+        assert diags == []
+
+    def test_unpack_may_live_in_another_file(self):
+        diags = _lint_tree({
+            "writer.py": (
+                "import struct\n"
+                "RECORD = struct.Struct('<QQ')\n"
+                "def emit(a, b):\n"
+                "    return RECORD.pack(a, b)\n"
+            ),
+            "reader.py": (
+                "import struct\n"
+                "RECORD = struct.Struct('<QQ')\n"
+                "def parse(blob):\n"
+                "    return RECORD.unpack(blob)\n"
+            ),
+        }, select={"WP001"})
+        assert diags == []
+
+    def test_factory_built_format_matches_reader(self):
+        diags = lint_source(
+            "import struct\n"
+            "READER = struct.Struct('<Hi')\n"
+            "def table_format(n):\n"
+            "    return struct.Struct('<' + 'Hi' * n)\n"
+            "def emit(rows, n):\n"
+            "    return table_format(n).pack(*rows)\n"
+            "def parse(blob):\n"
+            "    return READER.unpack(blob)\n",
+            select={"WP001"},
+        )
+        assert diags == []

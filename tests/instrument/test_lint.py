@@ -580,6 +580,14 @@ class TestSeededDefectTree:
         ("SH001", "seeded_shard.py", 20),
         ("CP001", "seeded_shard.py", 31),
         ("CP001", "seeded_bench.py", 14),
+        ("AS001", "seeded_concurrency.py", 23),  # handle -> _drain -> sleep
+        ("RC001", "seeded_concurrency.py", 42),  # _spin writes sans lock
+        ("DL001", "seeded_concurrency.py", 53),  # _alock -> _block
+        ("DL001", "seeded_concurrency.py", 58),  # _block -> _alock
+        ("SP001", "seeded_spawn.py", 30),  # Lock in Process args
+        ("SP001", "seeded_spawn.py", 33),  # interning table over Pipe
+        ("WP001", "seeded_wire.py", 20),  # TRAILER packed, never unpacked
+        ("SL001", "seeded_wire.py", 15),  # disable=WP999 typo
     }
 
     def test_finds_every_planted_defect(self):

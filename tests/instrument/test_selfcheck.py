@@ -42,3 +42,27 @@ def test_whole_package_lints_clean():
 def test_cli_selfcheck_exits_zero(capsys):
     assert lint_cli([SRC]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_design_doc_rule_table_matches_registry():
+    """DESIGN.md §9's rule table must stay in lockstep with RULES."""
+    from repro.instrument.diagnostics import RULES, severity_name
+
+    design = os.path.join(REPO_ROOT, "DESIGN.md")
+    with open(design, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    documented = {}
+    for line in lines:
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) >= 3 and cells[0] in RULES:
+            documented[cells[0]] = cells[1]
+
+    missing = sorted(set(RULES) - set(documented))
+    assert not missing, f"rules absent from the DESIGN.md table: {missing}"
+    for rule_id, severity in sorted(documented.items()):
+        expected = severity_name(RULES[rule_id].severity)
+        assert severity == expected, (
+            f"DESIGN.md lists {rule_id} as '{severity}', "
+            f"registry says '{expected}'"
+        )
