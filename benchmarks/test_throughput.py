@@ -542,7 +542,16 @@ def test_throughput_and_write_trajectory():
         },
         "detect_columnar_speedup": columnar_speedup,
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    # Merge, don't overwrite: other benchmark files (the overload soak)
+    # record their legs in the same trajectory JSON.
+    merged = {}
+    if RESULT_PATH.exists():
+        try:
+            merged = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            merged = {}
+    merged.update(result)
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
 
     assert speedup >= MIN_DETECT_SPEEDUP, (
         f"detection speedup {speedup:.2f}x below the {MIN_DETECT_SPEEDUP}x "

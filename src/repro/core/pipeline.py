@@ -91,7 +91,7 @@ class NodeRuntime:
         """Explicitly finalize the current thread's open task."""
         return self.tracker.end_task()
 
-    def connect(self, address) -> None:
+    def connect(self, address, *, compression: bool = False) -> None:
         """Ship this node's wire frames to a remote analyzer over TCP.
 
         ``address`` is the ``(host, port)`` a
@@ -100,6 +100,12 @@ class NodeRuntime:
         deployment).  Requires the node to run with ``wire_format=True``
         — frames are the transport unit.  The previous ``frame_sink``
         (if any) is replaced.
+
+        The sender negotiates the credit/ack ingest protocol and tunes
+        this node's ``flush_size`` adaptively from ack round-trips (the
+        client's :class:`~repro.shard.server.AdaptiveFlush` controller
+        writes straight through to the stream).  ``compression=True``
+        requests zlib frame compression; the server may decline.
         """
         if not self.stream.wire_format:
             raise ValueError("connect() requires a wire_format=True node")
@@ -107,7 +113,13 @@ class NodeRuntime:
 
         if self._client is not None:
             self._client.close()
-        self._client = FrameClient(address)
+        stream = self.stream
+        self._client = FrameClient(
+            address,
+            registry=self.saad.registry,
+            compression=compression,
+            on_flush_size=lambda size: setattr(stream, "flush_size", size),
+        )
         self.stream.frame_sink = self._client
 
     def disconnect(self) -> None:
@@ -314,19 +326,53 @@ class SAAD:
         return sorted(detector.anomalies, key=EVENT_ORDER)
 
     # -- transport ----------------------------------------------------------
-    def listen(self, host: str = "127.0.0.1", port: int = 0):
+    def listen(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        credit_window: Optional[int] = None,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        shed_watermark: Optional[int] = None,
+        hard_watermark: Optional[int] = None,
+        compression: bool = True,
+    ):
         """Start (or return) the deployment's TCP synopsis server.
 
         Frames received on the socket feed the central collector via
         its reassembly inlet (:meth:`~repro.core.stream.
         SynopsisCollector.feed`), exactly as locally attached streams
         do.  Returns the bound ``(host, port)``.
+
+        The overload knobs (docs/OPERATIONS.md §8) pass through to the
+        server: ``credit_window`` bounds each connection's in-flight
+        bytes, reads pause/resume at ``high_watermark`` /
+        ``low_watermark`` of backlog, and a ``shed_watermark`` attaches
+        a :class:`~repro.shard.LoadShedder` dropping head-sampled
+        frames first (exemplar-bearing ones only past
+        ``hard_watermark``, default twice the shed mark).  Omitted
+        knobs take the server defaults; without ``shed_watermark`` no
+        shedding happens — only backpressure.
         """
         if self.server is None:
-            from repro.shard import SynopsisServer
+            from repro.shard import LoadShedder, SynopsisServer
 
+            shedder = None
+            if shed_watermark is not None:
+                shedder = LoadShedder(
+                    shed_watermark, hard_watermark, registry=self.registry
+                )
             self.server = SynopsisServer(
-                self.collector.feed, host=host, port=port, registry=self.registry
+                self.collector.feed,
+                host=host,
+                port=port,
+                registry=self.registry,
+                credit_window=credit_window,
+                high_watermark=high_watermark,
+                low_watermark=low_watermark,
+                shedder=shedder,
+                compression=compression,
             )
             self.server.start()
         return self.server.address

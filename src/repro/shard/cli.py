@@ -108,6 +108,7 @@ def serve(argv) -> int:
 
     from .coordinator import ShardedAnalyzer
     from .server import SynopsisServer
+    from .shedding import LoadShedder, SignatureNovelty
 
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
@@ -126,10 +127,53 @@ def serve(argv) -> int:
         metavar="SECONDS",
         help="serve this long then exit (default: until Ctrl-C)",
     )
+    parser.add_argument(
+        "--credit-window",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-connection in-flight byte credit (default 256 KiB)",
+    )
+    parser.add_argument(
+        "--high-watermark",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="backlog at which connection reads pause (default 4 MiB)",
+    )
+    parser.add_argument(
+        "--low-watermark",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="backlog at which paused reads resume (default high/2)",
+    )
+    parser.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="backlog at which head-sampled frames are shed "
+        "(default: no shedding, backpressure only)",
+    )
+    parser.add_argument(
+        "--hard-watermark",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="backlog at which exemplar-bearing frames are shed too "
+        "(default: 2x the shed watermark)",
+    )
+    parser.add_argument(
+        "--no-compression",
+        action="store_true",
+        help="decline clients' zlib frame compression requests",
+    )
     args = parser.parse_args(argv)
 
     registry = MetricsRegistry()
     analyzer: Optional[ShardedAnalyzer] = None
+    classify = None
     collector = SynopsisCollector(retain=False, registry=registry)
     if args.model:
         from repro.core.persistence import load_model
@@ -137,10 +181,31 @@ def serve(argv) -> int:
         model = load_model(args.model, registry=registry)
         analyzer = ShardedAnalyzer(model, args.shards, registry=registry)
         sink = analyzer.dispatch_frame
+        # Legacy (priority-less) connections get server-side priorities
+        # from the model: novel-signature frames survive shedding longer.
+        classify = SignatureNovelty.from_model(model).frame_priority
     else:
         sink = collector.feed
 
-    server = SynopsisServer(sink, host=args.host, port=args.port, registry=registry)
+    shedder = None
+    if args.shed_watermark is not None:
+        shedder = LoadShedder(
+            args.shed_watermark, args.hard_watermark, registry=registry
+        )
+    elif args.hard_watermark is not None:
+        parser.error("--hard-watermark requires --shed-watermark")
+    server = SynopsisServer(
+        sink,
+        host=args.host,
+        port=args.port,
+        registry=registry,
+        credit_window=args.credit_window,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        shedder=shedder,
+        classify=classify,
+        compression=not args.no_compression,
+    )
     host, port = server.start()
     mode = f"detecting with {args.shards} shard(s)" if analyzer else "collecting"
     print(f"listening on {host}:{port} ({mode}); Ctrl-C to stop")

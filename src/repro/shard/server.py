@@ -14,50 +14,151 @@ single-process detection straight off the socket.  The event
 loop runs in a daemon thread, so the server drops into synchronous
 deployments (the ``SAAD`` facade, tests) without an async caller.
 
-Framing is ``readexactly``-driven: 6 header bytes, then exactly the
-advertised payload — a frame split across any number of TCP segments
-reassembles correctly, and a peer that dies mid-frame is detected (the
-partial tail is counted, never silently ingested).
+Overload behavior (DESIGN.md §15, docs/OPERATIONS.md §8): received
+frames pass through admission control into one bounded delivery queue
+drained by a pump task, so the ingest edge degrades gracefully instead
+of buffering without bound —
 
-Every connection's frames are delivered from the single event-loop
-thread, so a sink shared by many nodes sees frames strictly
-sequentially; coordinate externally before feeding the same sink from
-other threads as well.
+* **Credit-based backpressure.**  A negotiated connection is granted a
+  byte *credit window* at connect; every data envelope consumes credit
+  and the server re-grants it (piggybacked on the per-frame ack) only
+  when the frame has left the queue.  A stalled analyzer therefore
+  stops the clients, not the other way around.
+* **Read pausing.**  When the queue backlog crosses the high watermark
+  every connection's read loop parks on a resume event
+  (``transport.pause_reading``-style — the server simply stops calling
+  ``readexactly``, letting TCP flow control push back), and resumes
+  once the pump drains below the low watermark.
+* **Load shedding.**  With a :class:`~repro.shard.shedding.LoadShedder`
+  attached, admission drops head-sampled frames past the shed
+  watermark (exemplar-bearing ones only past the hard watermark);
+  dropped frames are acked immediately so clients keep their credit.
 
-:class:`FrameClient` is the node-side counterpart: a small blocking TCP
-sender whose instances are valid ``frame_sink`` callables for
-:class:`~repro.core.stream.SynopsisStream`.
+Protocol: a legacy connection just writes raw wire frames, exactly as
+before — the server detects this from the first 6 bytes and serves it
+with TCP-level backpressure only.  A negotiated connection opens with
+the magic hello ``b"SAAD" + version + flags`` (the 4-byte magic decodes
+as a ~1.1 GiB length prefix, far past the 64 MiB frame cap, so it can
+never be confused with a legacy frame header), receives a hello-ack
+carrying the accepted flags and the initial credit, and then sends each
+frame in a typed envelope ``(type, priority, length)`` — optionally
+zlib-compressed when both sides agreed at connect.  The server answers
+each data envelope with a 9-byte ack ``(seq, credit-grant)`` that both
+replenishes credit and gives the client its round-trip time signal.
+
+Framing is ``readexactly``-driven: a frame split across any number of
+TCP segments reassembles correctly, and a peer that dies mid-frame is
+detected (the partial tail is counted, never silently ingested).
+Frames from all connections are delivered by the single pump task on
+the event-loop thread, so a sink shared by many nodes sees frames
+strictly sequentially; coordinate externally before feeding the same
+sink from other threads as well.
+
+:class:`FrameClient` is the node-side counterpart: a credit-respecting
+blocking TCP sender whose instances are valid ``frame_sink`` callables
+for :class:`~repro.core.stream.SynopsisStream`, with an
+:class:`AdaptiveFlush` controller tuning the recommended frame batch
+size from observed ack latency.
 """
 
 from __future__ import annotations
 
 import asyncio
+import select
 import socket
+import struct
 import threading
-from typing import Callable, Optional, Tuple
+import time
+import zlib
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.synopsis import FRAME_HEADER
+from repro.core.synopsis import FRAME_HEADER, MAX_FRAME_SYNOPSES
 from repro.telemetry import NULL_REGISTRY
 
-__all__ = ["SynopsisServer", "FrameClient"]
+from .shedding import PRIORITY_SAMPLED, LoadShedder
+
+__all__ = ["SynopsisServer", "FrameClient", "AdaptiveFlush"]
 
 _MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB: reject absurd length prefixes early
 
+# -- ingest protocol ----------------------------------------------------------
+#: Negotiated-connection magic: as a little-endian length prefix this
+#: reads as ~1.14 GiB, far past ``_MAX_FRAME_PAYLOAD``, so no legal
+#: legacy frame can start with it.
+_MAGIC = b"SAAD"
+_PROTOCOL_VERSION = 1
+
+#: Hello flag bit: the client asks for (and the server accepts) zlib
+#: frame compression.
+_FLAG_COMPRESS = 0x01
+
+#: Client hello: magic, version, requested flags.  Deliberately the
+#: same size as ``FRAME_HEADER`` so the server's first read decides
+#: legacy vs negotiated without over-reading.
+_HELLO = struct.Struct("<4sBB")
+assert _HELLO.size == FRAME_HEADER.size
+
+#: Server hello-ack: magic, version, accepted flags, credit window.
+_HELLO_ACK = struct.Struct("<4sBBI")
+
+#: Data envelope header (client -> server): type, priority, length.
+_ENVELOPE = struct.Struct("<BBI")
+_ENV_DATA = 0  # payload is one wire frame, verbatim
+_ENV_DATA_Z = 1  # payload is one zlib-compressed wire frame
+_ENV_BYE = 2  # clean shutdown marker, length 0
+
+#: Ack (server -> client): type, cumulative data-envelope seq, grant.
+_ACK = struct.Struct("<BII")
+_ACK_GRANT = 0
+
+#: zlib level for frame compression: speed over ratio — the wire frames
+#: are short-range-redundant struct arrays, which level 1 already folds.
+_COMPRESS_LEVEL = 1
+
+#: Default per-connection credit window (bytes in flight).
+DEFAULT_CREDIT_WINDOW = 1 << 18
+
+#: Default delivery-queue watermarks (bytes): reads pause above high,
+#: resume below low.
+DEFAULT_HIGH_WATERMARK = 1 << 22
+
 
 class SynopsisServer:
-    """Asyncio TCP collector for wire frames.
+    """Asyncio TCP collector for wire frames, with overload control.
 
     Parameters
     ----------
     sink:
         Callable receiving each complete frame's bytes (header
         included) — the same contract as a stream's ``frame_sink``.
+        May be a coroutine function; it is awaited by the pump, letting
+        slow analyzers exert backpressure without blocking the loop.
     host, port:
         Bind address; port 0 picks a free port (see :attr:`address`
         after :meth:`start`).
     registry:
-        Telemetry registry for the ``shard_server_*`` metrics; defaults
-        to :data:`~repro.telemetry.NULL_REGISTRY`.
+        Telemetry registry for the ``shard_server_*`` / ``server_*``
+        metrics; defaults to :data:`~repro.telemetry.NULL_REGISTRY`.
+    credit_window:
+        Byte credit granted to each negotiated connection at connect —
+        its maximum in-flight wire bytes.  Must comfortably exceed the
+        largest frame a node flushes or senders serialize on the ack
+        round-trip.
+    high_watermark, low_watermark:
+        Delivery-queue backlog (bytes) at which connection reads pause
+        / resume.  ``low_watermark`` defaults to half the high one.
+    shedder:
+        Optional :class:`~repro.shard.shedding.LoadShedder` consulted
+        at admission; dropped frames never occupy queue memory and are
+        acked immediately so the sender's credit survives.
+    classify:
+        Optional ``frame -> priority`` callable used for connections
+        that do not declare priorities (legacy peers) — e.g.
+        :meth:`~repro.shard.shedding.SignatureNovelty.frame_priority`.
+    compression:
+        Whether to accept a client's request for zlib frame
+        compression; False forces every negotiated peer to fall back to
+        uncompressed envelopes.
     """
 
     def __init__(
@@ -66,10 +167,37 @@ class SynopsisServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry=None,
+        *,
+        credit_window: Optional[int] = None,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        shedder: Optional[LoadShedder] = None,
+        classify: Optional[Callable[[bytes], int]] = None,
+        compression: bool = True,
     ):
         self.sink = sink
         self.host = host
         self.port = port
+        self.credit_window = (
+            credit_window if credit_window is not None else DEFAULT_CREDIT_WINDOW
+        )
+        self.high_watermark = (
+            high_watermark if high_watermark is not None else DEFAULT_HIGH_WATERMARK
+        )
+        self.low_watermark = (
+            low_watermark if low_watermark is not None else self.high_watermark // 2
+        )
+        if self.credit_window < 1:
+            raise ValueError(f"credit_window must be >= 1: {self.credit_window}")
+        if not 0 <= self.low_watermark <= self.high_watermark:
+            raise ValueError(
+                f"need 0 <= low_watermark <= high_watermark, got "
+                f"{self.low_watermark} / {self.high_watermark}"
+            )
+        self.shedder = shedder
+        self.classify = classify
+        self.compression = compression
+        self._sink_is_async = asyncio.iscoroutinefunction(sink)
         registry = registry if registry is not None else NULL_REGISTRY
         self._m_connections = registry.counter(
             "shard_server_connections", "TCP synopsis connections accepted"
@@ -84,6 +212,44 @@ class SynopsisServer:
             "shard_server_truncated",
             "connections that died mid-frame (partial tail discarded)",
         )
+        self._m_delivered = registry.counter(
+            "server_frames_delivered",
+            "ingested frames handed to the sink (received minus shed)",
+        )
+        self._m_credits = registry.counter(
+            "server_credits_granted",
+            "credit bytes granted to negotiated connections (window + acks)",
+        )
+        self._m_paused = registry.counter(
+            "server_reads_paused",
+            "times a connection's reads were paused at the high watermark",
+        )
+        self._m_sink_errors = registry.counter(
+            "server_sink_errors", "frames the sink raised on (dropped, counted)"
+        )
+        self._m_decompressed = registry.counter(
+            "server_frames_decompressed",
+            "compressed data envelopes inflated at ingest",
+        )
+        self._m_compressed_bytes = registry.counter(
+            "server_compressed_bytes",
+            "wire bytes of compressed envelope payloads received",
+        )
+        registry.gauge(
+            "server_pending_bytes",
+            "frame bytes admitted but not yet handed to the sink",
+        ).set_function(lambda: self._pending_bytes)
+        watermarks = registry.gauge(
+            "ingest_watermark_bytes",
+            "configured ingest backlog watermarks (bytes)",
+            labels=("kind",),
+        )
+        watermarks.labels(kind="high").set_function(lambda: self.high_watermark)
+        watermarks.labels(kind="low").set_function(lambda: self.low_watermark)
+        self._pending_bytes = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._resume: Optional[asyncio.Event] = None
+        self._pump_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -98,29 +264,86 @@ class SynopsisServer:
             raise RuntimeError("server not started")
         return self._address
 
+    @property
+    def pending_bytes(self) -> int:
+        """Frame bytes admitted but not yet handed to the sink."""
+        return self._pending_bytes
+
+    # -- admission + delivery (event-loop side) ------------------------------
+    async def _admit(self, frame: bytes, priority: int, writer, seq: int, wire: int):
+        """Admission control for one received frame.
+
+        Sheds against the current backlog (acking immediately so the
+        sender keeps its credit), else queues for the pump, then pauses
+        this connection's reads while the backlog sits above the high
+        watermark.
+        """
+        if self.shedder is not None and not self.shedder.admit(
+            priority, len(frame), self._pending_bytes
+        ):
+            if writer is not None:
+                self._grant(writer, seq, wire)
+            return
+        self._pending_bytes += len(frame)
+        self._queue.put_nowait((frame, writer, seq, wire))
+        if self._pending_bytes > self.high_watermark and self._resume.is_set():
+            self._resume.clear()
+        if not self._resume.is_set():
+            self._m_paused.inc()
+            await self._resume.wait()
+
+    def _grant(self, writer, seq: int, grant: int) -> None:
+        """Ack one data envelope, re-granting its wire bytes as credit."""
+        try:
+            writer.write(_ACK.pack(_ACK_GRANT, seq, grant))
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # peer already gone; its credit no longer matters
+        self._m_credits.inc(grant)
+
+    async def _pump(self) -> None:
+        """Single consumer draining the delivery queue into the sink.
+
+        Credit is re-granted only here (or at shed time), after the
+        frame has left the queue — that is what makes the client-side
+        credit window a bound on server-side ingest memory.
+        """
+        queue = self._queue
+        while True:
+            frame, writer, seq, wire = await queue.get()
+            try:
+                if self._sink_is_async:
+                    await self.sink(frame)
+                else:
+                    self.sink(frame)
+                self._m_delivered.inc()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self._m_sink_errors.inc()
+            finally:
+                self._pending_bytes -= len(frame)
+                if writer is not None:
+                    self._grant(writer, seq, wire)
+                if (
+                    self._pending_bytes <= self.low_watermark
+                    and not self._resume.is_set()
+                ):
+                    self._resume.set()
+                queue.task_done()
+
     async def _handle(self, reader, writer) -> None:
         self._m_connections.inc()
-        header_size = FRAME_HEADER.size
         try:
-            while True:
-                try:
-                    header = await reader.readexactly(header_size)
-                except asyncio.IncompleteReadError as partial:
-                    if partial.partial:
-                        self._m_truncated.inc()
-                    break
-                length, _ = FRAME_HEADER.unpack(header)
-                if length > _MAX_FRAME_PAYLOAD:
+            try:
+                first = await reader.readexactly(_HELLO.size)
+            except asyncio.IncompleteReadError as partial:
+                if partial.partial:
                     self._m_truncated.inc()
-                    break
-                try:
-                    payload = await reader.readexactly(length)
-                except asyncio.IncompleteReadError:
-                    self._m_truncated.inc()
-                    break
-                self._m_frames.inc()
-                self._m_bytes.inc(header_size + length)
-                self.sink(header + payload)
+                return
+            if first[:4] == _MAGIC:
+                await self._serve_negotiated(reader, writer, first)
+            else:
+                await self._serve_legacy(reader, writer, first)
         finally:
             writer.close()
             try:
@@ -128,12 +351,97 @@ class SynopsisServer:
             except (ConnectionError, OSError):
                 pass
 
+    async def _serve_legacy(self, reader, writer, first: bytes) -> None:
+        """Raw length-prefixed frames, no credit or acks (pre-overload
+        peers).  Backpressure still applies: reads pause at the high
+        watermark, so TCP flow control reaches the sender."""
+        header_size = FRAME_HEADER.size
+        header = first
+        while True:
+            length, _ = FRAME_HEADER.unpack(header)
+            if length > _MAX_FRAME_PAYLOAD:
+                self._m_truncated.inc()
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                self._m_truncated.inc()
+                return
+            frame = header + payload
+            self._m_frames.inc()
+            self._m_bytes.inc(len(frame))
+            # Per-frame (not per-synopsis) classification at the edge.
+            priority = (
+                self.classify(frame)  # saadlint: disable=CP001
+                if self.classify
+                else PRIORITY_SAMPLED
+            )
+            await self._admit(frame, priority, None, 0, len(frame))
+            try:
+                header = await reader.readexactly(header_size)
+            except asyncio.IncompleteReadError as partial:
+                if partial.partial:
+                    self._m_truncated.inc()
+                return
+
+    async def _serve_negotiated(self, reader, writer, hello: bytes) -> None:
+        """The credit/ack envelope protocol behind the magic hello."""
+        _magic, _version, flags = _HELLO.unpack(hello)
+        accepted = flags & _FLAG_COMPRESS if self.compression else 0
+        writer.write(
+            _HELLO_ACK.pack(_MAGIC, _PROTOCOL_VERSION, accepted, self.credit_window)
+        )
+        self._m_credits.inc(self.credit_window)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+        seq = 0
+        while True:
+            try:
+                head = await reader.readexactly(_ENVELOPE.size)
+            except asyncio.IncompleteReadError as partial:
+                if partial.partial:
+                    self._m_truncated.inc()
+                return
+            etype, priority, length = _ENVELOPE.unpack(head)
+            if etype == _ENV_BYE:
+                return
+            if etype not in (_ENV_DATA, _ENV_DATA_Z) or length > _MAX_FRAME_PAYLOAD:
+                self._m_truncated.inc()
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                self._m_truncated.inc()
+                return
+            wire = _ENVELOPE.size + length
+            if etype == _ENV_DATA_Z:
+                try:
+                    frame = zlib.decompress(payload)
+                except zlib.error:
+                    self._m_truncated.inc()
+                    return
+                self._m_decompressed.inc()
+                self._m_compressed_bytes.inc(length)
+            else:
+                frame = payload
+            seq += 1
+            self._m_frames.inc()
+            self._m_bytes.inc(wire)
+            await self._admit(frame, priority, writer, seq, wire)
+
+    # -- lifecycle (caller side) ---------------------------------------------
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         self._loop = loop
         asyncio.set_event_loop(loop)
 
         async def boot():
+            self._queue = asyncio.Queue()
+            self._resume = asyncio.Event()
+            self._resume.set()
+            self._pump_task = loop.create_task(self._pump())
             return await asyncio.start_server(self._handle, self.host, self.port)
 
         try:
@@ -149,9 +457,24 @@ class SynopsisServer:
         try:
             loop.run_forever()
         finally:
+            self._pump_task.cancel()
             self._server.close()
-            loop.run_until_complete(self._server.wait_closed())
+            loop.run_until_complete(
+                asyncio.gather(
+                    self._pump_task, self._server.wait_closed(), return_exceptions=True
+                )
+            )
             loop.close()
+
+    async def _drain_for_close(self) -> None:
+        """Stop accepting, then give admitted frames a bounded window to
+        reach the sink — a clean close should not lose the tail."""
+        self._server.close()
+        await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
 
     def start(self) -> Tuple[str, int]:
         """Bind and serve on a daemon thread; the bound ``(host, port)``."""
@@ -169,12 +492,20 @@ class SynopsisServer:
         return self.address
 
     def close(self) -> None:
-        """Stop accepting, close the loop, join the thread.  Idempotent."""
+        """Stop accepting, drain admitted frames, close the loop, join
+        the thread.  Idempotent."""
         thread, self._thread = self._thread, None
         if thread is None:
             return
         loop = self._loop
         if loop is not None and loop.is_running():
+            try:
+                drained = asyncio.run_coroutine_threadsafe(
+                    self._drain_for_close(), loop
+                )
+                drained.result(timeout=10)
+            except Exception:
+                pass
             loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=10)
 
@@ -188,34 +519,337 @@ class SynopsisServer:
         self.close()
 
 
+class AdaptiveFlush:
+    """Bounded AIMD controller for the node-side frame batch size.
+
+    Tracks a smoothed ack round-trip time and tunes the recommended
+    ``flush_size`` (synopses per wire frame) the way a congestion window
+    moves: *additive increase* — while the smoothed RTT sits at or under
+    ``target_rtt_us``, grow by ``step`` to amortize per-frame header,
+    syscall, and ack costs; *multiplicative decrease* — the moment it
+    exceeds the target, halve, shrinking the burst a congested analyzer
+    must absorb per frame and with it this sender's share of the credit
+    window in flight.  The value is always clamped to
+    ``[min_size, max_size]`` so a pathological RTT series can neither
+    starve batching nor exceed the wire format's frame capacity.
+    """
+
+    def __init__(
+        self,
+        initial: int = 64,
+        min_size: int = 8,
+        max_size: int = 1024,
+        step: int = 8,
+        target_rtt_us: float = 2000.0,
+        smoothing: float = 0.2,
+    ):
+        if not 1 <= min_size <= initial <= max_size <= MAX_FRAME_SYNOPSES:
+            raise ValueError(
+                f"need 1 <= min_size <= initial <= max_size <= "
+                f"{MAX_FRAME_SYNOPSES}, got {min_size}/{initial}/{max_size}"
+            )
+        if step < 1:
+            raise ValueError(f"step must be >= 1: {step}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1]: {smoothing}")
+        self.min_size = min_size
+        self.max_size = max_size
+        self.step = step
+        self.target_rtt_us = float(target_rtt_us)
+        self.smoothing = smoothing
+        self.size = initial
+        self.rtt_us = 0.0
+
+    def observe(self, rtt_us: float) -> int:
+        """Fold one ack round-trip sample in; the new recommended size."""
+        if self.rtt_us == 0.0:
+            self.rtt_us = float(rtt_us)
+        else:
+            s = self.smoothing
+            self.rtt_us = (1.0 - s) * self.rtt_us + s * float(rtt_us)
+        if self.rtt_us > self.target_rtt_us:
+            self.size = max(self.min_size, self.size // 2)
+        else:
+            self.size = min(self.max_size, self.size + self.step)
+        return self.size
+
+
 class FrameClient:
-    """Blocking TCP sender for wire frames (node side).
+    """Credit-respecting blocking TCP sender for wire frames (node side).
 
     An instance is a valid ``frame_sink``: construct with the server's
     address and hand it to :class:`~repro.core.stream.SynopsisStream`
-    — every flushed frame is written to the socket verbatim.  TCP
-    preserves the byte stream, so the server's ``readexactly`` framing
-    needs no extra envelope.
+    — every flushed frame is written to the socket.  By default the
+    client negotiates the envelope protocol (credit backpressure,
+    per-frame acks, optional compression) with the magic hello; pass
+    ``negotiate=False`` to speak the raw legacy frame stream instead.
+
+    Parameters
+    ----------
+    address:
+        The server's ``(host, port)``.
+    timeout:
+        Socket timeout, and the bound on a blocked credit wait.
+    registry:
+        Telemetry registry for the ``client_*`` metrics (labelled by
+        ``peer``); defaults to :data:`~repro.telemetry.NULL_REGISTRY`.
+    compression:
+        Request zlib frame compression at connect; the server may
+        decline, in which case frames go uncompressed (negotiation
+        fallback — check :attr:`compression` for the outcome).
+    negotiate:
+        False skips the hello entirely: raw frames, no credit, no acks
+        (exactly the pre-overload wire behavior).
+    priority_fn:
+        Optional ``frame -> priority`` classifier consulted when
+        :meth:`send` is not given an explicit priority — e.g.
+        :meth:`~repro.shard.shedding.SignatureNovelty.frame_priority`.
+    adaptive:
+        The :class:`AdaptiveFlush` controller to tune from ack RTTs; a
+        default-configured one is built when omitted.
+    on_flush_size:
+        Callback fired with the new recommended ``flush_size`` whenever
+        the controller changes it (the facade points this at the node's
+        stream).
     """
 
-    def __init__(self, address: Tuple[str, int], timeout: float = 10.0):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = 10.0,
+        *,
+        registry=None,
+        compression: bool = False,
+        negotiate: bool = True,
+        priority_fn: Optional[Callable[[bytes], int]] = None,
+        adaptive: Optional[AdaptiveFlush] = None,
+        on_flush_size: Optional[Callable[[int], None]] = None,
+    ):
         self._sock = socket.create_connection(address, timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.timeout = timeout
         self.bytes_sent = 0
         self.frames_sent = 0
+        self._closed = False
+        self._negotiated = False
+        self._compress = False
+        self._priority_fn = priority_fn
+        self._adaptive = adaptive if adaptive is not None else AdaptiveFlush()
+        self._on_flush_size = on_flush_size
+        self._credit = 0
+        self._window = 0
+        self._seq = 0
+        self._acked = 0
+        self._send_times: Dict[int, float] = {}
+        self._ackbuf = b""
+        registry = registry if registry is not None else NULL_REGISTRY
+        peer = f"{address[0]}:{address[1]}"
+        labels = ("peer",)
+        registry.gauge(
+            "client_flush_size",
+            "recommended synopses per frame (AIMD-tuned from ack RTT)",
+            labels=labels,
+        ).labels(peer=peer).set_function(lambda: self._adaptive.size)
+        registry.gauge(
+            "client_rtt_us",
+            "smoothed frame ack round-trip time (microseconds)",
+            labels=labels,
+        ).labels(peer=peer).set_function(lambda: self._adaptive.rtt_us)
+        self._m_stalls = registry.counter(
+            "client_credit_stalls",
+            "sends that blocked waiting for the server to re-grant credit",
+            labels=labels,
+        ).labels(peer=peer)
+        self._m_compressed = registry.counter(
+            "client_frames_compressed",
+            "frames sent as zlib-compressed envelopes",
+            labels=labels,
+        ).labels(peer=peer)
+        self._m_saved = registry.counter(
+            "client_compression_saved_bytes",
+            "wire bytes saved by frame compression",
+            labels=labels,
+        ).labels(peer=peer)
+        if negotiate:
+            self._handshake(compression)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def compression(self) -> bool:
+        """True when the server accepted compressed envelopes."""
+        return self._compress
+
+    @property
+    def credit(self) -> int:
+        """Current send credit in bytes (0 on a legacy connection)."""
+        return self._credit
+
+    @property
+    def flush_size(self) -> int:
+        """The controller's current recommended synopses per frame."""
+        return self._adaptive.size
+
+    @property
+    def rtt_us(self) -> float:
+        """Smoothed ack round-trip time in microseconds (0 before acks)."""
+        return self._adaptive.rtt_us
+
+    # -- wire ----------------------------------------------------------------
+    def _handshake(self, want_compression: bool) -> None:
+        flags = _FLAG_COMPRESS if want_compression else 0
+        self._sock.sendall(_HELLO.pack(_MAGIC, _PROTOCOL_VERSION, flags))
+        ack = self._recv_exact(_HELLO_ACK.size)
+        magic, _version, accepted, window = _HELLO_ACK.unpack(ack)
+        if magic != _MAGIC:
+            raise ConnectionError("peer is not a SAAD synopsis server")
+        self._negotiated = True
+        self._compress = bool(accepted & _FLAG_COMPRESS)
+        self._window = self._credit = window
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n > 0:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
 
     def __call__(self, frame: bytes) -> None:
         """The ``frame_sink`` protocol: :meth:`send`."""
         self.send(frame)
 
-    def send(self, frame: bytes) -> None:
-        """Write one frame to the socket (blocking, whole frame)."""
-        self._sock.sendall(frame)
-        self.bytes_sent += len(frame)
+    def send(self, frame: bytes, priority: Optional[int] = None) -> None:
+        """Write one frame to the socket, respecting the credit window.
+
+        On a negotiated connection the frame travels in a data envelope
+        (compressed when that shrinks it and the server agreed); if the
+        envelope exceeds the remaining credit, the call blocks draining
+        acks until the server re-grants enough (``client_credit_stalls``
+        counts these waits, bounded by ``timeout``).  ``priority``
+        defaults to the ``priority_fn`` classification, else
+        head-sampled.
+        """
+        if self._closed:
+            raise RuntimeError("FrameClient is closed; send() after close()")
+        if not self._negotiated:
+            self._sock.sendall(frame)
+            self.bytes_sent += len(frame)
+            self.frames_sent += 1
+            return
+        if priority is None:
+            priority = (
+                self._priority_fn(frame)
+                if self._priority_fn is not None
+                else PRIORITY_SAMPLED
+            )
+        payload, etype = frame, _ENV_DATA
+        if self._compress:
+            squeezed = zlib.compress(frame, _COMPRESS_LEVEL)
+            if len(squeezed) < len(frame):
+                payload, etype = squeezed, _ENV_DATA_Z
+                self._m_compressed.inc()
+                self._m_saved.inc(len(frame) - len(squeezed))
+        envelope = _ENVELOPE.pack(etype, priority, len(payload)) + payload
+        need = len(envelope)
+        self._drain_acks()
+        # An envelope larger than the whole window can never be fully
+        # covered; sending at full credit (briefly going negative) keeps
+        # it deadlock-free while still serializing on the round-trip.
+        floor = min(need, self._window)
+        if self._credit < floor:
+            self._m_stalls.inc()
+            deadline = time.monotonic() + self.timeout
+            while self._credit < floor:
+                self._drain_acks(deadline=deadline)
+        self._sock.sendall(envelope)
+        self._credit -= need
+        self._seq += 1
+        self._send_times[self._seq] = time.perf_counter()
+        self.bytes_sent += need
         self.frames_sent += 1
 
+    def _drain_acks(self, deadline: Optional[float] = None) -> None:
+        """Absorb pending acks; with a deadline, wait for at least one.
+
+        Each ack replenishes credit and closes the RTT loop feeding the
+        :class:`AdaptiveFlush` controller.
+        """
+        size = _ACK.size
+        while True:
+            if deadline is None:
+                wait = 0.0
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    raise TimeoutError(
+                        "timed out waiting for ingest credit (server "
+                        "backlogged past its watermarks, or gone)"
+                    )
+            ready = select.select([self._sock], [], [], wait)[0]
+            if not ready:
+                if deadline is None:
+                    return
+                continue
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._ackbuf += chunk
+            progressed = False
+            while len(self._ackbuf) >= size:
+                kind, seq, grant = _ACK.unpack_from(self._ackbuf)
+                self._ackbuf = self._ackbuf[size:]
+                if kind != _ACK_GRANT:
+                    continue
+                self._credit += grant
+                progressed = True
+                sent_at = self._send_times.pop(seq, None)
+                if sent_at is not None:
+                    before = self._adaptive.size
+                    # One controller step per ack — inherently scalar.
+                    after = self._adaptive.observe(  # saadlint: disable=CP001
+                        (time.perf_counter() - sent_at) * 1e6
+                    )
+                    if after != before and self._on_flush_size is not None:
+                        self._on_flush_size(after)
+                if seq > self._acked:
+                    self._acked = seq
+            if deadline is None or progressed:
+                return
+
+    def wait_acked(self, timeout: Optional[float] = None) -> None:
+        """Block until every sent data envelope has been acked.
+
+        No-op on a legacy connection.  Useful before :meth:`close` when
+        the caller wants delivery (not just transmission) confirmed.
+        """
+        if not self._negotiated:
+            return
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while self._acked < self._seq:
+            self._drain_acks(deadline=deadline)
+
     def close(self) -> None:
-        """Shut the connection down cleanly.  Idempotent."""
+        """Shut the connection down cleanly.  Idempotent.
+
+        A negotiated connection sends the BYE envelope first so the
+        server can tell a clean goodbye from a mid-frame death.  After
+        ``close()``, :meth:`send` raises ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._negotiated:
+            try:
+                self._sock.sendall(_ENVELOPE.pack(_ENV_BYE, 0, 0))
+            except OSError:
+                pass
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:

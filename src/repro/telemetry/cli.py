@@ -115,11 +115,20 @@ def _demo_deployment():
         os.unlink(path)
 
     # Scale-out pass: replay the detection trace through a 2-shard pool
-    # fed over the TCP ingest loopback, so the shard_* coordinator and
-    # shard_server_* transport families are live in this registry too.
+    # fed over the TCP ingest loopback — with the overload machinery
+    # attached (shedder, compression, novelty-classified priorities) —
+    # so the shard_* coordinator, shard_server_* transport, and the
+    # overload families (server_*, shed_*, client_*, watermark gauges)
+    # are all live in this registry too.
     import time
 
-    from repro.shard import FrameClient, ShardedAnalyzer, SynopsisServer
+    from repro.shard import (
+        FrameClient,
+        LoadShedder,
+        ShardedAnalyzer,
+        SignatureNovelty,
+        SynopsisServer,
+    )
 
     def _counter(name):
         for family in saad.registry.collect():
@@ -127,12 +136,25 @@ def _demo_deployment():
                 return sum(sample["value"] for sample in family["samples"])
         return 0.0
 
+    novelty = SignatureNovelty.from_model(saad.model)
+    shedder = LoadShedder(1 << 20, registry=saad.registry)
     with ShardedAnalyzer(
         saad.model, 2, registry=saad.registry, tracer=saad.tracer
     ) as pool:
-        with SynopsisServer(pool.dispatch_frame, registry=saad.registry) as server:
-            with FrameClient(server.address) as client:
+        with SynopsisServer(
+            pool.dispatch_frame,
+            registry=saad.registry,
+            shedder=shedder,
+            classify=novelty.frame_priority,
+        ) as server:
+            with FrameClient(
+                server.address,
+                registry=saad.registry,
+                compression=True,
+                priority_fn=novelty.frame_priority,
+            ) as client:
                 client.send(encode_frame(replay))
+                client.wait_acked()
             # frames land on the server's loop thread; wait for delivery
             deadline = time.monotonic() + 10.0
             while _counter("shard_server_frames") < 1:
