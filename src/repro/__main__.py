@@ -16,6 +16,8 @@ Usage::
     python -m repro trace TRACE.json   # re-render a saved trace export
     python -m repro shard --shards 4   # stage-sharded detection demo
     python -m repro serve --port 9000  # TCP synopsis ingest endpoint
+    python -m repro top                # live fleet health dashboard
+    python -m repro top --once --snapshot FILE.jsonl   # offline render
 """
 
 from __future__ import annotations
@@ -122,6 +124,10 @@ _TOOLS = {
     "serve": (
         "TCP synopsis ingest endpoint (collection or sharded detection)",
         _tool("repro.shard.cli", "serve"),
+    ),
+    "top": (
+        "fleet health dashboard: sparklines, senders, alerts, incidents",
+        _tool("repro.health.cli"),
     ),
 }
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.telemetry import MetricsRegistry
 
@@ -157,6 +157,13 @@ class AnomalyDetector:
     exemplars_per_window:
         Cap on exemplar traces per flagged window (new-signature tasks
         first, then slowest).
+    on_event:
+        Optional callback invoked with each emitted
+        :class:`AnomalyEvent` (after exemplar attachment), on the
+        thread that closed the window.  The facade uses it to correlate
+        anomalies with health incidents
+        (:meth:`~repro.health.HealthEngine.note_anomaly`); a raising
+        callback propagates to the caller.
 
     Telemetry: the per-task path mutates plain private ints exposed via
     callback-backed counters (``detector_tasks_observed``,
@@ -174,6 +181,7 @@ class AnomalyDetector:
         registry=None,
         tracer=None,
         exemplars_per_window: int = 3,
+        on_event: Optional[Callable[["AnomalyEvent"], None]] = None,
     ):
         self.model = model
         self.config = config or model.config
@@ -187,6 +195,7 @@ class AnomalyDetector:
         if exemplars_per_window < 0:
             raise ValueError(f"exemplars_per_window must be >= 0: {exemplars_per_window}")
         self.exemplars_per_window = exemplars_per_window
+        self._on_event = on_event
         self._buckets: Dict[Tuple[StageKey, int], _WindowBucket] = {}
         # Ripeness index: min-heap of open window indices plus, per index,
         # the stage keys opened in arrival order (for deterministic close
@@ -860,6 +869,9 @@ class AnomalyDetector:
             if exemplars:
                 events = [replace(event, exemplars=exemplars) for event in events]
         self.anomalies.extend(events)
+        if events and self._on_event is not None:
+            for event in events:
+                self._on_event(event)
         return events
 
     def _pin_exemplars(self, bucket: _WindowBucket) -> Tuple:

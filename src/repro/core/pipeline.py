@@ -7,7 +7,11 @@
 * per-node :class:`NodeRuntime` bundling a logger repository, the task
   execution tracker, and a synopsis stream;
 * a central :class:`SynopsisCollector`, :class:`OutlierModel` training,
-  and the streaming :class:`AnomalyDetector`.
+  and the streaming :class:`AnomalyDetector`;
+* the fleet health surface: a lazy
+  :class:`~repro.health.HealthEngine` behind :meth:`SAAD.health`, fed
+  by the registry (federated node snapshots included) and answering
+  the wire ``HEALTH`` probe of a listening deployment.
 """
 
 from __future__ import annotations
@@ -91,7 +95,15 @@ class NodeRuntime:
         """Explicitly finalize the current thread's open task."""
         return self.tracker.end_task()
 
-    def connect(self, address, *, compression: bool = False) -> None:
+    def connect(
+        self,
+        address,
+        *,
+        compression: bool = False,
+        node: Optional[str] = None,
+        telemetry_source=None,
+        telemetry_interval_s: Optional[float] = 30.0,
+    ) -> None:
         """Ship this node's wire frames to a remote analyzer over TCP.
 
         ``address`` is the ``(host, port)`` a
@@ -106,6 +118,17 @@ class NodeRuntime:
         client's :class:`~repro.shard.server.AdaptiveFlush` controller
         writes straight through to the stream).  ``compression=True``
         requests zlib frame compression; the server may decline.
+
+        Telemetry federation (docs/OPERATIONS.md §9) is opt-in: pass
+        ``telemetry_source`` (this node's deployment registry, or any
+        ``collect()``-able / zero-arg callable) and registry snapshots
+        piggyback on the data stream every ``telemetry_interval_s``
+        seconds, landing in the analyzer's fleet view under
+        ``node=<node>`` (default: this runtime's ``host_name``).  It is
+        off by default because a loopback node shares :attr:`SAAD.
+        registry` with its analyzer — federating that registry into
+        itself would double-count; only ship a *remote* deployment's
+        registry.
         """
         if not self.stream.wire_format:
             raise ValueError("connect() requires a wire_format=True node")
@@ -119,8 +142,23 @@ class NodeRuntime:
             registry=self.saad.registry,
             compression=compression,
             on_flush_size=lambda size: setattr(stream, "flush_size", size),
+            node=node or self.host_name,
+            telemetry_source=telemetry_source,
+            telemetry_interval_s=telemetry_interval_s,
         )
         self.stream.frame_sink = self._client
+
+    def probe_health(self, timeout: Optional[float] = None) -> dict:
+        """Ask the connected analyzer for its health report.
+
+        Round-trips the wire ``HEALTH`` probe on this node's sender and
+        returns the analyzer-side :meth:`SAAD.health` payload (state,
+        firing alerts, per-rule statuses, incident flag).  Requires
+        :meth:`connect` first.
+        """
+        if self._client is None:
+            raise RuntimeError("probe_health() requires connect() first")
+        return self._client.health(timeout=timeout)
 
     def disconnect(self) -> None:
         """Flush pending frames and close the TCP sender.  Idempotent."""
@@ -192,6 +230,7 @@ class SAAD:
         self.model: Optional[OutlierModel] = None
         self.shards = shards
         self.server = None
+        self._health_engine = None
         self.registry.gauge(
             "saad_nodes", "node runtimes registered with this deployment"
         ).set_function(lambda: len(self.nodes))
@@ -261,6 +300,7 @@ class SAAD:
             lateness_s=lateness_s,
             registry=self.registry,
             tracer=self.tracer,
+            on_event=self._note_anomaly,
         )
 
     def stream_detector(self, lateness_s: float = 0.0) -> AnomalyDetector:
@@ -316,6 +356,8 @@ class SAAD:
             with self.shard() as analyzer:
                 analyzer.dispatch(synopses)
                 analyzer.close()
+                for event in analyzer.anomalies:
+                    self._note_anomaly(event)
                 return analyzer.anomalies
         from repro.shard import EVENT_ORDER
 
@@ -324,6 +366,53 @@ class SAAD:
             detector.observe(synopsis)
         detector.flush()
         return sorted(detector.anomalies, key=EVENT_ORDER)
+
+    # -- health -------------------------------------------------------------
+    def health_engine(self, rules=None, **kwargs):
+        """The deployment's :class:`~repro.health.HealthEngine` (lazy).
+
+        Created on first use against the shared registry — with the
+        built-in rule pack (:func:`~repro.health.builtin_rules`) unless
+        ``rules`` is given; extra keyword arguments (hysteresis,
+        history) pass through to the engine constructor.  Later calls
+        return the existing engine and must be argument-free: the
+        engine carries alert state and incident history, so silently
+        rebuilding it would discard both.
+
+        Once the engine exists, detector anomalies emitted through this
+        facade (:meth:`detector`, :meth:`stream_detector`,
+        :meth:`detect`) land on its incident timeline automatically.
+        """
+        if self._health_engine is None:
+            from repro.health import HealthEngine
+
+            self._health_engine = HealthEngine(
+                self.registry, rules=rules, **kwargs
+            )
+        elif rules is not None or kwargs:
+            raise RuntimeError(
+                "health engine already created; it keeps alert/incident "
+                "state, so reconfiguring it here would silently drop that"
+            )
+        return self._health_engine
+
+    def health(self) -> dict:
+        """One JSON-able health report for this deployment.
+
+        Evaluates the rule pack against the live registry (federated
+        node snapshots included) and returns
+        :meth:`~repro.health.HealthEngine.report_dict`.  Creates the
+        engine on first use; remote senders receive exactly this
+        payload from the wire ``HEALTH`` probe
+        (:meth:`NodeRuntime.probe_health`).
+        """
+        return self.health_engine().report_dict()
+
+    def _note_anomaly(self, event) -> None:
+        """Detector hook: correlate an anomaly with any open incident."""
+        engine = self._health_engine
+        if engine is not None:
+            engine.note_anomaly(event)
 
     # -- transport ----------------------------------------------------------
     def listen(
@@ -354,6 +443,12 @@ class SAAD:
         ``hard_watermark``, default twice the shed mark).  Omitted
         knobs take the server defaults; without ``shed_watermark`` no
         shedding happens — only backpressure.
+
+        The server also carries the fleet observability plane
+        (docs/OPERATIONS.md §9): ``TELEMETRY`` snapshots from senders
+        merge into this registry's federation under ``node=<id>``
+        labels, and ``HEALTH`` probes are answered with
+        :meth:`health`.
         """
         if self.server is None:
             from repro.shard import LoadShedder, SynopsisServer
@@ -373,6 +468,8 @@ class SAAD:
                 low_watermark=low_watermark,
                 shedder=shedder,
                 compression=compression,
+                federation=self.registry.federation(),
+                health=self.health,
             )
             self.server.start()
         return self.server.address

@@ -111,11 +111,16 @@ def run_cassandra_scenario(
     cassandra_config: Optional[CassandraConfig] = None,
     faults: Optional[List[Tuple[float, float, FaultSpec]]] = None,
     before_detection: Optional[Callable[[CassandraCluster], None]] = None,
+    detect_step_s: Optional[float] = None,
+    on_step: Optional[Callable[[CassandraCluster, AnomalyDetector], None]] = None,
 ) -> ScenarioResult:
     """Train on a fault-free phase, then detect with ``faults`` armed.
 
     ``faults`` entries are (start, end, FaultSpec) with times relative to
-    the *detection* phase start.
+    the *detection* phase start.  With ``on_step`` the detection phase
+    advances in ``detect_step_s`` slices (default: one SAAD window) and
+    the callback runs after each — the hook a sim-clocked health engine
+    evaluates from.
     """
     saad_config = saad_config or SAADConfig(window_s=90.0)
     cluster = CassandraCluster(
@@ -165,7 +170,17 @@ def run_cassandra_scenario(
             schedule.start()
     if before_detection is not None:
         before_detection(cluster)
-    cluster.run(until=detect_start + detect_s)
+    horizon = detect_start + detect_s
+    if on_step is None:
+        cluster.run(until=horizon)
+    else:
+        step = detect_step_s if detect_step_s is not None else saad_config.window_s
+        on_step(cluster, detector)  # seed the observer at detection start
+        now = detect_start
+        while now < horizon:
+            now = min(now + step, horizon)
+            cluster.run(until=now)
+            on_step(cluster, detector)
     detector.flush()
     return ScenarioResult(
         cluster=cluster,
@@ -175,7 +190,7 @@ def run_cassandra_scenario(
         monitor=monitor,
         train_start=0.0,
         detect_start=detect_start,
-        horizon=detect_start + detect_s,
+        horizon=horizon,
         train_task_count=len(train_synopses),
     )
 

@@ -84,8 +84,19 @@ class Fig9Result:
         return out
 
 
-def run_fig9(variant: str, params: Optional[Fig9Params] = None) -> Fig9Result:
-    """Run one Fig. 9 variant and return its anomaly timeline."""
+def run_fig9(
+    variant: str,
+    params: Optional[Fig9Params] = None,
+    *,
+    detect_step_s: Optional[float] = None,
+    on_step=None,
+) -> Fig9Result:
+    """Run one Fig. 9 variant and return its anomaly timeline.
+
+    ``on_step``/``detect_step_s`` pass through to
+    :func:`~repro.experiments.common.run_cassandra_scenario` — the hook
+    :func:`run_fig9_with_health` evaluates its rule engine from.
+    """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {sorted(VARIANTS)}")
     params = params or Fig9Params()
@@ -111,6 +122,8 @@ def run_fig9(variant: str, params: Optional[Fig9Params] = None) -> Fig9Result:
         seed=params.seed,
         saad_config=SAADConfig(window_s=params.window_s),
         faults=faults,
+        detect_step_s=detect_step_s,
+        on_step=on_step,
     )
     offset = result.detect_start
     return Fig9Result(
@@ -118,6 +131,130 @@ def run_fig9(variant: str, params: Optional[Fig9Params] = None) -> Fig9Result:
         result=result,
         low_window=(offset + low_start, offset + low_end),
         high_window=(offset + high_start, offset + high_end),
+    )
+
+
+def anomaly_burst_rules(window_s: float = 60.0):
+    """Scenario rules for the simulated fleet: anomaly-event bursts.
+
+    The built-in pack watches the ingest edge; a simulated cluster
+    detects in-process, so its failure signal is the detector's own
+    event stream.  One warn-level event per window is a page-worthy
+    change (training left the rate at ~zero); a burst of eight within
+    one window means the fault is systemic, not one bad task.
+    """
+    from repro.health.rules import ThresholdRule
+
+    rules = []
+    for kind in ("flow", "performance"):
+        rules.append(
+            ThresholdRule(
+                f"{kind}_anomaly_burst",
+                f"{kind} anomaly events per rule window",
+                "detector_anomalies",
+                labels={"kind": kind},
+                mode="delta",
+                warn=1,
+                critical=8,
+                window_s=window_s,
+            )
+        )
+    return tuple(rules)
+
+
+@dataclass
+class Fig9HealthResult:
+    """A Fig. 9 run observed live by a :class:`~repro.health.HealthEngine`.
+
+    ``transitions`` are the engine's alert transitions in simulation
+    time, so they line up with ``fig``'s fault windows and anomaly
+    events directly.
+    """
+
+    fig: Fig9Result
+    engine: object
+    transitions: List[dict] = field(default_factory=list)
+    cadence_s: float = 0.0
+
+    def fired(self) -> List[str]:
+        """Rule names that raised (left ``ok``) at least once, sorted."""
+        return sorted({t["name"] for t in self.transitions if t["to"] != "ok"})
+
+    def transitions_for(self, name: str) -> List[dict]:
+        return [t for t in self.transitions if t["name"] == name]
+
+    def first_raise_at(self, name: str) -> Optional[float]:
+        """Sim time of the first non-ok transition of rule ``name``."""
+        for t in self.transitions:
+            if t["name"] == name and t["to"] != "ok":
+                return t["at"]
+        return None
+
+    def first_anomaly_at(self, kind: Optional[str] = None) -> Optional[float]:
+        """Window-end time of the detector's first anomaly event."""
+        events = self.fig.result.anomalies_for(kind=kind)
+        if not events:
+            return None
+        return min(e.window_start + self.fig.result.detector.config.window_s
+                   for e in events)
+
+    def alert_lag_s(self, name: str, kind: Optional[str] = None) -> Optional[float]:
+        """First alert raise minus first anomaly window close (seconds).
+
+        Positive: the alert trailed the event stream (hysteresis +
+        evaluation cadence); negative: the rule fired before the first
+        event's window even closed.
+        """
+        raised = self.first_raise_at(name)
+        first = self.first_anomaly_at(kind)
+        if raised is None or first is None:
+            return None
+        return raised - first
+
+
+def run_fig9_with_health(
+    variant: str,
+    params: Optional[Fig9Params] = None,
+    *,
+    cadence_s: Optional[float] = None,
+    raise_after: int = 2,
+) -> Fig9HealthResult:
+    """One Fig. 9 variant with the health rule engine watching live.
+
+    A sim-clocked :class:`~repro.health.HealthEngine` (built-in pack +
+    :func:`anomaly_burst_rules`) evaluates the scenario registry every
+    ``cadence_s`` of simulated time (default: half a SAAD window) and
+    every detector anomaly event is correlated into its timeline — the
+    lead/lag measurement recorded in EXPERIMENTS.md.
+    """
+    from repro.health import HealthEngine
+    from repro.health.rules import builtin_rules
+
+    params = params or Fig9Params()
+    cadence = cadence_s if cadence_s is not None else params.window_s / 2
+    state: dict = {"engine": None, "noted": 0}
+    transitions: List[dict] = []
+
+    def on_step(cluster, detector) -> None:
+        engine = state["engine"]
+        if engine is None:
+            engine = HealthEngine(
+                cluster.saad.registry,
+                rules=builtin_rules(params.window_s)
+                + anomaly_burst_rules(params.window_s),
+                raise_after=raise_after,
+                clock=lambda: cluster.env.now,
+                history_s=max(900.0, 4 * params.window_s),
+            )
+            state["engine"] = engine
+        for event in detector.anomalies[state["noted"]:]:
+            engine.note_anomaly(event)
+        state["noted"] = len(detector.anomalies)
+        transitions.extend(t.as_dict() for t in engine.observe())
+
+    fig = run_fig9(variant, params, detect_step_s=cadence, on_step=on_step)
+    return Fig9HealthResult(
+        fig=fig, engine=state["engine"], transitions=transitions, cadence_s=cadence
     )
 
 

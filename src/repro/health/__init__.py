@@ -1,0 +1,65 @@
+"""Fleet health: declarative alert rules over the telemetry registry.
+
+The paper's pitch is an always-on monitor, but through PR 8 the
+reproduction only ever *exported* its metrics — deciding whether the
+deployment was healthy was left to the reader of ``python -m repro
+stats``.  This package closes the loop with a dependency-free alert
+pipeline (docs/OPERATIONS.md §9):
+
+* :mod:`repro.health.rules` — declarative rule types (static
+  thresholds, ratios of counter deltas, two-window burn rates,
+  histogram quantiles) evaluated against a short history of registry
+  snapshots, plus :func:`builtin_rules`, the curated pack covering the
+  failure modes cataloged in docs/OPERATIONS.md §4/§8.
+* :mod:`repro.health.engine` — :class:`HealthEngine` drives the rules
+  on a cadence, applies hysteresis so flapping series do not flap
+  alerts, keeps the incident timeline correlating alert transitions
+  with detector :class:`~repro.core.AnomalyEvent`s, and renders the
+  JSON health report that ``HEALTH`` probes and ``saad.health()``
+  return.
+* :mod:`repro.health.cli` — ``python -m repro top``, the live ANSI
+  dashboard over the same snapshots.
+
+Quick use::
+
+    from repro.health import HealthEngine
+
+    engine = HealthEngine(deployment.registry)
+    engine.observe()                # evaluate one interval
+    print(engine.report_dict())    # {"state": "ok", ...}
+"""
+
+from .engine import AlertStatus, AlertTransition, HealthEngine, Incident
+from .rules import (
+    CRITICAL,
+    OK,
+    WARN,
+    BurnRateRule,
+    Evaluation,
+    MetricRef,
+    QuantileRule,
+    RatioRule,
+    Rule,
+    SeriesView,
+    ThresholdRule,
+    builtin_rules,
+)
+
+__all__ = [
+    "AlertStatus",
+    "AlertTransition",
+    "BurnRateRule",
+    "CRITICAL",
+    "Evaluation",
+    "HealthEngine",
+    "Incident",
+    "MetricRef",
+    "OK",
+    "QuantileRule",
+    "RatioRule",
+    "Rule",
+    "SeriesView",
+    "ThresholdRule",
+    "WARN",
+    "builtin_rules",
+]

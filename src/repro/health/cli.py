@@ -1,0 +1,174 @@
+"""``python -m repro top`` — the live fleet health dashboard.
+
+Two sources:
+
+* **Live demo** (no snapshot argument): runs the shared deterministic
+  demo deployment (:func:`repro.telemetry.demo.demo_deployment`, the
+  same one behind ``stats`` and ``trace``), attaches the built-in rule
+  pack, and redraws the dashboard every ``--interval`` seconds until
+  interrupted (or for ``--iterations`` ticks).
+* **Saved history** (``--snapshot X.jsonl`` or a positional path): a
+  JSON-lines telemetry file with one or more appended snapshots
+  (``python -m repro stats --write X.jsonl``, or any
+  :func:`repro.telemetry.write_jsonl` caller).  The whole series is
+  replayed through a fresh :class:`~repro.health.HealthEngine` and
+  rendered once — deterministic, so a committed snapshot locks the
+  renderer in tests and CI.
+
+Usage::
+
+    python -m repro top                        # live demo, ANSI refresh
+    python -m repro top --once                 # live demo, single frame
+    python -m repro top --once --snapshot X.jsonl   # offline, one frame
+    python -m repro top X.jsonl --width 100 --no-color
+
+The dashboard shows sparkline history for the headline series (ingest
+rate, backlog, shed drops, anomalies), a per-sender/per-node table, the
+alert panel (rule severities with reasons), and the incident timeline
+correlating alert transitions with detector anomaly events
+(docs/OPERATIONS.md §9).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+#: Synthetic cadence for snapshot files whose headers carry no
+#: ``unix_time`` stamp (seconds between snapshots).
+DEFAULT_CADENCE_S = 10.0
+
+#: ANSI: clear screen + home, for the live refresh loop.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _replay_history(path: str):
+    """Load a snapshot series and replay it through a fresh engine.
+
+    Returns ``(history, engine)``; unstamped headers get a synthetic
+    :data:`DEFAULT_CADENCE_S` cadence so rate windows stay meaningful.
+    """
+    from repro.health import HealthEngine
+    from repro.telemetry import read_jsonl_series
+
+    series = read_jsonl_series(path)
+    history = []
+    last_t = None
+    for index, (stamp, families) in enumerate(series):
+        t = float(stamp) if stamp is not None else index * DEFAULT_CADENCE_S
+        if last_t is not None and t <= last_t:
+            t = last_t + DEFAULT_CADENCE_S  # malformed stamps: keep moving
+        history.append((t, families))
+        last_t = t
+    engine = HealthEngine()
+    for t, families in history:
+        engine.evaluate_snapshot(families, now=t)
+    return history, engine
+
+
+def _render(history, engine, width: int, color: bool) -> str:
+    from repro.viz.top import render_top
+
+    return render_top(
+        history,
+        engine.report_dict(),
+        timeline=engine.timeline(limit=8),
+        width=width,
+        color=color,
+    )
+
+
+def _live_demo(once: bool, interval: float, iterations: Optional[int],
+               width: int, color: bool) -> int:
+    """Run the demo deployment and redraw from its live registry."""
+    from repro.telemetry.demo import demo_deployment
+
+    print("building demo deployment...", file=sys.stderr)
+    saad = demo_deployment()
+    engine = saad.health_engine()
+    history: List[tuple] = []
+    tick = 0
+    try:
+        while True:
+            now = time.time()
+            history.append((now, saad.registry.collect()))
+            del history[:-512]
+            engine.observe(now=now)
+            frame = _render(history, engine, width, color)
+            if once:
+                print(frame, end="")
+                return 0
+            print(_CLEAR + frame, end="", flush=True)
+            tick += 1
+            if iterations is not None and tick >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro top``; returns an exit code."""
+    argv = list(argv or [])
+    once = False
+    color = sys.stdout.isatty()
+    width = 79
+    interval = 2.0
+    iterations: Optional[int] = None
+    paths: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg == "--once":
+            once = True
+        elif arg == "--no-color":
+            color = False
+        elif arg == "--color":
+            color = True
+        elif arg in ("--snapshot", "--width", "--interval", "--iterations"):
+            i += 1
+            if i >= len(argv):
+                print(f"top: {arg} needs a value")
+                return 2
+            value = argv[i]
+            if arg == "--snapshot":
+                paths.append(value)
+            else:
+                try:
+                    number = float(value)
+                except ValueError:
+                    print(f"top: {arg} needs a number, got {value!r}")
+                    return 2
+                if number <= 0:
+                    print(f"top: {arg} must be > 0: {value}")
+                    return 2
+                if arg == "--width":
+                    width = int(number)
+                elif arg == "--interval":
+                    interval = number
+                else:
+                    iterations = int(number)
+        elif arg.startswith("-"):
+            print(f"top: unknown option {arg!r}")
+            return 2
+        else:
+            paths.append(arg)
+        i += 1
+    if len(paths) > 1:
+        print("top: at most one snapshot file")
+        return 2
+
+    if paths:
+        try:
+            history, engine = _replay_history(paths[0])
+        except (OSError, ValueError) as exc:
+            print(f"top: cannot read {paths[0]}: {exc}")
+            return 1
+        print(_render(history, engine, width, color), end="")
+        return 0
+    return _live_demo(once, interval, iterations, width, color)

@@ -1,0 +1,431 @@
+"""The health engine: rule evaluation, hysteresis, incident timeline.
+
+:class:`HealthEngine` owns a bounded history of registry snapshots and
+drives a rule pack (:func:`~repro.health.rules.builtin_rules` by
+default) over it on whatever cadence the caller chooses — the facade
+evaluates lazily on :meth:`report_dict`, ``repro top`` on its refresh
+tick, tests on an injected clock.
+
+Alerting discipline:
+
+* **Hysteresis.** A rule must breach for ``raise_after`` consecutive
+  evaluations before its alert raises (or escalates), and read OK for
+  ``clear_after`` before it clears — one noisy scrape neither pages
+  nor silences.
+* **Transitions, not levels.** Every state change is recorded as an
+  :class:`AlertTransition`; the current :class:`AlertStatus` per rule
+  is derived state.
+* **Incidents.** While any rule is non-OK an :class:`Incident` is
+  open; alert transitions and detector anomalies
+  (:meth:`HealthEngine.note_anomaly`) landing in that span are
+  attached to it, giving the operator one correlated record — "the
+  backlog warned at 12:02, exemplar drops went critical at 12:04, and
+  the detector flagged stage 7 with 3 pinned traces at 12:05" — the
+  stage-aware analogue of the paper's per-stage anomaly report.
+
+The JSON-able :meth:`HealthEngine.report_dict` is the payload behind
+the wire ``HEALTH`` probe and ``saad.health()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .rules import (
+    OK,
+    Evaluation,
+    Rule,
+    SeriesView,
+    builtin_rules,
+    severity_rank,
+    worst_severity,
+)
+
+__all__ = [
+    "AlertStatus",
+    "AlertTransition",
+    "HealthEngine",
+    "Incident",
+]
+
+
+class AlertTransition:
+    """One alert state change: rule ``name`` went ``frm`` -> ``to``."""
+
+    __slots__ = ("name", "frm", "to", "at", "value", "reason")
+
+    def __init__(
+        self,
+        name: str,
+        frm: str,
+        to: str,
+        at: float,
+        value: Optional[float],
+        reason: str,
+    ):
+        self.name = name
+        self.frm = frm
+        self.to = to
+        self.at = at
+        self.value = value
+        self.reason = reason
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-able, used by the report and top)."""
+        return {
+            "name": self.name,
+            "from": self.frm,
+            "to": self.to,
+            "at": self.at,
+            "value": self.value,
+            "reason": self.reason,
+        }
+
+    def __repr__(self) -> str:
+        return f"AlertTransition({self.name!r}, {self.frm!r}->{self.to!r})"
+
+
+class AlertStatus:
+    """One rule's current state: severity, since when, last evaluation."""
+
+    __slots__ = ("name", "summary", "severity", "since", "value", "reason")
+
+    def __init__(self, name: str, summary: str):
+        self.name = name
+        self.summary = summary
+        self.severity = OK
+        self.since: Optional[float] = None
+        self.value: Optional[float] = None
+        self.reason = "not yet evaluated"
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-able, used by the report and top)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "severity": self.severity,
+            "since": self.since,
+            "value": self.value,
+            "reason": self.reason,
+        }
+
+
+class Incident:
+    """One contiguous span of non-OK health, with its evidence.
+
+    Opened at the first OK -> non-OK transition while no incident is
+    open; every alert transition and every noted anomaly in the span is
+    attached; closed when all rules read OK again.
+    """
+
+    __slots__ = ("opened_at", "closed_at", "transitions", "anomalies", "peak")
+
+    def __init__(self, opened_at: float):
+        self.opened_at = opened_at
+        self.closed_at: Optional[float] = None
+        self.transitions: List[AlertTransition] = []
+        self.anomalies: List[dict] = []
+        self.peak = OK
+
+    @property
+    def open(self) -> bool:
+        """True while the incident has not closed."""
+        return self.closed_at is None
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-able, used by the report and top)."""
+        return {
+            "opened_at": self.opened_at,
+            "closed_at": self.closed_at,
+            "peak": self.peak,
+            "transitions": [t.as_dict() for t in self.transitions],
+            "anomalies": list(self.anomalies),
+        }
+
+
+def _anomaly_record(event) -> dict:
+    """The compact timeline record for one detector anomaly event."""
+    return {
+        "at": getattr(event, "window_end", None),
+        "kind": getattr(event, "kind", "?"),
+        "host_id": getattr(event, "host_id", None),
+        "stage_id": getattr(event, "stage_id", None),
+        "outliers": getattr(event, "outliers", None),
+        "n": getattr(event, "n", None),
+        "exemplars": len(getattr(event, "exemplars", ()) or ()),
+    }
+
+
+class HealthEngine:
+    """Evaluate a rule pack against a registry, with memory.
+
+    Parameters
+    ----------
+    registry:
+        The deployment :class:`~repro.telemetry.MetricsRegistry` to
+        snapshot (federated registries work unchanged — rules then see
+        the fleet).  The engine registers its own ``health_*``
+        accounting there.
+    rules:
+        The rule pack; defaults to
+        :func:`~repro.health.rules.builtin_rules`.
+    raise_after, clear_after:
+        Hysteresis: consecutive breaching evaluations before an alert
+        raises/escalates, and consecutive OK ones before it clears.
+    history_s:
+        Snapshot retention horizon; must comfortably exceed the widest
+        rule window.
+    max_history:
+        Hard cap on retained snapshots regardless of age.
+    clock:
+        Unix-time source (injectable for tests).
+
+    Thread safety: :meth:`observe`, :meth:`note_anomaly`, and the
+    report accessors may be called from different threads (the ingest
+    server probes from its loop thread); a single lock covers all
+    mutable state.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        rules: Optional[Sequence[Rule]] = None,
+        *,
+        raise_after: int = 2,
+        clear_after: int = 2,
+        history_s: float = 900.0,
+        max_history: int = 512,
+        max_anomalies: int = 256,
+        max_incidents: int = 64,
+        clock: Callable[[], float] = time.time,
+    ):
+        if raise_after < 1 or clear_after < 1:
+            raise ValueError("raise_after and clear_after must be >= 1")
+        self.registry = registry
+        self.rules: Tuple[Rule, ...] = tuple(
+            rules if rules is not None else builtin_rules()
+        )
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+        self.raise_after = raise_after
+        self.clear_after = clear_after
+        self.history_s = float(history_s)
+        self.max_history = max_history
+        self.max_anomalies = max_anomalies
+        self.max_incidents = max_incidents
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._history: List[Tuple[float, List[dict]]] = []
+        self._status: Dict[str, AlertStatus] = {
+            rule.name: AlertStatus(rule.name, rule.summary) for rule in self.rules
+        }
+        self._pending: Dict[str, Tuple[str, int]] = {}
+        self._incidents: List[Incident] = []
+        self._anomalies: List[dict] = []
+        from repro.telemetry import NULL_REGISTRY
+
+        metrics = registry if registry is not None else NULL_REGISTRY
+        self._m_evaluations = metrics.counter(
+            "health_evaluations", "health rule-pack evaluation passes"
+        )
+        self._m_transitions = metrics.counter(
+            "health_transitions", "alert state transitions", labels=("to",)
+        )
+        metrics.gauge(
+            "health_alerts_active", "rules currently in a non-ok state"
+        ).set_function(
+            lambda: sum(1 for s in self._status.values() if s.severity != OK)
+        )
+
+    # -- feeding -------------------------------------------------------------
+    def observe(self, now: Optional[float] = None) -> List[AlertTransition]:
+        """Snapshot the registry and evaluate one interval.
+
+        Returns the alert transitions this evaluation caused (empty
+        most of the time).  Requires a registry; offline callers use
+        :meth:`evaluate_snapshot` instead.
+        """
+        if self.registry is None:
+            raise RuntimeError("no registry attached; use evaluate_snapshot()")
+        return self.evaluate_snapshot(self.registry.collect(), now)
+
+    def evaluate_snapshot(
+        self, families: List[dict], now: Optional[float] = None
+    ) -> List[AlertTransition]:
+        """Evaluate one explicit snapshot (tests, replayed history).
+
+        ``now`` defaults to the engine clock; snapshots must arrive in
+        non-decreasing time order.
+        """
+        at = self._clock() if now is None else float(now)
+        with self._lock:
+            if self._history and at < self._history[-1][0]:
+                raise ValueError(
+                    f"snapshot time {at} precedes newest history "
+                    f"{self._history[-1][0]}"
+                )
+            self._history.append((at, families))
+            horizon = at - self.history_s
+            while (
+                len(self._history) > self.max_history
+                or self._history[0][0] < horizon
+            ):
+                self._history.pop(0)
+            view = SeriesView(self._history)
+            transitions: List[AlertTransition] = []
+            for rule in self.rules:
+                try:
+                    evaluation = rule.evaluate(view)
+                except Exception as exc:  # a broken rule must not kill health
+                    evaluation = Evaluation(OK, None, f"rule error: {exc!r}")
+                transition = self._apply(rule, evaluation, at)
+                if transition is not None:
+                    transitions.append(transition)
+            self._m_evaluations.inc()
+            for transition in transitions:
+                self._m_transitions.labels(to=transition.to).inc()
+            self._track_incidents(transitions, at)
+            return transitions
+
+    def note_anomaly(self, event) -> None:
+        """Attach one detector anomaly event to the health timeline.
+
+        ``event`` is duck-typed on the :class:`~repro.core.
+        AnomalyEvent` fields (kind, host/stage ids, window end, pinned
+        exemplars); the record lands in the global anomaly log and in
+        the open incident, if any.
+        """
+        record = _anomaly_record(event)
+        with self._lock:
+            self._anomalies.append(record)
+            del self._anomalies[: -self.max_anomalies]
+            incident = self._open_incident()
+            if incident is not None:
+                incident.anomalies.append(record)
+
+    # -- state machine --------------------------------------------------------
+    def _apply(
+        self, rule: Rule, evaluation: Evaluation, at: float
+    ) -> Optional[AlertTransition]:
+        status = self._status[rule.name]
+        status.value = evaluation.value
+        status.reason = evaluation.reason
+        if evaluation.severity == status.severity:
+            self._pending.pop(rule.name, None)
+            return None
+        pending, count = self._pending.get(rule.name, (None, 0))
+        count = count + 1 if pending == evaluation.severity else 1
+        self._pending[rule.name] = (evaluation.severity, count)
+        need = (
+            self.clear_after
+            if severity_rank(evaluation.severity) < severity_rank(status.severity)
+            else self.raise_after
+        )
+        if count < need:
+            return None
+        self._pending.pop(rule.name, None)
+        transition = AlertTransition(
+            rule.name,
+            status.severity,
+            evaluation.severity,
+            at,
+            evaluation.value,
+            evaluation.reason,
+        )
+        status.severity = evaluation.severity
+        status.since = at
+        return transition
+
+    def _open_incident(self) -> Optional[Incident]:
+        if self._incidents and self._incidents[-1].open:
+            return self._incidents[-1]
+        return None
+
+    def _track_incidents(
+        self, transitions: List[AlertTransition], at: float
+    ) -> None:
+        overall = worst_severity(s.severity for s in self._status.values())
+        incident = self._open_incident()
+        if overall != OK and incident is None:
+            incident = Incident(at)
+            self._incidents.append(incident)
+            del self._incidents[: -self.max_incidents]
+        if incident is not None:
+            incident.transitions.extend(transitions)
+            if severity_rank(overall) > severity_rank(incident.peak):
+                incident.peak = overall
+            if overall == OK:
+                incident.closed_at = at
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The fleet verdict: the worst current rule severity."""
+        with self._lock:
+            return worst_severity(s.severity for s in self._status.values())
+
+    def statuses(self) -> List[AlertStatus]:
+        """Every rule's current :class:`AlertStatus`, in pack order."""
+        with self._lock:
+            return [self._status[rule.name] for rule in self.rules]
+
+    def alerts(self) -> List[AlertStatus]:
+        """The currently firing (non-OK) statuses."""
+        return [s for s in self.statuses() if s.severity != OK]
+
+    def incidents(self) -> List[Incident]:
+        """All retained incidents, oldest first (last one may be open)."""
+        with self._lock:
+            return list(self._incidents)
+
+    def timeline(self, limit: int = 50) -> List[dict]:
+        """The newest ``limit`` health events, oldest first.
+
+        Alert transitions and noted anomalies merged into one
+        time-ordered list of plain dicts (``"type"`` is ``"alert"`` or
+        ``"anomaly"``) — the incident view ``repro top`` renders.
+        """
+        with self._lock:
+            entries: List[dict] = []
+            for incident in self._incidents:
+                for transition in incident.transitions:
+                    entries.append(dict(transition.as_dict(), type="alert"))
+            for record in self._anomalies:
+                entries.append(dict(record, type="anomaly"))
+        entries.sort(key=lambda e: (e.get("at") or 0.0))
+        return entries[-limit:]
+
+    def report_dict(self) -> dict:
+        """The JSON-able health report (the ``HEALTH`` probe payload).
+
+        Lazily evaluates one interval first when a registry is attached,
+        so a probe always reflects fresh metrics even if nobody drives
+        :meth:`observe` on a cadence.
+        """
+        if self.registry is not None:
+            self.observe()
+        with self._lock:
+            statuses = [self._status[rule.name] for rule in self.rules]
+            overall = worst_severity(s.severity for s in statuses)
+            open_incident = self._open_incident()
+            report = {
+                "state": overall,
+                "at": self._history[-1][0] if self._history else self._clock(),
+                "alerts": [
+                    s.as_dict() for s in statuses if s.severity != OK
+                ],
+                "rules": [s.as_dict() for s in statuses],
+                "incident_open": open_incident is not None,
+                "incidents": len(self._incidents),
+                "anomalies_noted": len(self._anomalies),
+            }
+        registry = self.registry
+        if registry is not None and getattr(registry, "federated", False):
+            federation = registry.federation()
+            report["nodes"] = {
+                node: federation.staleness(node) for node in federation.nodes()
+            }
+        return report

@@ -1,0 +1,692 @@
+"""Declarative alert rules over telemetry snapshot history.
+
+A rule is a small object with an :meth:`Rule.evaluate` method taking a
+:class:`SeriesView` (windowed access to a history of registry
+snapshots) and returning an :class:`Evaluation` — a severity
+(:data:`OK` / :data:`WARN` / :data:`CRITICAL`), the value that decided
+it, and a human-readable reason.  Rules never raise on missing
+metrics: a series that is not there yet evaluates :data:`OK` with
+``value None``, so the same pack runs against a bare collector and a
+fully federated fleet.
+
+Thresholds can be literals or :class:`MetricRef`s — the built-in
+backlog rule compares ``server_pending_bytes`` against the *configured*
+``ingest_watermark_bytes{kind=shed|hard}`` gauges rather than a number
+someone has to keep in sync with the deployment's knobs.
+
+:func:`builtin_rules` is the curated pack for the failure modes the
+operations guide catalogs (docs/OPERATIONS.md §4, §8, §9); every
+metric it references must appear in the §4 catalog
+(tests/health/test_builtin_pack.py enforces this both ways).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "OK",
+    "WARN",
+    "CRITICAL",
+    "SEVERITIES",
+    "Evaluation",
+    "MetricRef",
+    "SeriesView",
+    "Rule",
+    "ThresholdRule",
+    "RatioRule",
+    "BurnRateRule",
+    "QuantileRule",
+    "builtin_rules",
+]
+
+#: Healthy: the rule's condition does not hold.
+OK = "ok"
+#: Degraded: worth a look, not yet losing data or lying to users.
+WARN = "warn"
+#: On fire: data loss, dead workers, or an SLO burning at failure rate.
+CRITICAL = "critical"
+
+#: Severities in escalation order (index = badness).
+SEVERITIES = (OK, WARN, CRITICAL)
+
+
+def severity_rank(severity: str) -> int:
+    """Escalation rank of a severity (``ok`` 0 .. ``critical`` 2)."""
+    return SEVERITIES.index(severity)
+
+
+def worst_severity(severities: Iterable[str]) -> str:
+    """The most severe of ``severities`` (``ok`` when empty)."""
+    worst = OK
+    for severity in severities:
+        if severity_rank(severity) > severity_rank(worst):
+            worst = severity
+    return worst
+
+
+class Evaluation:
+    """One rule's verdict for one interval.
+
+    ``value`` is the measured quantity the verdict was based on (None
+    when the underlying series is absent), ``reason`` a one-line
+    human-readable account.
+    """
+
+    __slots__ = ("severity", "value", "reason")
+
+    def __init__(self, severity: str, value: Optional[float], reason: str):
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.severity = severity
+        self.value = value
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"Evaluation({self.severity!r}, {self.value!r}, {self.reason!r})"
+
+
+class MetricRef:
+    """A threshold sourced from the snapshot itself.
+
+    ``MetricRef("ingest_watermark_bytes", kind="shed")`` resolves to
+    the sum of that family's samples whose labels contain
+    ``kind=shed`` in the latest snapshot — None when absent, which
+    disables any comparison using it.
+    """
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, **labels: str):
+        self.name = name
+        self.labels = {k: str(v) for k, v in labels.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join([repr(self.name)] + [
+            f"{k}={v!r}" for k, v in sorted(self.labels.items())
+        ])
+        return f"MetricRef({inner})"
+
+
+Threshold = Union[float, int, MetricRef, None]
+
+
+def _sample_matches(sample: dict, labels: Dict[str, str]) -> bool:
+    got = sample["labels"]
+    return all(str(got.get(k)) == v for k, v in labels.items())
+
+
+def _family(snapshot: List[dict], name: str) -> Optional[dict]:
+    for family in snapshot:
+        if family["name"] == name:
+            return family
+    return None
+
+
+def metric_value(
+    snapshot: List[dict], name: str, labels: Optional[Dict[str, str]] = None
+) -> Optional[float]:
+    """Sum of ``name``'s sample values whose labels contain ``labels``.
+
+    Works on counter and gauge families in the snapshot wire form; for
+    histograms use :func:`histogram_state`.  None when the family is
+    absent or no sample matches.
+    """
+    family = _family(snapshot, name)
+    if family is None:
+        return None
+    labels = {k: str(v) for k, v in (labels or {}).items()}
+    total, matched = 0.0, False
+    for sample in family["samples"]:
+        if "value" in sample and _sample_matches(sample, labels):
+            total += sample["value"]
+            matched = True
+    return total if matched else None
+
+
+def histogram_state(
+    snapshot: List[dict], name: str, labels: Optional[Dict[str, str]] = None
+) -> Optional[Tuple[float, float, List[List[float]]]]:
+    """Matching histogram samples of ``name`` summed: (count, sum, buckets)."""
+    family = _family(snapshot, name)
+    if family is None:
+        return None
+    labels = {k: str(v) for k, v in (labels or {}).items()}
+    count, total = 0.0, 0.0
+    buckets: Optional[List[List[float]]] = None
+    matched = False
+    for sample in family["samples"]:
+        if "buckets" not in sample or not _sample_matches(sample, labels):
+            continue
+        matched = True
+        count += sample["count"]
+        total += sample["sum"]
+        if buckets is None:
+            buckets = [[bound, c] for bound, c in sample["buckets"]]
+        else:
+            for pair, (_, c) in zip(buckets, sample["buckets"]):
+                pair[1] += c
+    return (count, total, buckets or []) if matched else None
+
+
+class SeriesView:
+    """Windowed read access to a history of timestamped snapshots.
+
+    ``history`` is a sequence of ``(unix_time, families)`` pairs in
+    ascending time order, newest last — the
+    :class:`~repro.health.HealthEngine` maintains it.  All lookups
+    return None for series that do not (yet) exist, and deltas return
+    None until the history spans more than one snapshot.
+    """
+
+    def __init__(self, history: Sequence[Tuple[float, List[dict]]]):
+        if not history:
+            raise ValueError("history must hold at least one snapshot")
+        self._history = list(history)
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the newest snapshot."""
+        return self._history[-1][0]
+
+    @property
+    def span_s(self) -> float:
+        """Seconds between the oldest and newest snapshot."""
+        return self._history[-1][0] - self._history[0][0]
+
+    def latest(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        """Current value of ``name`` (label-filtered sum)."""
+        return metric_value(self._history[-1][1], name, labels)
+
+    def resolve(self, threshold: Threshold) -> Optional[float]:
+        """A threshold literal as-is; a :class:`MetricRef` looked up."""
+        if isinstance(threshold, MetricRef):
+            return self.latest(threshold.name, threshold.labels)
+        return None if threshold is None else float(threshold)
+
+    def _baseline(self, window_s: float) -> Optional[Tuple[float, List[dict]]]:
+        """The newest snapshot at least ``window_s`` older than now, or
+        the oldest one available; None when only one snapshot exists."""
+        if len(self._history) < 2:
+            return None
+        cutoff = self.now - window_s
+        candidate = self._history[0]
+        for entry in self._history[:-1]:
+            if entry[0] <= cutoff:
+                candidate = entry
+            else:
+                break
+        return candidate
+
+    def delta(
+        self,
+        name: str,
+        window_s: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Optional[float]:
+        """Increase of ``name`` over (approximately) ``window_s``.
+
+        A series that first appeared mid-window counts from zero; a
+        counter that reset (value decreased) yields the current value.
+        """
+        base = self._baseline(window_s)
+        if base is None:
+            return None
+        current = metric_value(self._history[-1][1], name, labels)
+        if current is None:
+            return None
+        previous = metric_value(base[1], name, labels)
+        if previous is None or previous > current:
+            return current
+        return current - previous
+
+    def rate(
+        self,
+        name: str,
+        window_s: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Optional[float]:
+        """Per-second increase of ``name`` over the window."""
+        base = self._baseline(window_s)
+        if base is None:
+            return None
+        elapsed = self.now - base[0]
+        if elapsed <= 0:
+            return None
+        delta = self.delta(name, window_s, labels)
+        return None if delta is None else delta / elapsed
+
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        window_s: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Optional[float]:
+        """Approximate ``q``-quantile of ``name``'s observations made
+        during the window, from cumulative bucket deltas.
+
+        Returns the upper bound of the first bucket at or past the
+        quantile (``inf`` when it lands in the overflow bucket); None
+        when the histogram is absent or saw no observations in the
+        window.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1]: {q}")
+        current = histogram_state(self._history[-1][1], name, labels)
+        if current is None:
+            return None
+        base = self._baseline(window_s)
+        previous = histogram_state(base[1], name, labels) if base else None
+        cur_buckets = current[2]
+        if previous is not None and previous[0] <= current[0]:
+            prev_by_bound = {str(b): c for b, c in previous[2]}
+            deltas = [
+                (bound, c - prev_by_bound.get(str(bound), 0.0))
+                for bound, c in cur_buckets
+            ]
+        else:
+            deltas = [(bound, c) for bound, c in cur_buckets]
+        if not deltas:
+            return None
+        total = deltas[-1][1]
+        if total <= 0:
+            return None
+        need = q * total
+        for bound, cumulative in deltas:
+            if cumulative >= need:
+                if isinstance(bound, str) or bound == float("inf"):
+                    return math.inf
+                return float(bound)
+        return math.inf
+
+
+class Rule:
+    """Base class: a named check with severity thresholds.
+
+    Subclasses implement :meth:`measure`, returning the quantity to
+    compare (or None when undecidable); the base class turns it into an
+    :class:`Evaluation` against ``warn``/``critical`` thresholds.
+
+    Parameters common to all rules
+    ------------------------------
+    name:
+        Stable identifier (the alert key, shown by ``repro top``).
+    summary:
+        One-line operator-facing description of what firing means.
+    window_s:
+        Lookback for delta/rate/quantile measures.
+    direction:
+        ``">"`` (default) fires when the measure is at or above a
+        threshold; ``"<"`` when at or below.
+    only_if_active:
+        Optional ``(metric_name, labels, min_delta)`` gate: unless that
+        metric increased by at least ``min_delta`` over the window, the
+        rule reports OK — e.g. a dead worker pool only matters while
+        traffic is being dispatched.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        *,
+        warn: Threshold = None,
+        critical: Threshold = None,
+        window_s: float = 60.0,
+        direction: str = ">",
+        only_if_active: Optional[Tuple[str, Optional[Dict[str, str]], float]] = None,
+    ):
+        if direction not in (">", "<"):
+            raise ValueError(f"direction must be '>' or '<': {direction!r}")
+        if warn is None and critical is None:
+            raise ValueError(f"rule {name!r} needs a warn or critical threshold")
+        self.name = name
+        self.summary = summary
+        self.warn = warn
+        self.critical = critical
+        self.window_s = float(window_s)
+        self.direction = direction
+        self.only_if_active = only_if_active
+
+    # -- subclass surface ----------------------------------------------------
+    def measure(self, view: SeriesView) -> Optional[float]:
+        """The quantity to compare against the thresholds."""
+        raise NotImplementedError
+
+    def metric_names(self) -> Tuple[str, ...]:
+        """Every metric name this rule reads (docs cross-check hook)."""
+        names: List[str] = []
+        for threshold in (self.warn, self.critical):
+            if isinstance(threshold, MetricRef):
+                names.append(threshold.name)
+        if self.only_if_active is not None:
+            names.append(self.only_if_active[0])
+        return tuple(names)
+
+    # -- evaluation ----------------------------------------------------------
+    def _breaches(self, value: float, threshold: Optional[float]) -> bool:
+        if threshold is None:
+            return False
+        if self.direction == ">":
+            return value >= threshold
+        return value <= threshold
+
+    def evaluate(self, view: SeriesView) -> Evaluation:
+        """This interval's verdict (see the class docstring)."""
+        if self.only_if_active is not None:
+            gate_name, gate_labels, gate_min = self.only_if_active
+            moved = view.delta(gate_name, self.window_s, gate_labels)
+            if moved is None or moved < gate_min:
+                return Evaluation(OK, None, f"inactive ({gate_name} quiet)")
+        value = self.measure(view)
+        if value is None:
+            return Evaluation(OK, None, "no data")
+        for severity, threshold in (
+            (CRITICAL, view.resolve(self.critical)),
+            (WARN, view.resolve(self.warn)),
+        ):
+            if self._breaches(value, threshold):
+                return Evaluation(
+                    severity,
+                    value,
+                    f"{self._describe()} {self.direction}= {threshold:g} "
+                    f"(measured {value:g})",
+                )
+        return Evaluation(OK, value, f"{self._describe()} = {value:g}")
+
+    def _describe(self) -> str:
+        return self.name
+
+
+class ThresholdRule(Rule):
+    """Compare one metric (gauge level, or counter delta) to thresholds.
+
+    ``mode`` selects the measure: ``"gauge"`` reads the latest value,
+    ``"delta"`` the increase over ``window_s``, ``"rate"`` the
+    per-second increase.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        metric: str,
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        mode: str = "gauge",
+        **kwargs,
+    ):
+        if mode not in ("gauge", "delta", "rate"):
+            raise ValueError(f"unknown mode {mode!r}")
+        super().__init__(name, summary, **kwargs)
+        self.metric = metric
+        self.labels = labels
+        self.mode = mode
+
+    def measure(self, view: SeriesView) -> Optional[float]:
+        """Latest value, windowed delta, or windowed rate of the metric."""
+        if self.mode == "gauge":
+            return view.latest(self.metric, self.labels)
+        if self.mode == "delta":
+            return view.delta(self.metric, self.window_s, self.labels)
+        return view.rate(self.metric, self.window_s, self.labels)
+
+    def metric_names(self) -> Tuple[str, ...]:
+        """The compared metric plus any threshold/gate references."""
+        return (self.metric,) + super().metric_names()
+
+    def _describe(self) -> str:
+        return f"{self.metric} {self.mode}"
+
+
+class RatioRule(Rule):
+    """Ratio of two counter deltas over the window.
+
+    Evaluates ``delta(numerator) / delta(denominator)``; with the
+    denominator quieter than ``min_denominator`` the rule is OK (a
+    ratio over almost-zero traffic is noise, not signal).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        numerator: str,
+        denominator: str,
+        *,
+        numerator_labels: Optional[Dict[str, str]] = None,
+        denominator_labels: Optional[Dict[str, str]] = None,
+        min_denominator: float = 1.0,
+        **kwargs,
+    ):
+        super().__init__(name, summary, **kwargs)
+        self.numerator = numerator
+        self.denominator = denominator
+        self.numerator_labels = numerator_labels
+        self.denominator_labels = denominator_labels
+        self.min_denominator = float(min_denominator)
+
+    def measure(self, view: SeriesView) -> Optional[float]:
+        """The windowed delta ratio, or None below ``min_denominator``."""
+        below = view.delta(self.denominator, self.window_s, self.denominator_labels)
+        if below is None or below < self.min_denominator:
+            return None
+        above = view.delta(self.numerator, self.window_s, self.numerator_labels)
+        if above is None:
+            return None
+        return above / below
+
+    def metric_names(self) -> Tuple[str, ...]:
+        """Numerator and denominator plus inherited references."""
+        return (self.numerator, self.denominator) + super().metric_names()
+
+    def _describe(self) -> str:
+        return f"{self.numerator}/{self.denominator}"
+
+
+class BurnRateRule(RatioRule):
+    """Two-window burn rate: fire only when the failure ratio exceeds
+    the threshold over *both* a short and a long window.
+
+    The classic SLO construction: the long window proves the burn is
+    sustained (not one bad scrape), the short window proves it is still
+    happening (so the alert clears promptly once the bleeding stops).
+    ``window_s`` is the long window; ``short_window_s`` defaults to a
+    twelfth of it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        numerator: str,
+        denominator: str,
+        *,
+        short_window_s: Optional[float] = None,
+        **kwargs,
+    ):
+        super().__init__(name, summary, numerator, denominator, **kwargs)
+        self.short_window_s = (
+            float(short_window_s) if short_window_s is not None else self.window_s / 12
+        )
+        if not 0 < self.short_window_s <= self.window_s:
+            raise ValueError(
+                f"need 0 < short_window_s <= window_s, got "
+                f"{self.short_window_s} / {self.window_s}"
+            )
+
+    def _ratio_over(self, view: SeriesView, window_s: float) -> Optional[float]:
+        below = view.delta(self.denominator, window_s, self.denominator_labels)
+        if below is None or below < self.min_denominator:
+            return None
+        above = view.delta(self.numerator, window_s, self.numerator_labels)
+        if above is None:
+            return None
+        return above / below
+
+    def measure(self, view: SeriesView) -> Optional[float]:
+        """The long-window ratio, gated on the short window burning too.
+
+        Returns the *minimum* of the two ratios, so a threshold breach
+        means both windows breach — and the reported value is the more
+        conservative of the two.
+        """
+        long_ratio = self._ratio_over(view, self.window_s)
+        short_ratio = self._ratio_over(view, self.short_window_s)
+        if long_ratio is None or short_ratio is None:
+            return None
+        return min(long_ratio, short_ratio)
+
+    def _describe(self) -> str:
+        return (
+            f"{self.numerator}/{self.denominator} burn "
+            f"({self.short_window_s:g}s and {self.window_s:g}s)"
+        )
+
+
+class QuantileRule(Rule):
+    """Compare a histogram's windowed quantile to thresholds.
+
+    The quantile is computed from cumulative bucket deltas over
+    ``window_s`` (see :meth:`SeriesView.quantile`), so it reflects the
+    recent distribution, not all-time history.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        metric: str,
+        *,
+        q: float = 0.99,
+        labels: Optional[Dict[str, str]] = None,
+        **kwargs,
+    ):
+        super().__init__(name, summary, **kwargs)
+        self.metric = metric
+        self.q = float(q)
+        self.labels = labels
+
+    def measure(self, view: SeriesView) -> Optional[float]:
+        """The windowed ``q``-quantile of the histogram."""
+        return view.quantile(self.metric, self.q, self.window_s, self.labels)
+
+    def metric_names(self) -> Tuple[str, ...]:
+        """The histogram plus inherited references."""
+        return (self.metric,) + super().metric_names()
+
+    def _describe(self) -> str:
+        return f"{self.metric} p{round(self.q * 100)}"
+
+
+def builtin_rules(window_s: float = 60.0) -> Tuple[Rule, ...]:
+    """The curated rule pack for the cataloged failure modes.
+
+    Every referenced metric appears in the docs/OPERATIONS.md §4
+    catalog (test-enforced); the thresholds encode the guide's "watch
+    for" column:
+
+    * ``ingest_backlog`` — delivery backlog at the shed watermark is
+      warn (running at capacity), at the hard watermark critical
+      (exemplar evidence is about to be dropped).
+    * ``exemplar_drops`` — any exemplar-priority drop is critical: the
+      edge is past the hard watermark and anomaly evidence is gone.
+    * ``credit_stall_ratio`` — senders blocked on credit per ingested
+      frame; sustained high ratios mean node-side buffering latency.
+    * ``shed_burn_rate`` — fraction of offered frames shed, two-window,
+      so one shedding burst does not page but a sustained burn does.
+    * ``detector_close_lag`` — p99 event-time close lag; alarms are
+      late when windows close late.
+    * ``wire_data_loss`` — synopses dropped at the codec or frames the
+      sink rejected: any increase is data loss.
+    * ``worker_pool_dead`` — no live shard workers while synopses are
+      still being dispatched.
+    """
+    return (
+        ThresholdRule(
+            "ingest_backlog",
+            "ingest delivery backlog vs configured shed/hard watermarks",
+            "server_pending_bytes",
+            mode="gauge",
+            warn=MetricRef("ingest_watermark_bytes", kind="shed"),
+            critical=MetricRef("ingest_watermark_bytes", kind="hard"),
+            window_s=window_s,
+        ),
+        ThresholdRule(
+            "exemplar_drops",
+            "exemplar-priority frames dropped past the hard watermark",
+            "shed_frames_dropped",
+            labels={"priority": "exemplar"},
+            mode="delta",
+            critical=1,
+            window_s=window_s,
+        ),
+        RatioRule(
+            "credit_stall_ratio",
+            "sender credit stalls per ingested frame",
+            "client_credit_stalls",
+            "shard_server_frames",
+            warn=0.05,
+            critical=0.5,
+            min_denominator=10,
+            window_s=window_s,
+        ),
+        BurnRateRule(
+            "shed_burn_rate",
+            "fraction of offered frames shed at the ingest edge",
+            "shed_frames_dropped",
+            "shard_server_frames",
+            warn=0.01,
+            critical=0.10,
+            min_denominator=10,
+            window_s=window_s,
+            short_window_s=window_s / 6,
+        ),
+        QuantileRule(
+            "detector_close_lag",
+            "p99 event-time lag between window end and close",
+            "detector_close_lag_seconds",
+            q=0.99,
+            warn=5.0,
+            critical=30.0,
+            window_s=window_s,
+        ),
+        ThresholdRule(
+            "wire_data_loss",
+            "synopses dropped by the wire codec (unencodable fields)",
+            "stream_synopses_dropped",
+            mode="delta",
+            warn=1,
+            window_s=window_s,
+        ),
+        ThresholdRule(
+            "codec_uid_errors",
+            "wire encodes rejected for out-of-range uids",
+            "codec_uid_range_errors",
+            mode="delta",
+            warn=1,
+            window_s=window_s,
+        ),
+        ThresholdRule(
+            "sink_errors",
+            "frames the analyzer sink raised on after admission",
+            "server_sink_errors",
+            mode="delta",
+            critical=1,
+            window_s=window_s,
+        ),
+        ThresholdRule(
+            "worker_pool_dead",
+            "no live shard workers while synopses are being dispatched",
+            "shard_workers",
+            mode="gauge",
+            direction="<",
+            critical=0,
+            window_s=window_s,
+            only_if_active=("shard_synopses_dispatched", None, 1.0),
+        ),
+    )

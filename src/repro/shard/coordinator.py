@@ -32,7 +32,7 @@ from repro.core.detector import AnomalyEvent
 from repro.core.model import OutlierModel
 from repro.core.persistence import broadcast_model
 from repro.core.synopsis import FRAME_HEADER, MAX_FRAME_SYNOPSES, TaskSynopsis
-from repro.telemetry import NULL_REGISTRY
+from repro.telemetry import NULL_REGISTRY, merge_snapshots
 from repro.tracing import NULL_TRACER
 
 from .partition import route_payload, shard_table
@@ -209,53 +209,16 @@ class ShardedAnalyzer:
     def aggregate_telemetry(self) -> List[dict]:
         """Worker registries merged into one snapshot, summed per sample.
 
-        Combines the last telemetry snapshot of every shard: samples of
-        the same family and label set are summed (histograms per
-        bucket), so ``detector_tasks_observed`` reports the pool-wide
-        total with per-shard families intact under their labels.  The
-        result uses the same plain-dict wire form as
+        Combines the last telemetry snapshot of every shard via
+        :func:`~repro.telemetry.merge_snapshots` (the same arithmetic
+        telemetry federation uses fleet-wide): samples of the same
+        family and label set are summed (histograms per bucket), so
+        ``detector_tasks_observed`` reports the pool-wide total with
+        per-shard families intact under their labels.  The result uses
+        the same plain-dict wire form as
         :meth:`~repro.telemetry.MetricsRegistry.collect`.
         """
-        merged: Dict[str, dict] = {}
-        for snapshot in self.worker_telemetry.values():
-            for family in snapshot:
-                name = family["name"]
-                target = merged.get(name)
-                if target is None:
-                    merged[name] = {
-                        "name": name,
-                        "type": family["type"],
-                        "help": family["help"],
-                        "label_names": list(family["label_names"]),
-                        "samples": [
-                            dict(sample, labels=dict(sample["labels"]))
-                            for sample in family["samples"]
-                        ],
-                    }
-                    continue
-                index = {
-                    tuple(sorted(sample["labels"].items())): sample
-                    for sample in target["samples"]
-                }
-                for sample in family["samples"]:
-                    key = tuple(sorted(sample["labels"].items()))
-                    into = index.get(key)
-                    if into is None:
-                        target["samples"].append(
-                            dict(sample, labels=dict(sample["labels"]))
-                        )
-                    elif "buckets" in sample:
-                        into["count"] += sample["count"]
-                        into["sum"] += sample["sum"]
-                        into["buckets"] = [
-                            [bound, count + other[1]]
-                            for (bound, count), other in zip(
-                                into["buckets"], sample["buckets"]
-                            )
-                        ]
-                    else:
-                        into["value"] += sample["value"]
-        return [merged[name] for name in sorted(merged)]
+        return merge_snapshots(self.worker_telemetry.values())
 
     # -- dispatch --------------------------------------------------------------
     def dispatch_frame(self, frame: bytes, offset: int = 0) -> None:

@@ -46,6 +46,22 @@ zlib-compressed when both sides agreed at connect.  The server answers
 each data envelope with a 9-byte ack ``(seq, credit-grant)`` that both
 replenishes credit and gives the client its round-trip time signal.
 
+Fleet observability rides the same socket (protocol version 2,
+docs/OPERATIONS.md §9):
+
+* **TELEMETRY envelopes** — a client periodically piggybacks a compact
+  JSON snapshot of its local
+  :class:`~repro.telemetry.MetricsRegistry`; the server files it with
+  its :class:`~repro.telemetry.TelemetryFederation` under
+  ``node=<id>`` labels, so one analyzer-side registry sees the whole
+  fleet.  Telemetry is *control* traffic: handled inline on the loop
+  (never queued, never shed) and exempt from the credit window.
+* **HEALTH envelopes** — a zero-length probe any node can send; the
+  server answers on the ack stream with a JSON health report from the
+  attached engine (:mod:`repro.health`), so
+  :meth:`FrameClient.health` gives every node a machine-readable
+  ``ok``/``warn``/``critical`` verdict about its analyzer.
+
 Framing is ``readexactly``-driven: a frame split across any number of
 TCP segments reassembles correctly, and a peer that dies mid-frame is
 detected (the partial tail is counted, never silently ingested).
@@ -64,13 +80,14 @@ size from observed ack latency.
 from __future__ import annotations
 
 import asyncio
+import json
 import select
 import socket
 import struct
 import threading
 import time
 import zlib
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.synopsis import FRAME_HEADER, MAX_FRAME_SYNOPSES
 from repro.telemetry import NULL_REGISTRY
@@ -86,7 +103,10 @@ _MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB: reject absurd length prefixes early
 #: reads as ~1.14 GiB, far past ``_MAX_FRAME_PAYLOAD``, so no legal
 #: legacy frame can start with it.
 _MAGIC = b"SAAD"
-_PROTOCOL_VERSION = 1
+#: Version 2 added the TELEMETRY / HEALTH control envelopes; the data
+#: path is unchanged, and a v2 client only sends control envelopes to a
+#: server that answered the hello with version >= 2.
+_PROTOCOL_VERSION = 2
 
 #: Hello flag bit: the client asks for (and the server accepts) zlib
 #: frame compression.
@@ -106,10 +126,21 @@ _ENVELOPE = struct.Struct("<BBI")
 _ENV_DATA = 0  # payload is one wire frame, verbatim
 _ENV_DATA_Z = 1  # payload is one zlib-compressed wire frame
 _ENV_BYE = 2  # clean shutdown marker, length 0
+_ENV_TELEMETRY = 3  # payload is a JSON registry snapshot (federation)
+_ENV_TELEMETRY_Z = 4  # ... zlib-compressed
+_ENV_HEALTH = 5  # health probe, length 0; answered on the ack stream
+
+#: Control envelopes are exempt from the credit window: they are small,
+#: rare, handled inline on the loop (never queued), and must keep
+#: flowing precisely when the data path is saturated.
+_CONTROL_ENVELOPES = frozenset({_ENV_TELEMETRY, _ENV_TELEMETRY_Z, _ENV_HEALTH})
 
 #: Ack (server -> client): type, cumulative data-envelope seq, grant.
 _ACK = struct.Struct("<BII")
 _ACK_GRANT = 0
+#: Health report record on the ack stream: ``(type, 0, length)``
+#: followed by ``length`` bytes of JSON report.
+_ACK_HEALTH = 1
 
 #: zlib level for frame compression: speed over ratio — the wire frames
 #: are short-range-redundant struct arrays, which level 1 already folds.
@@ -159,6 +190,18 @@ class SynopsisServer:
         Whether to accept a client's request for zlib frame
         compression; False forces every negotiated peer to fall back to
         uncompressed envelopes.
+    federation:
+        Destination for TELEMETRY envelopes — anything with an
+        ``absorb(node, families)`` method, typically
+        ``registry.federation()`` (see
+        :class:`~repro.telemetry.TelemetryFederation`).  None discards
+        remote snapshots (still counted in
+        ``server_telemetry_snapshots``).
+    health:
+        Zero-argument callable returning a JSON-able health report dict
+        (e.g. a bound :meth:`repro.health.HealthEngine.report_dict`),
+        answered to HEALTH probes.  None answers with an ``unknown``
+        verdict so probing a bare collector still round-trips.
     """
 
     def __init__(
@@ -174,6 +217,8 @@ class SynopsisServer:
         shedder: Optional[LoadShedder] = None,
         classify: Optional[Callable[[bytes], int]] = None,
         compression: bool = True,
+        federation=None,
+        health: Optional[Callable[[], dict]] = None,
     ):
         self.sink = sink
         self.host = host
@@ -197,6 +242,8 @@ class SynopsisServer:
         self.shedder = shedder
         self.classify = classify
         self.compression = compression
+        self.federation = federation
+        self.health = health
         self._sink_is_async = asyncio.iscoroutinefunction(sink)
         registry = registry if registry is not None else NULL_REGISTRY
         self._m_connections = registry.counter(
@@ -223,6 +270,22 @@ class SynopsisServer:
         self._m_paused = registry.counter(
             "server_reads_paused",
             "times a connection's reads were paused at the high watermark",
+        )
+        self._m_paused_now = registry.gauge(
+            "server_paused_connections",
+            "connections currently parked at the high watermark "
+            "(cleared on resume or connection teardown)",
+        )
+        self._m_telemetry = registry.counter(
+            "server_telemetry_snapshots",
+            "TELEMETRY envelopes received (federated registry snapshots)",
+        )
+        self._m_telemetry_rejected = registry.counter(
+            "server_telemetry_rejected",
+            "TELEMETRY envelopes dropped (undecodable payload)",
+        )
+        self._m_health_probes = registry.counter(
+            "server_health_probes", "HEALTH probes answered on the ack stream"
         )
         self._m_sink_errors = registry.counter(
             "server_sink_errors", "frames the sink raised on (dropped, counted)"
@@ -270,27 +333,66 @@ class SynopsisServer:
         return self._pending_bytes
 
     # -- admission + delivery (event-loop side) ------------------------------
-    async def _admit(self, frame: bytes, priority: int, writer, seq: int, wire: int):
+    async def _admit(
+        self,
+        frame: bytes,
+        priority: int,
+        writer,
+        seq: int,
+        wire: int,
+        grant: bool,
+        closed: "asyncio.Task",
+    ):
         """Admission control for one received frame.
 
         Sheds against the current backlog (acking immediately so the
-        sender keeps its credit), else queues for the pump, then pauses
-        this connection's reads while the backlog sits above the high
-        watermark.
+        sender keeps its credit, when ``grant``), else queues for the
+        pump, then pauses this connection's reads while the backlog
+        sits above the high watermark.  The pause is connection-aware:
+        it also ends when this connection's transport dies, so an
+        abruptly disconnected peer never leaves its handler — or the
+        ``server_paused_connections`` gauge — wedged behind a stalled
+        sink.
         """
         if self.shedder is not None and not self.shedder.admit(
             priority, len(frame), self._pending_bytes
         ):
-            if writer is not None:
+            if grant:
                 self._grant(writer, seq, wire)
             return
         self._pending_bytes += len(frame)
-        self._queue.put_nowait((frame, writer, seq, wire))
+        self._queue.put_nowait((frame, writer if grant else None, seq, wire))
         if self._pending_bytes > self.high_watermark and self._resume.is_set():
             self._resume.clear()
         if not self._resume.is_set():
             self._m_paused.inc()
-            await self._resume.wait()
+            self._m_paused_now.inc()
+            try:
+                await self._pause(closed)
+            finally:
+                self._m_paused_now.dec()
+
+    async def _pause(self, closed: "asyncio.Task") -> None:
+        """Park until the pump drains below the low watermark — or until
+        this connection's transport closes, whichever comes first.
+
+        ``closed`` is the connection's long-lived close watcher (made
+        once in :meth:`_handle`; cancelling a fresh ``wait_closed``
+        task here would poison the protocol's shared close waiter).
+        Raises ``ConnectionResetError`` when the peer died first, so
+        the read loop tears the connection down instead of staying
+        parked behind a sink that may never drain (the per-connection
+        gauge-leak regression, tests/shard/test_federation.py).
+        """
+        resume = asyncio.ensure_future(self._resume.wait())
+        done, _pending = await asyncio.wait(
+            {resume, closed}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if resume in done:
+            return
+        resume.cancel()
+        await asyncio.gather(resume, return_exceptions=True)
+        raise ConnectionResetError("peer disconnected while paused")
 
     def _grant(self, writer, seq: int, grant: int) -> None:
         """Ack one data envelope, re-granting its wire bytes as credit."""
@@ -333,6 +435,10 @@ class SynopsisServer:
 
     async def _handle(self, reader, writer) -> None:
         self._m_connections.inc()
+        # One close watcher for the connection's whole life: _pause
+        # selects on it, and it is never cancelled (cancelling a task
+        # awaiting wait_closed poisons the protocol's close waiter).
+        closed = asyncio.ensure_future(writer.wait_closed())
         try:
             try:
                 first = await reader.readexactly(_HELLO.size)
@@ -340,18 +446,22 @@ class SynopsisServer:
                 if partial.partial:
                     self._m_truncated.inc()
                 return
-            if first[:4] == _MAGIC:
-                await self._serve_negotiated(reader, writer, first)
-            else:
-                await self._serve_legacy(reader, writer, first)
+            try:
+                if first[:4] == _MAGIC:
+                    await self._serve_negotiated(reader, writer, first, closed)
+                else:
+                    await self._serve_legacy(reader, writer, first, closed)
+            except (ConnectionError, OSError):
+                pass  # peer died mid-conversation; teardown below
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+            await asyncio.gather(closed, return_exceptions=True)
 
-    async def _serve_legacy(self, reader, writer, first: bytes) -> None:
+    async def _serve_legacy(self, reader, writer, first: bytes, closed) -> None:
         """Raw length-prefixed frames, no credit or acks (pre-overload
         peers).  Backpressure still applies: reads pause at the high
         watermark, so TCP flow control reaches the sender."""
@@ -376,7 +486,7 @@ class SynopsisServer:
                 if self.classify
                 else PRIORITY_SAMPLED
             )
-            await self._admit(frame, priority, None, 0, len(frame))
+            await self._admit(frame, priority, writer, 0, len(frame), False, closed)
             try:
                 header = await reader.readexactly(header_size)
             except asyncio.IncompleteReadError as partial:
@@ -384,7 +494,7 @@ class SynopsisServer:
                     self._m_truncated.inc()
                 return
 
-    async def _serve_negotiated(self, reader, writer, hello: bytes) -> None:
+    async def _serve_negotiated(self, reader, writer, hello: bytes, closed) -> None:
         """The credit/ack envelope protocol behind the magic hello."""
         _magic, _version, flags = _HELLO.unpack(hello)
         accepted = flags & _FLAG_COMPRESS if self.compression else 0
@@ -407,7 +517,8 @@ class SynopsisServer:
             etype, priority, length = _ENVELOPE.unpack(head)
             if etype == _ENV_BYE:
                 return
-            if etype not in (_ENV_DATA, _ENV_DATA_Z) or length > _MAX_FRAME_PAYLOAD:
+            known = etype in (_ENV_DATA, _ENV_DATA_Z) or etype in _CONTROL_ENVELOPES
+            if not known or length > _MAX_FRAME_PAYLOAD:
                 self._m_truncated.inc()
                 return
             try:
@@ -415,6 +526,12 @@ class SynopsisServer:
             except asyncio.IncompleteReadError:
                 self._m_truncated.inc()
                 return
+            if etype == _ENV_HEALTH:
+                self._answer_health(writer)
+                continue
+            if etype in (_ENV_TELEMETRY, _ENV_TELEMETRY_Z):
+                self._absorb_telemetry(payload, etype == _ENV_TELEMETRY_Z)
+                continue
             wire = _ENVELOPE.size + length
             if etype == _ENV_DATA_Z:
                 try:
@@ -429,7 +546,53 @@ class SynopsisServer:
             seq += 1
             self._m_frames.inc()
             self._m_bytes.inc(wire)
-            await self._admit(frame, priority, writer, seq, wire)
+            await self._admit(frame, priority, writer, seq, wire, True, closed)
+
+    # -- fleet observability (control envelopes) ------------------------------
+    def _absorb_telemetry(self, payload: bytes, compressed: bool) -> None:
+        """File one TELEMETRY envelope with the federation.
+
+        The payload is JSON ``{"node": <id>, "families": [...]}`` in the
+        registry snapshot wire form; anything undecodable is counted and
+        dropped — a misbehaving node must not take the ingest edge down.
+        """
+        if compressed:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error:
+                self._m_telemetry_rejected.inc()
+                return
+        try:
+            record = json.loads(payload.decode("utf-8"))
+            node = str(record["node"])
+            families = record["families"]
+        except (ValueError, KeyError, TypeError):
+            self._m_telemetry_rejected.inc()
+            return
+        self._m_telemetry.inc()
+        if self.federation is None:
+            return
+        try:
+            self.federation.absorb(node, families)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._m_telemetry_rejected.inc()
+
+    def _answer_health(self, writer) -> None:
+        """Answer one HEALTH probe on the ack stream."""
+        report: Optional[dict] = None
+        if self.health is not None:
+            try:
+                report = self.health()
+            except Exception:
+                report = {"state": "unknown", "error": "health engine raised"}
+        if report is None:
+            report = {"state": "unknown", "error": "no health engine attached"}
+        body = json.dumps(report, sort_keys=True).encode("utf-8")
+        try:
+            writer.write(_ACK.pack(_ACK_HEALTH, 0, len(body)) + body)
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # prober already gone
+        self._m_health_probes.inc()
 
     # -- lifecycle (caller side) ---------------------------------------------
     def _run(self) -> None:
@@ -611,6 +774,22 @@ class FrameClient:
         Callback fired with the new recommended ``flush_size`` whenever
         the controller changes it (the facade points this at the node's
         stream).
+    node:
+        This node's identity for federated telemetry — the ``node=``
+        label value the analyzer files our snapshots under.  Defaults
+        to this socket's local ``host:port``.
+    telemetry_source:
+        Where :meth:`send_telemetry` snapshots from — a registry-like
+        object with ``collect()`` (typically this node's
+        :class:`~repro.telemetry.MetricsRegistry`) or a zero-argument
+        callable returning a families list.  None disables telemetry
+        pushes.
+    telemetry_interval_s:
+        Piggyback cadence: while a ``telemetry_source`` is set and the
+        server speaks protocol version >= 2, :meth:`send` pushes a
+        fresh snapshot whenever at least this many seconds have passed
+        since the last one.  None pushes only on explicit
+        :meth:`send_telemetry` calls.
     """
 
     def __init__(
@@ -624,6 +803,9 @@ class FrameClient:
         priority_fn: Optional[Callable[[bytes], int]] = None,
         adaptive: Optional[AdaptiveFlush] = None,
         on_flush_size: Optional[Callable[[int], None]] = None,
+        node: Optional[str] = None,
+        telemetry_source=None,
+        telemetry_interval_s: Optional[float] = 30.0,
     ):
         self._sock = socket.create_connection(address, timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -642,6 +824,15 @@ class FrameClient:
         self._acked = 0
         self._send_times: Dict[int, float] = {}
         self._ackbuf = b""
+        self._server_version = 0
+        self._health_reports: List[dict] = []
+        if node is None:
+            local = self._sock.getsockname()
+            node = f"{local[0]}:{local[1]}"
+        self.node = str(node)
+        self._telemetry_source = telemetry_source
+        self.telemetry_interval_s = telemetry_interval_s
+        self._last_telemetry: Optional[float] = None
         registry = registry if registry is not None else NULL_REGISTRY
         peer = f"{address[0]}:{address[1]}"
         labels = ("peer",)
@@ -670,6 +861,11 @@ class FrameClient:
             "wire bytes saved by frame compression",
             labels=labels,
         ).labels(peer=peer)
+        self._m_telemetry_pushes = registry.counter(
+            "client_telemetry_pushes",
+            "registry snapshots pushed to the analyzer (TELEMETRY envelopes)",
+            labels=labels,
+        ).labels(peer=peer)
         if negotiate:
             self._handshake(compression)
 
@@ -690,6 +886,15 @@ class FrameClient:
         return self._credit
 
     @property
+    def server_version(self) -> int:
+        """The server's protocol version from the hello-ack (0 legacy).
+
+        Control envelopes (telemetry pushes, health probes) need
+        version >= 2; the piggyback path gates on this automatically.
+        """
+        return self._server_version
+
+    @property
     def flush_size(self) -> int:
         """The controller's current recommended synopses per frame."""
         return self._adaptive.size
@@ -704,10 +909,11 @@ class FrameClient:
         flags = _FLAG_COMPRESS if want_compression else 0
         self._sock.sendall(_HELLO.pack(_MAGIC, _PROTOCOL_VERSION, flags))
         ack = self._recv_exact(_HELLO_ACK.size)
-        magic, _version, accepted, window = _HELLO_ACK.unpack(ack)
+        magic, version, accepted, window = _HELLO_ACK.unpack(ack)
         if magic != _MAGIC:
             raise ConnectionError("peer is not a SAAD synopsis server")
         self._negotiated = True
+        self._server_version = version
         self._compress = bool(accepted & _FLAG_COMPRESS)
         self._window = self._credit = window
 
@@ -774,6 +980,87 @@ class FrameClient:
         self._send_times[self._seq] = time.perf_counter()
         self.bytes_sent += need
         self.frames_sent += 1
+        self._maybe_push_telemetry()
+
+    def _maybe_push_telemetry(self) -> None:
+        """Piggyback a registry snapshot when the cadence is due."""
+        if (
+            self._telemetry_source is None
+            or self.telemetry_interval_s is None
+            or self._server_version < 2
+        ):
+            return
+        now = time.monotonic()
+        if (
+            self._last_telemetry is not None
+            and now - self._last_telemetry < self.telemetry_interval_s
+        ):
+            return
+        try:
+            self.send_telemetry()
+        except (ValueError, RuntimeError):
+            pass  # source vanished or connection mid-close; data path wins
+
+    def send_telemetry(self, families: Optional[list] = None) -> None:
+        """Push one registry snapshot to the analyzer, immediately.
+
+        ``families`` defaults to a fresh ``collect()`` from the
+        configured ``telemetry_source``.  The snapshot rides a
+        TELEMETRY envelope (compressed when the server agreed to zlib
+        and that shrinks it) outside the credit window, so it cannot
+        stall — or be stalled by — the data path.  Raises
+        ``RuntimeError`` when the connection cannot carry telemetry
+        (closed, legacy, or a pre-v2 server) and ``ValueError`` when no
+        families are given and no source is configured.
+        """
+        if self._closed:
+            raise RuntimeError("FrameClient is closed; send_telemetry() after close()")
+        if not self._negotiated or self._server_version < 2:
+            raise RuntimeError(
+                "telemetry pushes need a negotiated protocol-v2 connection"
+            )
+        if families is None:
+            source = self._telemetry_source
+            if source is None:
+                raise ValueError("no telemetry_source configured and no families given")
+            families = source.collect() if hasattr(source, "collect") else source()
+        body = json.dumps(
+            {"node": self.node, "families": families}, sort_keys=True
+        ).encode("utf-8")
+        payload, etype = body, _ENV_TELEMETRY
+        if self._compress:
+            squeezed = zlib.compress(body, _COMPRESS_LEVEL)
+            if len(squeezed) < len(body):
+                payload, etype = squeezed, _ENV_TELEMETRY_Z
+        self._sock.sendall(_ENVELOPE.pack(etype, 0, len(payload)) + payload)
+        self.bytes_sent += _ENVELOPE.size + len(payload)
+        self._m_telemetry_pushes.inc()
+        self._last_telemetry = time.monotonic()
+
+    def health(self, timeout: Optional[float] = None) -> dict:
+        """Probe the analyzer's health engine; its JSON report as a dict.
+
+        Sends a HEALTH envelope and blocks (up to ``timeout``, default
+        the socket timeout) for the report on the ack stream — credit
+        grants arriving meanwhile are absorbed normally, so probing is
+        safe mid-stream.  Raises ``RuntimeError`` on a connection that
+        cannot carry probes and ``TimeoutError`` when no report lands
+        in time.
+        """
+        if self._closed:
+            raise RuntimeError("FrameClient is closed; health() after close()")
+        if not self._negotiated or self._server_version < 2:
+            raise RuntimeError(
+                "health probes need a negotiated protocol-v2 connection"
+            )
+        self._sock.sendall(_ENVELOPE.pack(_ENV_HEALTH, 0, 0))
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while not self._health_reports:
+            try:
+                self._drain_acks(deadline=deadline)
+            except TimeoutError:
+                raise TimeoutError("timed out waiting for the health report")
+        return self._health_reports.pop(0)
 
     def _drain_acks(self, deadline: Optional[float] = None) -> None:
         """Absorb pending acks; with a deadline, wait for at least one.
@@ -804,6 +1091,21 @@ class FrameClient:
             progressed = False
             while len(self._ackbuf) >= size:
                 kind, seq, grant = _ACK.unpack_from(self._ackbuf)
+                if kind == _ACK_HEALTH:
+                    # ``grant`` doubles as the report length; wait for
+                    # the full record before consuming anything.
+                    if len(self._ackbuf) < size + grant:
+                        break
+                    body = self._ackbuf[size : size + grant]
+                    self._ackbuf = self._ackbuf[size + grant :]
+                    try:
+                        self._health_reports.append(json.loads(body.decode("utf-8")))
+                    except ValueError:
+                        self._health_reports.append(
+                            {"state": "unknown", "error": "undecodable health report"}
+                        )
+                    progressed = True
+                    continue
                 self._ackbuf = self._ackbuf[size:]
                 if kind != _ACK_GRANT:
                     continue

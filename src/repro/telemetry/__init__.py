@@ -30,10 +30,17 @@ DESIGN.md §10.
 from .export import (
     SNAPSHOT_FORMAT,
     read_jsonl,
+    read_jsonl_series,
     render_prometheus,
     render_table,
     snapshot_of,
     write_jsonl,
+)
+from .federation import (
+    TelemetryFederation,
+    label_samples,
+    merge_snapshots,
+    validate_families,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -61,11 +68,16 @@ __all__ = [
     "NULL_REGISTRY",
     "NullRegistry",
     "SNAPSHOT_FORMAT",
+    "TelemetryFederation",
+    "label_samples",
     "log_buckets",
+    "merge_snapshots",
     "null_metric",
     "read_jsonl",
+    "read_jsonl_series",
     "render_prometheus",
     "render_table",
     "snapshot_of",
+    "validate_families",
     "write_jsonl",
 ]

@@ -9,7 +9,8 @@ re-read from disk.
   a header line identifying the format, then one line per metric
   family.  Appending successive snapshots to one file gives a cheap
   time series; :func:`read_jsonl` returns the families of the *last*
-  snapshot in the file.
+  snapshot in the file, :func:`read_jsonl_series` every snapshot with
+  its header timestamp (the history ``python -m repro top`` replays).
 * :func:`render_prometheus` — the Prometheus text exposition format
   (``# HELP`` / ``# TYPE`` comments, one sample per line, histograms as
   cumulative ``_bucket``/``_sum``/``_count`` series) for scraping or
@@ -26,6 +27,7 @@ from typing import Dict, IO, Iterable, List, Optional, Union
 __all__ = [
     "SNAPSHOT_FORMAT",
     "read_jsonl",
+    "read_jsonl_series",
     "render_prometheus",
     "render_table",
     "snapshot_of",
@@ -79,14 +81,22 @@ def write_jsonl(
     return len(lines)
 
 
-def read_jsonl(source: Union[str, IO[str]]) -> Families:
-    """Read back the *last* snapshot in a JSON-lines telemetry file."""
+def read_jsonl_series(
+    source: Union[str, IO[str]],
+) -> List[tuple]:
+    """Read every snapshot in a JSON-lines telemetry file, in order.
+
+    Returns ``(timestamp, families)`` pairs — ``timestamp`` is the
+    header's ``unix_time`` when the writer stamped one, else None.
+    Appending snapshots over time and replaying them through this
+    reader is the offline history behind ``python -m repro top``.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
     else:
         lines = source.readlines()
-    snapshots: List[Families] = []
+    snapshots: List[tuple] = []
     current: Optional[Families] = None
     for number, line in enumerate(lines, start=1):
         line = line.strip()
@@ -103,14 +113,19 @@ def read_jsonl(source: Union[str, IO[str]]) -> Families:
                     f"{record['format']!r}"
                 )
             current = []
-            snapshots.append(current)
+            snapshots.append((record.get("unix_time"), current))
         elif current is None:
             raise ValueError(f"line {number}: family line before snapshot header")
         else:
             current.append(record)
     if not snapshots:
         raise ValueError("no telemetry snapshot header found")
-    return snapshots[-1]
+    return snapshots
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> Families:
+    """Read back the *last* snapshot in a JSON-lines telemetry file."""
+    return read_jsonl_series(source)[-1][1]
 
 
 # -- Prometheus text format ---------------------------------------------------

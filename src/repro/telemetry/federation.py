@@ -1,0 +1,272 @@
+"""Telemetry federation: one registry that sees the whole fleet.
+
+A distributed SAAD deployment keeps many :class:`~repro.telemetry.
+MetricsRegistry` instances: one per analyzer process, one per remote
+node runtime, one inside every shard worker.  Before this module the
+analyzer-side registry only ever saw its own process (plus the shard
+workers, which the coordinator polls over its pipes) — a remote
+``FrameClient``'s credit stalls or a TCP node's tracker counters were
+invisible to ``python -m repro stats`` and to any health rule running
+on the analyzer.
+
+Federation closes that gap with two pieces:
+
+* :func:`merge_snapshots` — the pure merge of plain-dict family
+  snapshots (the wire form of
+  :meth:`~repro.telemetry.MetricsRegistry.collect`): samples of the
+  same family and label set are summed, histograms per bucket.  This is
+  the same arithmetic the shard coordinator has always used to fold
+  worker registries together
+  (:meth:`~repro.shard.coordinator.ShardedAnalyzer.aggregate_telemetry`
+  now delegates here).
+* :class:`TelemetryFederation` — a per-node snapshot store.  Remote
+  nodes ship compact registry snapshots over the existing synopsis
+  socket (the ``TELEMETRY`` envelope, see :mod:`repro.shard.server`);
+  :meth:`TelemetryFederation.absorb` files each one under its node id,
+  stamping every sample with a ``node=<id>`` label.  A registry with a
+  federation attached (:meth:`~repro.telemetry.MetricsRegistry.
+  federation`) folds the federated families into every ``collect()``,
+  so exporters, the stats CLI, ``repro top``, and the health engine
+  all see the fleet without any of them knowing federation exists.
+
+Label hygiene: the ``node`` label is reserved for federation.  A
+remote family that already carries a ``node`` label keeps its own value
+(the snapshot wins — it knows its origin better than the transport
+does); everything else gets the transport-assigned node id.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .registry import NULL_REGISTRY
+
+__all__ = [
+    "TelemetryFederation",
+    "label_samples",
+    "merge_snapshots",
+    "validate_families",
+]
+
+#: A collected snapshot: list of plain family dicts (see
+#: :meth:`~repro.telemetry.MetricsRegistry.collect`).
+Families = List[dict]
+
+#: The reserved federation label.
+NODE_LABEL = "node"
+
+
+def validate_families(families: Families) -> None:
+    """Reject structures that are not in the snapshot wire form.
+
+    Raises ``ValueError`` unless ``families`` is a list of family dicts
+    each carrying ``name``/``type``/``help``/``label_names``/``samples``
+    with every sample holding a ``labels`` dict and either a ``value``
+    or the ``count``/``sum``/``buckets`` histogram triple.  Used at the
+    trust boundary (absorbing a remote node's TELEMETRY payload) so a
+    malformed snapshot is refused at absorb time instead of corrupting
+    every later ``collect()``.
+    """
+    if not isinstance(families, list):
+        raise ValueError("snapshot must be a list of family dicts")
+    for family in families:
+        if not isinstance(family, dict):
+            raise ValueError("family must be a dict")
+        for key in ("name", "type", "help", "label_names", "samples"):
+            if key not in family:
+                raise ValueError(f"family missing {key!r}")
+        if not isinstance(family["name"], str) or not isinstance(
+            family["samples"], list
+        ):
+            raise ValueError("family name must be str, samples a list")
+        for sample in family["samples"]:
+            if not isinstance(sample, dict) or not isinstance(
+                sample.get("labels"), dict
+            ):
+                raise ValueError("sample must carry a labels dict")
+            if "value" in sample:
+                continue
+            if not ("count" in sample and "sum" in sample and "buckets" in sample):
+                raise ValueError("sample needs value or count/sum/buckets")
+
+
+def _sample_key(sample: dict) -> Tuple[Tuple[str, str], ...]:
+    """Order-independent identity of one sample's label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in sample["labels"].items()))
+
+
+def _copy_sample(sample: dict) -> dict:
+    """A mutation-safe copy of one sample dict (labels and buckets too)."""
+    copied = dict(sample, labels=dict(sample["labels"]))
+    if "buckets" in sample:
+        copied["buckets"] = [list(pair) for pair in sample["buckets"]]
+    return copied
+
+
+def merge_snapshots(snapshots: Iterable[Families]) -> Families:
+    """Merge family snapshots: same-family, same-label samples are summed.
+
+    The result uses the same plain-dict wire form as the inputs and is
+    sorted by family name.  Counter and gauge samples of identical
+    label sets add their values; histogram samples add counts, sums,
+    and per-bucket counts (bucket layouts are assumed aligned — they
+    come from the same metric definitions).  Samples whose label sets
+    appear in only one snapshot pass through unchanged, so snapshots
+    with disjoint labels (e.g. per-node series) simply union.
+
+    Family metadata (help text, label name list) comes from the first
+    snapshot that mentions the family; label name lists are unioned in
+    first-seen order so a federated family can carry labels the local
+    one does not declare (the ``node`` label, typically).
+    """
+    merged: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        for family in snapshot:
+            name = family["name"]
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {
+                    "name": name,
+                    "type": family["type"],
+                    "help": family["help"],
+                    "label_names": list(family["label_names"]),
+                    "samples": [
+                        _copy_sample(sample) for sample in family["samples"]
+                    ],
+                }
+                continue
+            for label in family["label_names"]:
+                if label not in target["label_names"]:
+                    target["label_names"].append(label)
+            index = {
+                _sample_key(sample): sample for sample in target["samples"]
+            }
+            for sample in family["samples"]:
+                into = index.get(_sample_key(sample))
+                if into is None:
+                    target["samples"].append(_copy_sample(sample))
+                elif "buckets" in sample:
+                    into["count"] += sample["count"]
+                    into["sum"] += sample["sum"]
+                    into["buckets"] = [
+                        [bound, count + other[1]]
+                        for (bound, count), other in zip(
+                            into["buckets"], sample["buckets"]
+                        )
+                    ]
+                else:
+                    into["value"] += sample["value"]
+    return [merged[name] for name in sorted(merged)]
+
+
+def label_samples(families: Families, **labels: str) -> Families:
+    """A copy of ``families`` with ``labels`` stamped onto every sample.
+
+    Labels already present on a sample win over the stamped ones — a
+    snapshot that names its own ``node`` keeps it.  New label names are
+    appended to each family's ``label_names``.
+    """
+    out: Families = []
+    for family in families:
+        label_names = list(family["label_names"])
+        for name in labels:
+            if name not in label_names:
+                label_names.append(name)
+        stamped = []
+        for sample in family["samples"]:
+            copied = _copy_sample(sample)
+            copied["labels"] = {**labels, **copied["labels"]}
+            stamped.append(copied)
+        out.append(dict(family, label_names=label_names, samples=stamped))
+    return out
+
+
+class TelemetryFederation:
+    """Per-node remote snapshot store behind a deployment registry.
+
+    Thread-safe: :meth:`absorb` is called from transport threads (the
+    ingest server's event loop) while :meth:`collect` runs on whoever
+    is exporting.  Each node's latest snapshot replaces its previous
+    one — federation is last-writer-wins per node, matching the
+    "periodic compact snapshot" push model of the wire protocol.
+
+    Parameters
+    ----------
+    registry:
+        Registry receiving the federation's own accounting
+        (``federation_snapshots``, ``federation_nodes``,
+        ``federation_staleness_seconds``); defaults to
+        :data:`~repro.telemetry.NULL_REGISTRY`.  Note this is *not*
+        automatically the registry whose ``collect()`` folds the
+        federated families in — attach via
+        :meth:`MetricsRegistry.federation` for that.
+    clock:
+        Unix-time source for staleness accounting (injectable for
+        tests).
+    """
+
+    def __init__(self, registry=None, clock=time.time):
+        self._lock = threading.Lock()
+        self._snapshots: Dict[str, Families] = {}
+        self._received_at: Dict[str, float] = {}
+        self._clock = clock
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_snapshots = registry.counter(
+            "federation_snapshots",
+            "remote telemetry snapshots absorbed, by node",
+            labels=(NODE_LABEL,),
+        )
+        registry.gauge(
+            "federation_nodes",
+            "remote nodes with a federated telemetry snapshot on file",
+        ).set_function(lambda: len(self._snapshots))
+        self._m_staleness = registry.gauge(
+            "federation_staleness_seconds",
+            "age of each node's newest federated snapshot",
+            labels=(NODE_LABEL,),
+        )
+
+    def absorb(self, node: str, families: Families) -> None:
+        """File ``families`` as node ``node``'s current snapshot.
+
+        Every sample is stamped with ``node=<id>`` (unless the remote
+        snapshot already labelled it) and the node's previous snapshot
+        is replaced.  Malformed input raises ``ValueError`` (see
+        :func:`validate_families`) and leaves the store untouched.
+        """
+        node = str(node)
+        validate_families(families)
+        labelled = label_samples(families, **{NODE_LABEL: node})
+        now = self._clock()
+        with self._lock:
+            self._snapshots[node] = labelled
+            self._received_at[node] = now
+        self._m_snapshots.labels(node=node).inc()
+        self._m_staleness.labels(node=node).set_function(
+            lambda: self._clock() - self._received_at.get(node, now)
+        )
+
+    def forget(self, node: str) -> bool:
+        """Drop node ``node``'s snapshot; True if one was on file."""
+        with self._lock:
+            self._received_at.pop(node, None)
+            return self._snapshots.pop(node, None) is not None
+
+    def nodes(self) -> Tuple[str, ...]:
+        """Node ids with a snapshot on file, sorted."""
+        with self._lock:
+            return tuple(sorted(self._snapshots))
+
+    def staleness(self, node: str) -> Optional[float]:
+        """Seconds since ``node``'s newest snapshot; None if unknown."""
+        with self._lock:
+            received = self._received_at.get(node)
+        return None if received is None else self._clock() - received
+
+    def collect(self) -> Families:
+        """All nodes' labelled snapshots merged into one family list."""
+        with self._lock:
+            snapshots = list(self._snapshots.values())
+        return merge_snapshots(snapshots)

@@ -51,6 +51,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: Dict[str, MetricFamily] = {}
+        self._federation = None
 
     # -- registration ---------------------------------------------------------
     def counter(
@@ -115,6 +116,34 @@ class MetricsRegistry:
                 f"{family.label_names}, not {label_names}"
             )
 
+    # -- federation -----------------------------------------------------------
+    def federation(self):
+        """This registry's :class:`~repro.telemetry.TelemetryFederation`.
+
+        Created on first call (with the federation's own accounting
+        registered here); afterwards every :meth:`collect` folds the
+        federated per-node families into the snapshot, so exporters and
+        health rules see the fleet, not just this process.  Absorb
+        remote snapshots with ``registry.federation().absorb(node,
+        families)`` — the ingest server does this for ``TELEMETRY``
+        envelopes.
+        """
+        if self._federation is None:
+            from .federation import TelemetryFederation
+
+            # Construct outside the registry lock: the federation
+            # registers its own accounting families here.
+            candidate = TelemetryFederation(registry=self)
+            with self._lock:
+                if self._federation is None:
+                    self._federation = candidate
+        return self._federation
+
+    @property
+    def federated(self) -> bool:
+        """True once :meth:`federation` has been called."""
+        return self._federation is not None
+
     # -- introspection --------------------------------------------------------
     def get(self, name: str) -> Optional[MetricFamily]:
         """The family called ``name``, or None."""
@@ -131,11 +160,20 @@ class MetricsRegistry:
 
         The returned structure is the wire form of the JSON-lines
         exporter and the input of every renderer — collecting and
-        re-reading a written snapshot yield the same value.
+        re-reading a written snapshot yield the same value.  With a
+        :meth:`federation` attached, remote nodes' absorbed snapshots
+        are folded in (their samples carrying ``node=<id>`` labels), so
+        one snapshot covers the fleet.
         """
         with self._lock:
             families = [self._families[name] for name in sorted(self._families)]
-        return [family.collect() for family in families]
+        local = [family.collect() for family in families]
+        federation = self._federation
+        if federation is None:
+            return local
+        from .federation import merge_snapshots
+
+        return merge_snapshots([local, federation.collect()])
 
 
 class _NullMetric:
@@ -234,6 +272,32 @@ class NullRegistry:
     def collect(self) -> List[Dict[str, object]]:
         """Always empty."""
         return []
+
+    def federation(self) -> "NullRegistry":
+        """Telemetry off: the registry poses as its own inert federation."""
+        return self
+
+    @property
+    def federated(self) -> bool:
+        """Never federated."""
+        return False
+
+    # Inert federation surface (absorb/forget/nodes/staleness), so a
+    # transport wired to ``registry.federation()`` needs no None checks.
+    def absorb(self, node: str, families) -> None:
+        """Discard a remote snapshot (telemetry off)."""
+
+    def forget(self, node: str) -> bool:
+        """Nothing on file."""
+        return False
+
+    def nodes(self) -> Tuple[str, ...]:
+        """No federated nodes."""
+        return ()
+
+    def staleness(self, node: str) -> None:
+        """Unknown node."""
+        return None
 
 
 #: Shared inert registry for "telemetry off" call sites.

@@ -36,9 +36,9 @@ from .export import read_chrome_trace, write_chrome_trace
 
 def _demo_traces():
     """Captured traces + name maps from the shared demo deployment."""
-    from repro.telemetry.cli import _demo_deployment
+    from repro.telemetry.demo import demo_deployment
 
-    saad = _demo_deployment()
+    saad = demo_deployment()
     stage_names = {stage.stage_id: stage.name for stage in saad.stages}
     templates = {point.lpid: point.template for point in saad.logpoints}
     return saad.tracer, stage_names, saad.host_names, templates

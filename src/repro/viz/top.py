@@ -1,0 +1,275 @@
+"""``python -m repro top`` rendering: the fleet dashboard as a string.
+
+Pure functions over a snapshot *history* — ``(t, families)`` pairs in
+the registry wire form — plus an optional health report
+(:meth:`~repro.health.HealthEngine.report_dict`).  Nothing here reads
+clocks or terminals, so the same renderer drives the live ANSI loop
+and the deterministic one-shot golden test
+(``python -m repro top --once --snapshot X.jsonl``).
+
+Panels:
+
+* **key series** — one sparkline per headline series (ingest rate,
+  backlog, shed/drop rates, anomalies), derived from counter deltas or
+  gauge levels across the history;
+* **senders** — one row per connected sender (``peer``-labelled
+  ``client_*`` series) and per federated node (``node``-labelled
+  federation gauges);
+* **alerts** — the rule pack's current severities plus the tail of the
+  incident timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tables import render_table
+
+__all__ = ["render_top", "sparkline"]
+
+#: Eight-level bar glyphs, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: The headline series panel: (label, family, mode, unit).  ``rate``
+#: plots per-second deltas of a counter, ``delta`` per-interval deltas,
+#: ``gauge`` the raw level.
+KEY_SERIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("ingest", "shard_server_frames", "rate", "fr/s"),
+    ("backlog", "server_pending_bytes", "gauge", "B"),
+    ("shed", "shed_frames_dropped", "rate", "fr/s"),
+    ("synopses", "collector_synopses", "rate", "syn/s"),
+    ("anomalies", "detector_anomalies", "delta", "ev"),
+    ("stalls", "client_credit_stalls", "delta", ""),
+)
+
+History = Sequence[Tuple[float, List[dict]]]
+
+
+def sparkline(values: Sequence[Optional[float]], width: int = 32) -> str:
+    """The last ``width`` values as one bar glyph each (None -> space).
+
+    Scaled to the min..max of the *shown* values; a flat series renders
+    at the lowest level.
+    """
+    shown = list(values)[-width:]
+    present = [v for v in shown if v is not None]
+    if not present:
+        return " " * len(shown)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    top = len(SPARK_LEVELS) - 1
+    out = []
+    for value in shown:
+        if value is None:
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_LEVELS[0])
+        else:
+            out.append(SPARK_LEVELS[round((value - lo) / span * top)])
+    return "".join(out)
+
+
+def _total(families: List[dict], name: str) -> Optional[float]:
+    """Sum of a family's sample values (histograms: the counts)."""
+    for family in families:
+        if family["name"] == name:
+            return sum(
+                float(s["count"] if "count" in s else s["value"])
+                for s in family["samples"]
+            )
+    return None
+
+
+def series_points(
+    history: History, name: str, mode: str = "gauge"
+) -> List[Optional[float]]:
+    """One plottable point per history entry for the named family.
+
+    ``gauge`` is the level at each snapshot; ``delta`` the increase
+    since the previous snapshot (first entry: the absolute value, a
+    counter observed from zero); ``rate`` that delta per second.
+    """
+    points: List[Optional[float]] = []
+    previous: Optional[Tuple[float, float]] = None  # (t, total)
+    for t, families in history:
+        total = _total(families, name)
+        if total is None:
+            points.append(None)
+            continue
+        if mode == "gauge":
+            points.append(total)
+            continue
+        if previous is None:
+            base_t, base_v = t, 0.0
+        else:
+            base_t, base_v = previous
+        delta = total - base_v if total >= base_v else total  # counter reset
+        if mode == "rate":
+            dt = t - base_t
+            points.append(delta / dt if dt > 0 else None)
+        else:
+            points.append(delta)
+        previous = (t, total)
+    return points
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value:  # NaN
+        return "nan"
+    if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+        return str(int(round(value)))
+    return f"{value:.2f}"
+
+
+def _labelled(families: List[dict], name: str, key: str) -> Dict[str, float]:
+    """label value -> summed sample value for one family's ``key`` label."""
+    out: Dict[str, float] = {}
+    for family in families:
+        if family["name"] != name:
+            continue
+        for sample in family["samples"]:
+            label = sample["labels"].get(key)
+            if label is not None and "value" in sample:
+                out[label] = out.get(label, 0.0) + float(sample["value"])
+    return out
+
+
+def _severity_tag(severity: str, color: bool) -> str:
+    tag = severity.upper()
+    if not color:
+        return tag
+    codes = {"OK": "32", "WARN": "33", "CRITICAL": "31"}
+    return f"\x1b[{codes.get(tag, '0')}m{tag}\x1b[0m"
+
+
+def _senders_rows(families: List[dict]) -> List[List[str]]:
+    peers = sorted(
+        set(_labelled(families, "client_rtt_us", "peer"))
+        | set(_labelled(families, "client_flush_size", "peer"))
+        | set(_labelled(families, "client_credit_stalls", "peer"))
+    )
+    flush = _labelled(families, "client_flush_size", "peer")
+    rtt = _labelled(families, "client_rtt_us", "peer")
+    stalls = _labelled(families, "client_credit_stalls", "peer")
+    pushes = _labelled(families, "client_telemetry_pushes", "peer")
+    rows = []
+    for peer in peers:
+        rows.append(
+            [
+                peer,
+                "sender",
+                _fmt(flush.get(peer)),
+                _fmt(rtt.get(peer)),
+                _fmt(stalls.get(peer)),
+                _fmt(pushes.get(peer)),
+            ]
+        )
+    staleness = _labelled(families, "federation_staleness_seconds", "node")
+    snapshots = _labelled(families, "federation_snapshots", "node")
+    for node in sorted(set(staleness) | set(snapshots)):
+        rows.append(
+            [
+                node,
+                "node",
+                "-",
+                "-",
+                "-",
+                _fmt(snapshots.get(node)),
+            ]
+        )
+    return rows
+
+
+def _timeline_line(entry: dict, color: bool) -> str:
+    at = _fmt(entry.get("at"))
+    if entry.get("type") == "anomaly":
+        return (
+            f"    [{at}] anomaly  kind={entry.get('kind')} "
+            f"host={entry.get('host_id')} stage={entry.get('stage_id')} "
+            f"outliers={entry.get('outliers')}/{entry.get('n')} "
+            f"exemplars={entry.get('exemplars')}"
+        )
+    to = _severity_tag(str(entry.get("to", "?")), color)
+    return (
+        f"    [{at}] alert    {entry.get('name')} "
+        f"{entry.get('from')} -> {to}  ({entry.get('reason', '')})"
+    )
+
+
+def render_top(
+    history: History,
+    report: Optional[dict] = None,
+    *,
+    timeline: Optional[List[dict]] = None,
+    width: int = 79,
+    color: bool = False,
+) -> str:
+    """Render the dashboard over a snapshot history (+ health report)."""
+    if not history:
+        return "(no snapshots)\n"
+    last_t, last = history[-1]
+    lines: List[str] = []
+    state = (report or {}).get("state", "unknown")
+    header = (
+        f"repro top — {len(history)} snapshot"
+        f"{'s' if len(history) != 1 else ''}, t={_fmt(last_t)}  "
+        f"fleet: {_severity_tag(state, color)}"
+    )
+    lines.append(header)
+    lines.append("=" * min(width, max(len(header), 20)))
+
+    # -- key series sparklines
+    spark_width = max(10, width - 36)
+    lines.append("")
+    for label, name, mode, unit in KEY_SERIES:
+        points = series_points(history, name, mode)
+        latest = next((p for p in reversed(points) if p is not None), None)
+        value = _fmt(latest) + (f" {unit}" if unit and latest is not None else "")
+        lines.append(
+            f"  {label:<10} {sparkline(points, spark_width):<{spark_width}}"
+            f"  {value:>12}"
+        )
+
+    # -- senders / federated nodes
+    rows = _senders_rows(last)
+    lines.append("")
+    if rows:
+        table = render_table(
+            ["sender", "kind", "flush", "rtt_us", "stalls", "snapshots"],
+            rows,
+            title="senders",
+        )
+        lines.extend("  " + line for line in table.rstrip("\n").split("\n"))
+    else:
+        lines.append("  senders: (none connected)")
+
+    # -- alerts
+    lines.append("")
+    if report is None:
+        lines.append("  alerts: (no health engine)")
+    else:
+        firing = [r for r in report.get("rules", ()) if r["severity"] != "ok"]
+        calm = [r for r in report.get("rules", ()) if r["severity"] == "ok"]
+        lines.append(
+            f"  alerts: {len(firing)} firing, {len(calm)} ok"
+            + (
+                "  [incident open]"
+                if report.get("incident_open")
+                else ""
+            )
+        )
+        for rule in firing + calm:
+            tag = _severity_tag(rule["severity"], color)
+            pad = 8 + (len(tag) - len(rule["severity"].upper()))
+            lines.append(
+                f"    {tag:<{pad}} {rule['name']:<20} "
+                f"{_fmt(rule.get('value')):>10}  {rule.get('reason', '')}"
+            )
+    if timeline:
+        lines.append("")
+        lines.append("  timeline (newest last):")
+        for entry in timeline:
+            lines.append(_timeline_line(entry, color))
+    return "\n".join(line.rstrip() for line in lines) + "\n"

@@ -1,10 +1,11 @@
 """Docstring coverage of the public analyzer API surfaces.
 
 Every symbol exported via ``__all__`` of the covered packages
-(``repro.core``, ``repro.shard``, ``repro.telemetry``, ``repro.tracing``) — and every
-public method and property those classes expose — must carry a
-non-empty docstring.  This keeps ``help(repro.core.X)`` useful and
-stops new public surface from landing undocumented.
+(``repro.core``, ``repro.shard``, ``repro.telemetry``, ``repro.tracing``,
+``repro.health``) — and every public method and property those classes
+expose — must carry a non-empty docstring.  This keeps
+``help(repro.core.X)`` useful and stops new public surface from landing
+undocumented.
 """
 
 import inspect
@@ -12,11 +13,12 @@ import inspect
 import pytest
 
 import repro.core
+import repro.health
 import repro.shard
 import repro.telemetry
 import repro.tracing
 
-PACKAGES = [repro.core, repro.shard, repro.telemetry, repro.tracing]
+PACKAGES = [repro.core, repro.health, repro.shard, repro.telemetry, repro.tracing]
 
 
 @pytest.fixture(params=PACKAGES, ids=lambda module: module.__name__)

@@ -1,0 +1,127 @@
+"""Shared builders for the health suite: snapshot wire-form helpers
+and the deterministic synthetic 2x-overload soak series."""
+
+from typing import Dict, List, Sequence, Tuple
+
+Sample = Tuple[Dict[str, str], float]
+
+
+def fam(
+    name: str, samples: Sequence[Sample], kind: str = "counter", help: str = ""
+) -> dict:
+    """One family dict in the registry snapshot wire form."""
+    label_names: List[str] = []
+    for labels, _ in samples:
+        for key in labels:
+            if key not in label_names:
+                label_names.append(key)
+    return {
+        "name": name,
+        "type": kind,
+        "help": help,
+        "label_names": label_names,
+        "samples": [
+            {"labels": dict(labels), "value": float(value)}
+            for labels, value in samples
+        ],
+    }
+
+
+def hfam(
+    name: str,
+    count: float,
+    total: float,
+    buckets: Sequence[Tuple[object, float]],
+    help: str = "",
+) -> dict:
+    """One single-sample histogram family in wire form."""
+    return {
+        "name": name,
+        "type": "histogram",
+        "help": help,
+        "label_names": [],
+        "samples": [
+            {
+                "labels": {},
+                "count": float(count),
+                "sum": float(total),
+                "buckets": [[bound, float(c)] for bound, c in buckets],
+            }
+        ],
+    }
+
+
+#: Watermarks of the synthetic deployment (bytes): shed at 64 KiB,
+#: hard at 512 KiB — the soak benchmark's configuration.
+SHED_WATERMARK = 64 * 1024
+HARD_WATERMARK = 512 * 1024
+
+#: Scrape cadence of the synthetic series (seconds).
+INTERVAL_S = 10.0
+
+
+def overload_snapshot(
+    frames: float,
+    pending: float,
+    sampled_dropped: float,
+    exemplar_dropped: float,
+    stalls: float = 0.0,
+) -> List[dict]:
+    """One synthetic analyzer snapshot during the overload soak."""
+    return [
+        fam(
+            "ingest_watermark_bytes",
+            [({"kind": "shed"}, SHED_WATERMARK), ({"kind": "hard"}, HARD_WATERMARK)],
+            kind="gauge",
+        ),
+        fam("server_pending_bytes", [({}, pending)], kind="gauge"),
+        fam("shard_server_frames", [({}, frames)]),
+        fam(
+            "shed_frames_dropped",
+            [
+                ({"priority": "sampled"}, sampled_dropped),
+                ({"priority": "exemplar"}, exemplar_dropped),
+            ],
+        ),
+        fam("client_credit_stalls", [({"peer": "a:1"}, stalls)]),
+    ]
+
+
+def overload_series() -> List[Tuple[float, List[dict]]]:
+    """The deterministic 2x-overload soak as ``(t, families)`` pairs.
+
+    Four phases at a 10 s cadence:
+
+    * **healthy** (t 0..50): backlog far below the shed watermark, no
+      drops.
+    * **shedding** (t 60..110): backlog parked just above the *shed*
+      watermark, sampled frames dropped at ~3% of offered load — the
+      edge is holding, exemplars intact.  Expected: ``warn`` (backlog +
+      burn rate), never ``critical``.
+    * **saturated** (t 120..170): backlog past the *hard* watermark,
+      exemplar-priority drops begin.  Expected: ``critical``.
+    * **recovered** (t 180..290): backlog drained, drops flat.
+      Expected: back to ``ok`` after the clear hysteresis.
+    """
+    series: List[Tuple[float, List[dict]]] = []
+    frames = 0.0
+    sampled = 0.0
+    exemplar = 0.0
+    for step in range(30):
+        t = step * INTERVAL_S
+        frames += 100.0
+        if t < 60:
+            pending = 1000.0
+        elif t < 120:
+            pending = SHED_WATERMARK + 8192
+            sampled += 3.0
+        elif t < 180:
+            pending = HARD_WATERMARK + 8192
+            sampled += 20.0
+            exemplar += 2.0
+        else:
+            pending = 500.0
+        series.append(
+            (t, overload_snapshot(frames, pending, sampled, exemplar))
+        )
+    return series

@@ -1,0 +1,165 @@
+"""The built-in rule pack against the synthetic 2x-overload soak, and
+the docs/OPERATIONS.md catalog cross-check for every referenced metric."""
+
+import os
+import re
+
+import pytest
+
+from repro.health import CRITICAL, OK, WARN, HealthEngine, builtin_rules
+
+from .conftest import (
+    HARD_WATERMARK,
+    INTERVAL_S,
+    SHED_WATERMARK,
+    fam,
+    overload_series,
+    overload_snapshot,
+)
+
+pytestmark = pytest.mark.health
+
+OPERATIONS_MD = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "docs", "OPERATIONS.md"
+)
+_CATALOG_ROW = re.compile(r"^\| `([a-z][a-z0-9_]*)` \|")
+
+
+def documented_metrics():
+    with open(OPERATIONS_MD, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    catalog = text.split("## 4. Metric catalog", 1)[1].split("## 5.", 1)[0]
+    return {
+        match.group(1)
+        for match in map(_CATALOG_ROW.match, catalog.splitlines())
+        if match
+    }
+
+
+def overload_engine():
+    return HealthEngine(
+        rules=builtin_rules(window_s=3 * INTERVAL_S),
+        raise_after=2,
+        clear_after=2,
+        history_s=600.0,
+    )
+
+
+def severity_of(engine, name):
+    for status in engine.statuses():
+        if status.name == name:
+            return status.severity
+    raise AssertionError(f"no rule {name!r}")
+
+
+class TestOverloadSoakSequence:
+    def test_state_sequence_warn_at_shed_critical_at_hard(self):
+        """The acceptance scenario: the pack must read the 2x-overload
+        soak as ok -> warn (shed watermark) -> critical (hard
+        watermark / exemplar drops) -> ok, with no premature
+        critical."""
+        engine = overload_engine()
+        states = []
+        for t, families in overload_series():
+            engine.evaluate_snapshot(families, now=t)
+            states.append(engine.state)
+        # Phase boundaries (10s cadence, raise_after=2): healthy
+        # through t=50, warn from ~t=70, critical from ~t=130,
+        # recovered by the end.
+        assert states[:6] == [OK] * 6
+        assert WARN in states[6:12]
+        assert CRITICAL not in states[:12]
+        assert CRITICAL in states[12:18]
+        assert states[-1] == OK
+        # Ordering: first warn strictly before first critical.
+        assert states.index(WARN) < states.index(CRITICAL)
+
+    def test_rules_that_fired_and_rules_that_did_not(self):
+        engine = overload_engine()
+        fired = set()
+        for t, families in overload_series():
+            engine.evaluate_snapshot(families, now=t)
+            if t == 110.0:  # end of the shedding phase
+                assert severity_of(engine, "ingest_backlog") == WARN
+                assert severity_of(engine, "shed_burn_rate") == WARN
+                assert severity_of(engine, "exemplar_drops") == OK
+            if t == 170.0:  # end of the saturated phase
+                assert severity_of(engine, "ingest_backlog") == CRITICAL
+                assert severity_of(engine, "exemplar_drops") == CRITICAL
+            for status in engine.statuses():
+                if status.severity != OK:
+                    fired.add(status.name)
+        assert "credit_stall_ratio" not in fired  # stalls stayed flat
+        assert "worker_pool_dead" not in fired
+
+    def test_incident_recorded_with_critical_peak(self):
+        engine = overload_engine()
+        for t, families in overload_series():
+            engine.evaluate_snapshot(families, now=t)
+        incidents = engine.incidents()
+        assert len(incidents) == 1
+        assert incidents[0].peak == CRITICAL
+        assert not incidents[0].open
+
+    def test_worker_death_only_fires_under_traffic(self):
+        rules = [r for r in builtin_rules(window_s=30.0) if r.name == "worker_pool_dead"]
+        engine = HealthEngine(rules=rules, raise_after=1, clear_after=1)
+        dead = fam("shard_workers", [({}, 0)], kind="gauge")
+        quiet = [dead, fam("shard_synopses_dispatched", [({"shard": "0"}, 100)])]
+        engine.evaluate_snapshot(quiet, now=0.0)
+        engine.evaluate_snapshot(quiet, now=10.0)
+        assert engine.state == OK  # pool dead but nothing dispatched
+        busy = [dead, fam("shard_synopses_dispatched", [({"shard": "0"}, 500)])]
+        engine.evaluate_snapshot(busy, now=20.0)
+        assert engine.state == CRITICAL
+
+    def test_bare_collector_snapshot_is_ok(self):
+        """The pack must not fire on a deployment without shedding,
+        shards, or federation — absent series are not alerts."""
+        engine = HealthEngine(rules=builtin_rules(), raise_after=1)
+        engine.evaluate_snapshot([fam("collector_synopses", [({}, 10)])], now=0.0)
+        assert engine.state == OK
+
+    def test_watermark_refs_track_configuration(self):
+        """Halving the hard watermark must move the critical line
+        without touching the rules."""
+        engine = HealthEngine(
+            rules=builtin_rules(window_s=30.0), raise_after=1, clear_after=1
+        )
+        pending = HARD_WATERMARK // 2 + 100
+        snapshot = overload_snapshot(100, pending, 0, 0)
+        engine.evaluate_snapshot(snapshot, now=0.0)
+        assert severity_of(engine, "ingest_backlog") == WARN  # above shed only
+        reconfigured = overload_snapshot(200, pending, 0, 0)
+        for family in reconfigured:
+            if family["name"] == "ingest_watermark_bytes":
+                for sample in family["samples"]:
+                    if sample["labels"]["kind"] == "hard":
+                        sample["value"] = HARD_WATERMARK // 4
+        engine.evaluate_snapshot(reconfigured, now=10.0)
+        assert severity_of(engine, "ingest_backlog") == CRITICAL
+
+
+class TestPackReferencesCatalog:
+    def test_every_rule_metric_is_documented(self):
+        """Every metric a built-in rule reads must be in the §4 catalog
+        — a rule watching an undocumented (or renamed) series is dead
+        weight."""
+        documented = documented_metrics()
+        for rule in builtin_rules():
+            for name in rule.metric_names():
+                assert name in documented, (
+                    f"rule {rule.name!r} references {name!r}, which is not "
+                    f"in the docs/OPERATIONS.md §4 catalog"
+                )
+
+    def test_rule_names_unique_and_summaries_present(self):
+        rules = builtin_rules()
+        names = [rule.name for rule in rules]
+        assert len(set(names)) == len(names)
+        assert all(rule.summary for rule in rules)
+
+    def test_shed_watermark_constants_match_soak_benchmark(self):
+        # The synthetic series mirrors benchmarks/test_soak_overload.py.
+        assert SHED_WATERMARK == 64 * 1024
+        assert HARD_WATERMARK == 512 * 1024

@@ -1,0 +1,214 @@
+"""HealthEngine semantics: hysteresis, transitions, incidents, the
+anomaly-correlated timeline, and the JSON report."""
+
+import pytest
+
+from repro.health import CRITICAL, OK, WARN, HealthEngine, ThresholdRule
+from repro.telemetry import MetricsRegistry
+
+from .conftest import fam
+
+pytestmark = pytest.mark.health
+
+
+def gauge_rule(warn=10, critical=100):
+    return ThresholdRule(
+        "backlog", "delivery backlog", "g", mode="gauge", warn=warn, critical=critical
+    )
+
+
+def snap(value):
+    return [fam("g", [({}, value)], kind="gauge")]
+
+
+class _Event:
+    """Duck-typed AnomalyEvent stand-in."""
+
+    def __init__(self, at, kind="flow", stage=7, exemplars=2):
+        self.kind = kind
+        self.host_id = 1
+        self.stage_id = stage
+        self.window_start = at - 5.0
+        self.window_end = at
+        self.outliers = 4
+        self.n = 10
+        self.exemplars = tuple(range(exemplars))
+
+
+class TestHysteresis:
+    def test_single_breach_does_not_raise(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        engine.evaluate_snapshot(snap(50), now=0.0)
+        assert engine.state == OK
+
+    def test_consecutive_breaches_raise_then_clear(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        assert engine.evaluate_snapshot(snap(50), now=0.0) == []
+        transitions = engine.evaluate_snapshot(snap(50), now=10.0)
+        assert [t.to for t in transitions] == [WARN]
+        assert engine.state == WARN
+        # One clean read is not enough to clear...
+        engine.evaluate_snapshot(snap(1), now=20.0)
+        assert engine.state == WARN
+        # ...two are.
+        transitions = engine.evaluate_snapshot(snap(1), now=30.0)
+        assert [t.to for t in transitions] == [OK]
+        assert engine.state == OK
+
+    def test_interrupted_streak_resets_pending(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        engine.evaluate_snapshot(snap(50), now=0.0)
+        engine.evaluate_snapshot(snap(1), now=10.0)  # streak broken
+        engine.evaluate_snapshot(snap(50), now=20.0)
+        assert engine.state == OK  # needs two in a row again
+
+    def test_escalation_warn_to_critical(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        for t in (0.0, 10.0):
+            engine.evaluate_snapshot(snap(50), now=t)
+        assert engine.state == WARN
+        engine.evaluate_snapshot(snap(500), now=20.0)
+        assert engine.state == WARN  # one critical read is pending
+        engine.evaluate_snapshot(snap(500), now=30.0)
+        assert engine.state == CRITICAL
+
+    def test_raise_after_one_is_immediate(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=1, clear_after=1)
+        transitions = engine.evaluate_snapshot(snap(500), now=0.0)
+        assert [t.to for t in transitions] == [CRITICAL]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthEngine(rules=[gauge_rule()], raise_after=0)
+        with pytest.raises(ValueError):
+            HealthEngine(rules=[gauge_rule(), gauge_rule()])  # duplicate names
+
+    def test_time_must_not_regress(self):
+        engine = HealthEngine(rules=[gauge_rule()])
+        engine.evaluate_snapshot(snap(1), now=10.0)
+        with pytest.raises(ValueError):
+            engine.evaluate_snapshot(snap(1), now=5.0)
+
+
+class TestIncidents:
+    def _run_incident(self, engine):
+        for t in (0.0, 10.0):
+            engine.evaluate_snapshot(snap(1), now=t)
+        for t in (20.0, 30.0):
+            engine.evaluate_snapshot(snap(50), now=t)  # warn at 30
+        engine.note_anomaly(_Event(35.0))
+        for t in (40.0, 50.0):
+            engine.evaluate_snapshot(snap(500), now=t)  # critical at 50
+        for t in (60.0, 70.0):
+            engine.evaluate_snapshot(snap(1), now=t)  # ok at 70
+
+    def test_incident_spans_warn_to_recovery(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        self._run_incident(engine)
+        incidents = engine.incidents()
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert not incident.open
+        assert incident.opened_at == 30.0
+        assert incident.closed_at == 70.0
+        assert incident.peak == CRITICAL
+        assert [t.to for t in incident.transitions] == [WARN, CRITICAL, OK]
+
+    def test_anomalies_attach_to_open_incident(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        for t in (0.0, 10.0):
+            engine.evaluate_snapshot(snap(50), now=t)
+        engine.note_anomaly(_Event(15.0, stage=11, exemplars=3))
+        incident = engine.incidents()[0]
+        assert incident.anomalies[0]["stage_id"] == 11
+        assert incident.anomalies[0]["exemplars"] == 3
+
+    def test_anomaly_outside_incident_only_in_global_log(self):
+        engine = HealthEngine(rules=[gauge_rule()])
+        engine.evaluate_snapshot(snap(1), now=0.0)
+        engine.note_anomaly(_Event(5.0))
+        assert engine.incidents() == []
+        assert any(e["type"] == "anomaly" for e in engine.timeline())
+
+    def test_timeline_merges_and_orders(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=2, clear_after=2)
+        self._run_incident(engine)
+        timeline = engine.timeline()
+        ats = [entry["at"] for entry in timeline]
+        assert ats == sorted(ats)
+        kinds = [entry["type"] for entry in timeline]
+        assert "alert" in kinds and "anomaly" in kinds
+
+
+class TestReport:
+    def test_report_shape_and_alerts(self):
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=1, clear_after=1)
+        engine.evaluate_snapshot(snap(50), now=0.0)
+        report = engine.report_dict()
+        assert report["state"] == WARN
+        assert report["at"] == 0.0
+        assert report["alerts"][0]["name"] == "backlog"
+        assert report["alerts"][0]["severity"] == WARN
+        assert len(report["rules"]) == 1
+        assert report["incident_open"] is True
+
+    def test_report_is_json_able(self):
+        import json
+
+        engine = HealthEngine(rules=[gauge_rule()], raise_after=1)
+        engine.evaluate_snapshot(snap(500), now=0.0)
+        engine.note_anomaly(_Event(1.0))
+        json.dumps(engine.report_dict())
+        json.dumps([i.as_dict() for i in engine.incidents()])
+        json.dumps(engine.timeline())
+
+    def test_observe_reads_live_registry(self):
+        registry = MetricsRegistry()
+        backlog = registry.gauge("g", "backlog")
+        engine = HealthEngine(
+            registry, rules=[gauge_rule()], raise_after=1, clear_after=1
+        )
+        backlog.set(500)
+        engine.observe(now=0.0)
+        assert engine.state == CRITICAL
+        backlog.set(1)
+        engine.observe(now=10.0)
+        assert engine.state == OK
+
+    def test_report_includes_federated_nodes(self):
+        registry = MetricsRegistry()
+        registry.federation().absorb(
+            "edge-1",
+            [fam("tracker_tasks_started", [({}, 4)])],
+        )
+        engine = HealthEngine(registry, rules=[gauge_rule()])
+        report = engine.report_dict()
+        assert "edge-1" in report["nodes"]
+
+    def test_engine_accounting_metrics(self):
+        registry = MetricsRegistry()
+        engine = HealthEngine(
+            registry, rules=[gauge_rule()], raise_after=1, clear_after=1
+        )
+        registry.gauge("g", "backlog").set(50)
+        engine.observe(now=0.0)
+        assert registry.get("health_evaluations").value == 1
+        assert registry.get("health_alerts_active").value == 1
+        assert registry.get("health_transitions").labels(to=WARN).value == 1
+
+    def test_broken_rule_reports_ok_not_crash(self):
+        class Broken(ThresholdRule):
+            def measure(self, view):
+                raise RuntimeError("boom")
+
+        engine = HealthEngine(
+            rules=[Broken("broken", "s", "g", warn=1)], raise_after=1
+        )
+        engine.evaluate_snapshot(snap(50), now=0.0)
+        assert engine.state == OK
+        assert "rule error" in engine.statuses()[0].reason
+
+    def test_report_without_registry_needs_snapshot_feed(self):
+        engine = HealthEngine(rules=[gauge_rule()])
+        with pytest.raises(RuntimeError):
+            engine.observe()

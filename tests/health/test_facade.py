@@ -1,0 +1,180 @@
+"""Facade health surface: ``saad.health()``, anomaly correlation from
+the detector hook, and the wire probe / federation through
+``NodeRuntime.connect``."""
+
+import random
+import time
+
+import pytest
+
+from repro.core import SAAD, SAADConfig, TaskSynopsis
+from repro.health import OK
+
+pytestmark = pytest.mark.health
+
+STAGES = (1, 2, 3, 7, 11, 42)
+
+
+def make_trace(tasks, *, seed=7, faults=False, uid_base=0):
+    """Deterministic multi-stage trace; ``faults`` plants anomalies."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(tasks):
+        stage = STAGES[i % len(STAGES)]
+        lps = (stage, stage + 1, stage + 3)
+        duration = 0.01 * rng.lognormvariate(0, 0.3)
+        if faults and i > tasks // 2:
+            if stage == 7 and i % 2:  # novel signature burst
+                lps = (stage, stage + 1, stage + 2, stage + 3)
+            elif stage == 11:  # sustained slowdown
+                duration *= 5
+        out.append(
+            TaskSynopsis(
+                host_id=i % 2,
+                stage_id=stage,
+                uid=uid_base + i,
+                start_time=i * 0.05,
+                duration=duration,
+                log_points={lp: 1 for lp in lps},
+            )
+        )
+    return out
+
+
+def config():
+    return SAADConfig(window_s=60.0, min_window_tasks=8)
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached before timeout")
+
+
+def _node_samples(families, node):
+    """All (family name, sample) pairs carrying ``node=<node>``."""
+    out = []
+    for family in families:
+        for sample in family["samples"]:
+            if sample["labels"].get("node") == node:
+                out.append((family["name"], sample))
+    return out
+
+
+class TestHealthFacade:
+    def test_report_shape_and_engine_caching(self):
+        saad = SAAD(config())
+        report = saad.health()
+        assert report["state"] == OK
+        assert {r["name"] for r in report["rules"]} >= {
+            "ingest_backlog",
+            "exemplar_drops",
+            "detector_close_lag",
+        }
+        assert saad.health_engine() is saad.health_engine()
+        # The engine's accounting lands in the deployment registry.
+        assert saad.registry.get("health_evaluations").value >= 1
+
+    def test_engine_rejects_late_reconfiguration(self):
+        saad = SAAD(config())
+        saad.health_engine()
+        with pytest.raises(RuntimeError, match="already created"):
+            saad.health_engine(raise_after=5)
+
+    def test_detector_anomalies_land_on_timeline(self):
+        saad = SAAD(config())
+        saad.train(make_trace(4000))
+        engine = saad.health_engine()
+        events = saad.detect(make_trace(3000, seed=13, faults=True, uid_base=10_000))
+        assert events
+        timeline = engine.timeline(limit=10_000)
+        anomalies = [e for e in timeline if e["type"] == "anomaly"]
+        assert len(anomalies) == len(events)
+        assert {e["stage_id"] for e in anomalies} <= set(STAGES)
+
+    def test_detect_without_engine_notes_nothing(self):
+        saad = SAAD(config())
+        saad.train(make_trace(4000))
+        assert saad.detect(
+            make_trace(3000, seed=13, faults=True, uid_base=10_000)
+        )
+        assert saad._health_engine is None  # hook stayed inert
+
+    def test_sharded_detect_notes_anomalies(self):
+        saad = SAAD(config(), shards=2)
+        saad.train(make_trace(4000))
+        engine = saad.health_engine()
+        events = saad.detect(make_trace(3000, seed=13, faults=True, uid_base=10_000))
+        assert events
+        assert engine.report_dict()["anomalies_noted"] == len(events)
+
+
+class TestWireHealthAndFederation:
+    def test_probe_health_round_trip(self):
+        analyzer = SAAD(config(), listen=("127.0.0.1", 0))
+        producer = SAAD(config())
+        node = producer.add_node("edge", wire_format=True)
+        try:
+            node.connect(analyzer.address)
+            report = node.probe_health(timeout=5.0)
+            assert report["state"] == OK
+            assert any(r["name"] == "ingest_backlog" for r in report["rules"])
+            # The probe lazily created the analyzer-side engine.
+            assert analyzer._health_engine is not None
+        finally:
+            producer.close()
+            analyzer.close()
+
+    def test_probe_health_requires_connect(self):
+        producer = SAAD(config())
+        node = producer.add_node("edge", wire_format=True)
+        with pytest.raises(RuntimeError, match="connect"):
+            node.probe_health()
+
+    def test_connect_federates_edge_registry_under_node_label(self):
+        analyzer = SAAD(config(), listen=("127.0.0.1", 0))
+        edge = SAAD(config())  # its own registry: the remote deployment
+        node = edge.add_node("edge-7", wire_format=True)
+        try:
+            node.connect(
+                analyzer.address,
+                telemetry_source=edge.registry,
+                telemetry_interval_s=0.0,
+            )
+            for synopsis in make_trace(50):
+                node.stream.sink(synopsis)
+            node.stream.flush_wire()
+            _wait_for(
+                lambda: _node_samples(analyzer.registry.collect(), "edge-7")
+            )
+            samples = _node_samples(analyzer.registry.collect(), "edge-7")
+            names = {name for name, _ in samples}
+            assert "stream_synopses" in names
+            # The analyzer's own series stay unlabelled.
+            for family in analyzer.registry.collect():
+                if family["name"] == "shard_server_frames":
+                    assert all(
+                        "node" not in s["labels"] or s["labels"]["node"] == "edge-7"
+                        for s in family["samples"]
+                    )
+        finally:
+            edge.close()
+            analyzer.close()
+
+    def test_connect_default_ships_no_telemetry(self):
+        analyzer = SAAD(config(), listen=("127.0.0.1", 0))
+        producer = SAAD(config())
+        node = producer.add_node("edge", wire_format=True)
+        try:
+            node.connect(analyzer.address)
+            for synopsis in make_trace(30):
+                node.stream.sink(synopsis)
+            node.stream.flush_wire()
+            _wait_for(lambda: analyzer.collector.count >= 30)
+            assert analyzer.registry.get("server_telemetry_snapshots").value == 0
+        finally:
+            producer.close()
+            analyzer.close()

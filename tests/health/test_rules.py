@@ -1,0 +1,286 @@
+"""Rule-type semantics: series views, thresholds, ratios, burn rates,
+quantiles, and metric-sourced thresholds."""
+
+import math
+
+import pytest
+
+from repro.health import (
+    CRITICAL,
+    OK,
+    WARN,
+    BurnRateRule,
+    MetricRef,
+    QuantileRule,
+    RatioRule,
+    SeriesView,
+    ThresholdRule,
+)
+from repro.health.rules import worst_severity
+
+from .conftest import fam, hfam
+
+pytestmark = pytest.mark.health
+
+
+def view_of(*timed):
+    return SeriesView(list(timed))
+
+
+class TestSeriesView:
+    def test_latest_sums_matching_labels(self):
+        snap = [fam("c", [({"peer": "a"}, 2.0), ({"peer": "b"}, 3.0)])]
+        view = view_of((0.0, snap))
+        assert view.latest("c") == 5.0
+        assert view.latest("c", {"peer": "a"}) == 2.0
+        assert view.latest("missing") is None
+        assert view.latest("c", {"peer": "zz"}) is None
+
+    def test_delta_and_rate_over_window(self):
+        view = view_of(
+            (0.0, [fam("c", [({}, 10.0)])]),
+            (10.0, [fam("c", [({}, 40.0)])]),
+        )
+        assert view.delta("c", 10.0) == 30.0
+        assert view.rate("c", 10.0) == pytest.approx(3.0)
+
+    def test_delta_needs_two_snapshots(self):
+        view = view_of((0.0, [fam("c", [({}, 10.0)])]))
+        assert view.delta("c", 10.0) is None
+        assert view.rate("c", 10.0) is None
+
+    def test_counter_reset_counts_from_zero(self):
+        view = view_of(
+            (0.0, [fam("c", [({}, 100.0)])]),
+            (10.0, [fam("c", [({}, 4.0)])]),
+        )
+        assert view.delta("c", 10.0) == 4.0
+
+    def test_series_appearing_midwindow_counts_from_zero(self):
+        view = view_of((0.0, []), (10.0, [fam("c", [({}, 7.0)])]))
+        assert view.delta("c", 10.0) == 7.0
+
+    def test_baseline_picks_newest_entry_older_than_window(self):
+        view = view_of(
+            (0.0, [fam("c", [({}, 1.0)])]),
+            (10.0, [fam("c", [({}, 5.0)])]),
+            (20.0, [fam("c", [({}, 9.0)])]),
+        )
+        # 10s window at t=20 -> baseline is t=10, not t=0.
+        assert view.delta("c", 10.0) == 4.0
+        assert view.delta("c", 100.0) == 8.0
+
+    def test_quantile_from_bucket_deltas(self):
+        view = view_of(
+            (0.0, [hfam("h", 100, 10.0, [(0.1, 100), (1.0, 100), ("+Inf", 100)])]),
+            (
+                10.0,
+                [hfam("h", 200, 30.0, [(0.1, 110), (1.0, 190), ("+Inf", 200)])],
+            ),
+        )
+        # Window deltas: 10 obs <=0.1, 80 more <=1.0, 10 in overflow.
+        assert view.quantile("h", 0.5, 10.0) == 1.0
+        assert view.quantile("h", 0.05, 10.0) == pytest.approx(0.1)
+        assert view.quantile("h", 0.99, 10.0) == math.inf
+
+    def test_quantile_none_without_observations(self):
+        snap = [hfam("h", 50, 5.0, [(1.0, 50), ("+Inf", 50)])]
+        view = view_of((0.0, snap), (10.0, snap))
+        assert view.quantile("h", 0.99, 10.0) is None
+
+    def test_quantile_first_snapshot_uses_absolute_counts(self):
+        view = view_of((0.0, [hfam("h", 10, 1.0, [(1.0, 10), ("+Inf", 10)])]))
+        assert view.quantile("h", 0.99, 10.0) == 1.0
+
+    def test_resolve_metric_ref_and_literals(self):
+        view = view_of((0.0, [fam("w", [({"kind": "shed"}, 64.0)], kind="gauge")]))
+        assert view.resolve(5) == 5.0
+        assert view.resolve(None) is None
+        assert view.resolve(MetricRef("w", kind="shed")) == 64.0
+        assert view.resolve(MetricRef("w", kind="hard")) is None
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesView([])
+
+
+class TestThresholdRule:
+    def test_gauge_mode_warn_and_critical(self):
+        rule = ThresholdRule("r", "s", "g", mode="gauge", warn=10, critical=100)
+        assert rule.evaluate(view_of((0.0, [fam("g", [({}, 5)], kind="gauge")]))).severity == OK
+        assert rule.evaluate(view_of((0.0, [fam("g", [({}, 10)], kind="gauge")]))).severity == WARN
+        assert rule.evaluate(view_of((0.0, [fam("g", [({}, 250)], kind="gauge")]))).severity == CRITICAL
+
+    def test_missing_metric_is_ok_no_data(self):
+        rule = ThresholdRule("r", "s", "g", mode="gauge", warn=10)
+        verdict = rule.evaluate(view_of((0.0, [])))
+        assert verdict.severity == OK
+        assert verdict.value is None
+
+    def test_delta_mode(self):
+        rule = ThresholdRule(
+            "r", "s", "c", mode="delta", warn=5, window_s=30.0
+        )
+        view = view_of((0.0, [fam("c", [({}, 0)])]), (10.0, [fam("c", [({}, 6)])]))
+        assert rule.evaluate(view).severity == WARN
+
+    def test_metric_ref_thresholds(self):
+        rule = ThresholdRule(
+            "backlog",
+            "s",
+            "pending",
+            mode="gauge",
+            warn=MetricRef("marks", kind="shed"),
+            critical=MetricRef("marks", kind="hard"),
+        )
+        marks = fam("marks", [({"kind": "shed"}, 100), ({"kind": "hard"}, 1000)], kind="gauge")
+        ok = view_of((0.0, [marks, fam("pending", [({}, 50)], kind="gauge")]))
+        warn = view_of((0.0, [marks, fam("pending", [({}, 500)], kind="gauge")]))
+        crit = view_of((0.0, [marks, fam("pending", [({}, 5000)], kind="gauge")]))
+        assert rule.evaluate(ok).severity == OK
+        assert rule.evaluate(warn).severity == WARN
+        assert rule.evaluate(crit).severity == CRITICAL
+
+    def test_unresolvable_ref_disables_that_threshold(self):
+        rule = ThresholdRule(
+            "r", "s", "pending", mode="gauge", warn=MetricRef("marks", kind="shed")
+        )
+        view = view_of((0.0, [fam("pending", [({}, 10**9)], kind="gauge")]))
+        assert rule.evaluate(view).severity == OK
+
+    def test_direction_below(self):
+        rule = ThresholdRule(
+            "r", "s", "workers", mode="gauge", direction="<", critical=0
+        )
+        assert rule.evaluate(view_of((0.0, [fam("workers", [({}, 0)], kind="gauge")]))).severity == CRITICAL
+        assert rule.evaluate(view_of((0.0, [fam("workers", [({}, 3)], kind="gauge")]))).severity == OK
+
+    def test_only_if_active_gate(self):
+        rule = ThresholdRule(
+            "r",
+            "s",
+            "workers",
+            mode="gauge",
+            direction="<",
+            critical=0,
+            window_s=10.0,
+            only_if_active=("traffic", None, 1.0),
+        )
+        dead = fam("workers", [({}, 0)], kind="gauge")
+        quiet = view_of((0.0, [dead, fam("traffic", [({}, 5)])]),
+                        (10.0, [dead, fam("traffic", [({}, 5)])]))
+        busy = view_of((0.0, [dead, fam("traffic", [({}, 5)])]),
+                       (10.0, [dead, fam("traffic", [({}, 50)])]))
+        assert rule.evaluate(quiet).severity == OK
+        assert rule.evaluate(busy).severity == CRITICAL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "s", "m", mode="nope", warn=1)
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "s", "m")  # no thresholds
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "s", "m", warn=1, direction="!")
+
+    def test_metric_names_include_refs_and_gate(self):
+        rule = ThresholdRule(
+            "r",
+            "s",
+            "pending",
+            warn=MetricRef("marks", kind="shed"),
+            only_if_active=("traffic", None, 1.0),
+        )
+        assert set(rule.metric_names()) == {"pending", "marks", "traffic"}
+
+
+class TestRatioRule:
+    def test_ratio_of_deltas(self):
+        rule = RatioRule("r", "s", "bad", "all", warn=0.05, window_s=30.0)
+        view = view_of(
+            (0.0, [fam("bad", [({}, 0)]), fam("all", [({}, 0)])]),
+            (10.0, [fam("bad", [({}, 6)]), fam("all", [({}, 100)])]),
+        )
+        verdict = rule.evaluate(view)
+        assert verdict.severity == WARN
+        assert verdict.value == pytest.approx(0.06)
+
+    def test_quiet_denominator_is_ok(self):
+        rule = RatioRule(
+            "r", "s", "bad", "all", warn=0.05, min_denominator=50, window_s=30.0
+        )
+        view = view_of(
+            (0.0, [fam("bad", [({}, 0)]), fam("all", [({}, 0)])]),
+            (10.0, [fam("bad", [({}, 6)]), fam("all", [({}, 10)])]),
+        )
+        assert rule.evaluate(view).severity == OK
+
+
+class TestBurnRateRule:
+    def _series(self, drops_per_step):
+        """300s of traffic at 100 frames/10s with the given drop deltas."""
+        series = []
+        drops, frames = 0.0, 0.0
+        for step, drop in enumerate(drops_per_step):
+            drops += drop
+            frames += 100.0
+            series.append(
+                (step * 10.0, [fam("drops", [({}, drops)]), fam("all", [({}, frames)])])
+            )
+        return series
+
+    def test_sustained_burn_fires(self):
+        rule = BurnRateRule(
+            "r", "s", "drops", "all", warn=0.02, window_s=60.0, short_window_s=10.0
+        )
+        view = SeriesView(self._series([0, 5, 5, 5, 5, 5, 5]))
+        verdict = rule.evaluate(view)
+        assert verdict.severity == WARN
+        assert verdict.value == pytest.approx(0.05)
+
+    def test_old_burst_alone_does_not_fire(self):
+        # Heavy drops early, clean short window: long ratio burns but
+        # the short window proves the bleeding stopped.
+        rule = BurnRateRule(
+            "r", "s", "drops", "all", warn=0.02, window_s=60.0, short_window_s=10.0
+        )
+        view = SeriesView(self._series([0, 30, 30, 0, 0, 0, 0]))
+        assert rule.evaluate(view).severity == OK
+
+    def test_short_blip_alone_does_not_fire(self):
+        # One bad scrape in an otherwise long clean window.
+        rule = BurnRateRule(
+            "r", "s", "drops", "all", warn=0.5, window_s=60.0, short_window_s=10.0
+        )
+        view = SeriesView(self._series([0, 0, 0, 0, 0, 0, 60]))
+        assert rule.evaluate(view).severity == OK
+
+    def test_short_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule(
+                "r", "s", "a", "b", warn=0.1, window_s=60.0, short_window_s=120.0
+            )
+
+
+class TestQuantileRule:
+    def test_p99_against_thresholds(self):
+        rule = QuantileRule(
+            "r", "s", "lag", q=0.99, warn=5.0, critical=30.0, window_s=30.0
+        )
+        before = hfam("lag", 0, 0.0, [(1.0, 0), (5.0, 0), (60.0, 0), ("+Inf", 0)])
+        slow = hfam("lag", 100, 900.0, [(1.0, 0), (5.0, 2), (60.0, 100), ("+Inf", 100)])
+        view = view_of((0.0, [before]), (10.0, [slow]))
+        verdict = rule.evaluate(view)
+        assert verdict.severity == CRITICAL
+        assert verdict.value == 60.0
+
+    def test_q_validation(self):
+        rule = QuantileRule("r", "s", "lag", q=2.0, warn=1.0)
+        with pytest.raises(ValueError):
+            rule.evaluate(view_of((0.0, [hfam("lag", 1, 1.0, [("+Inf", 1)])])))
+
+
+class TestSeverityHelpers:
+    def test_worst_severity(self):
+        assert worst_severity([]) == OK
+        assert worst_severity([OK, WARN, OK]) == WARN
+        assert worst_severity([WARN, CRITICAL]) == CRITICAL

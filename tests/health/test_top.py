@@ -1,0 +1,170 @@
+"""The ``repro top`` dashboard: sparkline math, series extraction, the
+snapshot-series reader, and the golden render of the committed
+overload history.
+
+Regenerate the golden after an intentional renderer change::
+
+    PYTHONPATH=src python -m repro top --once \
+        --snapshot tests/health/data/top.jsonl --no-color \
+        > tests/health/data/top.golden.txt
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.health.cli import main as top_main
+from repro.telemetry import read_jsonl_series, write_jsonl
+from repro.viz.top import SPARK_LEVELS, render_top, series_points, sparkline
+
+from .conftest import fam
+
+pytestmark = pytest.mark.health
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+SNAPSHOT = os.path.join(DATA, "top.jsonl")
+GOLDEN = os.path.join(DATA, "top.golden.txt")
+
+
+class TestSparkline:
+    def test_ramp_is_monotonic(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == SPARK_LEVELS
+        assert [SPARK_LEVELS.index(c) for c in line] == sorted(
+            SPARK_LEVELS.index(c) for c in line
+        )
+
+    def test_flat_series_renders_low(self):
+        assert sparkline([5, 5, 5]) == SPARK_LEVELS[0] * 3
+
+    def test_none_is_blank(self):
+        assert sparkline([None, 0.0, 10.0]) == " " + SPARK_LEVELS[0] + SPARK_LEVELS[-1]
+
+    def test_all_none_and_empty(self):
+        assert sparkline([None, None]) == "  "
+        assert sparkline([]) == ""
+
+    def test_width_keeps_tail(self):
+        assert sparkline([0, 0, 0, 9], width=2) == SPARK_LEVELS[0] + SPARK_LEVELS[-1]
+
+
+class TestSeriesPoints:
+    def _history(self):
+        return [
+            (0.0, [fam("c", [({}, 10.0)]), fam("g", [({}, 3.0)], kind="gauge")]),
+            (10.0, [fam("c", [({}, 40.0)]), fam("g", [({}, 7.0)], kind="gauge")]),
+        ]
+
+    def test_gauge_rate_delta(self):
+        history = self._history()
+        assert series_points(history, "g", "gauge") == [3.0, 7.0]
+        assert series_points(history, "c", "delta") == [10.0, 30.0]
+        assert series_points(history, "c", "rate") == [None, 3.0]
+
+    def test_missing_family_is_none(self):
+        assert series_points(self._history(), "zz", "rate") == [None, None]
+
+    def test_counter_reset_plots_from_zero(self):
+        history = [
+            (0.0, [fam("c", [({}, 100.0)])]),
+            (10.0, [fam("c", [({}, 5.0)])]),
+        ]
+        assert series_points(history, "c", "delta") == [100.0, 5.0]
+
+
+class TestSnapshotSeriesReader:
+    def test_round_trip_with_timestamps(self, tmp_path):
+        path = str(tmp_path / "series.jsonl")
+        write_jsonl([fam("c", [({}, 1.0)])], path, timestamp=10.0)
+        write_jsonl([fam("c", [({}, 2.0)])], path, timestamp=20.0)
+        series = read_jsonl_series(path)
+        assert [stamp for stamp, _ in series] == [10.0, 20.0]
+        assert series[1][1][0]["samples"][0]["value"] == 2.0
+
+    def test_unstamped_headers_read_none(self):
+        handle = io.StringIO()
+        write_jsonl([fam("c", [({}, 1.0)])], handle)
+        handle.seek(0)
+        assert read_jsonl_series(handle)[0][0] is None
+
+
+class TestRenderTop:
+    def test_empty_history(self):
+        assert render_top([]) == "(no snapshots)\n"
+
+    def test_report_and_timeline_panels(self):
+        history = [(0.0, [fam("shard_server_frames", [({}, 5.0)])])]
+        report = {
+            "state": "warn",
+            "rules": [
+                {
+                    "name": "ingest_backlog",
+                    "severity": "warn",
+                    "value": 9.0,
+                    "reason": "over the line",
+                }
+            ],
+            "incident_open": True,
+        }
+        timeline = [
+            {"type": "alert", "name": "ingest_backlog", "from": "ok",
+             "to": "warn", "at": 1.0, "reason": "r"},
+            {"type": "anomaly", "at": 2.0, "kind": "flow", "host_id": 1,
+             "stage_id": 7, "outliers": 3, "n": 9, "exemplars": 2},
+        ]
+        out = render_top(history, report, timeline=timeline)
+        assert "fleet: WARN" in out
+        assert "[incident open]" in out
+        assert "stage=7" in out
+        assert "\x1b[" not in out  # no ANSI without color=True
+
+    def test_color_tags_severities(self):
+        out = render_top(
+            [(0.0, [])],
+            {"state": "critical", "rules": [], "incident_open": False},
+            color=True,
+        )
+        assert "\x1b[31mCRITICAL\x1b[0m" in out
+
+
+class TestTopCli:
+    def test_golden_render_of_committed_snapshot(self, capsys):
+        assert top_main(["--once", "--snapshot", SNAPSHOT, "--no-color"]) == 0
+        out = capsys.readouterr().out
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert out == handle.read()
+
+    def test_golden_tells_the_overload_story(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert "fleet: OK" in golden  # recovered by the end
+        assert "ok -> WARN" in golden
+        assert "warn -> CRITICAL" in golden
+        assert "critical -> OK" in golden
+
+    def test_unreadable_snapshot_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        assert top_main([path]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_bad_usage(self, capsys):
+        assert top_main(["--bogus"]) == 2
+        assert top_main(["a.jsonl", "b.jsonl"]) == 2
+        assert top_main(["--snapshot"]) == 2
+        assert top_main(["--width", "nope"]) == 2
+        assert top_main(["--interval", "-1"]) == 2
+        capsys.readouterr()
+
+    def test_help(self, capsys):
+        assert top_main(["--help"]) == 0
+        assert "python -m repro top" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_live_demo_once(self, capsys):
+        assert top_main(["--once", "--no-color"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — 1 snapshot" in out
+        assert "alerts:" in out

@@ -19,6 +19,9 @@ from repro.telemetry import (
 pytestmark = pytest.mark.telemetry
 
 GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "prometheus.txt")
+EDGE_GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "prometheus_edge.txt"
+)
 
 #: One Prometheus text-format sample line: name{labels} value.
 _SAMPLE_LINE = re.compile(
@@ -75,6 +78,81 @@ class TestPrometheus:
 
     def test_empty_snapshot_renders_empty(self):
         assert render_prometheus([]) == ""
+
+
+def build_edge_registry() -> MetricsRegistry:
+    """A registry of exposition-format edge cases (see ``EDGE_GOLDEN``)."""
+    registry = MetricsRegistry()
+    paths = registry.counter(
+        "edge_requests",
+        'Per-path hits; values contain "quotes", \\ and\nnewlines.',
+        labels=("path",),
+    )
+    paths.labels(path='/a"b').inc()
+    paths.labels(path="C:\\temp").inc(2)
+    paths.labels(path="line1\nline2").inc(3)
+    registry.counter(
+        "edge_idle", "Labeled family with no observed children.", labels=("host",)
+    )
+    registry.gauge("edge_depth", "Queue depth right now.").set(4)
+    registry.counter("edge_helpless")
+    return registry
+
+
+class TestPrometheusEdgeCases:
+    """Escaping, empty families, and TYPE lines — locked by a golden file."""
+
+    def test_matches_golden_file(self):
+        with open(EDGE_GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert render_prometheus(build_edge_registry()) == expected
+
+    def test_quote_backslash_newline_escaped_in_label_values(self):
+        text = render_prometheus(build_edge_registry())
+        assert 'edge_requests{path="/a\\"b"} 1' in text
+        assert 'edge_requests{path="C:\\\\temp"} 2' in text
+        assert 'edge_requests{path="line1\\nline2"} 3' in text
+
+    def test_escaping_keeps_one_line_per_sample(self):
+        # A raw newline in a label value or help string would split its
+        # line and corrupt the exposition; everything must stay escaped.
+        lines = render_prometheus(build_edge_registry()).splitlines()
+        assert len(lines) == 12
+        for line in lines:
+            assert line.startswith(("#", "edge_"))
+
+    def test_help_escapes_backslash_and_newline_but_not_quotes(self):
+        # Prometheus HELP text escapes \ and newline only; quotes pass
+        # through verbatim (unlike label values).
+        text = render_prometheus(build_edge_registry())
+        assert (
+            '# HELP edge_requests Per-path hits; values contain '
+            '"quotes", \\\\ and\\nnewlines.' in text
+        )
+
+    def test_one_type_line_per_family_with_correct_kind(self):
+        text = render_prometheus(build_edge_registry())
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE ")
+        ]
+        assert type_lines == [
+            "# TYPE edge_depth gauge",
+            "# TYPE edge_helpless counter",
+            "# TYPE edge_idle counter",
+            "# TYPE edge_requests counter",
+        ]
+
+    def test_family_without_samples_renders_metadata_only(self):
+        # A labeled family with no observed children still advertises
+        # its HELP/TYPE metadata but emits no sample lines.
+        text = render_prometheus(build_edge_registry())
+        assert "# TYPE edge_idle counter" in text
+        assert "\nedge_idle" not in text.replace("# TYPE edge_idle", "")
+
+    def test_family_without_help_omits_help_line(self):
+        text = render_prometheus(build_edge_registry())
+        assert "# HELP edge_helpless" not in text
+        assert "# TYPE edge_helpless counter" in text
 
 
 class TestJsonLines:

@@ -1,0 +1,195 @@
+"""Telemetry federation: snapshot merging and the per-node store."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    TelemetryFederation,
+    label_samples,
+    merge_snapshots,
+    render_prometheus,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def counter_snapshot(name, value, help="", **labels):
+    return [
+        {
+            "name": name,
+            "type": "counter",
+            "help": help,
+            "label_names": sorted(labels),
+            "samples": [{"labels": dict(labels), "value": value}],
+        }
+    ]
+
+
+def histogram_snapshot(name, count, total, buckets, **labels):
+    return [
+        {
+            "name": name,
+            "type": "histogram",
+            "help": "",
+            "label_names": sorted(labels),
+            "samples": [
+                {
+                    "labels": dict(labels),
+                    "count": count,
+                    "sum": total,
+                    "buckets": [list(pair) for pair in buckets],
+                }
+            ],
+        }
+    ]
+
+
+class TestMergeSnapshots:
+    def test_same_labels_sum(self):
+        merged = merge_snapshots(
+            [counter_snapshot("c", 2.0, stage="1"), counter_snapshot("c", 3.0, stage="1")]
+        )
+        assert merged[0]["samples"] == [{"labels": {"stage": "1"}, "value": 5.0}]
+
+    def test_disjoint_labels_union(self):
+        merged = merge_snapshots(
+            [counter_snapshot("c", 2.0, stage="1"), counter_snapshot("c", 3.0, stage="2")]
+        )
+        values = {s["labels"]["stage"]: s["value"] for s in merged[0]["samples"]}
+        assert values == {"1": 2.0, "2": 3.0}
+
+    def test_histograms_merge_per_bucket(self):
+        a = histogram_snapshot("h", 3, 1.5, [[0.1, 1], [1.0, 3], ["+Inf", 3]])
+        b = histogram_snapshot("h", 2, 4.0, [[0.1, 0], [1.0, 1], ["+Inf", 2]])
+        merged = merge_snapshots([a, b])[0]["samples"][0]
+        assert merged["count"] == 5
+        assert merged["sum"] == 5.5
+        assert merged["buckets"] == [[0.1, 1], [1.0, 4], ["+Inf", 5]]
+
+    def test_label_names_union_in_first_seen_order(self):
+        local = counter_snapshot("c", 1.0)
+        remote = counter_snapshot("c", 1.0, node="beta")
+        merged = merge_snapshots([local, remote])
+        assert merged[0]["label_names"] == ["node"] or "node" in merged[0]["label_names"]
+
+    def test_families_sorted_and_inputs_untouched(self):
+        a = counter_snapshot("zz", 1.0)
+        b = counter_snapshot("aa", 1.0)
+        merged = merge_snapshots([a, b])
+        assert [f["name"] for f in merged] == ["aa", "zz"]
+        # Merging must never mutate the input snapshots.
+        merge_snapshots([a, a])
+        assert a[0]["samples"][0]["value"] == 1.0
+
+    def test_merge_does_not_alias_input_buckets(self):
+        a = histogram_snapshot("h", 1, 1.0, [[0.1, 1], ["+Inf", 1]])
+        b = histogram_snapshot("h", 1, 1.0, [[0.1, 1], ["+Inf", 1]])
+        merge_snapshots([a, b])
+        assert a[0]["samples"][0]["buckets"] == [[0.1, 1], ["+Inf", 1]]
+
+
+class TestLabelSamples:
+    def test_stamps_every_sample(self):
+        stamped = label_samples(counter_snapshot("c", 1.0, stage="2"), node="n1")
+        assert stamped[0]["samples"][0]["labels"] == {"node": "n1", "stage": "2"}
+        assert "node" in stamped[0]["label_names"]
+
+    def test_existing_label_wins(self):
+        stamped = label_samples(counter_snapshot("c", 1.0, node="original"), node="n1")
+        assert stamped[0]["samples"][0]["labels"]["node"] == "original"
+
+
+class TestTelemetryFederation:
+    def test_absorb_then_collect_labels_by_node(self):
+        federation = TelemetryFederation()
+        federation.absorb("alpha", counter_snapshot("tracker_tasks_started", 7.0))
+        families = federation.collect()
+        assert families[0]["samples"][0]["labels"] == {"node": "alpha"}
+        assert families[0]["samples"][0]["value"] == 7.0
+
+    def test_last_writer_wins_per_node(self):
+        federation = TelemetryFederation()
+        federation.absorb("alpha", counter_snapshot("c", 1.0))
+        federation.absorb("alpha", counter_snapshot("c", 9.0))
+        assert federation.collect()[0]["samples"][0]["value"] == 9.0
+
+    def test_nodes_and_forget(self):
+        federation = TelemetryFederation()
+        federation.absorb("b", counter_snapshot("c", 1.0))
+        federation.absorb("a", counter_snapshot("c", 1.0))
+        assert federation.nodes() == ("a", "b")
+        assert federation.forget("a")
+        assert not federation.forget("a")
+        assert federation.nodes() == ("b",)
+
+    def test_staleness_uses_injected_clock(self):
+        now = [100.0]
+        federation = TelemetryFederation(clock=lambda: now[0])
+        federation.absorb("alpha", counter_snapshot("c", 1.0))
+        now[0] = 104.5
+        assert federation.staleness("alpha") == pytest.approx(4.5)
+        assert federation.staleness("ghost") is None
+
+
+class TestRegistryFederation:
+    def test_collect_folds_federated_families_in(self):
+        registry = MetricsRegistry()
+        registry.counter("local_counter", "local").inc(3)
+        registry.federation().absorb(
+            "remote-1", counter_snapshot("client_credit_stalls", 11.0, peer="x:1")
+        )
+        names = {family["name"] for family in registry.collect()}
+        assert "local_counter" in names
+        assert "client_credit_stalls" in names
+        family = next(
+            f for f in registry.collect() if f["name"] == "client_credit_stalls"
+        )
+        assert family["samples"][0]["labels"] == {"node": "remote-1", "peer": "x:1"}
+
+    def test_same_name_local_and_federated_families_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("shard_server_frames", "frames").inc(5)
+        registry.federation().absorb(
+            "n2", counter_snapshot("shard_server_frames", 2.0)
+        )
+        family = next(
+            f for f in registry.collect() if f["name"] == "shard_server_frames"
+        )
+        by_labels = {tuple(sorted(s["labels"].items())): s["value"] for s in family["samples"]}
+        assert by_labels[()] == 5.0
+        assert by_labels[(("node", "n2"),)] == 2.0
+
+    def test_federation_accounting_metrics(self):
+        registry = MetricsRegistry()
+        federation = registry.federation()
+        federation.absorb("alpha", counter_snapshot("c", 1.0))
+        assert registry.get("federation_snapshots").labels(node="alpha").value == 1
+        assert registry.get("federation_nodes").value == 1
+
+    def test_federated_flag(self):
+        registry = MetricsRegistry()
+        assert not registry.federated
+        registry.federation()
+        assert registry.federated
+
+    def test_federation_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.federation() is registry.federation()
+
+    def test_prometheus_renders_federated_series(self):
+        registry = MetricsRegistry()
+        registry.federation().absorb(
+            "alpha", counter_snapshot("tracker_tasks_started", 4.0, help="tasks")
+        )
+        text = render_prometheus(registry)
+        assert 'tracker_tasks_started{node="alpha"} 4' in text
+
+    def test_null_registry_federation_is_inert(self):
+        federation = NULL_REGISTRY.federation()
+        federation.absorb("alpha", counter_snapshot("c", 1.0))
+        assert federation.nodes() == ()
+        assert federation.staleness("alpha") is None
+        assert not federation.forget("alpha")
+        assert NULL_REGISTRY.collect() == []
+        assert not NULL_REGISTRY.federated
