@@ -125,11 +125,13 @@ MIN_COLUMNAR_SPEEDUP = 2.0
 
 
 # -- synthetic workload -------------------------------------------------------
-def _stage_shapes(rng: random.Random) -> Dict[int, List[Tuple[Dict[int, int], float]]]:
+def _stage_shapes(
+    rng: random.Random, stages: int = STAGES
+) -> Dict[int, List[Tuple[Dict[int, int], float]]]:
     """Per stage: (shared log_points dict, cumulative weight) shapes."""
     shapes: Dict[int, List[Tuple[Dict[int, int], float]]] = {}
     weights = [0.70, 0.15, 0.08, 0.04, 0.02, 0.01]
-    for stage in range(STAGES):
+    for stage in range(stages):
         base = stage * 40
         stage_shapes = []
         cumulative = 0.0
@@ -154,10 +156,11 @@ def _make_trace(
     they would be after batch decoding from a handful of code paths.
     """
     trace: List[TaskSynopsis] = []
+    stages = len(shapes)
     dt = 1.0 / tasks_per_s
     now = start_s
     for uid in range(n):
-        stage = rng.randrange(STAGES)
+        stage = rng.randrange(stages)
         draw = rng.random()
         for log_points, cumulative in shapes[stage]:
             if draw <= cumulative:

@@ -18,6 +18,8 @@ Usage::
     python -m repro serve --port 9000  # TCP synopsis ingest endpoint
     python -m repro top                # live fleet health dashboard
     python -m repro top --once --snapshot FILE.jsonl   # offline render
+    python -m repro fleet status       # gossip membership + ring ownership
+    python -m repro fleet join --kill  # elastic reshard drill (join + crash)
 """
 
 from __future__ import annotations
@@ -128,6 +130,10 @@ _TOOLS = {
     "top": (
         "fleet health dashboard: sparklines, senders, alerts, incidents",
         _tool("repro.health.cli"),
+    ),
+    "fleet": (
+        "analyzer fleet: gossip membership + elastic reshard drills",
+        _tool("repro.fleet.cli"),
     ),
 }
 

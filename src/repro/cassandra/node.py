@@ -731,15 +731,21 @@ class CassandraNode:
             yield self.env.timeout(offset)
             while self.alive:
                 self.runtime.set_context(stage_name)
+                # A body may return an interval scale < 1 to ask for a
+                # sooner re-check (e.g. compaction under a write burst
+                # re-checks before a full interval of flushes piles up).
+                scale = 1.0
                 try:
-                    yield from body()
+                    scale = (yield from body()) or 1.0
                 except SimulatedIOError:
                     pass  # injected I/O faults must not kill periodic stages
                 # Jittered interval: decorrelates periodic ticks from the
                 # flush/segment cadence so every branch of a periodic
                 # stage (e.g. CommitLog's idle tick) is represented in
                 # fault-free training data, not just under faults.
-                yield self.env.timeout(interval_s * (0.6 + 0.8 * self.rng.random()))
+                yield self.env.timeout(
+                    interval_s * scale * (0.6 + 0.8 * self.rng.random())
+                )
 
         self._periodic_threads.append(
             SimThread(self.env, target=loop(), name=f"{self.name}-{stage_name}")
@@ -799,35 +805,47 @@ class CassandraNode:
         lps = self.lps
         self.log_compaction.debug(lps.compact_check.template, lpid=lps.compact_check.lpid)
         yield self.cpu(0.0003)
-        if not self.store.needs_compaction:
-            return
-        victims = self.store.sstables[: self.store.compaction_threshold]
-        self.log_compaction.info(
-            lps.compact_start.template, len(victims), lpid=lps.compact_start.lpid
-        )
-        try:
-            # Chunked I/O so delay faults scale with compaction size.
-            total = sum(max(v.size_bytes, 4096) for v in victims)
-            chunk = self.config.flush_chunk_bytes
-            for _ in range(max(1, total // chunk)):
-                yield from self.host.disk.read(chunk, path="data")
-            for _ in range(max(1, total // chunk)):
-                yield from self.host.disk.write(chunk, path="sstable")
-        except SimulatedIOError:
-            self.log_compaction.warn(
-                lps.compact_retry.template, lpid=lps.compact_retry.lpid
-            )
-            return
         from repro.lsm.sstable import SSTable, merge_entries
 
-        merged = merge_entries(victims)
-        survivor = SSTable(merged, self.host.disk, name=f"{self.name}-sst-c")
-        self.store.sstables = [s for s in self.store.sstables if s not in victims]
-        self.store.sstables.insert(0, survivor)
-        self.store.compactions_completed += 1
-        self.log_compaction.info(
-            lps.compact_done.template, survivor.size_bytes, lpid=lps.compact_done.lpid
-        )
+        # Size-tiered drain: a store whose flush rate outpaces one merge
+        # per tick compacts back-to-back until the table count drops
+        # below the threshold again, taking up to 4x the threshold per
+        # merge (Cassandra's min/max_compaction_threshold split) so a
+        # deep backlog folds in a few large passes instead of one table
+        # at a time.
+        compacted = False
+        while self.store.needs_compaction:
+            victims = self.store.sstables[: 4 * self.store.compaction_threshold]
+            self.log_compaction.info(
+                lps.compact_start.template, len(victims), lpid=lps.compact_start.lpid
+            )
+            try:
+                # Chunked I/O so delay faults scale with compaction size.
+                total = sum(max(v.size_bytes, 4096) for v in victims)
+                chunk = self.config.flush_chunk_bytes
+                for _ in range(max(1, total // chunk)):
+                    yield from self.host.disk.read(chunk, path="data")
+                for _ in range(max(1, total // chunk)):
+                    yield from self.host.disk.write(chunk, path="sstable")
+            except SimulatedIOError:
+                self.log_compaction.warn(
+                    lps.compact_retry.template, lpid=lps.compact_retry.lpid
+                )
+                return
+            merged = merge_entries(victims)
+            survivor = SSTable(merged, self.host.disk, name=f"{self.name}-sst-c")
+            self.store.sstables = [s for s in self.store.sstables if s not in victims]
+            self.store.sstables.insert(0, survivor)
+            self.store.compactions_completed += 1
+            compacted = True
+            self.log_compaction.info(
+                lps.compact_done.template, survivor.size_bytes, lpid=lps.compact_done.lpid
+            )
+        # Under a write burst, re-check well before a full interval of
+        # flushes can pile a fresh backlog past the test's table bound.
+        if compacted:
+            return 0.25
+        return None
 
     # ------------------------------------------------------------------ crash
     def crash(self) -> None:

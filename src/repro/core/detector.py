@@ -286,6 +286,18 @@ class AnomalyDetector:
         """Windows finalized so far (ripe closes + flush)."""
         return self._windows_closed
 
+    @property
+    def watermark(self) -> float:
+        """The event-time watermark: highest task start time observed.
+
+        ``-inf`` before the first task.  A window ``[s, e)`` is closed
+        once ``watermark - lateness_s >= e``, so a peer that knows this
+        value knows exactly which of its replayed-elsewhere windows are
+        already finalized here (the fleet reroute protocol's retention
+        horizon, DESIGN.md §16).
+        """
+        return self._watermark
+
     # -- ingestion -----------------------------------------------------------
     def observe(self, synopsis: TaskSynopsis) -> List[AnomalyEvent]:
         """Ingest one synopsis; returns anomalies from any closed windows.
@@ -739,6 +751,62 @@ class AnomalyDetector:
         self._index_heap.clear()
         self._m_windows_open.set(0)
         return emitted
+
+    # -- fleet reroute support (DESIGN.md §16) ----------------------------------
+    def disown(self, stage_ids) -> int:
+        """Drop every open window of the given stages without emitting.
+
+        The fleet reroute path: when a consistent-hash ring change moves
+        a stage to another analyzer, the *old* owner must forget its
+        partially filled windows for that stage — the router replays the
+        same synopses to the new owner, which rebuilds those windows
+        whole.  Closing (and emitting from) the partial buckets here
+        would double-count against the new owner's full rebuild.
+
+        Returns the number of window buckets dropped.
+        """
+        stages = set(stage_ids)
+        if not stages:
+            return 0
+        dropped = 0
+        for bucket_key in [
+            key for key in self._buckets if key[0][1] in stages
+        ]:
+            del self._buckets[bucket_key]
+            stage_key, index = bucket_key
+            keys = self._index_keys[index]
+            keys.remove(stage_key)
+            if not keys:
+                del self._index_keys[index]
+            dropped += 1
+            self._m_windows_open.dec()
+        if dropped:
+            # Rebuild the ripeness heap: indices whose last stage key
+            # was disowned must not linger (an index miss would KeyError
+            # in _close_ripe_windows' pop).
+            self._index_heap = list(self._index_keys)
+            heapq.heapify(self._index_heap)
+        return dropped
+
+    def absorb_frame(self, frame: bytes, offset: int = 0) -> List[AnomalyEvent]:
+        """Ingest one *replayed* wire frame, deferring window closes.
+
+        The new-owner half of a fleet reroute: replayed synopses are
+        old data, so this detector's watermark may already be past
+        their windows' close horizon.  Observing them through the
+        normal path would close each rebuilt window after its *first*
+        task — emitting from a one-task partial bucket.  This path
+        suspends ripe closes while the whole frame is applied, then
+        runs one close sweep, so every replayed window is finalized
+        only once it holds everything the frame carried for it.
+        """
+        saved = self.lateness_s
+        self.lateness_s = float("inf")
+        try:
+            self.observe_frame(frame, offset)
+        finally:
+            self.lateness_s = saved
+        return self._close_ripe_windows()
 
     # -- window lifecycle -------------------------------------------------------
     def _close_ripe_windows(self) -> List[AnomalyEvent]:

@@ -203,6 +203,13 @@ class SAAD:
         :class:`~repro.shard.SynopsisServer` feeding this deployment's
         collector (port 0 picks a free port; see :attr:`address`).
         Remote nodes connect with :meth:`NodeRuntime.connect`.
+    fleet:
+        Elastic scale-out switch: analyzer node ids (or a count) for a
+        gossip-coordinated loopback fleet (see
+        :class:`~repro.fleet.AnalyzerFleet` and DESIGN.md §16).
+        :meth:`detect` then routes through a fleet, and :meth:`fleet`
+        hands out long-lived ones with ``kill``/``join`` membership
+        drills.  Mutually exclusive with ``shards``.
     """
 
     def __init__(
@@ -213,9 +220,14 @@ class SAAD:
         tracing: bool = False,
         shards: Optional[int] = None,
         listen=None,
+        fleet=None,
     ):
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
+        if fleet is not None and shards is not None:
+            raise ValueError("pass shards= or fleet=, not both")
+        if isinstance(fleet, int) and fleet < 1:
+            raise ValueError(f"fleet needs at least one node: {fleet}")
         self.config = config or SAADConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         if tracer is None:
@@ -229,6 +241,7 @@ class SAAD:
         self.nodes: Dict[str, NodeRuntime] = {}
         self.model: Optional[OutlierModel] = None
         self.shards = shards
+        self.fleet_nodes = fleet
         self.server = None
         self._health_engine = None
         self.registry.gauge(
@@ -345,13 +358,46 @@ class SAAD:
             tracer=self.tracer,
         )
 
+    def fleet(self, nodes=None, lateness_s: float = 0.0, **kwargs):
+        """A gossip-coordinated analyzer fleet bound to the trained model.
+
+        ``nodes`` (ids or a count) defaults to the facade's ``fleet``
+        setting.  The fleet shares this deployment's telemetry registry
+        so ``fleet_*`` membership/ring/reroute metrics land in the same
+        snapshot.  Callers own the fleet's lifecycle (``flush`` /
+        ``close``, or use it as a context manager); ``kill``/``join``
+        drive elastic resharding (DESIGN.md §16).
+        """
+        if self.model is None:
+            raise RuntimeError("call train() before creating a fleet")
+        nodes = nodes if nodes is not None else self.fleet_nodes
+        if nodes is None:
+            raise ValueError("pass nodes= here or fleet= to the SAAD constructor")
+        from repro.fleet import AnalyzerFleet
+
+        return AnalyzerFleet(
+            self.model,
+            nodes,
+            config=self.config,
+            lateness_s=lateness_s,
+            registry=self.registry,
+            **kwargs,
+        )
+
     def detect(self, synopses: List[TaskSynopsis]) -> List[AnomalyEvent]:
         """Batch detection convenience: stream a list, flush, return events.
 
-        With ``shards`` configured the batch runs through a sharded
-        worker pool; the returned events are identical (canonically
-        ordered) either way.
+        With ``shards`` or ``fleet`` configured the batch runs through
+        the corresponding scale-out path; the returned events are
+        identical (canonically ordered) either way.
         """
+        if self.fleet_nodes is not None:
+            with self.fleet() as fleet:
+                fleet.dispatch(synopses)
+                events = fleet.close()
+                for event in events:
+                    self._note_anomaly(event)
+                return events
         if self.shards is not None and self.shards > 1:
             with self.shard() as analyzer:
                 analyzer.dispatch(synopses)

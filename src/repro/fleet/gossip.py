@@ -1,0 +1,307 @@
+"""The gossip engine: heartbeats carrying membership digests.
+
+Push gossip in its simplest correct form: every ``interval_s`` a node
+(1) bumps its own heartbeat, (2) runs the failure-detector tick, and
+(3) sends its full membership digest to ``fanout`` random routable
+peers.  Digests merge under the SWIM rumor rules
+(:meth:`~repro.fleet.membership.MembershipTable.merge`), so state
+spreads epidemically — O(log N) rounds to reach everyone — and a
+falsely suspected node refutes the rumor the first time a digest
+mentioning it comes back around.
+
+Transports are pluggable behind a two-method contract — ``send(address,
+payload)`` plus a receive callback — with two implementations:
+
+* :class:`UDPTransport` — one datagram socket and a daemon receive
+  thread; dependency-free, fits gossip's fire-and-forget semantics
+  (a lost heartbeat is indistinguishable from a slow one, and the
+  failure detector already tolerates both).
+* :class:`LoopbackHub` — an in-memory switchboard for tests and the
+  in-process fleet harness: deterministic delivery, plus ``drop`` /
+  ``restore`` to simulate partitions and crashed nodes without
+  touching real sockets.
+
+The wire form is one JSON object ``{"from": id, "digest": [...]}``;
+anything undecodable is counted and dropped — gossip must survive a
+confused peer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry import NULL_REGISTRY
+
+from .membership import DEAD, SUSPECT, Member, MembershipTable
+
+__all__ = ["Gossip", "UDPTransport", "LoopbackHub"]
+
+#: Digest datagrams beyond this are refused at send time: gossip scales
+#: by rounds, not by packet size, and 64 KiB is already ~400 members.
+_MAX_DATAGRAM = 0xFFFF
+
+
+class UDPTransport:
+    """Fire-and-forget datagram transport for real deployments."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.settimeout(0.25)
+        name = self._sock.getsockname()
+        self.address: Tuple[str, int] = (name[0], name[1])
+        self._receiver: Optional[Callable[[bytes], None]] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closing = False
+
+    def start(self, receiver: Callable[[bytes], None]) -> None:
+        """Begin delivering received datagrams to ``receiver``."""
+        self._receiver = receiver
+        self._thread = threading.Thread(
+            target=self._recv_loop, name="saad-gossip-udp", daemon=True
+        )
+        self._thread.start()
+
+    def _recv_loop(self) -> None:
+        while not self._closing:
+            try:
+                payload, _addr = self._sock.recvfrom(_MAX_DATAGRAM)
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed underneath us
+            if self._receiver is not None:
+                self._receiver(payload)
+
+    def send(self, address: Tuple[str, int], payload: bytes) -> None:
+        if len(payload) > _MAX_DATAGRAM:
+            raise ValueError(f"gossip digest too large: {len(payload)} bytes")
+        try:
+            self._sock.sendto(payload, address)
+        except OSError:
+            pass  # unreachable peer: the failure detector's job, not ours
+
+    def close(self) -> None:
+        self._closing = True
+        self._sock.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+class LoopbackHub:
+    """In-memory gossip switchboard for tests and loopback fleets.
+
+    ``attach`` returns a transport-shaped endpoint with a synthetic
+    address; ``drop(address)`` makes an endpoint unreachable (a crashed
+    or partitioned node) until ``restore``.  Delivery is synchronous on
+    the sender's thread — deterministic by construction.
+    """
+
+    def __init__(self):
+        self._receivers: Dict[Tuple[str, int], Callable[[bytes], None]] = {}
+        self._dropped: set = set()
+        self._next_port = 1
+
+    def attach(self) -> "_LoopbackEndpoint":
+        address = ("loopback", self._next_port)
+        self._next_port += 1
+        return _LoopbackEndpoint(self, address)
+
+    def drop(self, address: Tuple[str, int]) -> None:
+        """Blackhole an endpoint (datagrams to and from it vanish)."""
+        self._dropped.add(address)
+
+    def restore(self, address: Tuple[str, int]) -> None:
+        self._dropped.discard(address)
+
+    def _send(
+        self, sender: Tuple[str, int], address: Tuple[str, int], payload: bytes
+    ) -> None:
+        if sender in self._dropped or address in self._dropped:
+            return
+        receiver = self._receivers.get(address)
+        if receiver is not None:
+            receiver(payload)
+
+
+class _LoopbackEndpoint:
+    def __init__(self, hub: LoopbackHub, address: Tuple[str, int]):
+        self._hub = hub
+        self.address = address
+
+    def start(self, receiver: Callable[[bytes], None]) -> None:
+        self._hub._receivers[self.address] = receiver
+
+    def send(self, address: Tuple[str, int], payload: bytes) -> None:
+        self._hub._send(self.address, address, payload)
+
+    def close(self) -> None:
+        self._hub._receivers.pop(self.address, None)
+
+
+class Gossip:
+    """Drive one node's membership table over a transport.
+
+    Parameters
+    ----------
+    table:
+        The node's :class:`~repro.fleet.membership.MembershipTable`.
+    transport:
+        A started-on-demand transport (``UDPTransport`` or a
+        ``LoopbackHub`` endpoint).
+    fanout:
+        Peers gossiped to per round.  2 reaches an N-node fleet in
+        ~log2(N) rounds; raising it trades datagrams for latency.
+    interval_s:
+        Heartbeat period for :meth:`start`'s background pump; manual
+        callers just invoke :meth:`step` from their own loop.
+    rng:
+        Peer-selection randomness; injectable for deterministic tests.
+    registry:
+        Telemetry registry for the ``fleet_gossip_*`` counters.
+    """
+
+    def __init__(
+        self,
+        table: MembershipTable,
+        transport,
+        *,
+        fanout: int = 2,
+        interval_s: float = 0.5,
+        rng: Optional[random.Random] = None,
+        registry=None,
+    ):
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1: {fanout}")
+        self.table = table
+        self.transport = transport
+        self.fanout = fanout
+        self.interval_s = interval_s
+        self.rng = rng if rng is not None else random.Random()
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_rounds = registry.counter(
+            "fleet_gossip_rounds", "gossip rounds run (beat + tick + fanout)"
+        )
+        self._m_rejected = registry.counter(
+            "fleet_gossip_rejected", "received gossip payloads dropped undecodable"
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Serializes table access between the round pump (step) and the
+        #: transport's receive thread.
+        self._lock = threading.Lock()
+        transport.start(self.receive)
+
+    def step(self) -> List[Member]:
+        """One gossip round; returns members the tick transitioned.
+
+        The table is mutated and snapshotted under the lock; datagrams
+        go out after it is released, so a synchronous transport (the
+        loopback hub delivers on the sender's thread) can re-enter
+        :meth:`receive` on the peer without lock-ordering deadlocks.
+        """
+        with self._lock:
+            table = self.table
+            table.beat()
+            changed = table.tick()
+            peers = table.peers()
+            payload = json.dumps(
+                {"from": table.node_id, "digest": table.digest()},
+                sort_keys=True,
+            ).encode("utf-8")
+            targets = [
+                peer.address
+                for peer in self.rng.sample(peers, min(self.fanout, len(peers)))
+                if peer.address is not None
+            ]
+            # Resurrection probe: one datagram per round to a random
+            # dead-marked member.  A partition makes death verdicts
+            # symmetric — each side declares the other dead and stops
+            # gossiping to it, so after the heal neither would ever
+            # learn better.  Probing a truly dead node loses one
+            # datagram; probing a healed one triggers the
+            # accused-sender reply in :meth:`receive`, and mutual
+            # refutation converges both sides.
+            dead = [
+                m
+                for m in table.members.values()
+                if m.state == DEAD
+                and m.node_id != table.node_id
+                and m.address is not None
+            ]
+            if dead:
+                targets.append(self.rng.choice(dead).address)
+        for address in targets:
+            self.transport.send(address, payload)
+        self._m_rounds.inc()
+        return changed
+
+    def receive(self, payload: bytes) -> None:
+        """Transport callback: merge one received digest.
+
+        A digest *from* a member our table still holds suspect or dead
+        is a contradiction worth answering: we reply with our table so
+        the accused hears the rumor about itself and can refute it with
+        a fresh incarnation.  Without this, a partitioned-then-restored
+        node never learns it was declared dead — everyone else stopped
+        gossiping to it (dead members are not peers), and its own
+        all-is-well digests lose every merge to the death verdict.
+        """
+        try:
+            record = json.loads(payload.decode("utf-8"))
+            digest = record["digest"]
+            if not isinstance(digest, list):
+                raise TypeError("digest must be a list")
+            sender = str(record.get("from", ""))
+            reply: Optional[Tuple[Tuple[str, int], bytes]] = None
+            with self._lock:
+                self.table.merge(digest)
+                member = self.table.members.get(sender)
+                if (
+                    member is not None
+                    and member.state in (SUSPECT, DEAD)
+                    and member.address is not None
+                ):
+                    reply = (
+                        member.address,
+                        json.dumps(
+                            {"from": self.table.node_id, "digest": self.table.digest()},
+                            sort_keys=True,
+                        ).encode("utf-8"),
+                    )
+            if reply is not None:
+                # Sent outside the lock: the loopback transport delivers
+                # synchronously, and the accused's receive() must be free
+                # to take its own lock (it never replies to an alive
+                # sender, so the exchange terminates).
+                self.transport.send(*reply)
+        except (ValueError, KeyError, TypeError):
+            self._m_rejected.inc()
+
+    # -- background pump ------------------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`step` every ``interval_s`` on a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._pump, name=f"saad-gossip-{self.table.node_id}", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.step()
+
+    def close(self) -> None:
+        """Stop the pump and the transport.  Idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.transport.close()

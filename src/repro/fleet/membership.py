@@ -1,0 +1,304 @@
+"""Fleet membership state: who is in the ring, and how sure are we.
+
+The membership table is the gossip protocol's CRDT-ish core: a map
+``node_id -> Member`` where every entry carries an *incarnation number*
+(bumped only by the member itself) and a *heartbeat counter* (bumped on
+every gossip round).  Digests of this table piggyback on heartbeats;
+:meth:`MembershipTable.merge` folds a received digest in under the SWIM
+rumor rules, so any two tables that keep exchanging digests converge:
+
+* a higher incarnation always wins — it is newer testimony from the
+  member itself;
+* at equal incarnation the *worse* state wins (``dead > left > suspect
+  > alive``), so a death rumor cannot be shouted down by a stale
+  all-is-well digest;
+* at equal incarnation and state, a higher heartbeat refreshes the
+  local liveness clock — the indirect path through gossip keeps a node
+  alive even when we never hear from it directly;
+* a node that hears a rumor about *itself* being suspect or dead
+  refutes it by bumping its own incarnation past the rumor's — the one
+  move the precedence order cannot beat (rumor squashing).
+
+Failure detection is timeout-based (:meth:`MembershipTable.tick`): a
+member not heard from for ``suspect_after_s`` becomes *suspect* (still
+routed to — eviction is expensive, so we wait for corroboration), and
+after ``dead_after_s`` it is declared *dead* and leaves the ring.  The
+clock is injectable so the whole state machine is testable without
+sleeping (tests/fleet/test_membership.py).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ALIVE", "SUSPECT", "LEFT", "DEAD", "Member", "MembershipTable"]
+
+#: Member lifecycle states.  ``LEFT`` is a voluntary goodbye (no suspicion
+#: window); ``DEAD`` is a failure-detector verdict.
+ALIVE = "alive"
+SUSPECT = "suspect"
+LEFT = "left"
+DEAD = "dead"
+
+#: At equal incarnation, higher precedence wins a merge: bad news beats
+#: good news until the accused refutes with a fresh incarnation.
+_PRECEDENCE = {ALIVE: 0, SUSPECT: 1, LEFT: 2, DEAD: 3}
+
+#: States a router may still ship frames to.  A suspect is routed — the
+#: common cause is a slow gossip round, and moving its stages twice
+#: (out on suspicion, back on refutation) would churn the ring for
+#: nothing.  Only a dead/left verdict reroutes.
+ROUTABLE = frozenset({ALIVE, SUSPECT})
+
+
+@dataclass
+class Member:
+    """One fleet member's rumor state.
+
+    ``address`` is the gossip endpoint, ``ingest`` the analyzer's frame
+    ingest endpoint (``None`` for gossip-only observers).  Both travel
+    in digests so a joiner learns where to ship frames from any peer.
+    """
+
+    node_id: str
+    address: Optional[Tuple[str, int]] = None
+    ingest: Optional[Tuple[str, int]] = None
+    state: str = ALIVE
+    incarnation: int = 0
+    heartbeat: int = 0
+    #: Local receipt time of the freshest evidence (never gossiped —
+    #: clocks are not comparable across nodes).
+    last_seen: float = 0.0
+
+    def digest_entry(self) -> dict:
+        """The JSON-able gossip form (``last_seen`` deliberately absent)."""
+        return {
+            "node": self.node_id,
+            "address": list(self.address) if self.address else None,
+            "ingest": list(self.ingest) if self.ingest else None,
+            "state": self.state,
+            "incarnation": self.incarnation,
+            "heartbeat": self.heartbeat,
+        }
+
+
+def _entry_tuple(entry: dict) -> Optional[Tuple[str, int]]:
+    value = entry
+    if value is None:
+        return None
+    return (str(value[0]), int(value[1]))
+
+
+class MembershipTable:
+    """The local node's view of the fleet, with SWIM merge semantics.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identity (ring placement key; stable across
+        restarts only if the operator keeps it stable).
+    address, ingest:
+        Gossip and frame-ingest endpoints advertised in digests.
+    clock:
+        Monotonic seconds source; injectable for fake-clock tests.
+    suspect_after_s, dead_after_s:
+        Failure-detector timeouts: silence before *suspect*, then
+        before *dead*.  ``dead_after_s`` is measured from the same
+        last-evidence instant (not from suspicion), so it must be
+        strictly larger.
+    on_change:
+        Callback fired as ``on_change(member, previous_state)`` for
+        every state transition observed (local tick or merged rumor) —
+        the ring and the reroute glue hang off this.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        address: Optional[Tuple[str, int]] = None,
+        ingest: Optional[Tuple[str, int]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        suspect_after_s: float = 2.0,
+        dead_after_s: float = 6.0,
+        on_change: Optional[Callable[[Member, str], None]] = None,
+    ):
+        if not 0.0 < suspect_after_s < dead_after_s:
+            raise ValueError(
+                f"need 0 < suspect_after_s < dead_after_s, got "
+                f"{suspect_after_s} / {dead_after_s}"
+            )
+        self.node_id = node_id
+        self.clock = clock
+        self.suspect_after_s = suspect_after_s
+        self.dead_after_s = dead_after_s
+        self.on_change = on_change
+        self.members: Dict[str, Member] = {
+            node_id: Member(
+                node_id, address=address, ingest=ingest, last_seen=clock()
+            )
+        }
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def local(self) -> Member:
+        """This node's own entry."""
+        return self.members[self.node_id]
+
+    def routable(self) -> List[Member]:
+        """Members frames may be shipped to (alive + suspect), sorted."""
+        return sorted(
+            (m for m in self.members.values() if m.state in ROUTABLE),
+            key=lambda m: m.node_id,
+        )
+
+    def peers(self) -> List[Member]:
+        """Gossip targets: routable members other than ourselves."""
+        return [m for m in self.routable() if m.node_id != self.node_id]
+
+    def counts(self) -> Dict[str, int]:
+        """``state -> member count`` (telemetry's ``fleet_members``)."""
+        out = {ALIVE: 0, SUSPECT: 0, LEFT: 0, DEAD: 0}
+        for member in self.members.values():
+            out[member.state] += 1
+        return out
+
+    def digest(self) -> List[dict]:
+        """The full table in gossip wire form, deterministic order."""
+        return [
+            self.members[node_id].digest_entry()
+            for node_id in sorted(self.members)
+        ]
+
+    # -- transitions ---------------------------------------------------------
+    def _transition(self, member: Member, state: str) -> None:
+        previous, member.state = member.state, state
+        if previous != state and self.on_change is not None:
+            self.on_change(member, previous)
+
+    def beat(self) -> None:
+        """One local gossip round: bump our heartbeat, refresh evidence."""
+        local = self.local
+        local.heartbeat += 1
+        local.last_seen = self.clock()
+
+    def leave(self) -> None:
+        """Voluntarily leave: gossip will carry the goodbye."""
+        local = self.local
+        local.incarnation += 1
+        self._transition(local, LEFT)
+
+    def declare_dead(self, node_id: str) -> Optional[Member]:
+        """First-hand death verdict about a peer (SWIM-style).
+
+        For the node that *observed* the failure directly — e.g. the
+        coordinator whose ingest connection to the peer broke — rather
+        than waiting out the silence timeouts.  The verdict spreads via
+        gossip at the member's current incarnation; the peer can still
+        refute it with a fresh incarnation if it was wrongly accused.
+        Returns the member, or None if unknown.
+        """
+        member = self.members.get(node_id)
+        if member is None or member.state in (DEAD, LEFT):
+            return member
+        self._transition(member, DEAD)
+        return member
+
+    def tick(self) -> List[Member]:
+        """Run the failure detector; returns members that transitioned.
+
+        Silence past ``suspect_after_s`` demotes alive → suspect;
+        silence past ``dead_after_s`` (from the same last evidence)
+        declares suspect → dead.  Our own entry never times out — we
+        are our own best evidence.
+        """
+        now = self.clock()
+        changed: List[Member] = []
+        for member in self.members.values():
+            if member.node_id == self.node_id or member.state in (LEFT, DEAD):
+                continue
+            silent = now - member.last_seen
+            if member.state == ALIVE and silent >= self.suspect_after_s:
+                self._transition(member, SUSPECT)
+                changed.append(member)
+            if member.state == SUSPECT and silent >= self.dead_after_s:
+                self._transition(member, DEAD)
+                changed.append(member)
+        return changed
+
+    # -- rumor merge ----------------------------------------------------------
+    def merge(self, digest: List[dict]) -> List[Member]:
+        """Fold one received digest in; returns members that changed state.
+
+        Implements the SWIM rumor rules documented in the module
+        docstring.  Malformed entries raise ``ValueError``/``KeyError``
+        — the transport layer decides whether to count and drop.
+        """
+        changed: List[Member] = []
+        now = self.clock()
+        for entry in digest:
+            node_id = str(entry["node"])
+            state = str(entry["state"])
+            if state not in _PRECEDENCE:
+                raise ValueError(f"unknown member state {state!r}")
+            incarnation = int(entry["incarnation"])
+            heartbeat = int(entry["heartbeat"])
+
+            if node_id == self.node_id:
+                # Rumor about ourselves: refute suspicion/death with a
+                # fresh incarnation — the rumor's own number is the
+                # floor, so the refutation outranks it everywhere.
+                local = self.local
+                if state in (SUSPECT, DEAD) and incarnation >= local.incarnation:
+                    local.incarnation = incarnation + 1
+                    if local.state != ALIVE:
+                        self._transition(local, ALIVE)
+                        changed.append(local)
+                continue
+
+            known = self.members.get(node_id)
+            if known is None:
+                member = Member(
+                    node_id,
+                    address=_entry_tuple(entry.get("address")),
+                    ingest=_entry_tuple(entry.get("ingest")),
+                    state=state,
+                    incarnation=incarnation,
+                    heartbeat=heartbeat,
+                    last_seen=now,
+                )
+                self.members[node_id] = member
+                if self.on_change is not None:
+                    # A discovery is a transition from "absent": report
+                    # it with the state it arrived in as previous=None
+                    # analog — callers treat unknown previous as join.
+                    self.on_change(member, "")
+                changed.append(member)
+                continue
+
+            newer = incarnation > known.incarnation
+            worse = incarnation == known.incarnation and (
+                _PRECEDENCE[state] > _PRECEDENCE[known.state]
+            )
+            if newer or worse:
+                known.incarnation = incarnation
+                known.heartbeat = heartbeat
+                known.last_seen = now
+                if _entry_tuple(entry.get("ingest")) is not None:
+                    known.ingest = _entry_tuple(entry.get("ingest"))
+                if _entry_tuple(entry.get("address")) is not None:
+                    known.address = _entry_tuple(entry.get("address"))
+                if known.state != state:
+                    self._transition(known, state)
+                    changed.append(known)
+            elif (
+                incarnation == known.incarnation
+                and state == known.state
+                and heartbeat > known.heartbeat
+            ):
+                # Same testimony, fresher pulse: liveness evidence only.
+                known.heartbeat = heartbeat
+                known.last_seen = now
+        return changed

@@ -605,6 +605,12 @@ def builtin_rules(window_s: float = 60.0) -> Tuple[Rule, ...]:
       sink rejected: any increase is data loss.
     * ``worker_pool_dead`` — no live shard workers while synopses are
       still being dispatched.
+    * ``fleet_member_down`` — a gossip-declared dead analyzer while the
+      fleet is still routing traffic: capacity is gone and its stages'
+      open windows are being rebuilt elsewhere.
+    * ``fleet_ring_churn`` — stage ownership moving on a sustained
+      two-window burn: a flapping member is resharding the ring over
+      and over instead of settling.
     """
     return (
         ThresholdRule(
@@ -688,5 +694,26 @@ def builtin_rules(window_s: float = 60.0) -> Tuple[Rule, ...]:
             critical=0,
             window_s=window_s,
             only_if_active=("shard_synopses_dispatched", None, 1.0),
+        ),
+        ThresholdRule(
+            "fleet_member_down",
+            "gossip-declared dead analyzer while the fleet routes traffic",
+            "fleet_members",
+            labels={"state": "dead"},
+            mode="gauge",
+            warn=1,
+            window_s=window_s,
+            only_if_active=("fleet_synopses_routed", None, 1.0),
+        ),
+        BurnRateRule(
+            "fleet_ring_churn",
+            "stage ownership moved per gossip round, sustained",
+            "fleet_stages_moved",
+            "fleet_gossip_rounds",
+            warn=1.0,
+            critical=10.0,
+            min_denominator=2,
+            window_s=window_s,
+            short_window_s=window_s / 6,
         ),
     )

@@ -90,6 +90,16 @@ class ShardedAnalyzer:
     batch_bytes:
         Dispatch watermark: a shard's routed-but-unsent buffer is
         flushed to its worker once it holds this many payload bytes.
+    ring:
+        The consistent-hash ring (:class:`~repro.fleet.ring.HashRing`)
+        that owns stage placement — the routing source of truth since
+        the fleet refactor (DESIGN.md §16).  Must hold exactly
+        ``shards`` nodes; node ids map to worker indices in sorted
+        order.  None builds a default ring over ``shard-0 ..
+        shard-N-1``.  (The legacy ``shard_for`` / ``shard_table``
+        mapping remains available from :mod:`repro.shard.partition`
+        for fixed-pool callers, but the coordinator itself routes by
+        ring so a pool and a fleet agree on placement mechanics.)
     """
 
     def __init__(
@@ -103,6 +113,7 @@ class ShardedAnalyzer:
         tracer=None,
         start_method: Optional[str] = None,
         batch_bytes: int = 1 << 16,
+        ring=None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
@@ -116,7 +127,19 @@ class ShardedAnalyzer:
         self.worker_stats: Dict[int, dict] = {}
         self.worker_telemetry: Dict[int, list] = {}
         self.closed = False
-        self._table = shard_table(shards)
+        if ring is None:
+            # Imported lazily: repro.fleet's package init reaches back
+            # into repro.shard, so a module-level import would cycle.
+            from repro.fleet.ring import HashRing
+
+            ring = HashRing(f"shard-{i}" for i in range(shards))
+        if len(ring) != shards:
+            raise ValueError(
+                f"ring holds {len(ring)} nodes but the pool has {shards} shards"
+            )
+        self.ring = ring
+        order = ring.nodes
+        self._table = [order.index(owner) for owner in ring.table()]
         self._pending: List[List[bytes]] = [[] for _ in range(shards)]
         self._pending_bytes = [0] * shards
         self._unmerged: List[AnomalyEvent] = []

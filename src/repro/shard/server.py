@@ -105,8 +105,11 @@ _MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB: reject absurd length prefixes early
 _MAGIC = b"SAAD"
 #: Version 2 added the TELEMETRY / HEALTH control envelopes; the data
 #: path is unchanged, and a v2 client only sends control envelopes to a
-#: server that answered the hello with version >= 2.
-_PROTOCOL_VERSION = 2
+#: server that answered the hello with version >= 2.  Version 3 added
+#: the fleet reroute envelopes (REPLAY / DISOWN) and the watermark ack
+#: record; a v3 client only sends reroute envelopes to a server that
+#: answered with version >= 3.
+_PROTOCOL_VERSION = 3
 
 #: Hello flag bit: the client asks for (and the server accepts) zlib
 #: frame compression.
@@ -129,6 +132,12 @@ _ENV_BYE = 2  # clean shutdown marker, length 0
 _ENV_TELEMETRY = 3  # payload is a JSON registry snapshot (federation)
 _ENV_TELEMETRY_Z = 4  # ... zlib-compressed
 _ENV_HEALTH = 5  # health probe, length 0; answered on the ack stream
+#: Fleet reroute envelopes (protocol v3, DESIGN.md §16).  Both ride the
+#: delivery queue like data — a reroute instruction handled inline
+#: would overtake data frames already queued ahead of it — but neither
+#: may ever be shed: they carry correctness, not load.
+_ENV_REPLAY = 6  # payload is one wire frame replayed after a ring change
+_ENV_DISOWN = 7  # payload is raw stage-id bytes the analyzer must drop
 
 #: Control envelopes are exempt from the credit window: they are small,
 #: rare, handled inline on the loop (never queued), and must keep
@@ -141,6 +150,13 @@ _ACK_GRANT = 0
 #: Health report record on the ack stream: ``(type, 0, length)``
 #: followed by ``length`` bytes of JSON report.
 _ACK_HEALTH = 1
+#: Watermark record on the ack stream: ``(type, 0, 8)`` followed by an
+#: 8-byte little-endian double — the analyzer's event-time watermark.
+#: Piggybacked on every data-frame grant when the server has a
+#: ``watermark`` source, so senders learn which of their retained
+#: windows the analyzer has already finalized (replay pruning).
+_ACK_WATERMARK = 2
+_WATERMARK = struct.Struct("<d")
 
 #: zlib level for frame compression: speed over ratio — the wire frames
 #: are short-range-redundant struct arrays, which level 1 already folds.
@@ -202,6 +218,24 @@ class SynopsisServer:
         (e.g. a bound :meth:`repro.health.HealthEngine.report_dict`),
         answered to HEALTH probes.  None answers with an ``unknown``
         verdict so probing a bare collector still round-trips.
+    replay_sink:
+        Callable receiving REPLAY frames (fleet reroute, DESIGN.md
+        §16) — typically :meth:`AnomalyDetector.absorb_frame
+        <repro.core.detector.AnomalyDetector.absorb_frame>`, which
+        defers window closes until the whole replayed frame is
+        applied.  None falls back to ``sink`` (a plain collector
+        treats replayed data as data).
+    disown:
+        Callable receiving a list of stage ids this analyzer must stop
+        owning — typically :meth:`AnomalyDetector.disown
+        <repro.core.detector.AnomalyDetector.disown>`.  None ignores
+        DISOWN envelopes (counted, dropped).
+    watermark:
+        Zero-argument callable returning the analyzer's event-time
+        watermark (:attr:`AnomalyDetector.watermark
+        <repro.core.detector.AnomalyDetector.watermark>`); when set,
+        every data-frame grant piggybacks the current value on the ack
+        stream so senders can prune their replay-retention buffers.
     """
 
     def __init__(
@@ -219,8 +253,14 @@ class SynopsisServer:
         compression: bool = True,
         federation=None,
         health: Optional[Callable[[], dict]] = None,
+        replay_sink: Optional[Callable[[bytes], None]] = None,
+        disown: Optional[Callable[[List[int]], None]] = None,
+        watermark: Optional[Callable[[], float]] = None,
     ):
         self.sink = sink
+        self.replay_sink = replay_sink
+        self.disown = disown
+        self.watermark = watermark
         self.host = host
         self.port = port
         self.credit_window = (
@@ -287,6 +327,13 @@ class SynopsisServer:
         self._m_health_probes = registry.counter(
             "server_health_probes", "HEALTH probes answered on the ack stream"
         )
+        self._m_replayed = registry.counter(
+            "server_replay_frames",
+            "REPLAY frames absorbed after a fleet reroute",
+        )
+        self._m_disowns = registry.counter(
+            "server_disowns", "DISOWN envelopes applied (stages dropped)"
+        )
         self._m_sink_errors = registry.counter(
             "server_sink_errors", "frames the sink raised on (dropped, counted)"
         )
@@ -342,6 +389,8 @@ class SynopsisServer:
         wire: int,
         grant: bool,
         closed: "asyncio.Task",
+        deliver: Optional[Callable[[bytes], None]] = None,
+        sheddable: bool = True,
     ):
         """Admission control for one received frame.
 
@@ -353,15 +402,23 @@ class SynopsisServer:
         abruptly disconnected peer never leaves its handler — or the
         ``server_paused_connections`` gauge — wedged behind a stalled
         sink.
+
+        ``deliver`` overrides the pump's sink for this frame (the
+        reroute envelopes route to the replay/disown handlers but must
+        stay *ordered* with queued data, so they ride the same queue);
+        ``sheddable=False`` exempts it from the shedder — reroute
+        envelopes carry correctness, not load.
         """
-        if self.shedder is not None and not self.shedder.admit(
-            priority, len(frame), self._pending_bytes
+        if (
+            sheddable
+            and self.shedder is not None
+            and not self.shedder.admit(priority, len(frame), self._pending_bytes)
         ):
             if grant:
                 self._grant(writer, seq, wire)
             return
         self._pending_bytes += len(frame)
-        self._queue.put_nowait((frame, writer if grant else None, seq, wire))
+        self._queue.put_nowait((frame, writer if grant else None, seq, wire, deliver))
         if self._pending_bytes > self.high_watermark and self._resume.is_set():
             self._resume.clear()
         if not self._resume.is_set():
@@ -395,9 +452,25 @@ class SynopsisServer:
         raise ConnectionResetError("peer disconnected while paused")
 
     def _grant(self, writer, seq: int, grant: int) -> None:
-        """Ack one data envelope, re-granting its wire bytes as credit."""
+        """Ack one data envelope, re-granting its wire bytes as credit.
+
+        With a ``watermark`` source attached the grant carries a
+        watermark record right behind it — one extra 17-byte write per
+        ack keeps every sender's replay-retention horizon current
+        without a separate control channel.
+        """
+        record = _ACK.pack(_ACK_GRANT, seq, grant)
+        if self.watermark is not None:
+            try:
+                mark = float(self.watermark())
+            except Exception:
+                mark = None
+            if mark is not None:
+                record += _ACK.pack(
+                    _ACK_WATERMARK, 0, _WATERMARK.size
+                ) + _WATERMARK.pack(mark)
         try:
-            writer.write(_ACK.pack(_ACK_GRANT, seq, grant))
+            writer.write(record)
         except (ConnectionError, OSError, RuntimeError):
             pass  # peer already gone; its credit no longer matters
         self._m_credits.inc(grant)
@@ -411,9 +484,11 @@ class SynopsisServer:
         """
         queue = self._queue
         while True:
-            frame, writer, seq, wire = await queue.get()
+            frame, writer, seq, wire, deliver = await queue.get()
             try:
-                if self._sink_is_async:
+                if deliver is not None:
+                    deliver(frame)
+                elif self._sink_is_async:
                     await self.sink(frame)
                 else:
                     self.sink(frame)
@@ -453,11 +528,17 @@ class SynopsisServer:
                     await self._serve_legacy(reader, writer, first, closed)
             except (ConnectionError, OSError):
                 pass  # peer died mid-conversation; teardown below
+        except asyncio.CancelledError:
+            # Abrupt server close with this connection mid-read (fleet
+            # kill drill): end quietly.  asyncio.streams' accept
+            # callback calls task.exception(); a cancelled verdict
+            # there is logged as "Exception in callback" noise.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
             await asyncio.gather(closed, return_exceptions=True)
 
@@ -517,7 +598,10 @@ class SynopsisServer:
             etype, priority, length = _ENVELOPE.unpack(head)
             if etype == _ENV_BYE:
                 return
-            known = etype in (_ENV_DATA, _ENV_DATA_Z) or etype in _CONTROL_ENVELOPES
+            known = (
+                etype in (_ENV_DATA, _ENV_DATA_Z, _ENV_REPLAY, _ENV_DISOWN)
+                or etype in _CONTROL_ENVELOPES
+            )
             if not known or length > _MAX_FRAME_PAYLOAD:
                 self._m_truncated.inc()
                 return
@@ -533,6 +617,22 @@ class SynopsisServer:
                 self._absorb_telemetry(payload, etype == _ENV_TELEMETRY_Z)
                 continue
             wire = _ENVELOPE.size + length
+            if etype in (_ENV_REPLAY, _ENV_DISOWN):
+                # Reroute traffic: queued (ordering with data frames is
+                # the point), credit-accounted, never shed.
+                seq += 1
+                self._m_frames.inc()
+                self._m_bytes.inc(wire)
+                deliver = (
+                    self._deliver_replay
+                    if etype == _ENV_REPLAY
+                    else self._deliver_disown
+                )
+                await self._admit(
+                    payload, priority, writer, seq, wire, True, closed,
+                    deliver=deliver, sheddable=False,
+                )
+                continue
             if etype == _ENV_DATA_Z:
                 try:
                     frame = zlib.decompress(payload)
@@ -547,6 +647,19 @@ class SynopsisServer:
             self._m_frames.inc()
             self._m_bytes.inc(wire)
             await self._admit(frame, priority, writer, seq, wire, True, closed)
+
+    # -- fleet reroute (queued control, DESIGN.md §16) -------------------------
+    def _deliver_replay(self, frame: bytes) -> None:
+        """Pump-side delivery of one REPLAY frame."""
+        self._m_replayed.inc()
+        sink = self.replay_sink if self.replay_sink is not None else self.sink
+        sink(frame)
+
+    def _deliver_disown(self, payload: bytes) -> None:
+        """Pump-side delivery of one DISOWN envelope (stage-id bytes)."""
+        self._m_disowns.inc()
+        if self.disown is not None:
+            self.disown(list(payload))
 
     # -- fleet observability (control envelopes) ------------------------------
     def _absorb_telemetry(self, payload: bytes, compressed: bool) -> None:
@@ -620,11 +733,17 @@ class SynopsisServer:
         try:
             loop.run_forever()
         finally:
-            self._pump_task.cancel()
             self._server.close()
+            # Cancel everything still pending — the pump plus any
+            # connection handlers mid-read (an abrupt close with live
+            # peers, e.g. a fleet kill drill, must not leak "task was
+            # destroyed but it is pending" warnings at loop teardown).
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            for task in pending:
+                task.cancel()
             loop.run_until_complete(
                 asyncio.gather(
-                    self._pump_task, self._server.wait_closed(), return_exceptions=True
+                    *pending, self._server.wait_closed(), return_exceptions=True
                 )
             )
             loop.close()
@@ -826,6 +945,7 @@ class FrameClient:
         self._ackbuf = b""
         self._server_version = 0
         self._health_reports: List[dict] = []
+        self._peer_watermark = float("-inf")
         if node is None:
             local = self._sock.getsockname()
             node = f"{local[0]}:{local[1]}"
@@ -900,6 +1020,28 @@ class FrameClient:
         return self._adaptive.size
 
     @property
+    def seq(self) -> int:
+        """Sequence number of the last data/reroute envelope sent."""
+        return self._seq
+
+    @property
+    def acked(self) -> int:
+        """Highest cumulative sequence the server has acked."""
+        return self._acked
+
+    @property
+    def peer_watermark(self) -> float:
+        """The analyzer's last advertised event-time watermark.
+
+        ``-inf`` until the first watermark record arrives (a pre-v3
+        server, or one without a watermark source, never advertises).
+        The fleet router prunes its per-stage replay retention against
+        this: a window whose end the watermark has passed is already
+        finalized — and its events emitted — at the analyzer.
+        """
+        return self._peer_watermark
+
+    @property
     def rtt_us(self) -> float:
         """Smoothed ack round-trip time in microseconds (0 before acks)."""
         return self._adaptive.rtt_us
@@ -962,7 +1104,11 @@ class FrameClient:
                 payload, etype = squeezed, _ENV_DATA_Z
                 self._m_compressed.inc()
                 self._m_saved.inc(len(frame) - len(squeezed))
-        envelope = _ENVELOPE.pack(etype, priority, len(payload)) + payload
+        self._send_sequenced(_ENVELOPE.pack(etype, priority, len(payload)) + payload)
+        self._maybe_push_telemetry()
+
+    def _send_sequenced(self, envelope: bytes) -> None:
+        """Write one credit-accounted, seq-numbered envelope."""
         need = len(envelope)
         self._drain_acks()
         # An envelope larger than the whole window can never be fully
@@ -980,7 +1126,44 @@ class FrameClient:
         self._send_times[self._seq] = time.perf_counter()
         self.bytes_sent += need
         self.frames_sent += 1
-        self._maybe_push_telemetry()
+
+    def send_replay(self, frame: bytes) -> None:
+        """Replay one wire frame after a fleet reroute (DESIGN.md §16).
+
+        The frame rides a REPLAY envelope: queued behind any data
+        frames already in flight on this connection (ordering is the
+        contract), credit-accounted like data, never shed, and
+        delivered to the server's ``replay_sink`` — the detector's
+        deferred-close absorb path — instead of its data sink.  Raises
+        ``RuntimeError`` when the connection cannot carry reroute
+        envelopes (closed, legacy, or a pre-v3 server).
+        """
+        self._check_reroute_capable("send_replay")
+        self._send_sequenced(_ENVELOPE.pack(_ENV_REPLAY, 0, len(frame)) + frame)
+
+    def send_disown(self, stage_ids) -> None:
+        """Tell this analyzer to drop its open windows for ``stage_ids``.
+
+        Sent to a still-alive *previous* owner after the ring moved
+        stages away from it: the router has replayed the same synopses
+        to the new owner, so the old owner must forget its partial
+        buckets without emitting (no double counting).  The envelope is
+        queued behind in-flight data frames, so a data frame for a
+        moved stage that was already on the wire is observed first and
+        then disowned with the rest.  Raises ``RuntimeError`` when the
+        connection cannot carry reroute envelopes.
+        """
+        payload = bytes(stage_id & 0xFF for stage_id in stage_ids)
+        self._check_reroute_capable("send_disown")
+        self._send_sequenced(_ENVELOPE.pack(_ENV_DISOWN, 0, len(payload)) + payload)
+
+    def _check_reroute_capable(self, what: str) -> None:
+        if self._closed:
+            raise RuntimeError(f"FrameClient is closed; {what}() after close()")
+        if not self._negotiated or self._server_version < 3:
+            raise RuntimeError(
+                f"{what} needs a negotiated protocol-v3 connection"
+            )
 
     def _maybe_push_telemetry(self) -> None:
         """Piggyback a registry snapshot when the cadence is due."""
@@ -1091,13 +1274,19 @@ class FrameClient:
             progressed = False
             while len(self._ackbuf) >= size:
                 kind, seq, grant = _ACK.unpack_from(self._ackbuf)
-                if kind == _ACK_HEALTH:
-                    # ``grant`` doubles as the report length; wait for
+                if kind in (_ACK_HEALTH, _ACK_WATERMARK):
+                    # ``grant`` doubles as the body length; wait for
                     # the full record before consuming anything.
                     if len(self._ackbuf) < size + grant:
                         break
                     body = self._ackbuf[size : size + grant]
                     self._ackbuf = self._ackbuf[size + grant :]
+                    if kind == _ACK_WATERMARK:
+                        if len(body) == _WATERMARK.size:
+                            mark = _WATERMARK.unpack(body)[0]
+                            if mark > self._peer_watermark:
+                                self._peer_watermark = mark
+                        continue  # liveness only; acks still pending
                     try:
                         self._health_reports.append(json.loads(body.decode("utf-8")))
                     except ValueError:

@@ -5,10 +5,12 @@
 the *same* small SAAD deployment — two nodes (one wire-format), a fake
 clock, training, a detection pass with an injected novel signature, a
 model save/load round-trip, a sharded TCP ingest loopback with the
-overload machinery attached, and a fleet observability pass (federated
-edge telemetry + a wire health probe).  It exercises every metric
-family in the catalog (docs/OPERATIONS.md §4), so the catalog test
-treats its registry as the ground-truth metric inventory.
+overload machinery attached, a fleet observability pass (federated
+edge telemetry + a wire health probe), and an elastic-fleet pass
+(gossip membership, a mid-stream join, and a crash reshard).  It
+exercises every metric family in the catalog (docs/OPERATIONS.md §4),
+so the catalog test treats its registry as the ground-truth metric
+inventory.
 """
 
 from __future__ import annotations
@@ -167,6 +169,19 @@ def demo_deployment():
                     raise RuntimeError("demo ingest frame never arrived")
                 time.sleep(0.005)
         pool.close()
+
+    # Elastic fleet pass: the same detection trace through a gossip-
+    # coordinated analyzer fleet with a mid-stream join and a crash, so
+    # the fleet_* membership/ring/reroute families (DESIGN.md §16) are
+    # live in this registry too.
+    fleet = saad.fleet(2)
+    fleet.step_gossip(2)
+    half = len(replay) // 2
+    fleet.dispatch(replay[:half])
+    fleet.join("node-2")
+    fleet.kill("node-0")
+    fleet.dispatch(replay[half:])
+    fleet.close()
     return saad
 
 

@@ -13,8 +13,10 @@ Panels:
   backlog, shed/drop rates, anomalies), derived from counter deltas or
   gauge levels across the history;
 * **senders** — one row per connected sender (``peer``-labelled
-  ``client_*`` series) and per federated node (``node``-labelled
-  federation gauges);
+  ``client_*`` series), per federated node (``node``-labelled
+  federation gauges), and per fleet analyzer (``fleet_ring_owned`` /
+  ``fleet_synopses_routed``), with the ring column showing stage-byte
+  ownership out of 256;
 * **alerts** — the rule pack's current severities plus the tail of the
   incident timeline.
 """
@@ -164,6 +166,7 @@ def _senders_rows(families: List[dict]) -> List[List[str]]:
                 _fmt(rtt.get(peer)),
                 _fmt(stalls.get(peer)),
                 _fmt(pushes.get(peer)),
+                "-",
             ]
         )
     staleness = _labelled(families, "federation_staleness_seconds", "node")
@@ -177,6 +180,23 @@ def _senders_rows(families: List[dict]) -> List[List[str]]:
                 "-",
                 "-",
                 _fmt(snapshots.get(node)),
+                "-",
+            ]
+        )
+    # Fleet analyzers: ring ownership (stage bytes of 256) + synopses
+    # routed, from the coordinator's fleet_* families (DESIGN.md §16).
+    owned = _labelled(families, "fleet_ring_owned", "node")
+    routed = _labelled(families, "fleet_synopses_routed", "node")
+    for node in sorted(set(owned) | set(routed)):
+        rows.append(
+            [
+                node,
+                "fleet",
+                "-",
+                "-",
+                "-",
+                _fmt(routed.get(node)),
+                f"{int(owned.get(node, 0))}/256",
             ]
         )
     return rows
@@ -237,7 +257,7 @@ def render_top(
     lines.append("")
     if rows:
         table = render_table(
-            ["sender", "kind", "flush", "rtt_us", "stalls", "snapshots"],
+            ["sender", "kind", "flush", "rtt_us", "stalls", "snapshots", "ring"],
             rows,
             title="senders",
         )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the analyzer-fleet suite.
+
+Reuses the sharded suite's workload shape (multi-stage, two hosts,
+flow fault on stage 7 + perf fault on stage 11 in the detection half)
+so the fleet's merged event feed can be compared 1:1 against a
+single-process detector — and against the sharded pool, which already
+proved equivalence against the same reference.
+"""
+
+import pytest
+
+from repro.core import OutlierModel, SAADConfig
+
+from tests.shard.conftest import make_trace  # noqa: F401  (re-exported)
+
+
+@pytest.fixture(scope="session")
+def model():
+    """A model trained on a fault-free multi-stage trace."""
+    config = SAADConfig(window_s=60.0, min_window_tasks=8)
+    return OutlierModel(config).train(make_trace(4000))
+
+
+@pytest.fixture()
+def detect_trace():
+    """3000 tasks with a flow fault on stage 7, perf fault on stage 11."""
+    return make_trace(3000, seed=13, faults=True, uid_base=10_000)
+
+
+@pytest.fixture()
+def fake_clock():
+    """A manually advanced monotonic clock for failure-detector drills."""
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 100.0
+
+        def __call__(self):
+            return self.now
+
+        def advance(self, seconds):
+            self.now += seconds
+
+    return FakeClock()

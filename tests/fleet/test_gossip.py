@@ -1,0 +1,128 @@
+"""Gossip engine: epidemic convergence, partitions, hostile payloads."""
+
+import json
+import random
+
+import pytest
+
+from repro.fleet.gossip import Gossip, LoopbackHub
+from repro.fleet.membership import ALIVE, DEAD, MembershipTable
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.fleet
+
+
+def mesh(fake_clock, n, hub=None, seed=7):
+    """N gossiping nodes on one loopback hub, seeded pairwise-unknown:
+    node-0 knows everyone's address (the bootstrap contact), everyone
+    knows node-0."""
+    hub = hub if hub is not None else LoopbackHub()
+    gossips = []
+    for i in range(n):
+        endpoint = hub.attach()
+        table = MembershipTable(
+            f"node-{i}",
+            address=endpoint.address,
+            clock=fake_clock,
+            suspect_after_s=2.0,
+            dead_after_s=6.0,
+        )
+        gossips.append(
+            Gossip(table, endpoint, rng=random.Random(seed + i))
+        )
+    contact = gossips[0].table
+    for gossip in gossips[1:]:
+        contact.merge([gossip.table.local.digest_entry()])
+        gossip.table.merge([contact.local.digest_entry()])
+    return hub, gossips
+
+
+def step_all(gossips, rounds=1):
+    for _ in range(rounds):
+        for gossip in gossips:
+            gossip.step()
+
+
+class TestConvergence:
+    def test_full_mesh_knowledge_in_log_rounds(self, fake_clock):
+        _, gossips = mesh(fake_clock, 5)
+        step_all(gossips, 6)
+        names = {f"node-{i}" for i in range(5)}
+        for gossip in gossips:
+            assert set(gossip.table.members) == names
+            assert all(
+                m.state == ALIVE for m in gossip.table.members.values()
+            )
+
+    def test_heartbeats_spread_indirectly(self, fake_clock):
+        # node-2 never hears from node-1 directly, yet node-1's pulses
+        # keep it alive in node-2's table via the contact node.
+        _, gossips = mesh(fake_clock, 3, seed=3)
+        step_all(gossips, 4)
+        for _ in range(6):
+            fake_clock.advance(1.0)
+            step_all(gossips)
+        table = gossips[2].table
+        assert table.members["node-1"].state == ALIVE
+
+
+class TestPartitions:
+    def test_blackholed_node_is_declared_dead_everywhere(self, fake_clock):
+        hub, gossips = mesh(fake_clock, 4)
+        step_all(gossips, 6)
+        victim = gossips[3]
+        hub.drop(victim.table.local.address)
+        for _ in range(8):
+            fake_clock.advance(1.0)
+            step_all(gossips)
+        for gossip in gossips[:3]:
+            assert gossip.table.members["node-3"].state == DEAD
+
+    def test_restored_node_refutes_its_death(self, fake_clock):
+        hub, gossips = mesh(fake_clock, 3)
+        step_all(gossips, 6)
+        victim = gossips[2]
+        hub.drop(victim.table.local.address)
+        for _ in range(8):
+            fake_clock.advance(1.0)
+            step_all(gossips[:2])
+        assert gossips[0].table.members["node-2"].state == DEAD
+
+        hub.restore(victim.table.local.address)
+        step_all(gossips, 6)
+        assert gossips[0].table.members["node-2"].state == ALIVE
+        assert gossips[0].table.members["node-2"].incarnation > 0
+
+
+class TestWireHygiene:
+    def test_undecodable_payloads_are_counted_and_dropped(self, fake_clock):
+        registry = MetricsRegistry()
+        hub = LoopbackHub()
+        endpoint = hub.attach()
+        table = MembershipTable("solo", address=endpoint.address, clock=fake_clock)
+        gossip = Gossip(table, endpoint, registry=registry)
+
+        rejected = registry.get("fleet_gossip_rejected")
+        gossip.receive(b"\xff\xfenot json")
+        gossip.receive(json.dumps({"no": "digest"}).encode())
+        gossip.receive(json.dumps({"from": "x", "digest": 5}).encode())
+        assert rejected.value == 3
+        assert list(table.members) == ["solo"]
+
+    def test_rounds_are_counted(self, fake_clock):
+        registry = MetricsRegistry()
+        hub = LoopbackHub()
+        endpoint = hub.attach()
+        table = MembershipTable("solo", address=endpoint.address, clock=fake_clock)
+        gossip = Gossip(table, endpoint, registry=registry)
+        gossip.step()
+        gossip.step()
+        assert registry.get("fleet_gossip_rounds").value == 2
+        assert table.local.heartbeat == 2
+
+    def test_fanout_must_be_positive(self, fake_clock):
+        hub = LoopbackHub()
+        endpoint = hub.attach()
+        table = MembershipTable("solo", address=endpoint.address, clock=fake_clock)
+        with pytest.raises(ValueError):
+            Gossip(table, endpoint, fanout=0)

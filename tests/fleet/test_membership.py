@@ -1,0 +1,207 @@
+"""Membership state machine: failure detection, SWIM merges, refutation."""
+
+import pytest
+
+from repro.fleet.membership import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    Member,
+    MembershipTable,
+)
+
+pytestmark = pytest.mark.fleet
+
+
+def table(fake_clock, node_id="self", **kwargs):
+    kwargs.setdefault("suspect_after_s", 2.0)
+    kwargs.setdefault("dead_after_s", 6.0)
+    return MembershipTable(node_id, clock=fake_clock, **kwargs)
+
+
+def seed_peer(t, node_id, **kwargs):
+    t.merge([Member(node_id, **kwargs).digest_entry()])
+    return t.members[node_id]
+
+
+class TestFailureDetector:
+    def test_silence_demotes_alive_to_suspect_to_dead(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        assert peer.state == ALIVE
+
+        fake_clock.advance(2.0)
+        assert [m.node_id for m in t.tick()] == ["peer"]
+        assert peer.state == SUSPECT
+
+        fake_clock.advance(4.0)  # 6s total silence
+        assert [m.node_id for m in t.tick()] == ["peer"]
+        assert peer.state == DEAD
+
+    def test_dead_timeout_measured_from_last_evidence(self, fake_clock):
+        # One long silence can cross both thresholds in a single tick.
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        fake_clock.advance(10.0)
+        changed = t.tick()
+        assert peer.state == DEAD
+        assert len(changed) == 2  # both transitions reported
+
+    def test_fresh_evidence_resets_the_clock(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        fake_clock.advance(1.5)
+        t.merge([Member("peer", heartbeat=1).digest_entry()])
+        fake_clock.advance(1.5)  # 3s since discovery, 1.5s since beat
+        assert t.tick() == []
+        assert peer.state == ALIVE
+
+    def test_own_entry_never_times_out(self, fake_clock):
+        t = table(fake_clock)
+        fake_clock.advance(1000.0)
+        assert t.tick() == []
+        assert t.local.state == ALIVE
+
+    def test_suspects_stay_routable(self, fake_clock):
+        t = table(fake_clock)
+        seed_peer(t, "peer")
+        fake_clock.advance(2.0)
+        t.tick()
+        assert "peer" in [m.node_id for m in t.routable()]
+        fake_clock.advance(4.0)
+        t.tick()
+        assert "peer" not in [m.node_id for m in t.routable()]
+
+    def test_timeouts_must_be_ordered(self, fake_clock):
+        with pytest.raises(ValueError):
+            MembershipTable(
+                "x", clock=fake_clock, suspect_after_s=5.0, dead_after_s=5.0
+            )
+
+
+class TestMergeRules:
+    def test_discovery_reports_via_on_change(self, fake_clock):
+        seen = []
+        t = table(fake_clock)
+        t.on_change = lambda member, previous: seen.append(
+            (member.node_id, previous, member.state)
+        )
+        seed_peer(t, "peer")
+        assert seen == [("peer", "", ALIVE)]
+
+    def test_higher_incarnation_wins(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        t.declare_dead("peer")
+        # The accused refuted with a fresh incarnation: alive wins.
+        t.merge([Member("peer", state=ALIVE, incarnation=1).digest_entry()])
+        assert peer.state == ALIVE
+        assert peer.incarnation == 1
+
+    def test_worse_state_wins_at_equal_incarnation(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        t.merge([Member("peer", state=DEAD, incarnation=0).digest_entry()])
+        assert peer.state == DEAD
+        # A stale all-is-well digest cannot shout the death down.
+        t.merge(
+            [Member("peer", state=ALIVE, incarnation=0, heartbeat=99).digest_entry()]
+        )
+        assert peer.state == DEAD
+
+    def test_heartbeat_refreshes_liveness_only(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        fake_clock.advance(1.9)
+        t.merge([Member("peer", heartbeat=5).digest_entry()])
+        assert peer.heartbeat == 5
+        fake_clock.advance(1.9)  # 3.8s since discovery, 1.9s since pulse
+        assert t.tick() == []
+
+    def test_stale_heartbeat_is_ignored(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer", heartbeat=7)
+        before = peer.last_seen
+        fake_clock.advance(1.0)
+        t.merge([Member("peer", heartbeat=3).digest_entry()])
+        assert peer.heartbeat == 7
+        assert peer.last_seen == before
+
+    def test_unknown_state_raises(self, fake_clock):
+        t = table(fake_clock)
+        entry = Member("peer").digest_entry()
+        entry["state"] = "zombie"
+        with pytest.raises(ValueError):
+            t.merge([entry])
+
+
+class TestRumorSquashing:
+    def test_refutes_suspicion_about_self(self, fake_clock):
+        t = table(fake_clock)
+        t.merge([Member("self", state=SUSPECT, incarnation=0).digest_entry()])
+        assert t.local.state == ALIVE
+        assert t.local.incarnation == 1  # outranks the rumor everywhere
+
+    def test_refutes_death_about_self(self, fake_clock):
+        t = table(fake_clock)
+        t.merge([Member("self", state=DEAD, incarnation=4).digest_entry()])
+        assert t.local.state == ALIVE
+        assert t.local.incarnation == 5
+
+    def test_stale_rumor_about_self_is_ignored(self, fake_clock):
+        t = table(fake_clock)
+        t.local.incarnation = 3
+        t.merge([Member("self", state=DEAD, incarnation=2).digest_entry()])
+        assert t.local.state == ALIVE
+        assert t.local.incarnation == 3
+
+    def test_refutation_beats_the_rumor_at_a_third_party(self, fake_clock):
+        # Observer hears the death rumor, then the refutation: the
+        # refutation's higher incarnation resurrects the member.
+        observer = table(fake_clock, "observer")
+        peer = seed_peer(observer, "peer")
+        observer.merge([Member("peer", state=DEAD, incarnation=0).digest_entry()])
+        assert peer.state == DEAD
+
+        accused = table(fake_clock, "peer")
+        accused.merge([Member("peer", state=DEAD, incarnation=0).digest_entry()])
+        observer.merge([accused.local.digest_entry()])
+        assert peer.state == ALIVE
+        assert peer.incarnation == 1
+
+
+class TestVerdictsAndViews:
+    def test_declare_dead_is_a_first_hand_verdict(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        assert t.declare_dead("peer") is peer
+        assert peer.state == DEAD
+        assert t.declare_dead("stranger") is None
+
+    def test_declare_dead_does_not_resurrect_left(self, fake_clock):
+        t = table(fake_clock)
+        peer = seed_peer(t, "peer")
+        t.merge([Member("peer", state=LEFT, incarnation=1).digest_entry()])
+        t.declare_dead("peer")
+        assert peer.state == LEFT
+
+    def test_leave_bumps_incarnation(self, fake_clock):
+        t = table(fake_clock)
+        t.leave()
+        assert t.local.state == LEFT
+        assert t.local.incarnation == 1
+
+    def test_counts_and_digest_are_deterministic(self, fake_clock):
+        t = table(fake_clock)
+        seed_peer(t, "b")
+        seed_peer(t, "a")
+        t.declare_dead("b")
+        assert t.counts() == {ALIVE: 2, SUSPECT: 0, LEFT: 0, DEAD: 1}
+        assert [e["node"] for e in t.digest()] == ["a", "b", "self"]
+
+    def test_endpoints_travel_in_digests(self, fake_clock):
+        t = table(fake_clock, ingest=("127.0.0.1", 9000))
+        other = table(fake_clock, "other")
+        other.merge(t.digest())
+        assert other.members["self"].ingest == ("127.0.0.1", 9000)

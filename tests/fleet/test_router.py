@@ -1,0 +1,101 @@
+"""Router retention and reroute accounting against live analyzers."""
+
+import pytest
+
+from repro.fleet import AnalyzerFleet
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.fleet
+
+
+class TestRetention:
+    def test_watermark_pruning_empties_retention(self, model, detect_trace):
+        with AnalyzerFleet(model, 3) as fleet:
+            fleet.dispatch(detect_trace)
+            assert fleet.router.retained_synopses > 0
+            fleet.router.wait_acked()
+            # Everything before the stream head's close horizon is
+            # pruned; only the open tail windows stay retained.
+            width = model.config.window_s
+            tail = [
+                s
+                for s in detect_trace
+                if s.start_time >= (max(x.start_time for x in detect_trace) // width) * width
+            ]
+            assert fleet.router.retained_synopses <= len(tail)
+            fleet.close()
+
+    def test_retention_survives_wire_loss_to_dead_peer(self, model, detect_trace):
+        # Killing a node between route and flush loses the wire write
+        # but not the synopses: they are retained at route time.
+        half = len(detect_trace) // 2
+        with AnalyzerFleet(model, 3) as fleet:
+            fleet.dispatch(detect_trace[:half])
+            node = fleet.node("node-0")
+            node.server.close()  # dies under the router, no sync yet
+            fleet.dispatch(detect_trace[half:])  # sends tolerated
+            fleet.membership.declare_dead("node-0")
+            node.alive = False
+            fleet.sync()  # now reroute replays the retained tail
+            events = fleet.close()
+        assert events  # stream still produced the anomaly feed
+
+
+class TestAccounting:
+    def test_fleet_metrics_are_registered_and_move(self, model, detect_trace):
+        registry = MetricsRegistry()
+        with AnalyzerFleet(model, 3, registry=registry) as fleet:
+            fleet.dispatch(detect_trace[: len(detect_trace) // 2])
+            fleet.join("node-3")
+            fleet.kill("node-0")
+            fleet.dispatch(detect_trace[len(detect_trace) // 2 :])
+            fleet.step_gossip(2)
+
+            assert registry.get("fleet_ring_version").value >= 5.0
+            assert registry.get("fleet_stages_moved").value > 0
+            assert registry.get("fleet_reroute_replays").value > 0
+            assert registry.get("fleet_gossip_rounds").value >= 2
+            routed = registry.get("fleet_synopses_routed").collect()
+            assert sum(s["value"] for s in routed["samples"]) == len(detect_trace)
+            members = registry.get("fleet_members")
+            assert members.labels(state="alive").value >= 3  # incl. coordinator
+            assert members.labels(state="dead").value == 1
+            fleet.close()
+
+    def test_reroute_counters_stay_flat_without_churn(self, model, detect_trace):
+        # Constructing the fleet is join churn (stages move onto each
+        # starting node); a churn-free stream must add none on top, and
+        # nothing is ever replayed when no routed stage changes owner.
+        registry = MetricsRegistry()
+        with AnalyzerFleet(model, 3, registry=registry) as fleet:
+            startup_moves = registry.get("fleet_stages_moved").value
+            fleet.dispatch(detect_trace)
+            fleet.close()
+        assert registry.get("fleet_stages_moved").value == startup_moves
+        assert registry.get("fleet_reroute_replays").value == 0
+
+
+class TestGuards:
+    def test_dispatch_without_nodes_raises(self, model):
+        from repro.fleet.router import FleetRouter
+
+        router = FleetRouter(lambda node_id: None, window_s=60.0)
+        with pytest.raises(LookupError):
+            router.dispatch_payload(b"", 0, 0)
+
+    def test_closed_router_refuses_dispatch(self, model, detect_trace):
+        fleet = AnalyzerFleet(model, 2)
+        fleet.dispatch(detect_trace[:100])
+        fleet.close()
+        with pytest.raises(ValueError):
+            fleet.dispatch(detect_trace[:100])
+
+    def test_duplicate_node_ids_rejected(self, model):
+        with pytest.raises(ValueError):
+            AnalyzerFleet(model, ["a", "a"])
+
+    def test_window_geometry_validated(self):
+        from repro.fleet.router import FleetRouter
+
+        with pytest.raises(ValueError):
+            FleetRouter(lambda node_id: None, window_s=0.0)

@@ -1,0 +1,26 @@
+"""Seeded FL001 defects: static partition routing in fleet code.
+
+Planted defects (line numbers are asserted in test_lint.py):
+
+* line 13 — bare ``shard_for(...)`` lookup (FL001)
+* line 19 — attribute form ``partition.shard_table(...)`` (FL001)
+
+The ring-routed sites below must stay quiet.
+"""
+
+
+def route_stage(stage_id, members):
+    owner = shard_for(stage_id, len(members))  # noqa: F821 -- lint fixture
+
+    return owner
+
+
+def build_static_table(partition, members):
+    table = partition.shard_table(len(members))
+    return table
+
+
+def sanctioned_sites(ring, stage_id):
+    owner = ring.owner(stage_id)
+    table = ring.table()
+    return owner, table
